@@ -1,0 +1,99 @@
+//! Criterion bench: SBox estimation cost vs result size `m` and relation
+//! count `n` (the performance side of experiment E6(ii)), plus the hasher
+//! ablation DESIGN.md §4 calls out (FxHash-style vs SipHash grouping).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sa_core::{GusParams, SBox};
+
+fn gus_over(n: usize) -> GusParams {
+    let mut gus = GusParams::bernoulli("r0", 0.5).unwrap();
+    for i in 1..n {
+        gus = gus
+            .join(&GusParams::bernoulli(format!("r{i}"), 0.5).unwrap())
+            .unwrap();
+    }
+    gus
+}
+
+fn bench_vs_result_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbox_vs_m");
+    let gus = gus_over(2);
+    for m in [1_000u64, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sbox = SBox::new(gus.clone());
+                for i in 0..m {
+                    sbox.push_scalar(black_box(&[i % 997, i % 337]), (i % 97) as f64)
+                        .unwrap();
+                }
+                black_box(sbox.finish().unwrap().estimate[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_relation_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sbox_vs_n");
+    let m = 20_000u64;
+    for n in [1usize, 2, 3, 4, 5] {
+        let gus = gus_over(n);
+        group.throughput(Throughput::Elements(m));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sbox = SBox::new(gus.clone());
+                let mut lineage = vec![0u64; n];
+                for i in 0..m {
+                    for (j, l) in lineage.iter_mut().enumerate() {
+                        *l = (i * (j as u64 + 1)) % 977;
+                    }
+                    sbox.push_scalar(black_box(&lineage), (i % 31) as f64).unwrap();
+                }
+                black_box(sbox.finish().unwrap().estimate[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Hasher ablation: group-by-lineage with the crate's FxHash-style hasher vs
+/// the std SipHash default, on the same key stream.
+fn bench_hasher_ablation(c: &mut Criterion) {
+    use std::collections::HashMap;
+    let mut group = c.benchmark_group("hasher_ablation");
+    let m = 100_000u64;
+    let keys: Vec<u128> = (0..m)
+        .map(|i| sa_core::hash::fingerprint128(1, i % 4096))
+        .collect();
+    group.throughput(Throughput::Elements(m));
+    group.bench_function("fxhash", |b| {
+        b.iter(|| {
+            let mut map: sa_core::hash::FxHashMap<u128, f64> = Default::default();
+            for k in &keys {
+                *map.entry(*k).or_insert(0.0) += 1.0;
+            }
+            black_box(map.len())
+        })
+    });
+    group.bench_function("siphash", |b| {
+        b.iter(|| {
+            let mut map: HashMap<u128, f64> = HashMap::new();
+            for k in &keys {
+                *map.entry(*k).or_insert(0.0) += 1.0;
+            }
+            black_box(map.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vs_result_size,
+    bench_vs_relation_count,
+    bench_hasher_ablation
+);
+criterion_main!(benches);

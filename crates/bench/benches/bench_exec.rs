@@ -1,0 +1,63 @@
+//! Criterion bench: sampled-plan execution — the engine-side cost of the
+//! pipeline (scan + sample + hash join + lineage bookkeeping), and the full
+//! `approx_query` path including estimation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_bench::workloads;
+use sa_exec::{approx_query, execute, ApproxOptions, ExecOptions};
+use sa_plan::LogicalPlan;
+
+fn bench_sampled_join_execution(c: &mut Criterion) {
+    let catalog = workloads::tpch_small(3);
+    let mut group = c.benchmark_group("sampled_join_exec");
+    for pct in [5.0f64, 20.0, 50.0] {
+        let plan = workloads::two_table(&catalog, pct);
+        let LogicalPlan::Aggregate { input, .. } = plan.clone() else {
+            unreachable!()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pct}pct")),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let rs =
+                        execute(black_box(input), &catalog, &ExecOptions { seed: 1 }).unwrap();
+                    black_box(rs.rows.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_approx_pipeline(c: &mut Criterion) {
+    let catalog = workloads::tpch_small(3);
+    let mut group = c.benchmark_group("approx_pipeline");
+    for (name, plan) in [
+        ("1table", workloads::single_table(&catalog, 10.0)),
+        ("2table", workloads::two_table(&catalog, 10.0)),
+        ("3table", workloads::three_table(&catalog, 20.0)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| {
+                let r = approx_query(
+                    black_box(plan),
+                    &catalog,
+                    &ApproxOptions {
+                        seed: 1,
+                        confidence: 0.95,
+                        subsample_target: None,
+                    },
+                )
+                .unwrap();
+                black_box(r.aggs[0].estimate)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampled_join_execution, bench_full_approx_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: SOA rewriter latency vs plan size (E6(i) — the paper's
+//! "a few milliseconds even for plans involving 10 relations" claim), plus
+//! the Möbius-transform ablation from DESIGN.md §4 (fast `O(2ⁿ·n)` vs naive
+//! `O(4ⁿ)` coefficient computation).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sa_bench::workloads;
+use sa_core::coeffs::{moebius_transform, moebius_transform_naive};
+use sa_plan::rewrite;
+
+fn bench_rewrite_vs_relations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite_vs_relations");
+    for n in [2usize, 4, 6, 8, 10, 12] {
+        let catalog = workloads::synthetic_relations(n, 10);
+        let plan = workloads::synthetic_plan(n, 0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let analysis = rewrite(black_box(&plan), black_box(&catalog)).unwrap();
+                black_box(analysis.gus.a())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_moebius_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moebius_ablation");
+    for n in [8usize, 12, 16] {
+        let b_table: Vec<f64> = (0..1usize << n).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        group.bench_with_input(BenchmarkId::new("fast", n), &b_table, |b, t| {
+            b.iter(|| black_box(moebius_transform(t)))
+        });
+        if n <= 12 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &b_table, |b, t| {
+                b.iter(|| black_box(moebius_transform_naive(t)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite_vs_relations, bench_moebius_ablation);
+criterion_main!(benches);

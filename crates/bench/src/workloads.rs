@@ -1,0 +1,136 @@
+//! Shared workload builders for experiments and criterion benches.
+
+use sa_exec::{execute, ExecOptions};
+use sa_plan::LogicalPlan;
+use sa_sql::plan_sql;
+use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+use sa_tpch::{generate, TpchConfig};
+
+/// TPC-H at the default experiment scale (orders ≈ 7.5k, lineitem ≈ 30k).
+pub fn tpch_small(seed: u64) -> Catalog {
+    generate(&TpchConfig::scale(0.005).with_seed(seed))
+}
+
+/// TPC-H with the paper's Example 1 orders cardinality (150 000), for
+/// coefficient reproduction.
+pub fn tpch_paper(seed: u64) -> Catalog {
+    generate(&TpchConfig::scale(0.1).with_seed(seed))
+}
+
+/// The introduction's Query 1 at a given Bernoulli rate and WOR size.
+pub fn query1(catalog: &Catalog, percent: f64, rows: u64) -> LogicalPlan {
+    plan_sql(
+        &format!(
+            "SELECT SUM(l_discount*(1.0-l_tax)) \
+             FROM lineitem TABLESAMPLE ({percent} PERCENT), orders TABLESAMPLE ({rows} ROWS) \
+             WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0"
+        ),
+        catalog,
+    )
+    .expect("query1 binds")
+}
+
+/// Single-table SUM at a Bernoulli rate.
+pub fn single_table(catalog: &Catalog, percent: f64) -> LogicalPlan {
+    plan_sql(
+        &format!("SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE ({percent} PERCENT)"),
+        catalog,
+    )
+    .expect("single-table binds")
+}
+
+/// Single-table SUM with WOR.
+pub fn single_table_wor(catalog: &Catalog, rows: u64) -> LogicalPlan {
+    plan_sql(
+        &format!("SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE ({rows} ROWS)"),
+        catalog,
+    )
+    .expect("single-table WOR binds")
+}
+
+/// Two-table sampled join (both sides Bernoulli).
+pub fn two_table(catalog: &Catalog, percent: f64) -> LogicalPlan {
+    plan_sql(
+        &format!(
+            "SELECT SUM(l_quantity) \
+             FROM lineitem TABLESAMPLE ({percent} PERCENT), \
+                  orders TABLESAMPLE ({percent} PERCENT) \
+             WHERE l_orderkey = o_orderkey"
+        ),
+        catalog,
+    )
+    .expect("two-table binds")
+}
+
+/// Three-table sampled join.
+pub fn three_table(catalog: &Catalog, percent: f64) -> LogicalPlan {
+    plan_sql(
+        &format!(
+            "SELECT SUM(l_quantity) \
+             FROM lineitem TABLESAMPLE ({percent} PERCENT), \
+                  orders TABLESAMPLE ({percent} PERCENT), \
+                  customer TABLESAMPLE ({percent} PERCENT) \
+             WHERE l_orderkey = o_orderkey AND o_custkey = c_custkey"
+        ),
+        catalog,
+    )
+    .expect("three-table binds")
+}
+
+/// A synthetic catalog of `n` relations with `rows` rows each, for rewriter
+/// scaling experiments.
+pub fn synthetic_relations(n: usize, rows: u64) -> Catalog {
+    let mut catalog = Catalog::new();
+    let schema = Schema::new(vec![Field::new("k", DataType::Int)]).unwrap();
+    for i in 0..n {
+        let mut b = TableBuilder::new(format!("r{i}"), schema.clone());
+        b.reserve(rows as usize);
+        for j in 0..rows {
+            b.push_row(&[Value::Int(j as i64)]).unwrap();
+        }
+        catalog.register(b.finish().unwrap()).unwrap();
+    }
+    catalog
+}
+
+/// A left-deep all-Bernoulli join plan over `n` synthetic relations.
+pub fn synthetic_plan(n: usize, p: f64) -> LogicalPlan {
+    use sa_expr::lit;
+    use sa_plan::AggSpec;
+    use sa_sampling::SamplingMethod;
+    let mut plan = LogicalPlan::scan("r0").sample(SamplingMethod::Bernoulli { p });
+    for i in 1..n {
+        plan = plan.join_on(
+            LogicalPlan::scan(format!("r{i}")).sample(SamplingMethod::Bernoulli { p }),
+            lit(true),
+        );
+    }
+    plan.aggregate(vec![AggSpec::count_star("c")])
+}
+
+/// Materialized (lineage, f) rows of a sampled join, for estimator-only
+/// benchmarks.
+pub fn materialized_result(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    seed: u64,
+) -> (usize, Vec<(Vec<u64>, f64)>) {
+    let LogicalPlan::Aggregate { input, aggs } = plan else {
+        panic!("aggregate plan required")
+    };
+    let rs = execute(input, catalog, &ExecOptions { seed }).expect("executes");
+    let expr = aggs[0].expr.as_ref().expect("sum agg");
+    let bound = sa_expr::bind(expr, &rs.schema).expect("binds");
+    let n = rs.relations.len();
+    let rows = rs
+        .rows
+        .iter()
+        .map(|r| {
+            let f = sa_expr::eval_f64(&bound, &r.values)
+                .expect("evaluates")
+                .unwrap_or(0.0);
+            (r.lineage.clone(), f)
+        })
+        .collect();
+    (n, rows)
+}

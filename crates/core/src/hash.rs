@@ -1,0 +1,163 @@
+//! Hashing utilities: a fast FxHash-style hasher for lineage grouping and a
+//! SplitMix64 bit mixer used both for group fingerprints and for the
+//! pseudo-random lineage functions of Section 7.
+//!
+//! The default `std` hasher (SipHash 1-3) is DoS-resistant but slow for the
+//! short integer keys the estimator hashes billions of times; an FxHash-style
+//! multiply-xor hasher is the standard replacement in this situation (see the
+//! Rust Performance Book's Hashing chapter). Implemented locally (~30 lines)
+//! to stay within the approved dependency set.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Firefox-style (Fx) hasher: wrapping multiply by a golden-ratio constant
+/// with rotate-xor mixing. Not DoS-resistant; do not expose to adversarial
+/// keys. All keys here are internally generated lineage fingerprints.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_word(i as u64);
+        self.add_word((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], for use with `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// SplitMix64 finalizer: a high-quality 64-bit bit mixer (Steele et al.).
+///
+/// Used to turn `(seed, lineage id)` pairs into uniform 64-bit words for the
+/// pseudo-random sub-sampling functions of Section 7 ("pseudo-random
+/// functions that combine seeds and lineage to provide a \[0,1\] number"), and
+/// to build the 128-bit group fingerprints of the `y_S` accumulator.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Two independent 64-bit mixes of `(salt, id)` packed into a `u128`
+/// fingerprint. With 128 bits, collision probability among `m` distinct keys
+/// is ≈ `m²/2^129` — negligible for any realistic result size.
+#[inline]
+pub fn fingerprint128(salt: u64, id: u64) -> u128 {
+    let lo = splitmix64(id ^ splitmix64(salt));
+    let hi = splitmix64(id.wrapping_add(0x9e37_79b9_7f4a_7c15) ^ splitmix64(salt ^ 0xdead_beef));
+    ((hi as u128) << 64) | lo as u128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn fx_hash_differs_on_different_keys() {
+        let bh = FxBuildHasher::default();
+        let h1 = bh.hash_one(1u64);
+        let h2 = bh.hash_one(2u64);
+        assert_ne!(h1, h2);
+        // Deterministic.
+        assert_eq!(h1, bh.hash_one(1u64));
+    }
+
+    #[test]
+    fn fx_hashmap_works() {
+        let mut m: FxHashMap<u128, u32> = FxHashMap::default();
+        for i in 0..1000u128 {
+            m.insert(i, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 500);
+    }
+
+    #[test]
+    fn splitmix_is_bijective_sampling() {
+        // No collisions over a small dense range (splitmix64 is a bijection).
+        let outs: HashSet<u64> = (0..10_000u64).map(splitmix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn splitmix_uniformity_rough() {
+        // Top bit should be set about half the time.
+        let ones = (0..100_000u64)
+            .map(splitmix64)
+            .filter(|x| x >> 63 == 1)
+            .count();
+        assert!((45_000..55_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn fingerprints_distinct_across_salt_and_id() {
+        let mut seen = HashSet::new();
+        for salt in 0..10u64 {
+            for id in 0..1000u64 {
+                assert!(seen.insert(fingerprint128(salt, id)));
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_path_matches_expected_behaviour() {
+        // write() must consume all bytes, including a short tail chunk.
+        let bh = FxBuildHasher::default();
+        let h1 = bh.hash_one([1u8, 2, 3]);
+        let h2 = bh.hash_one([1u8, 2, 4]);
+        assert_ne!(h1, h2);
+    }
+}

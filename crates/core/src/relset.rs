@@ -1,0 +1,400 @@
+//! Lineage schemas and relation sets.
+//!
+//! The GUS theory indexes its pair-inclusion probabilities `b_T` by the set
+//! `T` of base relations on which two result tuples agree (Table "Notation"
+//! in the paper). We represent such sets as bitmasks ([`RelSet`]) over a
+//! [`LineageSchema`] — an ordered list of the base relations participating in
+//! an expression (the paper's `L(R)`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// Maximum number of base relations in one lineage schema.
+///
+/// The `b̄` table is dense over `2^n` subsets and the estimator's coefficient
+/// pre-computation is `O(4^n)`; 16 relations (65 536 subsets) is far beyond
+/// any plan the paper considers (their claim is "plans involving 10
+/// relations").
+pub const MAX_RELS: usize = 16;
+
+/// A set of base relations, as a bitmask over a [`LineageSchema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RelSet(u32);
+
+impl RelSet {
+    /// The empty set ∅.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// The set containing the single relation at `bit`.
+    pub fn singleton(bit: usize) -> RelSet {
+        debug_assert!(bit < MAX_RELS);
+        RelSet(1 << bit)
+    }
+
+    /// The full set `{0, …, n-1}`.
+    pub fn full(n: usize) -> RelSet {
+        debug_assert!(n <= MAX_RELS);
+        if n == 0 {
+            RelSet(0)
+        } else {
+            RelSet((1u32 << n) - 1)
+        }
+    }
+
+    /// Build from a raw bitmask.
+    pub fn from_bits(bits: u32) -> RelSet {
+        RelSet(bits)
+    }
+
+    /// The raw bitmask.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Usable as an index into a dense `2^n` table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Number of relations in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True for ∅.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, bit: usize) -> bool {
+        self.0 & (1 << bit) != 0
+    }
+
+    /// `self ∪ {bit}`.
+    pub fn with(self, bit: usize) -> RelSet {
+        RelSet(self.0 | (1 << bit))
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// `self \ other`.
+    pub fn minus(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// Complement within the universe `{0,…,n-1}`.
+    pub fn complement(self, n: usize) -> RelSet {
+        RelSet(!self.0 & RelSet::full(n).0)
+    }
+
+    /// `self ⊆ other`.
+    pub fn is_subset_of(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if the two sets share no relation.
+    pub fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Iterate the member bit positions in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Iterate **all** subsets of `self`, including ∅ and `self` itself.
+    ///
+    /// Uses the standard descending-submask enumeration; yields `2^|self|`
+    /// sets in decreasing bitmask order ending with ∅.
+    pub fn subsets(self) -> Subsets {
+        Subsets {
+            mask: self.0,
+            current: self.0,
+            done: false,
+        }
+    }
+}
+
+/// Iterator over the subsets of a [`RelSet`]; see [`RelSet::subsets`].
+#[derive(Debug, Clone)]
+pub struct Subsets {
+    mask: u32,
+    current: u32,
+    done: bool,
+}
+
+impl Iterator for Subsets {
+    type Item = RelSet;
+
+    fn next(&mut self) -> Option<RelSet> {
+        if self.done {
+            return None;
+        }
+        let out = RelSet(self.current);
+        if self.current == 0 {
+            self.done = true;
+        } else {
+            self.current = (self.current - 1) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+/// The ordered list of base relations participating in an expression — the
+/// paper's lineage schema `L(R)`. Bit `i` of a [`RelSet`] refers to
+/// `names()[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageSchema {
+    names: Vec<Arc<str>>,
+}
+
+impl LineageSchema {
+    /// Build a schema from relation names. Names must be unique and the count
+    /// at most [`MAX_RELS`].
+    pub fn new<S: AsRef<str>>(names: &[S]) -> Result<Arc<LineageSchema>> {
+        if names.len() > MAX_RELS {
+            return Err(CoreError::TooManyRelations {
+                n: names.len(),
+                max: MAX_RELS,
+            });
+        }
+        let names: Vec<Arc<str>> = names.iter().map(|s| Arc::from(s.as_ref())).collect();
+        for (i, a) in names.iter().enumerate() {
+            if names[..i].iter().any(|b| b == a) {
+                return Err(CoreError::DuplicateRelation {
+                    name: a.to_string(),
+                });
+            }
+        }
+        Ok(Arc::new(LineageSchema { names }))
+    }
+
+    /// Convenience constructor for a single relation.
+    pub fn single(name: impl AsRef<str>) -> Arc<LineageSchema> {
+        LineageSchema::new(&[name.as_ref()]).expect("single name is always valid")
+    }
+
+    /// Number of relations.
+    pub fn n(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Relation names in bit order.
+    pub fn names(&self) -> &[Arc<str>] {
+        &self.names
+    }
+
+    /// Bit position of `name`, if present.
+    pub fn bit(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|s| &**s == name)
+    }
+
+    /// The full set over this schema.
+    pub fn full(&self) -> RelSet {
+        RelSet::full(self.n())
+    }
+
+    /// Build a [`RelSet`] from relation names.
+    pub fn rel_set<S: AsRef<str>>(&self, names: &[S]) -> Result<RelSet> {
+        let mut s = RelSet::EMPTY;
+        for name in names {
+            let bit = self
+                .bit(name.as_ref())
+                .ok_or_else(|| CoreError::UnknownRelation {
+                    name: name.as_ref().to_string(),
+                })?;
+            s = s.with(bit);
+        }
+        Ok(s)
+    }
+
+    /// Render a set as `{name, name, …}` for diagnostics and figure output.
+    pub fn display_set(&self, s: RelSet) -> String {
+        let mut out = String::from("{");
+        for (k, i) in s.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&self.names[i]);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Merge two schemas with disjoint relation names (as a join does).
+    ///
+    /// Returns the merged schema plus, for each input schema, the mapping
+    /// `old bit → new bit`.
+    pub fn merge(
+        a: &LineageSchema,
+        b: &LineageSchema,
+    ) -> Result<(Arc<LineageSchema>, Vec<usize>, Vec<usize>)> {
+        for name in &b.names {
+            if a.bit(name).is_some() {
+                return Err(CoreError::LineageOverlap {
+                    name: name.to_string(),
+                });
+            }
+        }
+        let mut names: Vec<Arc<str>> = a.names.clone();
+        names.extend(b.names.iter().cloned());
+        if names.len() > MAX_RELS {
+            return Err(CoreError::TooManyRelations {
+                n: names.len(),
+                max: MAX_RELS,
+            });
+        }
+        let map_a = (0..a.n()).collect();
+        let map_b = (0..b.n()).map(|i| a.n() + i).collect();
+        Ok((Arc::new(LineageSchema { names }), map_a, map_b))
+    }
+}
+
+impl fmt::Display for LineageSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L(")?;
+        for (i, n) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Translate a [`RelSet`] through a bit mapping (`old bit i → map[i]`).
+pub fn map_set(s: RelSet, map: &[usize]) -> RelSet {
+    let mut out = RelSet::EMPTY;
+    for i in s.iter() {
+        out = out.with(map[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_basics() {
+        let s = RelSet::singleton(0).union(RelSet::singleton(2));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && !s.contains(1) && s.contains(2));
+        assert_eq!(s.index(), 0b101);
+        assert_eq!(s.complement(3), RelSet::singleton(1));
+        assert!(RelSet::singleton(1).is_disjoint(s));
+        assert!(RelSet::singleton(0).is_subset_of(s));
+        assert_eq!(s.minus(RelSet::singleton(0)), RelSet::singleton(2));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        assert_eq!(RelSet::full(0), RelSet::EMPTY);
+        assert_eq!(RelSet::full(3).len(), 3);
+        assert!(RelSet::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn subset_enumeration_is_complete() {
+        let s = RelSet::from_bits(0b1011);
+        let subs: Vec<RelSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&RelSet::EMPTY));
+        assert!(subs.contains(&s));
+        for t in &subs {
+            assert!(t.is_subset_of(s));
+        }
+        // No duplicates.
+        let mut sorted = subs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn empty_set_has_one_subset() {
+        let subs: Vec<RelSet> = RelSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![RelSet::EMPTY]);
+    }
+
+    #[test]
+    fn iter_members() {
+        let s = RelSet::from_bits(0b10110);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let sch = LineageSchema::new(&["lineitem", "orders"]).unwrap();
+        assert_eq!(sch.n(), 2);
+        assert_eq!(sch.bit("orders"), Some(1));
+        assert_eq!(sch.bit("nope"), None);
+        let s = sch.rel_set(&["orders"]).unwrap();
+        assert_eq!(s, RelSet::singleton(1));
+        assert!(sch.rel_set(&["bogus"]).is_err());
+    }
+
+    #[test]
+    fn schema_rejects_duplicates_and_overflow() {
+        assert!(LineageSchema::new(&["a", "a"]).is_err());
+        let many: Vec<String> = (0..MAX_RELS + 1).map(|i| format!("r{i}")).collect();
+        assert!(LineageSchema::new(&many).is_err());
+    }
+
+    #[test]
+    fn merge_disjoint() {
+        let a = LineageSchema::new(&["l", "o"]).unwrap();
+        let b = LineageSchema::new(&["c"]).unwrap();
+        let (m, ma, mb) = LineageSchema::merge(&a, &b).unwrap();
+        assert_eq!(m.n(), 3);
+        assert_eq!(ma, vec![0, 1]);
+        assert_eq!(mb, vec![2]);
+        assert_eq!(m.bit("c"), Some(2));
+    }
+
+    #[test]
+    fn merge_overlapping_rejected() {
+        let a = LineageSchema::new(&["l"]).unwrap();
+        let b = LineageSchema::new(&["l"]).unwrap();
+        assert!(matches!(
+            LineageSchema::merge(&a, &b),
+            Err(CoreError::LineageOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn map_set_translates_bits() {
+        let s = RelSet::from_bits(0b11);
+        assert_eq!(map_set(s, &[2, 0]), RelSet::from_bits(0b101));
+    }
+
+    #[test]
+    fn display_set_uses_names() {
+        let sch = LineageSchema::new(&["l", "o", "c"]).unwrap();
+        assert_eq!(sch.display_set(RelSet::from_bits(0b101)), "{l,c}");
+        assert_eq!(sch.display_set(RelSet::EMPTY), "{}");
+        assert_eq!(sch.to_string(), "L(l,o,c)");
+    }
+}

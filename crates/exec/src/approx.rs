@@ -1,0 +1,465 @@
+//! The approximate-query driver: rewriter → executor → SBox.
+//!
+//! [`approx_query`] is the end-to-end entry point the paper's Section 6
+//! describes: run the user's sampled plan *as written*, funnel the result
+//! tuples' lineage and aggregate values into the SBox, and report unbiased
+//! estimates with confidence intervals for every aggregate in the `SELECT`
+//! list (including `QUANTILE(…)` views and delta-method `AVG`).
+//!
+//! Options cover the paper's Section 7 optimization — estimate the `Ŷ_S`
+//! variance terms from a deterministic lineage-hash sub-sample of ~10k
+//! result tuples while the point estimate still uses every tuple — and
+//! [`exact_query`] runs the sampling-free plan for ground truth comparisons.
+
+use sa_core::{
+    covariance_from_y, estimate_from_sample_moments, ratio, unbiased_y_hats, ConfidenceInterval,
+    EstimateReport, GroupedMoments, GusParams, LineageBernoulli,
+};
+use sa_expr::{bind, eval_f64, Expr};
+use sa_plan::{rewrite, AggFunc, AggSpec, LogicalPlan, SoaAnalysis};
+use sa_storage::Catalog;
+
+use crate::error::ExecError;
+use crate::exec::{execute, ExecOptions, ResultSet};
+use crate::Result;
+
+/// Options for [`approx_query`].
+#[derive(Debug, Clone)]
+pub struct ApproxOptions {
+    /// Seed for the plan's sampling operators.
+    pub seed: u64,
+    /// Confidence level for the reported intervals (e.g. 0.95).
+    pub confidence: f64,
+    /// When set, estimate the `Ŷ_S` terms from a lineage-hash sub-sample of
+    /// roughly this many result tuples (Section 7). The point estimate still
+    /// uses the full result.
+    pub subsample_target: Option<u64>,
+}
+
+impl Default for ApproxOptions {
+    fn default() -> Self {
+        ApproxOptions {
+            seed: 0,
+            confidence: 0.95,
+            subsample_target: None,
+        }
+    }
+}
+
+/// The report for one aggregate in the `SELECT` list.
+#[derive(Debug, Clone)]
+pub struct AggResult {
+    /// Output name.
+    pub name: String,
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Unbiased point estimate (for `QUANTILE` specs this is still the point
+    /// estimate; the bound is in [`AggResult::quantile_bound`]).
+    pub estimate: f64,
+    /// Estimated variance, when estimable.
+    pub variance: Option<f64>,
+    /// Normal confidence interval at the requested level.
+    pub ci_normal: Option<ConfidenceInterval>,
+    /// Chebyshev confidence interval at the requested level.
+    pub ci_chebyshev: Option<ConfidenceInterval>,
+    /// The requested `QUANTILE(agg, q)` bound, if the spec asked for one.
+    pub quantile_bound: Option<f64>,
+}
+
+/// The full approximate-query answer.
+#[derive(Debug, Clone)]
+pub struct ApproxResult {
+    /// One entry per aggregate in the `SELECT` list, in order.
+    pub aggs: Vec<AggResult>,
+    /// Number of result tuples the sampled plan produced.
+    pub result_rows: u64,
+    /// Number of tuples used for variance estimation (differs from
+    /// `result_rows` under Section 7 sub-sampling).
+    pub variance_rows: u64,
+    /// The SOA analysis (top GUS, lineage schema, rewrite trace).
+    pub analysis: SoaAnalysis,
+    /// The underlying multi-dimensional estimate report (exposed for
+    /// variance prediction and delta-method post-processing).
+    pub report: EstimateReport,
+}
+
+/// Layout of aggregate specs onto SBox dimensions (shared by the scalar and
+/// grouped drivers).
+pub(crate) struct DimLayout {
+    /// For each agg: (dimension of the numerator, optional denominator dim).
+    per_agg: Vec<(usize, Option<usize>)>,
+    /// Bound argument expression per dimension (`None` = constant 1).
+    dim_exprs: Vec<Option<Expr>>,
+    /// For COUNT(expr) dims: count non-null rather than sum.
+    dim_is_count: Vec<bool>,
+}
+
+impl DimLayout {
+    /// Number of SBox dimensions.
+    pub(crate) fn dims(&self) -> usize {
+        self.dim_exprs.len()
+    }
+
+    /// Per-aggregate (numerator dim, optional denominator dim).
+    pub(crate) fn per_agg(&self) -> &[(usize, Option<usize>)] {
+        &self.per_agg
+    }
+}
+
+pub(crate) fn layout_dims(aggs: &[AggSpec], schema: &sa_storage::Schema) -> Result<DimLayout> {
+    let mut per_agg = Vec::with_capacity(aggs.len());
+    let mut dim_exprs = Vec::new();
+    let mut dim_is_count = Vec::new();
+    for a in aggs {
+        match a.func {
+            AggFunc::Sum => {
+                let e = a.expr.as_ref().ok_or_else(|| {
+                    ExecError::Unsupported("SUM requires an argument expression".into())
+                })?;
+                dim_exprs.push(Some(bind(e, schema)?));
+                dim_is_count.push(false);
+                per_agg.push((dim_exprs.len() - 1, None));
+            }
+            AggFunc::Count => {
+                dim_exprs.push(a.expr.as_ref().map(|e| bind(e, schema)).transpose()?);
+                dim_is_count.push(true);
+                per_agg.push((dim_exprs.len() - 1, None));
+            }
+            AggFunc::Avg => {
+                let e = a.expr.as_ref().ok_or_else(|| {
+                    ExecError::Unsupported("AVG requires an argument expression".into())
+                })?;
+                dim_exprs.push(Some(bind(e, schema)?));
+                dim_is_count.push(false);
+                let num = dim_exprs.len() - 1;
+                dim_exprs.push(None);
+                dim_is_count.push(true);
+                per_agg.push((num, Some(dim_exprs.len() - 1)));
+            }
+        }
+    }
+    Ok(DimLayout {
+        per_agg,
+        dim_exprs,
+        dim_is_count,
+    })
+}
+
+pub(crate) fn f_vector(layout: &DimLayout, row: &crate::exec::Row) -> Result<Vec<f64>> {
+    let mut f = Vec::with_capacity(layout.dim_exprs.len());
+    for (e, is_count) in layout.dim_exprs.iter().zip(&layout.dim_is_count) {
+        let v = match e {
+            None => 1.0, // COUNT(*) / AVG denominator
+            Some(e) => {
+                let val = eval_f64(e, &row.values)?;
+                if *is_count {
+                    if val.is_some() {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    val.unwrap_or(0.0) // SUM skips NULLs
+                }
+            }
+        };
+        f.push(v);
+    }
+    Ok(f)
+}
+
+/// Run a sampled aggregate plan and produce estimates with confidence
+/// intervals. The plan root must be an [`LogicalPlan::Aggregate`].
+pub fn approx_query(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ApproxOptions,
+) -> Result<ApproxResult> {
+    let analysis = rewrite(plan, catalog)?;
+    let LogicalPlan::Aggregate { aggs, input } = plan else {
+        return Err(ExecError::Unsupported(
+            "approx_query requires an aggregate at the plan root".into(),
+        ));
+    };
+
+    // Execute the sampled relational part exactly as written.
+    let rs = execute(input, catalog, &ExecOptions { seed: opts.seed })?;
+    let layout = layout_dims(aggs, &rs.schema)?;
+    let dims = layout.dim_exprs.len();
+    let n = analysis.schema.n();
+    let m = rs.rows.len() as u64;
+
+    // Section 7 sub-sampling: choose per-relation keep probabilities so the
+    // expected surviving tuple count is near the target, then compact the
+    // plan GUS with the sub-sampler's multi-dimensional Bernoulli.
+    let sub = match opts.subsample_target {
+        Some(target) if m > target && n > 0 => {
+            let keep = (target as f64 / m as f64).powf(1.0 / n as f64);
+            Some(LineageBernoulli::uniform(
+                analysis.schema.clone(),
+                keep,
+                opts.seed ^ 0x5u64.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            )?)
+        }
+        _ => None,
+    };
+
+    let report = match &sub {
+        None => {
+            let mut acc = GroupedMoments::new(n, dims);
+            for row in &rs.rows {
+                acc.push(&row.lineage, &f_vector(&layout, row)?)?;
+            }
+            estimate_from_sample_moments(&analysis.gus, &acc.finish())?
+        }
+        Some(filter) => {
+            subsampled_report(&analysis.gus, filter, &rs, &layout, dims, n)?
+        }
+    };
+
+    let variance_rows = report.m;
+    let aggs_out = assemble_agg_results(aggs, &layout, &report, opts.confidence);
+    Ok(ApproxResult {
+        aggs: aggs_out,
+        result_rows: m,
+        variance_rows,
+        analysis,
+        report,
+    })
+}
+
+/// Section 7: point estimate from the full result under the plan GUS;
+/// `Ŷ_S`/covariance from the lineage-hash sub-sample under the compacted
+/// GUS (Figure 5's pipeline).
+fn subsampled_report(
+    gus: &GusParams,
+    filter: &LineageBernoulli,
+    rs: &ResultSet,
+    layout: &DimLayout,
+    dims: usize,
+    n: usize,
+) -> Result<EstimateReport> {
+    let compacted = gus.compact(&filter.gus())?;
+    let mut totals = vec![0.0; dims];
+    let mut acc = GroupedMoments::new(n, dims);
+    for row in &rs.rows {
+        let f = f_vector(layout, row)?;
+        for (t, v) in totals.iter_mut().zip(&f) {
+            *t += v;
+        }
+        if filter.keeps(&row.lineage) {
+            acc.push(&row.lineage, &f)?;
+        }
+    }
+    let sub_moments = acc.finish();
+    let estimate: Vec<f64> = totals.iter().map(|t| t / gus.a()).collect();
+    let (covariance, y_hat) = match unbiased_y_hats(&compacted, &sub_moments) {
+        Ok(yh) => {
+            let cov = covariance_from_y(gus, &yh, dims);
+            (Some(cov), Some(yh))
+        }
+        Err(_) => (None, None),
+    };
+    Ok(EstimateReport::from_parts(
+        gus.clone(),
+        estimate,
+        covariance,
+        y_hat,
+        dims,
+        sub_moments.count,
+    ))
+}
+
+fn assemble_agg_results(
+    aggs: &[AggSpec],
+    layout: &DimLayout,
+    report: &EstimateReport,
+    confidence: f64,
+) -> Vec<AggResult> {
+    aggs.iter()
+        .zip(&layout.per_agg)
+        .map(|(spec, (num, den))| {
+            let (estimate, variance) = match den {
+                None => (
+                    report.estimate[*num],
+                    report.variance(*num).ok(),
+                ),
+                Some(den) => match ratio(report, *num, *den) {
+                    Ok(d) => (d.value, Some(d.variance)),
+                    Err(_) => (f64::NAN, None),
+                },
+            };
+            let ci_normal = variance
+                .and_then(|v| sa_core::normal_ci(estimate, v, confidence).ok());
+            let ci_chebyshev = variance
+                .and_then(|v| sa_core::chebyshev_ci(estimate, v, confidence).ok());
+            let quantile_bound = spec.quantile.and_then(|q| {
+                variance.and_then(|v| sa_core::quantile_bound(estimate, v, q).ok())
+            });
+            AggResult {
+                name: spec.alias.clone(),
+                func: spec.func,
+                estimate,
+                variance,
+                ci_normal,
+                ci_chebyshev,
+                quantile_bound,
+            }
+        })
+        .collect()
+}
+
+/// Run the sampling-free version of `plan` (samples stripped) for ground
+/// truth. Returns the exact aggregate values, in `SELECT`-list order.
+pub fn exact_query(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<f64>> {
+    let analysis = rewrite(plan, catalog)?;
+    let rs = execute(&analysis.core, catalog, &ExecOptions::default())?;
+    let row = rs
+        .rows
+        .first()
+        .ok_or_else(|| ExecError::Unsupported("exact plan produced no aggregate row".into()))?;
+    Ok(row
+        .values
+        .iter()
+        .map(|v| v.as_f64().unwrap_or(f64::NAN))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_expr::col;
+    use sa_sampling::SamplingMethod;
+    use sa_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    /// Catalog: one table `t` with 2000 rows of v = 1.0, and a dimension
+    /// table `d` with 10 rows.
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..2000 {
+            b.push_row(&[Value::Int(i % 10), Value::Float(1.0)]).unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("dk", DataType::Int),
+            Field::new("w", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("d", schema);
+        for i in 0..10 {
+            b.push_row(&[Value::Int(i), Value::Float(2.0)]).unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    fn sum_plan(p: f64) -> LogicalPlan {
+        LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p })
+            .aggregate(vec![AggSpec::sum(col("v"), "s")])
+    }
+
+    #[test]
+    fn single_table_estimate_near_truth() {
+        let r = approx_query(&sum_plan(0.5), &catalog(), &ApproxOptions::default()).unwrap();
+        let a = &r.aggs[0];
+        // Truth is 2000; B(0.5) estimate has σ = √((1−p)/p·Σf²) = √2000 ≈ 45.
+        assert!((a.estimate - 2000.0).abs() < 250.0, "estimate {}", a.estimate);
+        let ci = a.ci_normal.unwrap();
+        assert!(ci.width() > 0.0);
+        assert!(a.ci_chebyshev.unwrap().width() > ci.width());
+    }
+
+    #[test]
+    fn exact_query_strips_samples() {
+        let exact = exact_query(&sum_plan(0.1), &catalog()).unwrap();
+        assert_eq!(exact, vec![2000.0]);
+    }
+
+    #[test]
+    fn count_and_avg() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .aggregate(vec![
+                AggSpec::count_star("c"),
+                AggSpec::avg(col("v"), "a"),
+            ]);
+        let r = approx_query(&plan, &catalog(), &ApproxOptions { seed: 7, ..Default::default() })
+            .unwrap();
+        assert!((r.aggs[0].estimate - 2000.0).abs() < 250.0);
+        // AVG of a constant column is exactly 1 with ~zero variance.
+        assert!((r.aggs[1].estimate - 1.0).abs() < 1e-9);
+        assert!(r.aggs[1].variance.unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_view_bounds() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .aggregate(vec![
+                AggSpec::sum(col("v"), "lo").with_quantile(0.05),
+                AggSpec::sum(col("v"), "hi").with_quantile(0.95),
+            ]);
+        let r = approx_query(&plan, &catalog(), &ApproxOptions::default()).unwrap();
+        let lo = r.aggs[0].quantile_bound.unwrap();
+        let hi = r.aggs[1].quantile_bound.unwrap();
+        assert!(lo < r.aggs[0].estimate && r.aggs[1].estimate < hi);
+    }
+
+    #[test]
+    fn join_query_estimates() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")))
+            .aggregate(vec![AggSpec::sum(col("w"), "s")]);
+        let r = approx_query(&plan, &catalog(), &ApproxOptions::default()).unwrap();
+        // Truth: every t row joins one d row, Σw = 2000·2 = 4000.
+        assert!((r.aggs[0].estimate - 4000.0).abs() < 600.0);
+        assert_eq!(r.analysis.schema.n(), 2);
+        assert!(r.aggs[0].variance.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn subsampled_variance_close_to_full() {
+        let plan = sum_plan(0.8);
+        let full = approx_query(&plan, &catalog(), &ApproxOptions::default()).unwrap();
+        let sub = approx_query(
+            &plan,
+            &catalog(),
+            &ApproxOptions {
+                subsample_target: Some(300),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Same point estimate (it uses the full result in both cases)…
+        assert!((full.aggs[0].estimate - sub.aggs[0].estimate).abs() < 1e-9);
+        // …and far fewer rows for variance estimation.
+        assert!(sub.variance_rows < full.variance_rows / 2);
+        // Variance agrees within a factor of 3 (it is an estimate of the
+        // same quantity from ~300 tuples).
+        let vf = full.aggs[0].variance.unwrap();
+        let vs = sub.aggs[0].variance.unwrap();
+        assert!(vs > vf / 3.0 && vs < vf * 3.0, "vf={vf}, vs={vs}");
+    }
+
+    #[test]
+    fn non_aggregate_root_rejected() {
+        let plan = LogicalPlan::scan("t");
+        assert!(approx_query(&plan, &catalog(), &ApproxOptions::default()).is_err());
+    }
+
+    #[test]
+    fn unsampled_plan_yields_exact_with_zero_variance() {
+        let plan = LogicalPlan::scan("t").aggregate(vec![AggSpec::sum(col("v"), "s")]);
+        let r = approx_query(&plan, &catalog(), &ApproxOptions::default()).unwrap();
+        assert_eq!(r.aggs[0].estimate, 2000.0);
+        assert!(r.aggs[0].variance.unwrap().abs() < 1e-6);
+    }
+}

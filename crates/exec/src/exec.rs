@@ -1,0 +1,618 @@
+//! The physical executor: runs a [`LogicalPlan`] as written (sampling
+//! included) while carrying **lineage** — one id per base relation — through
+//! every operator.
+//!
+//! Lineage is the paper's Section 6.2 requirement: "all there is needed is
+//! to carry IDs of tuples through the query plan and make them available,
+//! together with the aggregate, to the SBox". A scan emits its row id (or
+//! block id when the relation is `SYSTEM`-sampled), selection leaves lineage
+//! untouched, and a join concatenates the lineage of the matching tuples.
+//!
+//! The executor is deliberately simple — materialized row vectors between
+//! operators, hash join for equi-conditions, nested loops otherwise — since
+//! estimation quality, not raw throughput, is what this system demonstrates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sa_expr::{bind, eval, eval_predicate, BinOp, Expr};
+use sa_plan::{AggFunc, AggSpec, LogicalPlan};
+use sa_sampling::SamplingMethod;
+use sa_storage::{Catalog, Schema, SchemaRef, Table, Value};
+
+use crate::error::ExecError;
+use crate::Result;
+
+/// One materialized result row: its column values and its lineage (one id
+/// per base relation of the subtree that produced it, in scan order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Column values, aligned with the producing node's schema.
+    pub values: Vec<Value>,
+    /// Lineage ids, aligned with the subtree's base relations.
+    pub lineage: Vec<u64>,
+}
+
+/// A materialized result: schema, rows, and the base-relation aliases whose
+/// ids appear in each row's lineage (in order).
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Output schema.
+    pub schema: SchemaRef,
+    /// Materialized rows.
+    pub rows: Vec<Row>,
+    /// Base-relation aliases, aligned with `Row::lineage`.
+    pub relations: Vec<String>,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Seed for all sampling operators in the plan (drawn in traversal
+    /// order, so a given `(plan, seed)` pair is reproducible).
+    pub seed: u64,
+}
+
+/// Execute a plan. The root may be an [`LogicalPlan::Aggregate`], in which
+/// case the result is a single row of exact aggregate values computed over
+/// whatever the (possibly sampled) input produced — i.e. the *unscaled*
+/// sampled aggregate. Use [`crate::approx`] for estimates with confidence
+/// intervals.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> Result<ResultSet> {
+    plan.validate(catalog)?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    exec_node(plan, catalog, &mut rng)
+}
+
+fn exec_node(plan: &LogicalPlan, catalog: &Catalog, rng: &mut StdRng) -> Result<ResultSet> {
+    match plan {
+        LogicalPlan::Scan { table, alias } => scan(catalog, table, alias),
+        LogicalPlan::Sample { method, input } => {
+            let inner = exec_node(input, catalog, rng)?;
+            apply_sample(method, inner, base_table(input, catalog)?, rng)
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            let inner = exec_node(input, catalog, rng)?;
+            let bound = bind(predicate, &inner.schema)?;
+            let mut rows = Vec::with_capacity(inner.rows.len());
+            for row in inner.rows {
+                if eval_predicate(&bound, &row.values)? {
+                    rows.push(row);
+                }
+            }
+            Ok(ResultSet {
+                schema: inner.schema,
+                rows,
+                relations: inner.relations,
+            })
+        }
+        LogicalPlan::Join {
+            condition,
+            left,
+            right,
+        } => {
+            let l = exec_node(left, catalog, rng)?;
+            let r = exec_node(right, catalog, rng)?;
+            join(l, r, condition.as_ref())
+        }
+        LogicalPlan::Project { exprs, input } => {
+            let inner = exec_node(input, catalog, rng)?;
+            let mut bound = Vec::with_capacity(exprs.len());
+            let mut fields = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                let be = bind(e, &inner.schema)?;
+                let dt = sa_expr::data_type(&be, &inner.schema)?
+                    .unwrap_or(sa_storage::DataType::Float);
+                fields.push(sa_storage::Field::new(name, dt));
+                bound.push(be);
+            }
+            let schema = Arc::new(Schema::new(fields).map_err(ExecError::Storage)?);
+            let mut rows = Vec::with_capacity(inner.rows.len());
+            for row in inner.rows {
+                let values: Result<Vec<Value>> = bound
+                    .iter()
+                    .map(|e| eval(e, &row.values).map_err(ExecError::Expr))
+                    .collect();
+                rows.push(Row {
+                    values: values?,
+                    lineage: row.lineage,
+                });
+            }
+            Ok(ResultSet {
+                schema,
+                rows,
+                relations: inner.relations,
+            })
+        }
+        LogicalPlan::Aggregate { aggs, input } => {
+            let inner = exec_node(input, catalog, rng)?;
+            aggregate_exact(aggs, inner)
+        }
+        LogicalPlan::UnionSamples { left, right } => {
+            // Two independent samplings of the same expression (the RNG
+            // advances between the branches, so their coins are
+            // independent); duplicates removed by lineage — the GUS filter
+            // semantics Proposition 7 requires.
+            let l = exec_node(left, catalog, rng)?;
+            let r = exec_node(right, catalog, rng)?;
+            let mut seen: HashMap<Vec<u64>, ()> = HashMap::with_capacity(l.rows.len());
+            let mut rows = Vec::with_capacity(l.rows.len() + r.rows.len() / 2);
+            for row in l.rows.into_iter().chain(r.rows) {
+                if seen.insert(row.lineage.clone(), ()).is_none() {
+                    rows.push(row);
+                }
+            }
+            Ok(ResultSet {
+                schema: l.schema,
+                rows,
+                relations: l.relations,
+            })
+        }
+    }
+}
+
+fn scan(catalog: &Catalog, table: &str, alias: &str) -> Result<ResultSet> {
+    let t = catalog.get(table)?;
+    let schema = if alias == table {
+        t.schema().clone()
+    } else {
+        Arc::new(t.schema().qualify_all(alias))
+    };
+    let n = t.row_count();
+    let mut rows = Vec::with_capacity(n as usize);
+    for rid in 0..n {
+        rows.push(Row {
+            values: t.row(rid)?,
+            lineage: vec![rid],
+        });
+    }
+    Ok(ResultSet {
+        schema,
+        rows,
+        relations: vec![alias.to_string()],
+    })
+}
+
+/// The base table under a Sample*/Scan chain (needed for block structure and
+/// WOR population checks).
+fn base_table(mut node: &LogicalPlan, catalog: &Catalog) -> Result<Arc<Table>> {
+    loop {
+        match node {
+            LogicalPlan::Scan { table, .. } => return Ok(catalog.get(table)?),
+            LogicalPlan::Sample { input, .. } => node = input,
+            other => {
+                return Err(ExecError::Unsupported(format!(
+                    "sample over non-base relation {}",
+                    other.node_label()
+                )))
+            }
+        }
+    }
+}
+
+fn apply_sample(
+    method: &SamplingMethod,
+    input: ResultSet,
+    base: Arc<Table>,
+    rng: &mut StdRng,
+) -> Result<ResultSet> {
+    use rand::RngExt;
+    method.validate()?;
+    let rows = match method {
+        SamplingMethod::Bernoulli { p } => input
+            .rows
+            .into_iter()
+            .filter(|_| rng.random::<f64>() < *p)
+            .collect(),
+        SamplingMethod::Wor { size } => {
+            let n = input.rows.len() as u64;
+            if *size > n {
+                return Err(ExecError::Sampling(sa_sampling::SamplingError::InvalidSpec(
+                    format!("WOR size {size} exceeds input cardinality {n}"),
+                )));
+            }
+            // Floyd over input positions.
+            let mut chosen = std::collections::HashSet::with_capacity(*size as usize);
+            for j in n - size..n {
+                let t = rng.random_range(0..=j);
+                if !chosen.insert(t) {
+                    chosen.insert(j);
+                }
+            }
+            input
+                .rows
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| chosen.contains(&(*i as u64)))
+                .map(|(_, r)| r)
+                .collect()
+        }
+        SamplingMethod::System { p } => {
+            // Keep whole blocks; replace this relation's lineage with the
+            // block id (the sampling — and hence lineage — unit).
+            let mut keep = vec![false; base.block_count() as usize];
+            for k in keep.iter_mut() {
+                *k = rng.random::<f64>() < *p;
+            }
+            input
+                .rows
+                .into_iter()
+                .filter_map(|mut row| {
+                    let rid = *row.lineage.last().expect("scan lineage");
+                    let block = base.block_of(rid);
+                    if keep[block as usize] {
+                        *row.lineage.last_mut().expect("scan lineage") = block;
+                        Some(row)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        }
+        SamplingMethod::WithReplacement { size } => {
+            if input.rows.is_empty() {
+                return Err(ExecError::Sampling(sa_sampling::SamplingError::InvalidSpec(
+                    "cannot draw with replacement from an empty input".into(),
+                )));
+            }
+            (0..*size)
+                .map(|_| input.rows[rng.random_range(0..input.rows.len())].clone())
+                .collect()
+        }
+    };
+    Ok(ResultSet {
+        schema: input.schema,
+        rows,
+        relations: input.relations,
+    })
+}
+
+fn join(l: ResultSet, r: ResultSet, condition: Option<&Expr>) -> Result<ResultSet> {
+    let schema = Arc::new(l.schema.join(&r.schema)?);
+    let mut relations = l.relations.clone();
+    relations.extend(r.relations.iter().cloned());
+
+    // Split the condition into hashable equi-pairs and a residual predicate.
+    let (keys, residual) = match condition {
+        None => (vec![], None),
+        Some(c) => split_join_condition(c, &l.schema, &r.schema)?,
+    };
+    let residual_bound = residual.map(|e| bind(&e, &schema)).transpose()?;
+
+    let mut out_rows = Vec::new();
+    if keys.is_empty() {
+        // Nested loop (cross product or arbitrary θ).
+        for lr in &l.rows {
+            for rr in &r.rows {
+                let mut values = lr.values.clone();
+                values.extend(rr.values.iter().cloned());
+                if let Some(pred) = &residual_bound {
+                    if !eval_predicate(pred, &values)? {
+                        continue;
+                    }
+                }
+                let mut lineage = lr.lineage.clone();
+                lineage.extend(rr.lineage.iter().copied());
+                out_rows.push(Row { values, lineage });
+            }
+        }
+    } else {
+        // Hash join: build on the right, probe from the left.
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (i, rr) in r.rows.iter().enumerate() {
+            let key: Vec<Value> = keys.iter().map(|(_, ri)| rr.values[*ri].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue; // NULL keys never match
+            }
+            table.entry(key).or_default().push(i);
+        }
+        for lr in &l.rows {
+            let key: Vec<Value> = keys.iter().map(|(li, _)| lr.values[*li].clone()).collect();
+            if key.iter().any(Value::is_null) {
+                continue;
+            }
+            let Some(matches) = table.get(&key) else {
+                continue;
+            };
+            for &i in matches {
+                let rr = &r.rows[i];
+                let mut values = lr.values.clone();
+                values.extend(rr.values.iter().cloned());
+                if let Some(pred) = &residual_bound {
+                    if !eval_predicate(pred, &values)? {
+                        continue;
+                    }
+                }
+                let mut lineage = lr.lineage.clone();
+                lineage.extend(rr.lineage.iter().copied());
+                out_rows.push(Row { values, lineage });
+            }
+        }
+    }
+    Ok(ResultSet {
+        schema,
+        rows: out_rows,
+        relations,
+    })
+}
+
+/// Equi-key column index pairs of a hash join: `(left index, right index)`.
+type EquiKeys = Vec<(usize, usize)>;
+
+/// Extract `(left index, right index)` equi-key pairs from a conjunctive
+/// join condition; everything else becomes the residual predicate.
+fn split_join_condition(
+    condition: &Expr,
+    left: &Schema,
+    right: &Schema,
+) -> Result<(EquiKeys, Option<Expr>)> {
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in condition.split_conjuncts() {
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            left: a,
+            right: b,
+        } = conjunct
+        {
+            if let (Expr::Column(ca), Expr::Column(cb)) = (a.as_ref(), b.as_ref()) {
+                match (left.index_of(ca), right.index_of(cb)) {
+                    (Ok(li), Ok(ri)) => {
+                        keys.push((li, ri));
+                        continue;
+                    }
+                    _ => {
+                        if let (Ok(li), Ok(ri)) = (left.index_of(cb), right.index_of(ca)) {
+                            keys.push((li, ri));
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        residual.push(conjunct.clone());
+    }
+    // Literal TRUE residuals are dropped.
+    let residual: Vec<Expr> = residual
+        .into_iter()
+        .filter(|e| *e != sa_expr::lit(true))
+        .collect();
+    let residual = if residual.is_empty() {
+        None
+    } else {
+        Some(Expr::conjoin(residual))
+    };
+    Ok((keys, residual))
+}
+
+/// Exact aggregation of a materialized input (no scaling — used both for
+/// exact answers over unsampled plans and for "what the raw sampled query
+/// returns" demonstrations).
+fn aggregate_exact(aggs: &[AggSpec], input: ResultSet) -> Result<ResultSet> {
+    let mut fields = Vec::with_capacity(aggs.len());
+    let mut values = Vec::with_capacity(aggs.len());
+    for a in aggs {
+        fields.push(sa_storage::Field::new(&a.alias, sa_storage::DataType::Float));
+        let bound = a
+            .expr
+            .as_ref()
+            .map(|e| bind(e, &input.schema))
+            .transpose()?;
+        let mut sum = 0.0;
+        let mut count = 0u64;
+        for row in &input.rows {
+            match &bound {
+                None => count += 1, // COUNT(*)
+                Some(e) => {
+                    if let Some(v) = sa_expr::eval_f64(e, &row.values)? {
+                        sum += v;
+                        count += 1;
+                    }
+                }
+            }
+        }
+        let v = match a.func {
+            AggFunc::Sum => sum,
+            AggFunc::Count => count as f64,
+            AggFunc::Avg => {
+                if count == 0 {
+                    f64::NAN
+                } else {
+                    sum / count as f64
+                }
+            }
+        };
+        values.push(Value::Float(v));
+    }
+    Ok(ResultSet {
+        schema: Arc::new(Schema::new(fields).map_err(ExecError::Storage)?),
+        rows: vec![Row {
+            values,
+            lineage: vec![],
+        }],
+        relations: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_expr::{col, lit};
+    use sa_plan::AggSpec;
+    use sa_storage::{DataType, Field, TableBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema.clone()).with_block_rows(2);
+        for i in 0..6 {
+            b.push_row(&[Value::Int(i % 3), Value::Float(i as f64)]).unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        let schema2 = Schema::new(vec![
+            Field::new("k2", DataType::Int),
+            Field::new("w", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("u", schema2);
+        for i in 0..3 {
+            b.push_row(&[Value::Int(i), Value::Float(10.0 * i as f64)]).unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_carries_row_id_lineage() {
+        let rs = execute(&LogicalPlan::scan("t"), &catalog(), &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows.len(), 6);
+        assert_eq!(rs.rows[4].lineage, vec![4]);
+        assert_eq!(rs.relations, vec!["t"]);
+    }
+
+    #[test]
+    fn filter_keeps_lineage() {
+        let plan = LogicalPlan::scan("t").filter(col("v").gt_eq(lit(4.0)));
+        let rs = execute(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0].lineage, vec![4]);
+        assert_eq!(rs.rows[1].lineage, vec![5]);
+    }
+
+    #[test]
+    fn hash_join_concatenates_lineage() {
+        let plan = LogicalPlan::scan("t").join_on(LogicalPlan::scan("u"), col("k").eq(col("k2")));
+        let rs = execute(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        // Each t row matches exactly one u row (k in 0..3).
+        assert_eq!(rs.rows.len(), 6);
+        for row in &rs.rows {
+            assert_eq!(row.lineage.len(), 2);
+            // t.k == u.k2
+            assert_eq!(row.values[0], row.values[2]);
+            // u lineage = k2 value (u row ids coincide with k2 here).
+            assert_eq!(row.lineage[1], row.values[2].as_i64().unwrap() as u64);
+        }
+        assert_eq!(rs.relations, vec!["t", "u"]);
+    }
+
+    #[test]
+    fn cross_product_counts() {
+        let plan = LogicalPlan::scan("t").cross(LogicalPlan::scan("u"));
+        let rs = execute(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows.len(), 18);
+    }
+
+    #[test]
+    fn theta_join_residual_predicate() {
+        // join on k = k2 AND v > w
+        let plan = LogicalPlan::scan("t").join_on(
+            LogicalPlan::scan("u"),
+            col("k").eq(col("k2")).and(col("v").gt(col("w"))),
+        );
+        let rs = execute(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        for row in &rs.rows {
+            let v = row.values[1].as_f64().unwrap();
+            let w = row.values[3].as_f64().unwrap();
+            assert!(v > w);
+        }
+        // rows: t(k,v): (0,0)(1,1)(2,2)(0,3)(1,4)(2,5); u(k2,w): (0,0)(1,10)(2,20)
+        // matches with v>w: (0,3) only... and (0,0) fails 0>0.
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut c = catalog();
+        let schema = Schema::new(vec![Field::new("k3", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new("n", schema);
+        b.push_row(&[Value::Null]).unwrap();
+        b.push_row(&[Value::Int(1)]).unwrap();
+        c.register(b.finish().unwrap()).unwrap();
+        let plan = LogicalPlan::scan("n").join_on(LogicalPlan::scan("u"), col("k3").eq(col("k2")));
+        let rs = execute(&plan, &c, &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1); // only k3=1 matches
+    }
+
+    #[test]
+    fn bernoulli_sample_filters_rows() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
+        let rs = execute(&plan, &catalog(), &ExecOptions { seed: 3 }).unwrap();
+        assert!(rs.rows.len() <= 6);
+        // Reproducible.
+        let rs2 = execute(&plan, &catalog(), &ExecOptions { seed: 3 }).unwrap();
+        assert_eq!(rs.rows.len(), rs2.rows.len());
+    }
+
+    #[test]
+    fn wor_sample_exact_count_distinct_lineage() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 4 });
+        let rs = execute(&plan, &catalog(), &ExecOptions { seed: 9 }).unwrap();
+        assert_eq!(rs.rows.len(), 4);
+        let mut ids: Vec<u64> = rs.rows.iter().map(|r| r.lineage[0]).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "WOR must be distinct");
+    }
+
+    #[test]
+    fn system_sample_rewrites_lineage_to_blocks() {
+        // t has block_rows=2 → blocks {0,1,2}.
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::System { p: 1.0 });
+        let rs = execute(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows.len(), 6);
+        for (i, row) in rs.rows.iter().enumerate() {
+            assert_eq!(row.lineage, vec![(i as u64) / 2]);
+        }
+    }
+
+    #[test]
+    fn with_replacement_can_duplicate() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::WithReplacement { size: 50 });
+        let rs = execute(&plan, &catalog(), &ExecOptions { seed: 1 }).unwrap();
+        assert_eq!(rs.rows.len(), 50);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let plan = LogicalPlan::scan("t").aggregate(vec![
+            AggSpec::sum(col("v"), "s"),
+            AggSpec::count_star("c"),
+            AggSpec::avg(col("v"), "a"),
+        ]);
+        let rs = execute(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0].values[0], Value::Float(15.0));
+        assert_eq!(rs.rows[0].values[1], Value::Float(6.0));
+        assert_eq!(rs.rows[0].values[2], Value::Float(2.5));
+    }
+
+    #[test]
+    fn project_evaluates_expressions() {
+        let plan = LogicalPlan::scan("t").project(vec![(col("v").mul(lit(2.0)), "vv".into())]);
+        let rs = execute(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        assert_eq!(rs.rows[3].values, vec![Value::Float(6.0)]);
+        assert_eq!(rs.rows[3].lineage, vec![3]); // lineage survives projection
+        assert!(rs.schema.index_of("vv").is_ok());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
+        let sizes: std::collections::HashSet<usize> = (0..20)
+            .map(|s| {
+                execute(&plan, &catalog(), &ExecOptions { seed: s })
+                    .unwrap()
+                    .rows
+                    .len()
+            })
+            .collect();
+        assert!(sizes.len() > 1, "sampling ignored the seed");
+    }
+}

@@ -1,0 +1,29 @@
+//! # sa-exec — execution with lineage, and the approximate-query driver
+//!
+//! Two layers:
+//!
+//! * [`execute`] runs a [`sa_plan::LogicalPlan`] exactly as written —
+//!   sampling operators included — carrying per-base-relation lineage
+//!   through scans, samples, filters, joins and projections (Section 6.2 of
+//!   the paper: the SBox needs only lineage ids and aggregate values).
+//! * [`approx_query`] is the paper's full pipeline: SOA-rewrite the plan to
+//!   obtain the single top GUS, execute the sampled plan, feed the SBox, and
+//!   report unbiased estimates with normal/Chebyshev confidence intervals
+//!   (optionally estimating variance from a Section 7 lineage-hash
+//!   sub-sample). [`exact_query`] runs the sampling-free plan for ground
+//!   truth.
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod error;
+pub mod exec;
+pub mod grouped;
+
+pub use approx::{approx_query, exact_query, AggResult, ApproxOptions, ApproxResult};
+pub use grouped::{approx_group_query, exact_group_query, GroupEstimate, GroupedApproxResult};
+pub use error::ExecError;
+pub use exec::{execute, ExecOptions, ResultSet, Row};
+
+/// Crate-wide result alias.
+pub type Result<T, E = ExecError> = std::result::Result<T, E>;

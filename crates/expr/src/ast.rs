@@ -1,0 +1,333 @@
+//! Scalar expression AST with a fluent builder API.
+//!
+//! Expressions reference columns by (possibly qualified) name; the binder in
+//! [`crate::eval()`] resolves names to row offsets against a schema before
+//! evaluation. Example:
+//!
+//! ```
+//! use sa_expr::{col, lit};
+//! // l_discount * (1.0 - l_tax)   — the paper's running aggregate
+//! let f = col("l_discount").mul(lit(1.0).sub(col("l_tax")));
+//! assert_eq!(f.to_string(), "l_discount * (1 - l_tax)");
+//! ```
+
+use std::fmt;
+
+use sa_storage::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// True for comparison operators producing booleans.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// True for `AND`/`OR`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// True for arithmetic operators.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+
+    /// SQL rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT (Kleene three-valued).
+    Not,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by (possibly qualified) name.
+    Column(String),
+    /// A column resolved to a row offset (produced by the binder).
+    BoundColumn {
+        /// Offset into the row.
+        index: usize,
+        /// Original name, kept for display.
+        name: String,
+    },
+    /// A literal value.
+    Literal(Value),
+    /// Binary application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+/// A column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// A literal.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+macro_rules! binop_method {
+    ($name:ident, $op:expr) => {
+        /// Apply the corresponding binary operator.
+        pub fn $name(self, rhs: Expr) -> Expr {
+            Expr::Binary {
+                op: $op,
+                left: Box::new(self),
+                right: Box::new(rhs),
+            }
+        }
+    };
+}
+
+#[allow(clippy::should_implement_trait)] // fluent builder named after SQL operators
+impl Expr {
+    binop_method!(add, BinOp::Add);
+    binop_method!(sub, BinOp::Sub);
+    binop_method!(mul, BinOp::Mul);
+    binop_method!(div, BinOp::Div);
+    binop_method!(eq, BinOp::Eq);
+    binop_method!(not_eq, BinOp::NotEq);
+    binop_method!(lt, BinOp::Lt);
+    binop_method!(lt_eq, BinOp::LtEq);
+    binop_method!(gt, BinOp::Gt);
+    binop_method!(gt_eq, BinOp::GtEq);
+    binop_method!(and, BinOp::And);
+    binop_method!(or, BinOp::Or);
+
+    /// Arithmetic negation.
+    pub fn neg(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(self),
+        }
+    }
+
+    /// Logical NOT.
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(self),
+        }
+    }
+
+    /// Collect every column name referenced by this expression, in first-use
+    /// order without duplicates.
+    pub fn columns_used(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        self.visit_columns(&mut |name| {
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        });
+        out
+    }
+
+    fn visit_columns<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expr::Column(name) => f(name),
+            Expr::BoundColumn { name, .. } => f(name),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Unary { expr, .. } => expr.visit_columns(f),
+        }
+    }
+
+    /// Split a conjunctive predicate into its `AND`ed factors.
+    pub fn split_conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_conjuncts(&mut out);
+        out
+    }
+
+    fn collect_conjuncts<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } => {
+                left.collect_conjuncts(out);
+                right.collect_conjuncts(out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Rebuild a predicate from conjuncts (`TRUE` for an empty list).
+    pub fn conjoin(mut parts: Vec<Expr>) -> Expr {
+        match parts.len() {
+            0 => lit(true),
+            1 => parts.pop().expect("len checked"),
+            _ => {
+                let mut it = parts.into_iter();
+                let first = it.next().expect("non-empty");
+                it.fold(first, |acc, e| acc.and(e))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => write!(f, "{name}"),
+            Expr::BoundColumn { name, .. } => write!(f, "{name}"),
+            Expr::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => {
+                let fmt_side = |side: &Expr, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                    // Parenthesize nested binaries for unambiguous output.
+                    if matches!(side, Expr::Binary { .. }) {
+                        write!(f, "({side})")
+                    } else {
+                        write!(f, "{side}")
+                    }
+                };
+                fmt_side(left, f)?;
+                write!(f, " {} ", op.symbol())?;
+                fmt_side(right, f)
+            }
+            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "-({expr})"),
+            Expr::Unary { op: UnOp::Not, expr } => write!(f, "NOT ({expr})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_expected_tree() {
+        let e = col("a").add(lit(1i64));
+        match &e {
+            Expr::Binary { op, left, right } => {
+                assert_eq!(*op, BinOp::Add);
+                assert_eq!(**left, col("a"));
+                assert_eq!(**right, lit(1i64));
+            }
+            _ => panic!("expected binary"),
+        }
+    }
+
+    #[test]
+    fn display_paper_aggregate() {
+        let f = col("l_discount").mul(lit(1.0).sub(col("l_tax")));
+        assert_eq!(f.to_string(), "l_discount * (1 - l_tax)");
+    }
+
+    #[test]
+    fn display_strings_quoted() {
+        assert_eq!(lit("BUILDING").to_string(), "'BUILDING'");
+    }
+
+    #[test]
+    fn columns_used_deduplicates_in_order() {
+        let e = col("a").add(col("b")).mul(col("a"));
+        assert_eq!(e.columns_used(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn split_conjuncts_flattens_and_chains() {
+        let e = col("a").eq(lit(1i64)).and(col("b").gt(lit(2i64))).and(col("c").lt(lit(3i64)));
+        let parts = e.split_conjuncts();
+        assert_eq!(parts.len(), 3);
+        // ORs are not split.
+        let e = col("a").eq(lit(1i64)).or(col("b").eq(lit(2i64)));
+        assert_eq!(e.split_conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn conjoin_inverts_split() {
+        let parts = vec![col("a").eq(lit(1i64)), col("b").gt(lit(2i64))];
+        let e = Expr::conjoin(parts.clone());
+        let split: Vec<Expr> = e.split_conjuncts().into_iter().cloned().collect();
+        assert_eq!(split, parts);
+        assert_eq!(Expr::conjoin(vec![]), lit(true));
+        assert_eq!(Expr::conjoin(vec![col("x")]), col("x"));
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(BinOp::Div.is_arithmetic());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn unary_display() {
+        assert_eq!(col("x").neg().to_string(), "-(x)");
+        assert_eq!(col("p").not().to_string(), "NOT (p)");
+    }
+}

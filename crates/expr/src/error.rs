@@ -1,0 +1,68 @@
+//! Error type for expression binding and evaluation.
+
+use std::fmt;
+
+use sa_storage::StorageError;
+
+/// Errors from binding names, type-checking, or evaluating expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// Underlying storage error (unknown/ambiguous column, …).
+    Storage(StorageError),
+    /// An operator applied to operands of unsupported types.
+    TypeError {
+        /// Human-readable description of the offending application.
+        message: String,
+    },
+    /// Division by zero (integer); float division yields ±inf instead.
+    DivisionByZero,
+    /// Evaluation of an expression that was never bound to a schema.
+    Unbound {
+        /// The unbound column name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Storage(e) => write!(f, "{e}"),
+            ExprError::TypeError { message } => write!(f, "type error: {message}"),
+            ExprError::DivisionByZero => write!(f, "integer division by zero"),
+            ExprError::Unbound { name } => {
+                write!(f, "column `{name}` evaluated before binding to a schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExprError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExprError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ExprError {
+    fn from(e: StorageError) -> Self {
+        ExprError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExprError::TypeError {
+            message: "Int + Str".into(),
+        };
+        assert!(e.to_string().contains("Int + Str"));
+        let e: ExprError = StorageError::UnknownColumn { name: "x".into() }.into();
+        assert!(e.to_string().contains('x'));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

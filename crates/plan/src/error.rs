@@ -1,0 +1,113 @@
+//! Error type for plan construction and SOA rewriting.
+
+use std::fmt;
+
+/// Errors from building, validating or rewriting logical plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// Propagated GUS/estimator error.
+    Core(sa_core::CoreError),
+    /// Propagated sampling error.
+    Sampling(sa_sampling::SamplingError),
+    /// Propagated expression error.
+    Expr(sa_expr::ExprError),
+    /// Propagated storage error.
+    Storage(sa_storage::StorageError),
+    /// The same base-relation alias appears twice — a self-join, which
+    /// Proposition 6 excludes (Section 9 "Dealing with Self-Joins").
+    DuplicateAlias {
+        /// The repeated alias.
+        alias: String,
+    },
+    /// A sampling operator applied to something other than a base relation
+    /// (or a stack of samples over one). Sampling of derived results is not
+    /// a GUS over base lineage and is rejected at analysis time.
+    SampleNotOnBaseRelation {
+        /// Rendering of the offending subtree.
+        subtree: String,
+    },
+    /// A cardinality-dependent method (WOR) stacked above another sampler:
+    /// its parameters would depend on a random intermediate cardinality.
+    WorOverRandomInput,
+    /// Malformed plan shape (e.g. aggregate below a join).
+    Malformed(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Core(e) => write!(f, "{e}"),
+            PlanError::Sampling(e) => write!(f, "{e}"),
+            PlanError::Expr(e) => write!(f, "{e}"),
+            PlanError::Storage(e) => write!(f, "{e}"),
+            PlanError::DuplicateAlias { alias } => write!(
+                f,
+                "base relation alias `{alias}` used twice: self-joins are outside the GUS \
+                 algebra (Proposition 6 requires disjoint lineage); alias one side"
+            ),
+            PlanError::SampleNotOnBaseRelation { subtree } => write!(
+                f,
+                "sampling operator applied to a derived relation ({subtree}); GUS sampling \
+                 operators must sit on base relations"
+            ),
+            PlanError::WorOverRandomInput => write!(
+                f,
+                "fixed-size WOR sampling stacked above another sampler: its inclusion \
+                 probabilities would depend on a random cardinality"
+            ),
+            PlanError::Malformed(msg) => write!(f, "malformed plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Core(e) => Some(e),
+            PlanError::Sampling(e) => Some(e),
+            PlanError::Expr(e) => Some(e),
+            PlanError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sa_core::CoreError> for PlanError {
+    fn from(e: sa_core::CoreError) -> Self {
+        PlanError::Core(e)
+    }
+}
+impl From<sa_sampling::SamplingError> for PlanError {
+    fn from(e: sa_sampling::SamplingError) -> Self {
+        PlanError::Sampling(e)
+    }
+}
+impl From<sa_expr::ExprError> for PlanError {
+    fn from(e: sa_expr::ExprError) -> Self {
+        PlanError::Expr(e)
+    }
+}
+impl From<sa_storage::StorageError> for PlanError {
+    fn from(e: sa_storage::StorageError) -> Self {
+        PlanError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_join_message_mentions_aliasing() {
+        let e = PlanError::DuplicateAlias { alias: "l".into() };
+        assert!(e.to_string().contains("alias"));
+        assert!(e.to_string().contains("self-join"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: PlanError = sa_core::CoreError::InvalidParam("x".into()).into();
+        assert!(matches!(e, PlanError::Core(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,727 @@
+//! Logical query plans with sampling operators.
+//!
+//! A [`LogicalPlan`] is the tree the user (or the SQL front-end) writes:
+//! scans, `TABLESAMPLE` operators, filters, joins, projections and a final
+//! aggregate. It is *executed* as written — the SOA rewriter
+//! ([`crate::rewrite()`]) never changes what runs, it only derives the
+//! statistics needed to analyze the result (the paper is explicit that the
+//! transformation "does not provide a better alternative to the execution
+//! plan").
+
+use std::fmt;
+use std::sync::Arc;
+
+use sa_expr::Expr;
+use sa_sampling::SamplingMethod;
+use sa_storage::{Catalog, Schema, SchemaRef};
+
+use crate::error::PlanError;
+use crate::Result;
+
+/// Aggregate functions supported by the estimator.
+///
+/// `Sum`/`Count` are the linear cases of Theorem 1; `Avg` is estimated by
+/// the delta method (Section 9). `MIN`/`MAX`/`DISTINCT` are out of scope, as
+/// in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `SUM(expr)`.
+    Sum,
+    /// `COUNT(*)` (or `COUNT(expr)` counting non-NULL rows).
+    Count,
+    /// `AVG(expr)` — delta-method ratio of two SUM estimators.
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+        })
+    }
+}
+
+/// One output column of an aggregate node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument expression; `None` only for `COUNT(*)`.
+    pub expr: Option<Expr>,
+    /// When set, report the `QUANTILE(agg, q)` bound instead of the point
+    /// estimate (the paper's `CREATE VIEW APPROX` syntax).
+    pub quantile: Option<f64>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// `SUM(expr)`.
+    pub fn sum(expr: Expr, alias: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Sum,
+            expr: Some(expr),
+            quantile: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count_star(alias: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Count,
+            expr: None,
+            quantile: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// `AVG(expr)`.
+    pub fn avg(expr: Expr, alias: impl Into<String>) -> AggSpec {
+        AggSpec {
+            func: AggFunc::Avg,
+            expr: Some(expr),
+            quantile: None,
+            alias: alias.into(),
+        }
+    }
+
+    /// Wrap this aggregate in a `QUANTILE(…, q)` bound.
+    pub fn with_quantile(mut self, q: f64) -> AggSpec {
+        self.quantile = Some(q);
+        self
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = match &self.expr {
+            Some(e) => format!("{}({e})", self.func),
+            None => format!("{}(*)", self.func),
+        };
+        match self.quantile {
+            Some(q) => write!(f, "QUANTILE({inner}, {q})"),
+            None => write!(f, "{inner}"),
+        }
+    }
+}
+
+/// A logical query plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan of a base table, registered in the lineage schema under `alias`
+    /// (defaults to the table name).
+    Scan {
+        /// Catalog table name.
+        table: String,
+        /// Lineage alias (must be unique per plan).
+        alias: String,
+    },
+    /// A sampling operator over its input.
+    Sample {
+        /// The sampling method.
+        method: SamplingMethod,
+        /// Input (must be a base relation, possibly already sampled).
+        input: Box<LogicalPlan>,
+    },
+    /// Relational selection σ.
+    Filter {
+        /// Boolean predicate.
+        predicate: Expr,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Inner join (θ-join when `condition` is set, cross product otherwise).
+    Join {
+        /// Join predicate; `None` for a cross product.
+        condition: Option<Expr>,
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+    },
+    /// Projection π.
+    Project {
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Final aggregation.
+    Aggregate {
+        /// Output aggregates.
+        aggs: Vec<AggSpec>,
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Union of two **independent samples of the same expression**
+    /// (Proposition 7) — both children must be structurally identical after
+    /// stripping sampling operators; result tuples are deduplicated by
+    /// lineage ("the filter behavior required the removal of duplicates in
+    /// Proposition 7").
+    UnionSamples {
+        /// First sampling of the expression.
+        left: Box<LogicalPlan>,
+        /// Second, independent sampling of the same expression.
+        right: Box<LogicalPlan>,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan with alias = table name.
+    pub fn scan(table: impl Into<String>) -> LogicalPlan {
+        let table = table.into();
+        LogicalPlan::Scan {
+            alias: table.clone(),
+            table,
+        }
+    }
+
+    /// Scan under an explicit lineage alias.
+    pub fn scan_as(table: impl Into<String>, alias: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+            alias: alias.into(),
+        }
+    }
+
+    /// Apply a sampling operator.
+    pub fn sample(self, method: SamplingMethod) -> LogicalPlan {
+        LogicalPlan::Sample {
+            method,
+            input: Box::new(self),
+        }
+    }
+
+    /// Apply a filter.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            predicate,
+            input: Box::new(self),
+        }
+    }
+
+    /// Equi-/θ-join with `other`.
+    pub fn join_on(self, other: LogicalPlan, condition: Expr) -> LogicalPlan {
+        LogicalPlan::Join {
+            condition: Some(condition),
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Cross product with `other`.
+    pub fn cross(self, other: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::Join {
+            condition: None,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Project to the given expressions.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
+        LogicalPlan::Project {
+            exprs,
+            input: Box::new(self),
+        }
+    }
+
+    /// Aggregate with the given output specs.
+    pub fn aggregate(self, aggs: Vec<AggSpec>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            aggs,
+            input: Box::new(self),
+        }
+    }
+
+    /// Union with an independent sampling of the same expression
+    /// (Proposition 7). Both sides must strip to the same relational core.
+    pub fn union_samples(self, other: LogicalPlan) -> LogicalPlan {
+        LogicalPlan::UnionSamples {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// This plan with every sampling operator removed (for comparing union
+    /// branches and for documentation display).
+    pub fn strip_samples(&self) -> LogicalPlan {
+        match self {
+            LogicalPlan::Scan { .. } => self.clone(),
+            LogicalPlan::Sample { input, .. } => input.strip_samples(),
+            LogicalPlan::Filter { predicate, input } => LogicalPlan::Filter {
+                predicate: predicate.clone(),
+                input: Box::new(input.strip_samples()),
+            },
+            LogicalPlan::Join {
+                condition,
+                left,
+                right,
+            } => LogicalPlan::Join {
+                condition: condition.clone(),
+                left: Box::new(left.strip_samples()),
+                right: Box::new(right.strip_samples()),
+            },
+            LogicalPlan::Project { exprs, input } => LogicalPlan::Project {
+                exprs: exprs.clone(),
+                input: Box::new(input.strip_samples()),
+            },
+            LogicalPlan::Aggregate { aggs, input } => LogicalPlan::Aggregate {
+                aggs: aggs.clone(),
+                input: Box::new(input.strip_samples()),
+            },
+            // Both branches strip to the same core (validated); keep one.
+            LogicalPlan::UnionSamples { left, .. } => left.strip_samples(),
+        }
+    }
+
+    /// The base-relation aliases of the plan, in left-to-right scan order —
+    /// the plan's lineage schema `L(R)`.
+    pub fn base_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit_scans(&mut |alias, _| out.push(alias));
+        out
+    }
+
+    /// `(alias, table)` pairs in scan order.
+    pub fn scan_bindings(&self) -> Vec<(&str, &str)> {
+        let mut out = Vec::new();
+        self.visit_scans(&mut |alias, table| out.push((alias, table)));
+        out
+    }
+
+    fn visit_scans<'a>(&'a self, f: &mut impl FnMut(&'a str, &'a str)) {
+        match self {
+            LogicalPlan::Scan { table, alias } => f(alias, table),
+            LogicalPlan::Sample { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => input.visit_scans(f),
+            LogicalPlan::Join { left, right, .. } => {
+                left.visit_scans(f);
+                right.visit_scans(f);
+            }
+            // Union branches reference the SAME relations; count them once.
+            LogicalPlan::UnionSamples { left, .. } => left.visit_scans(f),
+        }
+    }
+
+    /// The sampling methods applied to each base relation, aligned with
+    /// [`LogicalPlan::base_relations`] (innermost first when stacked).
+    pub fn sampling_per_relation(&self) -> Vec<Vec<&SamplingMethod>> {
+        fn rec<'a>(plan: &'a LogicalPlan, out: &mut Vec<Vec<&'a SamplingMethod>>) {
+            match plan {
+                LogicalPlan::Scan { .. } => out.push(Vec::new()),
+                LogicalPlan::Sample { method, input } => {
+                    let before = out.len();
+                    rec(input, out);
+                    // A sample node annotates the single relation beneath it
+                    // (validated by the rewriter; tolerated here).
+                    if out.len() == before + 1 {
+                        out.last_mut().expect("just pushed").push(method);
+                    }
+                }
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Aggregate { input, .. } => rec(input, out),
+                LogicalPlan::Join { left, right, .. } => {
+                    rec(left, out);
+                    rec(right, out);
+                }
+                LogicalPlan::UnionSamples { left, .. } => rec(left, out),
+            }
+        }
+        let mut out = Vec::new();
+        rec(self, &mut out);
+        out
+    }
+
+    /// Output schema of this plan against `catalog`.
+    pub fn schema(&self, catalog: &Catalog) -> Result<SchemaRef> {
+        Ok(match self {
+            LogicalPlan::Scan { table, alias } => {
+                let t = catalog.get(table)?;
+                if alias == table {
+                    t.schema().clone()
+                } else {
+                    Arc::new(t.schema().qualify_all(alias))
+                }
+            }
+            LogicalPlan::Sample { input, .. } | LogicalPlan::Filter { input, .. } => {
+                input.schema(catalog)?
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                let l = left.schema(catalog)?;
+                let r = right.schema(catalog)?;
+                Arc::new(l.join(&r)?)
+            }
+            LogicalPlan::Project { exprs, input } => {
+                let in_schema = input.schema(catalog)?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    let dt = sa_expr::data_type(e, &in_schema)?
+                        .unwrap_or(sa_storage::DataType::Float);
+                    fields.push(sa_storage::Field::new(name, dt));
+                }
+                Arc::new(Schema::new(fields)?)
+            }
+            LogicalPlan::Aggregate { aggs, input } => {
+                let in_schema = input.schema(catalog)?;
+                let mut fields = Vec::with_capacity(aggs.len());
+                for a in aggs {
+                    // Validate argument expressions eagerly.
+                    if let Some(e) = &a.expr {
+                        sa_expr::bind(e, &in_schema)?;
+                    }
+                    fields.push(sa_storage::Field::new(&a.alias, sa_storage::DataType::Float));
+                }
+                Arc::new(Schema::new(fields)?)
+            }
+            LogicalPlan::UnionSamples { left, .. } => left.schema(catalog)?,
+        })
+    }
+
+    /// Validate plan shape: unique aliases, known tables, samples on base
+    /// relations, aggregate only at the root, WOR not stacked over samplers.
+    pub fn validate(&self, catalog: &Catalog) -> Result<()> {
+        // Unique aliases.
+        let rels = self.base_relations();
+        for (i, a) in rels.iter().enumerate() {
+            if rels[..i].contains(a) {
+                return Err(PlanError::DuplicateAlias { alias: a.to_string() });
+            }
+        }
+        // Known tables + schema check (also binds expressions).
+        self.schema(catalog)?;
+        // Structural checks.
+        self.validate_structure(true)
+    }
+
+    fn validate_structure(&self, is_root: bool) -> Result<()> {
+        match self {
+            LogicalPlan::Scan { .. } => Ok(()),
+            LogicalPlan::Sample { method, input } => {
+                // Samples must sit on scans, possibly through other samples.
+                let mut node: &LogicalPlan = input;
+                let mut below_sampler = false;
+                loop {
+                    match node {
+                        LogicalPlan::Scan { .. } => break,
+                        LogicalPlan::Sample { input, .. } => {
+                            below_sampler = true;
+                            node = input;
+                        }
+                        other => {
+                            return Err(PlanError::SampleNotOnBaseRelation {
+                                subtree: other.node_label(),
+                            })
+                        }
+                    }
+                }
+                if below_sampler && matches!(method, SamplingMethod::Wor { .. }) {
+                    return Err(PlanError::WorOverRandomInput);
+                }
+                input.validate_structure(false)
+            }
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+                input.validate_structure(false)
+            }
+            LogicalPlan::Join { left, right, .. } => {
+                left.validate_structure(false)?;
+                right.validate_structure(false)
+            }
+            LogicalPlan::Aggregate { aggs, input } => {
+                if !is_root {
+                    return Err(PlanError::Malformed(
+                        "aggregate must be the root of the plan".into(),
+                    ));
+                }
+                if aggs.is_empty() {
+                    return Err(PlanError::Malformed("aggregate with no outputs".into()));
+                }
+                input.validate_structure(false)
+            }
+            LogicalPlan::UnionSamples { left, right } => {
+                if left.strip_samples() != right.strip_samples() {
+                    return Err(PlanError::Malformed(
+                        "UnionSamples branches must be the same expression up to sampling                          operators (Proposition 7 unions independent samples of one                          expression)"
+                            .into(),
+                    ));
+                }
+                // Lineage granularity must agree per relation (block-level
+                // SYSTEM in one branch and row-level in the other would mix
+                // lineage units).
+                let sys = |p: &LogicalPlan| -> Vec<bool> {
+                    p.sampling_per_relation()
+                        .iter()
+                        .map(|stack| {
+                            stack
+                                .iter()
+                                .any(|m| matches!(m, SamplingMethod::System { .. }))
+                        })
+                        .collect()
+                };
+                if sys(left) != sys(right) {
+                    return Err(PlanError::Malformed(
+                        "UnionSamples branches disagree on SYSTEM (block-level) sampling;                          lineage granularity must match across the union".into(),
+                    ));
+                }
+                left.validate_structure(false)?;
+                right.validate_structure(false)
+            }
+        }
+    }
+
+    /// Short label of this node for error messages and tree display.
+    pub fn node_label(&self) -> String {
+        match self {
+            LogicalPlan::Scan { table, alias } if table == alias => table.clone(),
+            LogicalPlan::Scan { table, alias } => format!("{table} AS {alias}"),
+            LogicalPlan::Sample { method, .. } => format!("{method}"),
+            LogicalPlan::Filter { predicate, .. } => format!("σ[{predicate}]"),
+            LogicalPlan::Join {
+                condition: Some(c), ..
+            } => format!("⋈[{c}]"),
+            LogicalPlan::Join { condition: None, .. } => "×".to_string(),
+            LogicalPlan::Project { exprs, .. } => {
+                let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                format!("π[{}]", names.join(", "))
+            }
+            LogicalPlan::Aggregate { aggs, .. } => {
+                let parts: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                parts.join(", ")
+            }
+            LogicalPlan::UnionSamples { .. } => "∪ (independent samples)".to_string(),
+        }
+    }
+
+    /// Render the plan as an indented tree (the paper's figure style).
+    pub fn display_tree(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, "", true);
+        out
+    }
+
+    fn render(&self, out: &mut String, prefix: &str, is_last: bool) {
+        let connector = if prefix.is_empty() {
+            ""
+        } else if is_last {
+            "└─ "
+        } else {
+            "├─ "
+        };
+        out.push_str(prefix);
+        out.push_str(connector);
+        out.push_str(&self.node_label());
+        out.push('\n');
+        let child_prefix = if prefix.is_empty() {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "   " } else { "│  " })
+        };
+        let children: Vec<&LogicalPlan> = match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Sample { input, .. }
+            | LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. }
+            | LogicalPlan::UnionSamples { left, right } => vec![left, right],
+        };
+        let n = children.len();
+        for (i, c) in children.into_iter().enumerate() {
+            let p = if prefix.is_empty() && n > 0 {
+                // Root's children get a minimal prefix.
+                String::new()
+            } else {
+                child_prefix.clone()
+            };
+            // For the root we still want connectors on children.
+            let p = if p.is_empty() { " ".to_string() } else { p };
+            c.render(out, &p, i == n - 1);
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_expr::{col, lit};
+
+    fn catalog() -> Catalog {
+        use sa_storage::{DataType, Field, TableBuilder, Value};
+        let mut c = Catalog::new();
+        for (name, cols) in [
+            ("lineitem", vec!["l_orderkey", "l_price"]),
+            ("orders", vec!["o_orderkey", "o_total"]),
+        ] {
+            let schema = Schema::new(
+                cols.iter()
+                    .map(|n| Field::new(*n, DataType::Int))
+                    .collect(),
+            )
+            .unwrap();
+            let mut b = TableBuilder::new(name, schema);
+            b.push_row(&[Value::Int(1), Value::Int(10)]).unwrap();
+            c.register(b.finish().unwrap()).unwrap();
+        }
+        c
+    }
+
+    fn query1_plan() -> LogicalPlan {
+        LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.1 })
+            .join_on(
+                LogicalPlan::scan("orders").sample(SamplingMethod::Wor { size: 1 }),
+                col("l_orderkey").eq(col("o_orderkey")),
+            )
+            .filter(col("l_price").gt(lit(0i64)))
+            .aggregate(vec![AggSpec::sum(col("l_price"), "s")])
+    }
+
+    #[test]
+    fn base_relations_in_scan_order() {
+        let p = query1_plan();
+        assert_eq!(p.base_relations(), vec!["lineitem", "orders"]);
+        assert_eq!(
+            p.scan_bindings(),
+            vec![("lineitem", "lineitem"), ("orders", "orders")]
+        );
+    }
+
+    #[test]
+    fn aliased_scan() {
+        let p = LogicalPlan::scan_as("lineitem", "l1");
+        assert_eq!(p.base_relations(), vec!["l1"]);
+    }
+
+    #[test]
+    fn validate_accepts_query1() {
+        query1_plan().validate(&catalog()).unwrap();
+    }
+
+    #[test]
+    fn self_join_rejected_without_alias() {
+        let p = LogicalPlan::scan("lineitem")
+            .join_on(
+                LogicalPlan::scan("lineitem"),
+                col("lineitem.l_orderkey").eq(col("lineitem.l_orderkey")),
+            )
+            .aggregate(vec![AggSpec::count_star("c")]);
+        assert!(matches!(
+            p.validate(&catalog()),
+            Err(PlanError::DuplicateAlias { .. })
+        ));
+    }
+
+    #[test]
+    fn sample_above_join_rejected() {
+        let p = LogicalPlan::scan("lineitem")
+            .join_on(
+                LogicalPlan::scan("orders"),
+                col("l_orderkey").eq(col("o_orderkey")),
+            )
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .aggregate(vec![AggSpec::count_star("c")]);
+        assert!(matches!(
+            p.validate(&catalog()),
+            Err(PlanError::SampleNotOnBaseRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn stacked_bernoulli_allowed_wor_on_top_rejected() {
+        let ok = LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .aggregate(vec![AggSpec::count_star("c")]);
+        ok.validate(&catalog()).unwrap();
+        let bad = LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .sample(SamplingMethod::Wor { size: 1 })
+            .aggregate(vec![AggSpec::count_star("c")]);
+        assert!(matches!(
+            bad.validate(&catalog()),
+            Err(PlanError::WorOverRandomInput)
+        ));
+    }
+
+    #[test]
+    fn aggregate_below_root_rejected() {
+        let inner = LogicalPlan::scan("lineitem").aggregate(vec![AggSpec::count_star("c")]);
+        let p = inner.filter(lit(true));
+        assert!(matches!(
+            p.validate(&catalog()),
+            Err(PlanError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn schema_of_join_concatenates() {
+        let p = LogicalPlan::scan("lineitem").join_on(
+            LogicalPlan::scan("orders"),
+            col("l_orderkey").eq(col("o_orderkey")),
+        );
+        let s = p.schema(&catalog()).unwrap();
+        assert_eq!(s.len(), 4);
+        assert!(s.index_of("lineitem.l_price").is_ok());
+        assert!(s.index_of("orders.o_total").is_ok());
+    }
+
+    #[test]
+    fn schema_of_project_renames() {
+        let p = LogicalPlan::scan("lineitem")
+            .project(vec![(col("l_price").mul(lit(2i64)), "double_price".into())]);
+        let s = p.schema(&catalog()).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.index_of("double_price").is_ok());
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let p = LogicalPlan::scan("nope");
+        assert!(p.schema(&catalog()).is_err());
+    }
+
+    #[test]
+    fn sampling_per_relation_collects_stack() {
+        let p = query1_plan();
+        let per = p.sampling_per_relation();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].len(), 1); // B0.1 on lineitem
+        assert_eq!(per[1].len(), 1); // WOR on orders
+        let p2 = LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .sample(SamplingMethod::Bernoulli { p: 0.25 });
+        assert_eq!(p2.sampling_per_relation()[0].len(), 2);
+    }
+
+    #[test]
+    fn display_tree_contains_structure() {
+        let t = query1_plan().display_tree();
+        assert!(t.contains("SUM"), "{t}");
+        assert!(t.contains("B0.1"), "{t}");
+        assert!(t.contains("WOR1"), "{t}");
+        assert!(t.contains("⋈"), "{t}");
+        assert!(t.contains("lineitem"), "{t}");
+    }
+
+    #[test]
+    fn agg_spec_display() {
+        assert_eq!(
+            AggSpec::sum(col("x"), "s").with_quantile(0.95).to_string(),
+            "QUANTILE(SUM(x), 0.95)"
+        );
+        assert_eq!(AggSpec::count_star("c").to_string(), "COUNT(*)");
+        assert_eq!(AggSpec::avg(col("x"), "a").to_string(), "AVG(x)");
+    }
+}

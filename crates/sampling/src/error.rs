@@ -1,0 +1,62 @@
+//! Error type for sampling operators.
+
+use std::fmt;
+
+/// Errors from configuring a sampling method or deriving its GUS parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// A probability outside `[0, 1]` or a sample size larger than the
+    /// population.
+    InvalidSpec(String),
+    /// The method has no GUS representation (e.g. sampling with replacement,
+    /// which produces duplicates — see Section 9, "Extending randomized
+    /// filtering").
+    NotGus {
+        /// The offending method's rendering.
+        method: String,
+    },
+    /// Propagated GUS parameter error.
+    Core(sa_core::CoreError),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidSpec(msg) => write!(f, "invalid sampling spec: {msg}"),
+            SamplingError::NotGus { method } => write!(
+                f,
+                "{method} is not a GUS method (it can produce duplicates) and cannot be analyzed"
+            ),
+            SamplingError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SamplingError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sa_core::CoreError> for SamplingError {
+    fn from(e: sa_core::CoreError) -> Self {
+        SamplingError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = SamplingError::NotGus {
+            method: "WR(5)".into(),
+        };
+        assert!(e.to_string().contains("WR(5)"));
+        assert!(e.to_string().contains("duplicates"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Monte-Carlo measurement of GUS parameters.
+//!
+//! The GUS translation table (Figure 1) is closed-form; this module measures
+//! the same quantities empirically by repeated sampling, so tests (and the
+//! Figure 1 experiment binary) can verify that every [`SamplingMethod`]'s
+//! claimed `(a, b̄)` matches the process it actually runs — a differential
+//! check between the sampler implementation and its analysis.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use sa_storage::Table;
+
+use crate::method::{LineageUnit, SamplingMethod};
+use crate::Result;
+
+/// Empirically measured single-relation GUS parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalGus {
+    /// Estimated `a = P[u ∈ S]` for a fixed lineage unit `u`.
+    pub a: f64,
+    /// Estimated `b_∅ = P[u, u' ∈ S]` for two fixed *distinct* units.
+    pub b_empty: f64,
+    /// Number of trials performed.
+    pub trials: u32,
+}
+
+/// Measure `a` and `b_∅` of `method` over `table` by repeated sampling.
+///
+/// Measurements are taken at the method's lineage granularity (rows, or
+/// blocks for `SYSTEM`), on the first two units of the table; GUS uniformity
+/// makes the choice of units irrelevant. The table must contain at least two
+/// lineage units.
+pub fn measure_single_relation(
+    method: &SamplingMethod,
+    table: &Table,
+    trials: u32,
+    seed: u64,
+) -> Result<EmpiricalGus> {
+    let unit_of = |row: u64| -> u64 {
+        match method.lineage_unit() {
+            LineageUnit::Row => row,
+            LineageUnit::Block => table.block_of(row),
+        }
+    };
+    let (u0, u1) = (0u64, {
+        // Find the first row belonging to a different unit than row 0.
+        let mut row = 1;
+        while row < table.row_count() && unit_of(row) == unit_of(0) {
+            row += 1;
+        }
+        assert!(
+            row < table.row_count(),
+            "table needs at least two lineage units"
+        );
+        unit_of(row)
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hit0 = 0u32;
+    let mut hit_both = 0u32;
+    for _ in 0..trials {
+        let ids = method.sample(table, &mut rng)?;
+        let units: HashSet<u64> = ids.iter().map(|&r| unit_of(r)).collect();
+        let in0 = units.contains(&u0);
+        let in1 = units.contains(&u1);
+        if in0 {
+            hit0 += 1;
+        }
+        if in0 && in1 {
+            hit_both += 1;
+        }
+    }
+    Ok(EmpiricalGus {
+        a: hit0 as f64 / trials as f64,
+        b_empty: hit_both as f64 / trials as f64,
+        trials,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_core::RelSet;
+    use sa_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn table(rows: u64, block_rows: usize) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new("t", schema).with_block_rows(block_rows);
+        for i in 0..rows {
+            b.push_row(&[Value::Int(i as i64)]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    /// Shared check: empirical (a, b_∅) within 3σ + a small absolute slack of
+    /// the closed form.
+    fn check(method: SamplingMethod, table: &Table, trials: u32) {
+        let gus = method.gus("t", table).unwrap();
+        let emp = measure_single_relation(&method, table, trials, 7).unwrap();
+        let tol = |p: f64| 3.0 * (p * (1.0 - p) / trials as f64).sqrt() + 0.002;
+        assert!(
+            (emp.a - gus.a()).abs() < tol(gus.a()),
+            "{method}: empirical a {} vs {}",
+            emp.a,
+            gus.a()
+        );
+        let b0 = gus.b(RelSet::EMPTY);
+        assert!(
+            (emp.b_empty - b0).abs() < tol(b0),
+            "{method}: empirical b_empty {} vs {}",
+            emp.b_empty,
+            b0
+        );
+    }
+
+    #[test]
+    fn bernoulli_matches_closed_form() {
+        check(SamplingMethod::Bernoulli { p: 0.3 }, &table(40, 256), 4000);
+    }
+
+    #[test]
+    fn wor_matches_closed_form() {
+        // WOR pairs are negatively correlated: b_∅ = n(n−1)/(N(N−1)) < a².
+        check(SamplingMethod::Wor { size: 8 }, &table(40, 256), 4000);
+    }
+
+    #[test]
+    fn system_matches_closed_form_at_block_granularity() {
+        // 10 blocks of 10 rows; block-level Bernoulli(0.4).
+        check(SamplingMethod::System { p: 0.4 }, &table(100, 10), 4000);
+    }
+
+    #[test]
+    fn wor_negative_correlation_visible() {
+        let t = table(20, 256);
+        let m = SamplingMethod::Wor { size: 5 };
+        let emp = measure_single_relation(&m, &t, 6000, 3).unwrap();
+        // a = 0.25, a² = 0.0625, true b_∅ = 5·4/(20·19) ≈ 0.0526 < a².
+        assert!(emp.b_empty < 0.0625, "b_empty = {}", emp.b_empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two lineage units")]
+    fn single_unit_table_rejected() {
+        let t = table(5, 10); // one block
+        let _ = measure_single_relation(&SamplingMethod::System { p: 0.5 }, &t, 10, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! SQL parse tree (pre-binding).
+//!
+//! The dialect covers exactly what the paper needs:
+//!
+//! ```sql
+//! [CREATE VIEW name (col, …) AS]
+//! SELECT agg [AS name] , …
+//! FROM table [TABLESAMPLE (10 PERCENT | 1000 ROWS) | TABLESAMPLE SYSTEM (10 PERCENT)] [AS alias] , …
+//! [WHERE predicate]
+//! ```
+//!
+//! with `agg ::= SUM(e) | COUNT(*) | COUNT(e) | AVG(e) | QUANTILE(agg, q)`.
+
+use sa_expr::Expr;
+
+/// A `TABLESAMPLE` specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleSpec {
+    /// `TABLESAMPLE (p PERCENT)` / `TABLESAMPLE BERNOULLI (p PERCENT)` —
+    /// tuple-level Bernoulli with probability `p/100`.
+    Percent(f64),
+    /// `TABLESAMPLE (n ROWS)` — fixed-size WOR.
+    Rows(u64),
+    /// `TABLESAMPLE SYSTEM (p PERCENT)` — block-level Bernoulli.
+    SystemPercent(f64),
+}
+
+/// One `FROM` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Optional sampling clause.
+    pub sample: Option<SampleSpec>,
+    /// Optional alias (`FROM lineitem AS l`).
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table is known by downstream (alias or table name).
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// An aggregate in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    /// Function name: one of the paper's supported aggregates.
+    pub func: AggCall,
+    /// `QUANTILE(…, q)` wrapper, if present.
+    pub quantile: Option<f64>,
+    /// Output alias.
+    pub alias: Option<String>,
+}
+
+/// The aggregate call inside a select item (or inside `QUANTILE`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggCall {
+    /// `SUM(expr)`.
+    Sum(Expr),
+    /// `COUNT(*)`.
+    CountStar,
+    /// `COUNT(expr)`.
+    Count(Expr),
+    /// `AVG(expr)`.
+    Avg(Expr),
+}
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Optional `CREATE VIEW name (cols…) AS` header (the paper's `APPROX`
+    /// view syntax). Recorded but otherwise treated as a plain query.
+    pub view: Option<ViewHeader>,
+    /// The aggregate select items.
+    pub select: Vec<AggItem>,
+    /// Non-aggregate select items (group keys), with optional aliases.
+    /// Only allowed together with `GROUP BY`.
+    pub keys: Vec<(Expr, Option<String>)>,
+    /// The from list.
+    pub from: Vec<TableRef>,
+    /// The where clause.
+    pub predicate: Option<Expr>,
+    /// `GROUP BY` expressions (empty for scalar aggregates).
+    pub group_by: Vec<Expr>,
+}
+
+/// `CREATE VIEW name (col, …) AS` header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewHeader {
+    /// View name.
+    pub name: String,
+    /// Declared output column names (override select-item aliases).
+    pub columns: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableRef {
+            table: "lineitem".into(),
+            sample: None,
+            alias: Some("l".into()),
+        };
+        assert_eq!(t.binding_name(), "l");
+        let t = TableRef {
+            table: "orders".into(),
+            sample: None,
+            alias: None,
+        };
+        assert_eq!(t.binding_name(), "orders");
+    }
+}

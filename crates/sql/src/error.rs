@@ -1,0 +1,72 @@
+//! Error type for SQL lexing, parsing and binding.
+
+use std::fmt;
+
+/// Errors from the SQL front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error: unexpected character or malformed literal.
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Parse error: unexpected token.
+    Parse {
+        /// Byte offset of the offending token.
+        position: usize,
+        /// What was expected / found.
+        message: String,
+    },
+    /// Binding error: the query is well-formed but meaningless against the
+    /// catalog (unknown table/column, unsupported construct).
+    Bind(String),
+    /// Propagated plan error.
+    Plan(sa_plan::PlanError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            SqlError::Bind(msg) => write!(f, "bind error: {msg}"),
+            SqlError::Plan(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<sa_plan::PlanError> for SqlError {
+    fn from(e: sa_plan::PlanError) -> Self {
+        SqlError::Plan(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_positions() {
+        let e = SqlError::Parse {
+            position: 17,
+            message: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(e.to_string().contains("FROM"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # sa-sql — the SQL front-end
+//!
+//! A lexer, recursive-descent parser and binder for the exact dialect the
+//! paper's interface needs: aggregate `SELECT` lists (`SUM`/`COUNT`/`AVG`
+//! and `QUANTILE(agg, q)` bounds), `FROM` lists with SQL-standard
+//! `TABLESAMPLE` clauses (`PERCENT`, `ROWS`, `SYSTEM`), conjunctive `WHERE`
+//! predicates, and the paper's `CREATE VIEW APPROX (lo, hi) AS …` syntax.
+//!
+//! [`plan_sql`] goes from SQL text to a validated [`sa_plan::LogicalPlan`]
+//! ready for `sa_exec::approx_query`.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod parser;
+pub mod token;
+
+pub use ast::{AggCall, AggItem, Query, SampleSpec, TableRef, ViewHeader};
+pub use binder::{bind_query, plan_grouped_sql, plan_sql};
+pub use error::SqlError;
+pub use parser::parse;
+
+/// Crate-wide result alias.
+pub type Result<T, E = SqlError> = std::result::Result<T, E>;

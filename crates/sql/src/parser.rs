@@ -1,0 +1,563 @@
+//! Recursive-descent parser for the supported SQL dialect.
+
+use sa_expr::{col, lit, BinOp, Expr};
+use sa_storage::Value;
+
+use crate::ast::{AggCall, AggItem, Query, SampleSpec, TableRef, ViewHeader};
+use crate::error::SqlError;
+use crate::token::{tokenize, Keyword, Token, TokenKind};
+use crate::Result;
+
+/// Parse one SQL statement.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_if(&TokenKind::Semicolon);
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: Keyword) -> bool {
+        if *self.peek() == TokenKind::Keyword(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.eat_if(kind) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, kw: Keyword) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kw:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == TokenKind::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.peek())))
+        }
+    }
+
+    fn err(&self, message: String) -> SqlError {
+        SqlError::Parse {
+            position: self.position(),
+            message,
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        match self.advance() {
+            TokenKind::Int(i) => Ok(i as f64),
+            TokenKind::Float(f) => Ok(f),
+            other => Err(self.err(format!("expected a number, found {other:?}"))),
+        }
+    }
+
+    // query := [CREATE VIEW ident [(idents)] AS] SELECT … FROM … [WHERE …]
+    fn query(&mut self) -> Result<Query> {
+        let view = if self.eat_kw(Keyword::Create) {
+            self.expect_kw(Keyword::View)?;
+            // Allow the keyword APPROX as a view name (the paper's example).
+            let name = if self.eat_kw(Keyword::Approx) {
+                "APPROX".to_string()
+            } else {
+                self.ident("view name")?
+            };
+            let mut columns = Vec::new();
+            if self.eat_if(&TokenKind::LParen) {
+                loop {
+                    columns.push(self.ident("view column")?);
+                    if !self.eat_if(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RParen, "`)`")?;
+            }
+            self.expect_kw(Keyword::As)?;
+            Some(ViewHeader { name, columns })
+        } else {
+            None
+        };
+
+        self.expect_kw(Keyword::Select)?;
+        let mut select = Vec::new();
+        let mut keys = Vec::new();
+        loop {
+            if self.peek_is_aggregate() {
+                select.push(self.agg_item()?);
+            } else {
+                let e = self.expr()?;
+                let alias = if self.eat_kw(Keyword::As) {
+                    Some(self.ident("output alias")?)
+                } else if let TokenKind::Ident(_) = self.peek() {
+                    Some(self.ident("output alias")?)
+                } else {
+                    None
+                };
+                keys.push((e, alias));
+            }
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        if select.is_empty() {
+            return Err(self.err(
+                "select list needs at least one aggregate (SUM/COUNT/AVG/QUANTILE)".into(),
+            ));
+        }
+
+        self.expect_kw(Keyword::From)?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_if(&TokenKind::Comma) {
+            from.push(self.table_ref()?);
+        }
+
+        let predicate = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.eat_if(&TokenKind::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        if group_by.is_empty() && !keys.is_empty() {
+            return Err(self.err(
+                "non-aggregate select items require a GROUP BY clause".into(),
+            ));
+        }
+        for (k, _) in &keys {
+            if !group_by.contains(k) {
+                return Err(self.err(format!(
+                    "select item `{k}` is not an aggregate and does not appear in GROUP BY"
+                )));
+            }
+        }
+
+        let mut q = Query {
+            view,
+            select,
+            keys,
+            from,
+            predicate,
+            group_by,
+        };
+        // View column names override select aliases positionally.
+        if let Some(v) = &q.view {
+            for (item, name) in q.select.iter_mut().zip(&v.columns) {
+                item.alias = Some(name.clone());
+            }
+        }
+        Ok(q)
+    }
+
+    /// True if the next token starts an aggregate call.
+    fn peek_is_aggregate(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::Keyword(Keyword::Sum)
+                | TokenKind::Keyword(Keyword::Count)
+                | TokenKind::Keyword(Keyword::Avg)
+                | TokenKind::Keyword(Keyword::Quantile)
+        )
+    }
+
+    // agg_item := agg ['AS' ident]
+    fn agg_item(&mut self) -> Result<AggItem> {
+        let (func, quantile) = self.agg()?;
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident("output alias")?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            Some(self.ident("output alias")?)
+        } else {
+            None
+        };
+        Ok(AggItem {
+            func,
+            quantile,
+            alias,
+        })
+    }
+
+    // agg := SUM(e) | COUNT(*|e) | AVG(e) | QUANTILE(agg, q)
+    fn agg(&mut self) -> Result<(AggCall, Option<f64>)> {
+        if self.eat_kw(Keyword::Quantile) {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let (inner, nested_q) = self.agg()?;
+            if nested_q.is_some() {
+                return Err(self.err("nested QUANTILE is not allowed".into()));
+            }
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let q = self.number()?;
+            if !(0.0..=1.0).contains(&q) {
+                return Err(self.err(format!("quantile {q} not in [0,1]")));
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok((inner, Some(q)));
+        }
+        if self.eat_kw(Keyword::Sum) {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok((AggCall::Sum(e), None));
+        }
+        if self.eat_kw(Keyword::Avg) {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok((AggCall::Avg(e), None));
+        }
+        if self.eat_kw(Keyword::Count) {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            if self.eat_if(&TokenKind::Star) {
+                self.expect(&TokenKind::RParen, "`)`")?;
+                return Ok((AggCall::CountStar, None));
+            }
+            let e = self.expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok((AggCall::Count(e), None));
+        }
+        Err(self.err(format!(
+            "expected an aggregate (SUM/COUNT/AVG/QUANTILE), found {:?}",
+            self.peek()
+        )))
+    }
+
+    // table_ref := ident [TABLESAMPLE spec] [[AS] ident]
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident("table name")?;
+        let sample = if self.eat_kw(Keyword::Tablesample) {
+            Some(self.sample_spec()?)
+        } else {
+            None
+        };
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident("table alias")?)
+        } else if let TokenKind::Ident(_) = self.peek() {
+            Some(self.ident("table alias")?)
+        } else {
+            None
+        };
+        Ok(TableRef {
+            table,
+            sample,
+            alias,
+        })
+    }
+
+    // spec := [BERNOULLI] '(' n (PERCENT|ROWS) ')' | SYSTEM '(' n [PERCENT] ')'
+    fn sample_spec(&mut self) -> Result<SampleSpec> {
+        if self.eat_kw(Keyword::System) {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let n = self.number()?;
+            self.eat_kw(Keyword::Percent); // optional, as in the standard
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return self.percent_spec(n, true);
+        }
+        self.eat_kw(Keyword::Bernoulli); // optional
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let n = self.number()?;
+        if self.eat_kw(Keyword::Rows) {
+            self.expect(&TokenKind::RParen, "`)`")?;
+            if n < 0.0 || n.fract() != 0.0 {
+                return Err(self.err(format!("ROWS count {n} must be a non-negative integer")));
+            }
+            return Ok(SampleSpec::Rows(n as u64));
+        }
+        // PERCENT is the default unit (and may be explicit).
+        self.eat_kw(Keyword::Percent);
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.percent_spec(n, false)
+    }
+
+    fn percent_spec(&mut self, n: f64, system: bool) -> Result<SampleSpec> {
+        if !(0.0..=100.0).contains(&n) {
+            return Err(self.err(format!("percentage {n} not in [0,100]")));
+        }
+        Ok(if system {
+            SampleSpec::SystemPercent(n)
+        } else {
+            SampleSpec::Percent(n)
+        })
+    }
+
+    // Expression grammar, lowest precedence first: OR, AND, NOT, comparison,
+    // additive, multiplicative, unary, primary.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            e = e.or(self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            e = e.and(self.not_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(self.not_expr()?.not())
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::NotEq => BinOp::NotEq,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::LtEq => BinOp::LtEq,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::GtEq => BinOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.advance();
+        let right = self.additive()?;
+        Ok(Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        })
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut e = self.multiplicative()?;
+        loop {
+            if self.eat_if(&TokenKind::Plus) {
+                e = e.add(self.multiplicative()?);
+            } else if self.eat_if(&TokenKind::Minus) {
+                e = e.sub(self.multiplicative()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat_if(&TokenKind::Star) {
+                e = e.mul(self.unary()?);
+            } else if self.eat_if(&TokenKind::Slash) {
+                e = e.div(self.unary()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_if(&TokenKind::Minus) {
+            Ok(self.unary()?.neg())
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.advance() {
+            TokenKind::Int(i) => Ok(lit(i)),
+            TokenKind::Float(f) => Ok(lit(f)),
+            TokenKind::Str(s) => Ok(lit(s.as_str())),
+            TokenKind::Keyword(Keyword::True) => Ok(lit(true)),
+            TokenKind::Keyword(Keyword::False) => Ok(lit(false)),
+            TokenKind::Keyword(Keyword::Null) => Ok(Expr::Literal(Value::Null)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat_if(&TokenKind::Dot) {
+                    let field = self.ident("column name")?;
+                    Ok(col(format!("{name}.{field}")))
+                } else {
+                    Ok(col(name))
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query1() {
+        let q = parse(
+            "SELECT SUM(l_discount*(1.0-l_tax)) \
+             FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) \
+             WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0;",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].sample, Some(SampleSpec::Percent(10.0)));
+        assert_eq!(q.from[1].sample, Some(SampleSpec::Rows(1000)));
+        assert!(q.predicate.is_some());
+        assert!(matches!(q.select[0].func, AggCall::Sum(_)));
+    }
+
+    #[test]
+    fn parses_approx_view_with_quantiles() {
+        let q = parse(
+            "CREATE VIEW APPROX (lo, hi) AS \
+             SELECT QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.05), \
+                    QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95) \
+             FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) \
+             WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0",
+        )
+        .unwrap();
+        let v = q.view.as_ref().unwrap();
+        assert_eq!(v.name, "APPROX");
+        assert_eq!(v.columns, vec!["lo", "hi"]);
+        assert_eq!(q.select[0].quantile, Some(0.05));
+        assert_eq!(q.select[1].quantile, Some(0.95));
+        // View columns become aliases.
+        assert_eq!(q.select[0].alias.as_deref(), Some("lo"));
+        assert_eq!(q.select[1].alias.as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn count_star_and_avg() {
+        let q = parse("SELECT COUNT(*), AVG(x), COUNT(y) FROM t").unwrap();
+        assert!(matches!(q.select[0].func, AggCall::CountStar));
+        assert!(matches!(q.select[1].func, AggCall::Avg(_)));
+        assert!(matches!(q.select[2].func, AggCall::Count(_)));
+    }
+
+    #[test]
+    fn system_sampling() {
+        let q = parse("SELECT COUNT(*) FROM t TABLESAMPLE SYSTEM (5)").unwrap();
+        assert_eq!(q.from[0].sample, Some(SampleSpec::SystemPercent(5.0)));
+        let q = parse("SELECT COUNT(*) FROM t TABLESAMPLE SYSTEM (5 PERCENT)").unwrap();
+        assert_eq!(q.from[0].sample, Some(SampleSpec::SystemPercent(5.0)));
+    }
+
+    #[test]
+    fn bernoulli_keyword_accepted() {
+        let q = parse("SELECT COUNT(*) FROM t TABLESAMPLE BERNOULLI (25 PERCENT)").unwrap();
+        assert_eq!(q.from[0].sample, Some(SampleSpec::Percent(25.0)));
+    }
+
+    #[test]
+    fn aliases() {
+        let q = parse("SELECT SUM(v) AS total, COUNT(*) c FROM t AS x, u y").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("total"));
+        assert_eq!(q.select[1].alias.as_deref(), Some("c"));
+        assert_eq!(q.from[0].binding_name(), "x");
+        assert_eq!(q.from[1].binding_name(), "y");
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse("SELECT SUM(a + b * c) FROM t WHERE x > 1 + 2 AND y = 3 OR z < 4").unwrap();
+        let AggCall::Sum(e) = &q.select[0].func else {
+            panic!()
+        };
+        // a + (b*c)
+        assert_eq!(e.to_string(), "a + (b * c)");
+        let p = q.predicate.unwrap();
+        // ((x > 1+2) AND (y = 3)) OR (z < 4)
+        assert_eq!(
+            p.to_string(),
+            "((x > (1 + 2)) AND (y = 3)) OR (z < 4)"
+        );
+    }
+
+    #[test]
+    fn qualified_columns_and_unary_minus() {
+        let q = parse("SELECT SUM(-t.v) FROM t").unwrap();
+        let AggCall::Sum(e) = &q.select[0].func else {
+            panic!()
+        };
+        assert_eq!(e.to_string(), "-(t.v)");
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert!(matches!(e, SqlError::Parse { .. }));
+        assert!(parse("SELECT SUM(v) t").is_err()); // missing FROM
+        assert!(parse("SELECT SUM(v) FROM t WHERE").is_err());
+        assert!(parse("SELECT SUM(v) FROM t extra garbage, ,").is_err());
+        assert!(parse("SELECT QUANTILE(SUM(v), 1.5) FROM t").is_err()); // bad q
+        assert!(parse("SELECT QUANTILE(QUANTILE(SUM(v),0.5),0.5) FROM t").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t TABLESAMPLE (200 PERCENT)").is_err());
+        assert!(parse("SELECT COUNT(*) FROM t TABLESAMPLE (1.5 ROWS)").is_err());
+    }
+
+    #[test]
+    fn semicolon_optional() {
+        assert!(parse("SELECT COUNT(*) FROM t").is_ok());
+        assert!(parse("SELECT COUNT(*) FROM t;").is_ok());
+    }
+}

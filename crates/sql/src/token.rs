@@ -1,0 +1,420 @@
+//! SQL lexer.
+//!
+//! Produces a flat [`Token`] stream. Keywords are case-insensitive;
+//! identifiers preserve case. String literals use single quotes with `''`
+//! escaping.
+
+use crate::error::SqlError;
+use crate::Result;
+
+/// A lexical token with its byte position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source.
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (original case).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    As,
+    And,
+    Or,
+    Not,
+    Sum,
+    Count,
+    Avg,
+    Quantile,
+    Tablesample,
+    Percent,
+    Rows,
+    System,
+    Bernoulli,
+    True,
+    False,
+    Null,
+    Create,
+    View,
+    Approx,
+    Group,
+    By,
+}
+
+fn keyword_of(s: &str) -> Option<Keyword> {
+    Some(match s.to_ascii_uppercase().as_str() {
+        "SELECT" => Keyword::Select,
+        "FROM" => Keyword::From,
+        "WHERE" => Keyword::Where,
+        "AS" => Keyword::As,
+        "AND" => Keyword::And,
+        "OR" => Keyword::Or,
+        "NOT" => Keyword::Not,
+        "SUM" => Keyword::Sum,
+        "COUNT" => Keyword::Count,
+        "AVG" => Keyword::Avg,
+        "QUANTILE" => Keyword::Quantile,
+        "TABLESAMPLE" => Keyword::Tablesample,
+        "PERCENT" => Keyword::Percent,
+        "ROWS" => Keyword::Rows,
+        "SYSTEM" => Keyword::System,
+        "BERNOULLI" => Keyword::Bernoulli,
+        "TRUE" => Keyword::True,
+        "FALSE" => Keyword::False,
+        "NULL" => Keyword::Null,
+        "CREATE" => Keyword::Create,
+        "VIEW" => Keyword::View,
+        "APPROX" => Keyword::Approx,
+        "GROUP" => Keyword::Group,
+        "BY" => Keyword::By,
+        _ => return None,
+    })
+}
+
+/// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => push1(&mut out, TokenKind::LParen, start, &mut i),
+            ')' => push1(&mut out, TokenKind::RParen, start, &mut i),
+            ',' => push1(&mut out, TokenKind::Comma, start, &mut i),
+            '.' => push1(&mut out, TokenKind::Dot, start, &mut i),
+            ';' => push1(&mut out, TokenKind::Semicolon, start, &mut i),
+            '+' => push1(&mut out, TokenKind::Plus, start, &mut i),
+            '-' => push1(&mut out, TokenKind::Minus, start, &mut i),
+            '*' => push1(&mut out, TokenKind::Star, start, &mut i),
+            '/' => push1(&mut out, TokenKind::Slash, start, &mut i),
+            '=' => push1(&mut out, TokenKind::Eq, start, &mut i),
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token {
+                        kind: TokenKind::NotEq,
+                        position: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex {
+                        position: start,
+                        message: "stray `!`".into(),
+                    });
+                }
+            }
+            '<' => {
+                let kind = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                    TokenKind::LtEq
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    i += 2;
+                    TokenKind::NotEq
+                } else {
+                    i += 1;
+                    TokenKind::Lt
+                };
+                out.push(Token {
+                    kind,
+                    position: start,
+                });
+            }
+            '>' => {
+                let kind = if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    i += 2;
+                    TokenKind::GtEq
+                } else {
+                    i += 1;
+                    TokenKind::Gt
+                };
+                out.push(Token {
+                    kind,
+                    position: start,
+                });
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            position: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    position: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    j += 1;
+                }
+                if j < bytes.len()
+                    && bytes[j] == b'.'
+                    && j + 1 < bytes.len()
+                    && (bytes[j + 1] as char).is_ascii_digit()
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && (bytes[k] as char).is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = &input[i..j];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad integer literal `{text}`"),
+                    })?)
+                };
+                out.push(Token {
+                    kind,
+                    position: start,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let kind = match keyword_of(text) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(text.to_string()),
+                };
+                out.push(Token {
+                    kind,
+                    position: start,
+                });
+                i = j;
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: start,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        position: input.len(),
+    });
+    Ok(out)
+}
+
+fn push1(out: &mut Vec<Token>, kind: TokenKind, start: usize, i: &mut usize) {
+    out.push(Token {
+        kind,
+        position: start,
+    });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select SELECT SeLeCt"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.25 1e3 2.5E-2"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Float(3.25),
+                TokenKind::Float(1000.0),
+                TokenKind::Float(0.025),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_name_tokens() {
+        assert_eq!(
+            kinds("lineitem.l_tax"),
+            vec![
+                TokenKind::Ident("lineitem".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("l_tax".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >= + - * /"),
+            vec![
+                TokenKind::Eq,
+                TokenKind::NotEq,
+                TokenKind::NotEq,
+                TokenKind::Lt,
+                TokenKind::LtEq,
+                TokenKind::Gt,
+                TokenKind::GtEq,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escape() {
+        assert_eq!(
+            kinds("'BUILDING' 'it''s'"),
+            vec![
+                TokenKind::Str("BUILDING".into()),
+                TokenKind::Str("it's".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("select -- comment here\n 1"),
+            vec![
+                TokenKind::Keyword(Keyword::Select),
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = tokenize("select x").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 7);
+    }
+}

@@ -1,0 +1,133 @@
+//! A name → table catalog shared across the engine.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::table::Table;
+use crate::Result;
+
+/// A collection of named tables.
+///
+/// Tables are shared via `Arc` so executors, samplers and estimators can hold
+/// references without copying data. Names are case-sensitive.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<Table>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under its own name. Fails on duplicates.
+    pub fn register(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::DuplicateName { name });
+        }
+        self.tables.insert(name, Arc::new(table));
+        Ok(())
+    }
+
+    /// Register an already-shared table handle under `name`.
+    pub fn register_arc(&mut self, name: impl Into<String>, table: Arc<Table>) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::DuplicateName { name });
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable { name: name.into() })
+    }
+
+    /// True if `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Iterate over (name, table) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Table>)> {
+        self.tables.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field, Schema};
+    use crate::table::TableBuilder;
+    use crate::value::Value;
+
+    fn table(name: &str) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new(name, schema);
+        b.push_row(&[Value::Int(1)]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn register_and_get() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        assert!(c.contains("a"));
+        assert_eq!(c.get("a").unwrap().row_count(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new();
+        c.register(table("a")).unwrap();
+        assert!(matches!(
+            c.register(table("a")),
+            Err(StorageError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_table() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.get("zzz"),
+            Err(StorageError::UnknownTable { .. })
+        ));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn iteration_in_name_order() {
+        let mut c = Catalog::new();
+        c.register(table("b")).unwrap();
+        c.register(table("a")).unwrap();
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn register_arc_shares() {
+        let mut c = Catalog::new();
+        let t = Arc::new(table("a"));
+        c.register_arc("alias", t.clone()).unwrap();
+        assert!(Arc::ptr_eq(&c.get("alias").unwrap(), &t));
+    }
+}

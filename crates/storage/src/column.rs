@@ -1,0 +1,334 @@
+//! Typed columnar storage.
+//!
+//! A [`Column`] stores one attribute of a table in a dense, typed vector with
+//! a separate null bitmap. Access is by row index; the executor materializes
+//! [`crate::Value`]s on demand.
+
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::schema::DataType;
+use crate::value::Value;
+use crate::Result;
+
+/// A typed column with optional nulls.
+///
+/// Nulls are represented by a validity vector (`true` = present). For columns
+/// with no nulls the validity vector is empty, which keeps scans cheap.
+#[derive(Debug, Clone)]
+pub enum Column {
+    /// Boolean column.
+    Bool {
+        /// Values (arbitrary where invalid).
+        data: Vec<bool>,
+        /// Validity; empty means all-valid.
+        validity: Vec<bool>,
+    },
+    /// Integer column.
+    Int {
+        /// Values (arbitrary where invalid).
+        data: Vec<i64>,
+        /// Validity; empty means all-valid.
+        validity: Vec<bool>,
+    },
+    /// Float column.
+    Float {
+        /// Values (arbitrary where invalid).
+        data: Vec<f64>,
+        /// Validity; empty means all-valid.
+        validity: Vec<bool>,
+    },
+    /// String column.
+    Str {
+        /// Values (empty string where invalid).
+        data: Vec<Arc<str>>,
+        /// Validity; empty means all-valid.
+        validity: Vec<bool>,
+    },
+}
+
+impl Column {
+    /// The column's [`DataType`].
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Bool { .. } => DataType::Bool,
+            Column::Int { .. } => DataType::Int,
+            Column::Float { .. } => DataType::Float,
+            Column::Str { .. } => DataType::Str,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Bool { data, .. } => data.len(),
+            Column::Int { data, .. } => data.len(),
+            Column::Float { data, .. } => data.len(),
+            Column::Str { data, .. } => data.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn valid(validity: &[bool], row: usize) -> bool {
+        validity.is_empty() || validity[row]
+    }
+
+    /// The value at `row` (panics if out of bounds; the table layer checks).
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Bool { data, validity } => {
+                if Self::valid(validity, row) {
+                    Value::Bool(data[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Int { data, validity } => {
+                if Self::valid(validity, row) {
+                    Value::Int(data[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float { data, validity } => {
+                if Self::valid(validity, row) {
+                    Value::Float(data[row])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Str { data, validity } => {
+                if Self::valid(validity, row) {
+                    Value::Str(data[row].clone())
+                } else {
+                    Value::Null
+                }
+            }
+        }
+    }
+
+    /// Fast typed access for numeric columns: the value at `row` as `f64`
+    /// (ints widen), or `None` for nulls and non-numeric columns.
+    pub fn f64_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Int { data, validity } if Self::valid(validity, row) => {
+                Some(data[row] as f64)
+            }
+            Column::Float { data, validity } if Self::valid(validity, row) => Some(data[row]),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental builder for a [`Column`] of a fixed [`DataType`].
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    name: String,
+    data_type: DataType,
+    bools: Vec<bool>,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    strs: Vec<Arc<str>>,
+    validity: Vec<bool>,
+    has_null: bool,
+    len: usize,
+}
+
+impl ColumnBuilder {
+    /// A builder for a column named `name` of type `data_type`. The name is
+    /// only used for error messages.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnBuilder {
+            name: name.into(),
+            data_type,
+            bools: vec![],
+            ints: vec![],
+            floats: vec![],
+            strs: vec![],
+            validity: vec![],
+            has_null: false,
+            len: 0,
+        }
+    }
+
+    /// Reserve capacity for `n` more rows.
+    pub fn reserve(&mut self, n: usize) {
+        match self.data_type {
+            DataType::Bool => self.bools.reserve(n),
+            DataType::Int => self.ints.reserve(n),
+            DataType::Float => self.floats.reserve(n),
+            DataType::Str => self.strs.reserve(n),
+        }
+        self.validity.reserve(n);
+    }
+
+    /// Number of rows appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append one value. `Null` is accepted for any type; `Int` widens into a
+    /// `Float` column. Anything else must match the declared type.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        let mismatch = |got: &Value| StorageError::TypeMismatch {
+            column: self.name.clone(),
+            expected: self.data_type,
+            got: format!("{got:?}"),
+        };
+        match (&v, self.data_type) {
+            (Value::Null, _) => {
+                self.has_null = true;
+                self.validity.push(false);
+                match self.data_type {
+                    DataType::Bool => self.bools.push(false),
+                    DataType::Int => self.ints.push(0),
+                    DataType::Float => self.floats.push(0.0),
+                    DataType::Str => self.strs.push(Arc::from("")),
+                }
+            }
+            (Value::Bool(b), DataType::Bool) => {
+                self.validity.push(true);
+                self.bools.push(*b);
+            }
+            (Value::Int(i), DataType::Int) => {
+                self.validity.push(true);
+                self.ints.push(*i);
+            }
+            (Value::Int(i), DataType::Float) => {
+                self.validity.push(true);
+                self.floats.push(*i as f64);
+            }
+            (Value::Float(f), DataType::Float) => {
+                self.validity.push(true);
+                self.floats.push(*f);
+            }
+            (Value::Str(s), DataType::Str) => {
+                self.validity.push(true);
+                self.strs.push(s.clone());
+            }
+            _ => return Err(mismatch(&v)),
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Convenience: append an `i64` (must be an Int or Float column).
+    pub fn push_i64(&mut self, i: i64) -> Result<()> {
+        self.push(Value::Int(i))
+    }
+
+    /// Convenience: append an `f64` (must be a Float column).
+    pub fn push_f64(&mut self, f: f64) -> Result<()> {
+        self.push(Value::Float(f))
+    }
+
+    /// Convenience: append a string (must be a Str column).
+    pub fn push_str(&mut self, s: impl AsRef<str>) -> Result<()> {
+        self.push(Value::str(s))
+    }
+
+    /// Finish the column. Drops the validity vector when no nulls were seen.
+    pub fn finish(self) -> Column {
+        let validity = if self.has_null { self.validity } else { vec![] };
+        match self.data_type {
+            DataType::Bool => Column::Bool {
+                data: self.bools,
+                validity,
+            },
+            DataType::Int => Column::Int {
+                data: self.ints,
+                validity,
+            },
+            DataType::Float => Column::Float {
+                data: self.floats,
+                validity,
+            },
+            DataType::Str => Column::Str {
+                data: self.strs,
+                validity,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_int_column() {
+        let mut b = ColumnBuilder::new("k", DataType::Int);
+        b.push_i64(1).unwrap();
+        b.push(Value::Null).unwrap();
+        b.push_i64(3).unwrap();
+        let c = b.finish();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int(3));
+        assert_eq!(c.f64_at(2), Some(3.0));
+        assert_eq!(c.f64_at(1), None);
+    }
+
+    #[test]
+    fn all_valid_drops_validity() {
+        let mut b = ColumnBuilder::new("k", DataType::Float);
+        b.push_f64(1.5).unwrap();
+        b.push_f64(2.5).unwrap();
+        match b.finish() {
+            Column::Float { validity, .. } => assert!(validity.is_empty()),
+            _ => panic!("wrong column type"),
+        }
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut b = ColumnBuilder::new("x", DataType::Float);
+        b.push(Value::Int(4)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.value(0), Value::Float(4.0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut b = ColumnBuilder::new("x", DataType::Int);
+        let err = b.push(Value::str("oops")).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn float_into_int_column_rejected() {
+        let mut b = ColumnBuilder::new("x", DataType::Int);
+        assert!(b.push(Value::Float(1.5)).is_err());
+    }
+
+    #[test]
+    fn string_column() {
+        let mut b = ColumnBuilder::new("s", DataType::Str);
+        b.push_str("a").unwrap();
+        b.push(Value::Null).unwrap();
+        let c = b.finish();
+        assert_eq!(c.value(0), Value::str("a"));
+        assert!(c.value(1).is_null());
+        assert_eq!(c.data_type(), DataType::Str);
+    }
+
+    #[test]
+    fn bool_column() {
+        let mut b = ColumnBuilder::new("b", DataType::Bool);
+        b.push(Value::Bool(true)).unwrap();
+        let c = b.finish();
+        assert_eq!(c.value(0), Value::Bool(true));
+        assert!(!c.is_empty());
+    }
+}

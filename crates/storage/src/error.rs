@@ -1,0 +1,93 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors produced by schema construction, table building and catalog lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column name was referenced that does not exist in the schema.
+    UnknownColumn {
+        /// The name as written by the caller (possibly qualified).
+        name: String,
+    },
+    /// A table name was referenced that is not registered in the catalog.
+    UnknownTable {
+        /// The missing table's name.
+        name: String,
+    },
+    /// A value of the wrong [`crate::DataType`] was supplied for a column.
+    TypeMismatch {
+        /// Column that rejected the value.
+        column: String,
+        /// The column's declared type.
+        expected: crate::DataType,
+        /// A rendering of the offending value.
+        got: String,
+    },
+    /// Columns of unequal length were assembled into one table.
+    RaggedColumns {
+        /// Name of the table being built.
+        table: String,
+        /// Observed column lengths, for diagnostics.
+        lengths: Vec<usize>,
+    },
+    /// A duplicate column or table name was registered.
+    DuplicateName {
+        /// The name registered twice.
+        name: String,
+    },
+    /// A row index was out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: u64,
+        /// Table length.
+        len: u64,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            StorageError::UnknownTable { name } => write!(f, "unknown table `{name}`"),
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for column `{column}`: expected {expected}, got {got}"
+            ),
+            StorageError::RaggedColumns { table, lengths } => write!(
+                f,
+                "columns of table `{table}` have unequal lengths: {lengths:?}"
+            ),
+            StorageError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            StorageError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds (table has {len} rows)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnknownColumn {
+            name: "l_tax".into(),
+        };
+        assert!(e.to_string().contains("l_tax"));
+        let e = StorageError::TypeMismatch {
+            column: "o_totalprice".into(),
+            expected: crate::DataType::Float,
+            got: "Str(\"x\")".into(),
+        };
+        assert!(e.to_string().contains("o_totalprice"));
+        assert!(e.to_string().contains("Float"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # sa-storage — relational storage substrate
+//!
+//! A small, dependency-free, in-memory columnar storage layer used by the
+//! sampling-algebra engine. It provides exactly what the paper's estimation
+//! pipeline needs from a host database:
+//!
+//! * typed [`Value`]s and [`Schema`]s with qualified column names,
+//! * columnar [`Table`]s with **stable row identifiers** ([`RowId`]) — row
+//!   identity is the *lineage* unit of the GUS theory (Section 4.2 of the
+//!   paper: "the lineage of each tuple in a base table is an ID"),
+//! * a **block** (page) structure so block-level `SYSTEM` sampling can be
+//!   expressed (block id = lineage unit at block granularity),
+//! * a [`Catalog`] mapping table names to shared table handles.
+//!
+//! Everything is deliberately simple: tables are immutable once built (via
+//! [`TableBuilder`]), reads are by column, and there is no buffer manager or
+//! persistence. The estimation theory only requires that result tuples carry
+//! base-relation lineage and an aggregate value; this layer supplies the
+//! former.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use column::{Column, ColumnBuilder};
+pub use csv::{read_csv, write_csv, CsvOptions};
+pub use error::StorageError;
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use table::{BlockId, RowId, Table, TableBuilder, DEFAULT_BLOCK_ROWS};
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T, E = StorageError> = std::result::Result<T, E>;

@@ -1,0 +1,277 @@
+//! Schemas: ordered, named, typed columns with optional table qualifiers.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// The scalar types the engine understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// True if arithmetic is defined on this type.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "Bool",
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Str => "Str",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One column of a schema: a name, an optional table qualifier and a type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Table qualifier (e.g. `lineitem`), if any.
+    pub qualifier: Option<Arc<str>>,
+    /// Column name (e.g. `l_tax`).
+    pub name: Arc<str>,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// An unqualified field.
+    pub fn new(name: impl AsRef<str>, data_type: DataType) -> Self {
+        Field {
+            qualifier: None,
+            name: Arc::from(name.as_ref()),
+            data_type,
+        }
+    }
+
+    /// A field qualified by its table name.
+    pub fn qualified(table: impl AsRef<str>, name: impl AsRef<str>, data_type: DataType) -> Self {
+        Field {
+            qualifier: Some(Arc::from(table.as_ref())),
+            name: Arc::from(name.as_ref()),
+            data_type,
+        }
+    }
+
+    /// Re-qualify this field with a new table or alias name.
+    pub fn with_qualifier(&self, table: impl AsRef<str>) -> Self {
+        Field {
+            qualifier: Some(Arc::from(table.as_ref())),
+            name: self.name.clone(),
+            data_type: self.data_type,
+        }
+    }
+
+    /// `qualifier.name` or bare `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.to_string(),
+        }
+    }
+
+    /// Whether `name` refers to this field. Accepts `col`, or `tbl.col` when
+    /// the qualifier matches.
+    pub fn matches(&self, name: &str) -> bool {
+        match name.split_once('.') {
+            Some((q, n)) => self.qualifier.as_deref() == Some(q) && &*self.name == n,
+            None => &*self.name == name,
+        }
+    }
+}
+
+/// An ordered list of [`Field`]s. Cheap to clone via [`SchemaRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Build a schema from fields. Duplicate *qualified* names are rejected;
+    /// duplicate bare names under different qualifiers are allowed (as after
+    /// a join).
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[..i] {
+                if f.name == g.name && f.qualifier == g.qualifier {
+                    return Err(StorageError::DuplicateName {
+                        name: f.qualified_name(),
+                    });
+                }
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Self {
+        Schema { fields: vec![] }
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at `idx`.
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Resolve a (possibly qualified) column name to an index.
+    ///
+    /// Returns an error when the name is unknown **or ambiguous** (a bare name
+    /// matching several qualified fields).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let mut found: Option<usize> = None;
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.matches(name) {
+                if found.is_some() {
+                    return Err(StorageError::UnknownColumn {
+                        name: format!("{name} (ambiguous)"),
+                    });
+                }
+                found = Some(i);
+            }
+        }
+        found.ok_or_else(|| StorageError::UnknownColumn { name: name.into() })
+    }
+
+    /// Concatenate two schemas (as a join does).
+    pub fn join(&self, other: &Schema) -> Result<Schema> {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// A copy of this schema with every field re-qualified to `table`.
+    pub fn qualify_all(&self, table: &str) -> Schema {
+        Schema {
+            fields: self
+                .fields
+                .iter()
+                .map(|f| f.with_qualifier(table))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.qualified_name(), field.data_type)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema2() -> Schema {
+        Schema::new(vec![
+            Field::qualified("l", "orderkey", DataType::Int),
+            Field::qualified("o", "orderkey", DataType::Int),
+            Field::qualified("l", "tax", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn qualified_lookup() {
+        let s = schema2();
+        assert_eq!(s.index_of("l.orderkey").unwrap(), 0);
+        assert_eq!(s.index_of("o.orderkey").unwrap(), 1);
+        assert_eq!(s.index_of("tax").unwrap(), 2);
+    }
+
+    #[test]
+    fn ambiguous_bare_name_rejected() {
+        let s = schema2();
+        let err = s.index_of("orderkey").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let s = schema2();
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(StorageError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_qualified_name_rejected() {
+        let r = Schema::new(vec![
+            Field::qualified("l", "x", DataType::Int),
+            Field::qualified("l", "x", DataType::Int),
+        ]);
+        assert!(matches!(r, Err(StorageError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn same_bare_name_different_qualifier_allowed() {
+        assert!(Schema::new(vec![
+            Field::qualified("a", "k", DataType::Int),
+            Field::qualified("b", "k", DataType::Int),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::new(vec![Field::qualified("a", "x", DataType::Int)]).unwrap();
+        let b = Schema::new(vec![Field::qualified("b", "y", DataType::Float)]).unwrap();
+        let j = a.join(&b).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.index_of("b.y").unwrap(), 1);
+    }
+
+    #[test]
+    fn qualify_all_requalifies() {
+        let a = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let q = a.qualify_all("t");
+        assert_eq!(q.index_of("t.x").unwrap(), 0);
+    }
+
+    #[test]
+    fn display_roundtrip_contains_names() {
+        let s = schema2().to_string();
+        assert!(s.contains("l.orderkey: Int"));
+        assert!(s.contains("l.tax: Float"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Immutable columnar tables with stable row identifiers and block structure.
+//!
+//! Row identity matters here more than in an ordinary engine: the GUS theory
+//! performs all second-moment accounting on *lineage*, and the lineage of a
+//! base-table tuple is its [`RowId`]. Block structure exists so block-level
+//! (`SYSTEM`) sampling can use the block id as the lineage unit instead.
+
+use std::sync::Arc;
+
+use crate::column::{Column, ColumnBuilder};
+use crate::error::StorageError;
+use crate::schema::{Schema, SchemaRef};
+use crate::value::Value;
+use crate::Result;
+
+/// Stable identifier of a row within one table (its lineage id).
+pub type RowId = u64;
+
+/// Identifier of a block (page) of rows within one table.
+pub type BlockId = u64;
+
+/// Default number of rows per block, mirroring a small disk page.
+pub const DEFAULT_BLOCK_ROWS: usize = 256;
+
+/// An immutable, named, columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: Arc<str>,
+    schema: SchemaRef,
+    columns: Vec<Column>,
+    row_count: u64,
+    block_rows: usize,
+}
+
+impl Table {
+    /// The table's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The table's schema (fields qualified by the table name).
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// The columns, in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by (possibly qualified) name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
+        Ok(&self.columns[self.schema.index_of(name)?])
+    }
+
+    /// The value at (`row`, `col`).
+    pub fn value(&self, row: RowId, col: usize) -> Result<Value> {
+        if row >= self.row_count {
+            return Err(StorageError::RowOutOfBounds {
+                row,
+                len: self.row_count,
+            });
+        }
+        Ok(self.columns[col].value(row as usize))
+    }
+
+    /// Materialize an entire row.
+    pub fn row(&self, row: RowId) -> Result<Vec<Value>> {
+        if row >= self.row_count {
+            return Err(StorageError::RowOutOfBounds {
+                row,
+                len: self.row_count,
+            });
+        }
+        Ok(self
+            .columns
+            .iter()
+            .map(|c| c.value(row as usize))
+            .collect())
+    }
+
+    /// Rows per block.
+    pub fn block_rows(&self) -> usize {
+        self.block_rows
+    }
+
+    /// Number of blocks (ceil of rows / block size); 0 for an empty table.
+    pub fn block_count(&self) -> u64 {
+        if self.row_count == 0 {
+            0
+        } else {
+            self.row_count.div_ceil(self.block_rows as u64)
+        }
+    }
+
+    /// The block containing `row`.
+    pub fn block_of(&self, row: RowId) -> BlockId {
+        row / self.block_rows as u64
+    }
+
+    /// The half-open row range `[start, end)` of block `block`.
+    pub fn block_range(&self, block: BlockId) -> (RowId, RowId) {
+        let start = block * self.block_rows as u64;
+        let end = (start + self.block_rows as u64).min(self.row_count);
+        (start, end)
+    }
+}
+
+/// Builder for a [`Table`]: declare the schema, then push rows.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    builders: Vec<ColumnBuilder>,
+    schema: Schema,
+    block_rows: usize,
+}
+
+impl TableBuilder {
+    /// Start a table named `name` with the given schema. Fields are
+    /// re-qualified by the table name so joins produce unambiguous schemas.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let name = name.into();
+        let schema = schema.qualify_all(&name);
+        let builders = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnBuilder::new(f.qualified_name(), f.data_type))
+            .collect();
+        TableBuilder {
+            name,
+            builders,
+            schema,
+            block_rows: DEFAULT_BLOCK_ROWS,
+        }
+    }
+
+    /// Override the block (page) size in rows. Must be nonzero.
+    pub fn with_block_rows(mut self, block_rows: usize) -> Self {
+        assert!(block_rows > 0, "block size must be positive");
+        self.block_rows = block_rows;
+        self
+    }
+
+    /// Reserve capacity for `n` more rows in every column.
+    pub fn reserve(&mut self, n: usize) {
+        for b in &mut self.builders {
+            b.reserve(n);
+        }
+    }
+
+    /// Append one row; the slice length must equal the schema arity.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<()> {
+        assert_eq!(
+            row.len(),
+            self.builders.len(),
+            "row arity {} != schema arity {}",
+            row.len(),
+            self.builders.len()
+        );
+        for (b, v) in self.builders.iter_mut().zip(row.iter()) {
+            b.push(v.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Finish building. Verifies all columns have equal length.
+    pub fn finish(self) -> Result<Table> {
+        let lengths: Vec<usize> = self.builders.iter().map(|b| b.len()).collect();
+        if lengths.windows(2).any(|w| w[0] != w[1]) {
+            return Err(StorageError::RaggedColumns {
+                table: self.name,
+                lengths,
+            });
+        }
+        let row_count = lengths.first().copied().unwrap_or(0) as u64;
+        Ok(Table {
+            name: Arc::from(self.name.as_str()),
+            schema: Arc::new(self.schema),
+            columns: self.builders.into_iter().map(|b| b.finish()).collect(),
+            row_count,
+            block_rows: self.block_rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn small_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema).with_block_rows(2);
+        for i in 0..5 {
+            b.push_row(&[Value::Int(i), Value::Float(i as f64 * 0.5)])
+                .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn build_and_read() {
+        let t = small_table();
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(t.value(3, 0).unwrap(), Value::Int(3));
+        assert_eq!(t.row(4).unwrap(), vec![Value::Int(4), Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn schema_is_qualified_by_table_name() {
+        let t = small_table();
+        assert_eq!(t.schema().index_of("t.k").unwrap(), 0);
+        assert_eq!(t.column_by_name("t.v").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn row_out_of_bounds() {
+        let t = small_table();
+        assert!(matches!(
+            t.value(5, 0),
+            Err(StorageError::RowOutOfBounds { .. })
+        ));
+        assert!(t.row(99).is_err());
+    }
+
+    #[test]
+    fn blocks() {
+        let t = small_table(); // 5 rows, 2 per block -> 3 blocks
+        assert_eq!(t.block_count(), 3);
+        assert_eq!(t.block_of(0), 0);
+        assert_eq!(t.block_of(4), 2);
+        assert_eq!(t.block_range(0), (0, 2));
+        assert_eq!(t.block_range(2), (4, 5)); // last block is short
+    }
+
+    #[test]
+    fn empty_table() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]).unwrap();
+        let t = TableBuilder::new("e", schema).finish().unwrap();
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.block_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn wrong_arity_panics() {
+        let schema = Schema::new(vec![Field::new("k", DataType::Int)]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        let _ = b.push_row(&[Value::Int(1), Value::Int(2)]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Zipf-distributed index sampling, for skewed workload generation.
+//!
+//! The paper's estimator quality depends on the data's higher moments (the
+//! `y_S` terms), so the evaluation needs both uniform and skewed inputs. A
+//! [`Zipf`] sampler over `{0, …, n−1}` with exponent `theta` produces the
+//! classic heavy-tailed fan-out (e.g. a few parts appearing in very many
+//! lineitems).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Zipf distribution over `0..n` with exponent `theta ≥ 0`
+/// (`theta = 0` is uniform; larger is more skewed).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities, length `n`.
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. `n` must be positive; `theta` non-negative and
+    /// finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta >= 0.0 && theta.is_finite(), "bad exponent {theta}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against rounding: the last entry must be exactly 1.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draw one index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.random();
+        // First index whose cumulative probability reaches u.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(theta: f64, n: usize, draws: usize) -> Vec<u32> {
+        let z = Zipf::new(n, theta);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut h = vec![0u32; n];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let h = histogram(0.0, 10, 50_000);
+        for (i, &c) in h.iter().enumerate() {
+            assert!((4_000..6_000).contains(&c), "bucket {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn theta_one_is_skewed_and_ordered() {
+        let h = histogram(1.0, 10, 50_000);
+        // First bucket should dominate: p₁/p₂ = 2 under theta=1.
+        assert!(h[0] > h[1] && h[1] > h[3]);
+        let ratio = h[0] as f64 / h[1] as f64;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn all_draws_in_domain() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+        assert_eq!(z.n(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! `sa` — an interactive approximate-query shell over TPC-H-style data.
+//!
+//! The tool the paper envisions: type a `TABLESAMPLE` aggregate query, get an
+//! unbiased estimate with confidence intervals (and, with `GROUP BY`,
+//! per-group intervals). Commands:
+//!
+//! ```text
+//! sa --tpch 0.01 [--seed 42]            # start with generated data
+//! sa --tpch 0.01 --query "SELECT …"     # one-shot, non-interactive
+//! ```
+//!
+//! Inside the shell:
+//!
+//! ```text
+//! SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT);
+//! \exact SELECT …       run without sampling (ground truth)
+//! \trace SELECT …       show the SOA rewrite trace and top GUS table
+//! \tables               list tables
+//! \seed N               set the sampling seed
+//! \subsample N          estimate variance from ~N tuples (§7); 0 = off
+//! \quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use sampling_algebra::exec::{approx_group_query, exact_group_query, GroupedApproxResult};
+use sampling_algebra::prelude::*;
+use sampling_algebra::sql::plan_grouped_sql;
+
+struct Session {
+    catalog: Catalog,
+    seed: u64,
+    subsample: Option<u64>,
+    confidence: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.005f64;
+    let mut seed = 42u64;
+    let mut one_shot: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tpch" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tpch needs a scale factor"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--query" => {
+                one_shot = Some(it.next().unwrap_or_else(|| die("--query needs SQL")).clone());
+            }
+            "-h" | "--help" => {
+                eprintln!("usage: sa [--tpch SCALE] [--seed N] [--query SQL]");
+                return;
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
+    let catalog = generate(&TpchConfig::scale(scale).with_seed(seed));
+    let mut session = Session {
+        catalog,
+        seed: 1,
+        subsample: None,
+        confidence: 0.95,
+    };
+
+    if let Some(sql) = one_shot {
+        run_line(&mut session, &sql);
+        return;
+    }
+
+    eprintln!("sa — sampling-algebra shell. \\quit to exit, \\tables for tables.");
+    let stdin = std::io::stdin();
+    loop {
+        eprint!("sa> ");
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        run_line(&mut session, line);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn run_line(session: &mut Session, line: &str) {
+    if let Some(rest) = line.strip_prefix('\\') {
+        let (cmd, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+        match cmd {
+            "tables" => {
+                for (name, table) in session.catalog.iter() {
+                    println!("{name:<12} {:>10} rows   {}", table.row_count(), table.schema());
+                }
+            }
+            "seed" => match arg.trim().parse() {
+                Ok(s) => {
+                    session.seed = s;
+                    println!("seed = {s}");
+                }
+                Err(_) => println!("\\seed needs a number"),
+            },
+            "subsample" => match arg.trim().parse::<u64>() {
+                Ok(0) => {
+                    session.subsample = None;
+                    println!("sub-sampling off");
+                }
+                Ok(n) => {
+                    session.subsample = Some(n);
+                    println!("variance from ~{n} tuples (§7)");
+                }
+                Err(_) => println!("\\subsample needs a number (0 = off)"),
+            },
+            "exact" => run_exact(session, arg),
+            "trace" => run_trace(session, arg),
+            _ => println!("unknown command \\{cmd}"),
+        }
+        return;
+    }
+    run_estimate(session, line);
+}
+
+fn run_estimate(session: &mut Session, sql: &str) {
+    let (plan, group_by) = match plan_grouped_sql(sql, &session.catalog) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    let opts = ApproxOptions {
+        seed: session.seed,
+        confidence: session.confidence,
+        subsample_target: session.subsample,
+    };
+    if group_by.is_empty() {
+        match approx_query(&plan, &session.catalog, &opts) {
+            Ok(r) => print_scalar(&r),
+            Err(e) => println!("error: {e}"),
+        }
+    } else {
+        match approx_group_query(&plan, &group_by, &session.catalog, &opts) {
+            Ok(r) => print_grouped(&r),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    session.seed = session.seed.wrapping_add(1); // fresh sample next time
+}
+
+fn print_scalar(r: &ApproxResult) {
+    println!(
+        "{:<16} {:>16} {:>14} {:>34}",
+        "aggregate", "estimate", "std err", "95% normal CI"
+    );
+    for a in &r.aggs {
+        let (se, ci) = match (&a.variance, &a.ci_normal) {
+            (Some(v), Some(ci)) => (format!("{:.4}", v.sqrt()), format!("{ci}")),
+            _ => ("—".into(), "(not estimable)".into()),
+        };
+        let mut row = format!("{:<16} {:>16.4} {:>14} {:>34}", a.name, a.estimate, se, ci);
+        if let Some(q) = a.quantile_bound {
+            row.push_str(&format!("   quantile bound: {q:.4}"));
+        }
+        println!("{row}");
+    }
+    println!(
+        "({} result tuples; variance from {}; top GUS a = {:.4e})",
+        r.result_rows,
+        r.variance_rows,
+        r.analysis.gus.a()
+    );
+}
+
+fn print_grouped(r: &GroupedApproxResult) {
+    println!(
+        "{:<24} {:<12} {:>16} {:>34} {:>8}",
+        r.group_exprs.join(", "),
+        "aggregate",
+        "estimate",
+        "95% normal CI",
+        "tuples"
+    );
+    for g in &r.groups {
+        let key: Vec<String> = g.key.iter().map(|v| v.to_string()).collect();
+        for a in &g.aggs {
+            let ci = a
+                .ci_normal
+                .as_ref()
+                .map(|ci| format!("{ci}"))
+                .unwrap_or_else(|| "(not estimable)".into());
+            println!(
+                "{:<24} {:<12} {:>16.4} {:>34} {:>8}",
+                key.join(","),
+                a.name,
+                a.estimate,
+                ci,
+                g.sample_rows
+            );
+        }
+    }
+    println!("({} observed groups, {} result tuples)", r.groups.len(), r.result_rows);
+}
+
+fn run_exact(session: &Session, sql: &str) {
+    let (plan, group_by) = match plan_grouped_sql(sql, &session.catalog) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    if group_by.is_empty() {
+        match exact_query(&plan, &session.catalog) {
+            Ok(vals) => println!("exact: {vals:?}"),
+            Err(e) => println!("error: {e}"),
+        }
+    } else {
+        match exact_group_query(&plan, &group_by, &session.catalog) {
+            Ok(groups) => {
+                for (key, vals) in groups {
+                    let key: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+                    println!("{:<24} {vals:?}", key.join(","));
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+fn run_trace(session: &Session, sql: &str) {
+    let (plan, _) = match plan_grouped_sql(sql, &session.catalog) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    println!("plan:\n{}", plan.display_tree());
+    match rewrite(&plan, &session.catalog) {
+        Ok(analysis) => {
+            println!("rewrite steps:\n{}", analysis.trace.render());
+            println!("top GUS:\n{}", analysis.gus_table());
+        }
+        Err(e) => println!("error: {e}"),
+    }
+}

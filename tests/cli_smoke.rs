@@ -1,0 +1,89 @@
+//! Smoke tests for the `sa` shell binary: one-shot queries, grouped output,
+//! and the interactive command loop over a pipe.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn sa() -> Command {
+    let mut c = Command::new(env!("CARGO_BIN_EXE_sa"));
+    c.arg("--tpch").arg("0.001").arg("--seed").arg("7");
+    c
+}
+
+#[test]
+fn one_shot_scalar_query() {
+    let out = sa()
+        .arg("--query")
+        .arg("SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (20 PERCENT)")
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("estimate"), "{stdout}");
+    assert!(stdout.contains('q'), "{stdout}");
+    assert!(stdout.contains("normal"), "{stdout}");
+}
+
+#[test]
+fn one_shot_grouped_query() {
+    let out = sa()
+        .arg("--query")
+        .arg(
+            "SELECT l_returnflag, SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (30 PERCENT) \
+             GROUP BY l_returnflag",
+        )
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("observed groups"), "{stdout}");
+    // All three return flags should appear at 30%.
+    for flag in ["A", "N", "R"] {
+        assert!(stdout.contains(flag), "missing group {flag}: {stdout}");
+    }
+}
+
+#[test]
+fn interactive_commands() {
+    let mut child = sa()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let stdin = child.stdin.as_mut().expect("piped stdin");
+    writeln!(stdin, "\\tables").unwrap();
+    writeln!(stdin, "\\seed 9").unwrap();
+    writeln!(stdin, "SELECT COUNT(*) AS n FROM orders TABLESAMPLE (50 PERCENT);").unwrap();
+    writeln!(stdin, "\\exact SELECT COUNT(*) AS n FROM orders").unwrap();
+    writeln!(stdin, "\\trace SELECT COUNT(*) FROM orders TABLESAMPLE (50 PERCENT)").unwrap();
+    writeln!(stdin, "\\quit").unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lineitem"), "{stdout}"); // \tables
+    assert!(stdout.contains("seed = 9"), "{stdout}");
+    assert!(stdout.contains("estimate"), "{stdout}");
+    assert!(stdout.contains("exact"), "{stdout}");
+    assert!(stdout.contains("rewrite steps"), "{stdout}"); // \trace
+    assert!(stdout.contains("top GUS"), "{stdout}");
+}
+
+#[test]
+fn bad_sql_reports_error_and_continues() {
+    let mut child = sa()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let stdin = child.stdin.as_mut().expect("piped stdin");
+    writeln!(stdin, "SELECT FROM nothing").unwrap();
+    writeln!(stdin, "SELECT COUNT(*) AS n FROM orders TABLESAMPLE (10 PERCENT);").unwrap();
+    writeln!(stdin, "\\quit").unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error:"), "{stdout}");
+    assert!(stdout.contains("estimate"), "survived the error: {stdout}");
+}

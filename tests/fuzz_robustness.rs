@@ -1,0 +1,112 @@
+//! Robustness fuzzing: the SQL front-end and expression evaluator must never
+//! panic, whatever the input — errors are values here.
+
+use proptest::prelude::*;
+
+use sampling_algebra::prelude::*;
+use sa_storage::{DataType, Field, Schema};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_and_parser_never_panic_on_arbitrary_strings(input in ".{0,200}") {
+        // Any outcome is fine except a panic.
+        let _ = sampling_algebra::sql::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_token_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "SUM", "COUNT", "AVG", "QUANTILE",
+                "TABLESAMPLE", "PERCENT", "ROWS", "SYSTEM", "GROUP", "BY", "AND",
+                "OR", "NOT", "(", ")", ",", "*", "+", "-", "/", "=", "<", ">",
+                "x", "y", "t", "0.5", "42", "'s'", ".", ";", "AS",
+            ]),
+            0..30,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = sampling_algebra::sql::parse(&input);
+    }
+
+    #[test]
+    fn binder_never_panics_on_valid_parse_trees(
+        agg in prop::sample::select(vec!["SUM(v)", "COUNT(*)", "AVG(v)", "SUM(v*v)", "SUM(missing)"]),
+        table in prop::sample::select(vec!["t", "nope"]),
+        pct in 0.0f64..=100.0,
+    ) {
+        let mut catalog = Catalog::new();
+        let schema = Schema::new(vec![Field::new("v", DataType::Float)]).unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(&[Value::Float(1.0)]).unwrap();
+        catalog.register(b.finish().unwrap()).unwrap();
+        let sql = format!("SELECT {agg} FROM {table} TABLESAMPLE ({pct} PERCENT)");
+        let _ = plan_sql(&sql, &catalog);
+    }
+
+    #[test]
+    fn eval_never_panics_on_random_typed_trees(ops in prop::collection::vec(0u8..12, 1..24)) {
+        // Build a random expression over two numeric columns by folding
+        // operators; bind-time type errors and eval-time errors are both
+        // acceptable outcomes — panics are not.
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+        ])
+        .unwrap();
+        let row = vec![Value::Int(3), Value::Float(0.5)];
+        let mut e = col("a");
+        for op in ops {
+            let rhs = if op % 2 == 0 { col("b") } else { lit(op as i64 - 6) };
+            e = match op {
+                0 => e.add(rhs),
+                1 => e.sub(rhs),
+                2 => e.mul(rhs),
+                3 => e.div(rhs),
+                4 => e.eq(rhs),
+                5 => e.lt(rhs),
+                6 => e.gt(rhs),
+                7 => e.and(rhs),
+                8 => e.or(rhs),
+                9 => e.neg(),
+                10 => e.not(),
+                _ => e.lt_eq(rhs),
+            };
+        }
+        if let Ok(bound) = sampling_algebra::expr::bind(&e, &schema) {
+            let _ = sampling_algebra::expr::eval(&bound, &row);
+        }
+    }
+
+    #[test]
+    fn sbox_accepts_any_finite_f_values(
+        rows in prop::collection::vec((any::<u64>(), -1e12f64..1e12), 0..50),
+        p in 0.01f64..1.0,
+    ) {
+        let gus = GusParams::bernoulli("r", p).unwrap();
+        let mut sbox = SBox::new(gus);
+        for (id, f) in &rows {
+            sbox.push_scalar(&[*id], *f).unwrap();
+        }
+        let rep = sbox.finish().unwrap();
+        prop_assert!(rep.estimate[0].is_finite());
+        if let Ok(v) = rep.raw_variance(0) {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn quantile_bounds_are_monotone(
+        q1 in 0.01f64..0.99,
+        q2 in 0.01f64..0.99,
+        mean in -1e6f64..1e6,
+        var in 0.0f64..1e9,
+    ) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let lo = quantile_bound(mean, var, lo_q).unwrap();
+        let hi = quantile_bound(mean, var, hi_q).unwrap();
+        prop_assert!(lo <= hi + 1e-9, "{lo} > {hi}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Integration tests pinning every number the paper prints (Figures 1–5,
+//! Examples 1–6) through the *public* API: SQL text → parser → binder →
+//! SOA rewriter → GUS coefficients.
+//!
+//! The paper prints 4 significant digits; assertions use matching absolute
+//! tolerances.
+
+use sampling_algebra::prelude::*;
+use sampling_algebra::sampling::measure_single_relation;
+use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+
+/// Catalog with the paper's cardinalities: orders = 150 000 (Example 1).
+fn paper_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let mk = |name: &str, key: &str, rows: u64| {
+        let schema = Schema::new(vec![
+            Field::new(key, DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(name, schema);
+        b.reserve(rows as usize);
+        for i in 0..rows {
+            b.push_row(&[Value::Int((i % 1000) as i64), Value::Float(1.0)])
+                .unwrap();
+        }
+        b.finish().unwrap()
+    };
+    c.register(mk("lineitem", "l_orderkey", 6000)).unwrap();
+    c.register(mk("orders", "o_orderkey", 150_000)).unwrap();
+    c.register(mk("customer", "c_custkey", 1000)).unwrap();
+    c.register(mk("part", "p_partkey", 1000)).unwrap();
+    c
+}
+
+#[test]
+fn figure1_bernoulli_closed_form_and_empirical() {
+    // Closed form: a = p, b_∅ = p², b_R = p.
+    let g = GusParams::bernoulli("r", 0.1).unwrap();
+    assert!((g.a() - 0.1).abs() < 1e-12);
+    assert!((g.b(RelSet::EMPTY) - 0.01).abs() < 1e-12);
+    assert!((g.b(RelSet::singleton(0)) - 0.1).abs() < 1e-12);
+
+    // Empirical: run the actual sampler and measure.
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+    let mut b = TableBuilder::new("r", schema);
+    for i in 0..100 {
+        b.push_row(&[Value::Int(i)]).unwrap();
+    }
+    let table = b.finish().unwrap();
+    let emp = measure_single_relation(
+        &SamplingMethod::Bernoulli { p: 0.1 },
+        &table,
+        20_000,
+        1,
+    )
+    .unwrap();
+    assert!((emp.a - 0.1).abs() < 0.01, "a = {}", emp.a);
+    assert!((emp.b_empty - 0.01).abs() < 0.005, "b_∅ = {}", emp.b_empty);
+}
+
+#[test]
+fn figure1_wor_closed_form_and_empirical() {
+    // Closed form with the paper's numbers: WOR(1000, 150000).
+    let g = GusParams::wor("o", 1000, 150_000).unwrap();
+    assert!((g.a() - 6.667e-3).abs() < 1e-6);
+    assert!((g.b(RelSet::EMPTY) - 4.44e-5).abs() < 1e-7);
+    assert!((g.b(RelSet::singleton(0)) - 6.667e-3).abs() < 1e-6);
+
+    // Empirical at a small scale: WOR(10, 100).
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+    let mut b = TableBuilder::new("o", schema);
+    for i in 0..100 {
+        b.push_row(&[Value::Int(i)]).unwrap();
+    }
+    let table = b.finish().unwrap();
+    let emp =
+        measure_single_relation(&SamplingMethod::Wor { size: 10 }, &table, 20_000, 2).unwrap();
+    assert!((emp.a - 0.1).abs() < 0.01);
+    let b_expect = 10.0 * 9.0 / (100.0 * 99.0);
+    assert!((emp.b_empty - b_expect).abs() < 0.004);
+}
+
+#[test]
+fn example1_and_3_query1_via_sql() {
+    // The introduction's query, straight through the SQL front-end.
+    let catalog = paper_catalog();
+    let plan = plan_sql(
+        "SELECT SUM(lineitem.v) \
+         FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) \
+         WHERE l_orderkey = o_orderkey AND lineitem.v > 0.0",
+        &catalog,
+    )
+    .unwrap();
+    let analysis = rewrite(&plan, &catalog).unwrap();
+    let g = &analysis.gus;
+    let b = |names: &[&str]| g.b_named(names).unwrap();
+    // Example 1/3 gold values.
+    assert!((g.a() - 6.667e-4).abs() < 1e-7);
+    assert!((b(&[]) - 4.44e-7).abs() < 5e-10);
+    assert!((b(&["orders"]) - 6.667e-5).abs() < 5e-8);
+    assert!((b(&["lineitem"]) - 4.44e-6).abs() < 5e-9);
+    assert!((b(&["lineitem", "orders"]) - 6.667e-4).abs() < 1e-7);
+}
+
+#[test]
+fn example2_single_method_gus_translations() {
+    // Example 2: the two sampling methods of Query 1 as GUS.
+    // B(0.1) on lineitem: a=0.1, b_∅=0.01, b_l=0.1.
+    let gb = GusParams::bernoulli("l", 0.1).unwrap();
+    assert!((gb.a() - 0.1).abs() < 1e-12);
+    assert!((gb.b_named::<&str>(&[]).unwrap() - 0.01).abs() < 1e-12);
+    assert!((gb.b_named(&["l"]).unwrap() - 0.1).abs() < 1e-12);
+    // WOR(1000/150000): a=6.667e-3, b_∅=4.44e-5, b_o=6.667e-3.
+    let gw = GusParams::wor("o", 1000, 150_000).unwrap();
+    assert!((gw.a() - 6.667e-3).abs() < 1e-6);
+    assert!((gw.b_named::<&str>(&[]).unwrap() - 4.44e-5).abs() < 1e-7);
+    assert!((gw.b_named(&["o"]).unwrap() - 6.667e-3).abs() < 1e-6);
+}
+
+#[test]
+fn figure4_example4_full_coefficient_table() {
+    // The four-relation plan of Figure 4, built via the plan API with the
+    // exact sampling methods of the figure, checked against all 16 printed
+    // b-coefficients of G(a₁₂₃).
+    let catalog = paper_catalog();
+    let plan = LogicalPlan::scan("lineitem")
+        .sample(SamplingMethod::Bernoulli { p: 0.1 })
+        .join_on(
+            LogicalPlan::scan("orders").sample(SamplingMethod::Wor { size: 1000 }),
+            col("l_orderkey").eq(col("o_orderkey")),
+        )
+        .join_on(LogicalPlan::scan("customer"), lit(true))
+        .join_on(
+            LogicalPlan::scan("part").sample(SamplingMethod::Bernoulli { p: 0.5 }),
+            lit(true),
+        )
+        .aggregate(vec![AggSpec::sum(col("lineitem.v"), "s")]);
+    let analysis = rewrite(&plan, &catalog).unwrap();
+    let g = &analysis.gus;
+    let b = |names: &[&str]| g.b_named(names).unwrap();
+
+    let gold: &[(&[&str], f64)] = &[
+        (&[], 1.11e-7),
+        (&["part"], 2.22e-7),
+        (&["customer"], 1.11e-7),
+        (&["customer", "part"], 2.22e-7),
+        (&["orders"], 1.667e-5),
+        (&["orders", "part"], 3.335e-5),
+        (&["orders", "customer"], 1.667e-5),
+        (&["orders", "customer", "part"], 3.335e-5),
+        (&["lineitem"], 1.11e-6),
+        (&["lineitem", "part"], 2.22e-6),
+        (&["lineitem", "customer"], 1.11e-6),
+        (&["lineitem", "customer", "part"], 2.22e-6),
+        (&["lineitem", "orders"], 1.667e-4),
+        (&["lineitem", "orders", "part"], 3.334e-4),
+        (&["lineitem", "orders", "customer"], 1.667e-4),
+        (&["lineitem", "orders", "customer", "part"], 3.334e-4),
+    ];
+    assert!((g.a() - 3.334e-4).abs() < 1e-7, "a = {}", g.a());
+    for (names, expect) in gold {
+        let got = b(names);
+        assert!(
+            (got - expect).abs() < 1.5e-3 * expect,
+            "b{names:?} = {got:.4e}, expected {expect:.4e}"
+        );
+    }
+
+    // The intermediate G(a₁₂) of Figure 4 (after the first join).
+    let g12 = GusParams::bernoulli("lineitem", 0.1)
+        .unwrap()
+        .join(&GusParams::wor("orders", 1000, 150_000).unwrap())
+        .unwrap();
+    assert!((g12.a() - 6.667e-4).abs() < 1e-7);
+    assert!((g12.b_named::<&str>(&[]).unwrap() - 4.44e-7).abs() < 5e-10);
+}
+
+#[test]
+fn example5_bidimensional_bernoulli_composition() {
+    // B(0.2, 0.3) via composition: a₃=0.06, b₃∅=0.0036, b₃o=0.012,
+    // b₃l=0.018, b₃lo=0.06.
+    let g = GusParams::bernoulli("l", 0.2)
+        .unwrap()
+        .compose(&GusParams::bernoulli("o", 0.3).unwrap())
+        .unwrap();
+    let b = |names: &[&str]| g.b_named(names).unwrap();
+    assert!((g.a() - 0.06).abs() < 1e-12);
+    assert!((b(&[]) - 0.0036).abs() < 1e-12);
+    assert!((b(&["o"]) - 0.012).abs() < 1e-12);
+    assert!((b(&["l"]) - 0.018).abs() < 1e-12);
+    assert!((b(&["l", "o"]) - 0.06).abs() < 1e-12);
+}
+
+#[test]
+fn figure5_example6_subsampled_plan_coefficients() {
+    // Figure 5: Query 1's G(a₁₂) compacted with the bi-dimensional
+    // B(0.2, 0.3) sub-sampler → G(a₁₂₃) with a=4e-5, b∅=1.598e-9,
+    // b_o=8e-7, b_l=7.992e-8, b_lo=4e-5.
+    let g12 = GusParams::bernoulli("l", 0.1)
+        .unwrap()
+        .join(&GusParams::wor("o", 1000, 150_000).unwrap())
+        .unwrap();
+    let schema = g12.schema().clone();
+    let sub = LineageBernoulli::new(schema, &[0.2, 0.3], 7).unwrap();
+    let g123 = g12.compact(&sub.gus()).unwrap();
+    let b = |names: &[&str]| g123.b_named(names).unwrap();
+    assert!((g123.a() - 4.0e-5).abs() < 1e-8, "a = {}", g123.a());
+    assert!((b(&[]) - 1.598e-9).abs() < 2e-12, "b∅ = {:e}", b(&[]));
+    assert!((b(&["o"]) - 8.0e-7).abs() < 1e-9);
+    assert!((b(&["l"]) - 7.992e-8).abs() < 1e-10);
+    assert!((b(&["l", "o"]) - 4.0e-5).abs() < 1e-8);
+    assert!(g123.is_proper());
+}
+
+#[test]
+fn figure2_rewrite_trace_mirrors_the_three_stages() {
+    // Figure 2: (a) sampling operators → (b) GUS quasi-operators →
+    // (c) single top GUS. The trace must show translation then join-merge.
+    let catalog = paper_catalog();
+    let plan = plan_sql(
+        "SELECT SUM(lineitem.v) \
+         FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) \
+         WHERE l_orderkey = o_orderkey",
+        &catalog,
+    )
+    .unwrap();
+    let analysis = rewrite(&plan, &catalog).unwrap();
+    use sampling_algebra::plan::Rule;
+    let rules: Vec<Rule> = analysis.trace.steps.iter().map(|s| s.rule).collect();
+    let first_translate = rules
+        .iter()
+        .position(|r| *r == Rule::TranslateSampling)
+        .unwrap();
+    let join_merge = rules.iter().position(|r| *r == Rule::JoinCommute).unwrap();
+    assert!(first_translate < join_merge);
+    // Final GUS is the one the figure derives.
+    assert!((analysis.gus.a() - 6.667e-4).abs() < 1e-7);
+}
