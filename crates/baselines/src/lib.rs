@@ -236,8 +236,14 @@ pub fn compare_estimators(
     }
 
     let naive = naive_clt(&fs, a, level).map_err(sa_exec::ExecError::Core)?;
-    let boot = bootstrap(&fs, a, level, bootstrap_resamples, seed ^ BOOTSTRAP_SEED_SALT)
-        .map_err(sa_exec::ExecError::Core)?;
+    let boot = bootstrap(
+        &fs,
+        a,
+        level,
+        bootstrap_resamples,
+        seed ^ BOOTSTRAP_SEED_SALT,
+    )
+    .map_err(sa_exec::ExecError::Core)?;
     let exact = exact_query(plan, catalog)?[0];
     let oracle = oracle_variance(plan, catalog)?;
     Ok(ComparisonRun {
@@ -278,7 +284,8 @@ mod tests {
         .unwrap();
         let mut b = TableBuilder::new("d", schema);
         for i in 0..200 {
-            b.push_row(&[Value::Int(i % 50), Value::Float(2.0)]).unwrap();
+            b.push_row(&[Value::Int(i % 50), Value::Float(2.0)])
+                .unwrap();
         }
         c.register(b.finish().unwrap()).unwrap();
         c

@@ -50,7 +50,8 @@ fn bench_vs_relation_count(c: &mut Criterion) {
                     for (j, l) in lineage.iter_mut().enumerate() {
                         *l = (i * (j as u64 + 1)) % 977;
                     }
-                    sbox.push_scalar(black_box(&lineage), (i % 31) as f64).unwrap();
+                    sbox.push_scalar(black_box(&lineage), (i % 31) as f64)
+                        .unwrap();
                 }
                 black_box(sbox.finish().unwrap().estimate[0])
             })

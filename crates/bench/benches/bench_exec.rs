@@ -22,8 +22,7 @@ fn bench_sampled_join_execution(c: &mut Criterion) {
             &input,
             |b, input| {
                 b.iter(|| {
-                    let rs =
-                        execute(black_box(input), &catalog, &ExecOptions { seed: 1 }).unwrap();
+                    let rs = execute(black_box(input), &catalog, &ExecOptions { seed: 1 }).unwrap();
                     black_box(rs.rows.len())
                 })
             },
@@ -59,5 +58,9 @@ fn bench_full_approx_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sampled_join_execution, bench_full_approx_pipeline);
+criterion_group!(
+    benches,
+    bench_sampled_join_execution,
+    bench_full_approx_pipeline
+);
 criterion_main!(benches);

@@ -28,7 +28,9 @@ fn bench_rewrite_vs_relations(c: &mut Criterion) {
 fn bench_moebius_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("moebius_ablation");
     for n in [8usize, 12, 16] {
-        let b_table: Vec<f64> = (0..1usize << n).map(|i| (i as f64 * 0.37).sin().abs()).collect();
+        let b_table: Vec<f64> = (0..1usize << n)
+            .map(|i| (i as f64 * 0.37).sin().abs())
+            .collect();
         group.bench_with_input(BenchmarkId::new("fast", n), &b_table, |b, t| {
             b.iter(|| black_box(moebius_transform(t)))
         });

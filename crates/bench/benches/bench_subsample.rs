@@ -6,9 +6,7 @@ use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sa_bench::workloads;
-use sa_core::{
-    covariance_from_y, unbiased_y_hats, GroupedMoments, GusParams, LineageBernoulli,
-};
+use sa_core::{covariance_from_y, unbiased_y_hats, GroupedMoments, GusParams, LineageBernoulli};
 
 /// Pre-materialize a sampled join result once; benchmark only the variance
 /// estimation passes.
@@ -43,23 +41,19 @@ fn bench_variance_estimation(c: &mut Criterion) {
             .powf(1.0 / n as f64);
         let filter = LineageBernoulli::uniform(gus.schema().clone(), keep, 99).unwrap();
         let compacted = gus.compact(&filter.gus()).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("subsampled", target),
-            &target,
-            |b, _| {
-                b.iter(|| {
-                    let mut acc = GroupedMoments::new(n, 1);
-                    for (lineage, f) in &rows {
-                        if filter.keeps(lineage) {
-                            acc.push_scalar(lineage, *f).unwrap();
-                        }
+        group.bench_with_input(BenchmarkId::new("subsampled", target), &target, |b, _| {
+            b.iter(|| {
+                let mut acc = GroupedMoments::new(n, 1);
+                for (lineage, f) in &rows {
+                    if filter.keeps(lineage) {
+                        acc.push_scalar(lineage, *f).unwrap();
                     }
-                    let moments = acc.finish();
-                    let y_hat = unbiased_y_hats(&compacted, &moments).unwrap();
-                    black_box(covariance_from_y(&gus, &y_hat, 1).get(0, 0))
-                })
-            },
-        );
+                }
+                let moments = acc.finish();
+                let y_hat = unbiased_y_hats(&compacted, &moments).unwrap();
+                black_box(covariance_from_y(&gus, &y_hat, 1).get(0, 0))
+            })
+        });
     }
     group.finish();
 }

@@ -58,7 +58,8 @@ pub fn sbox_cost() -> String {
         let t0 = Instant::now();
         let mut sbox = SBox::new(gus2.clone());
         for i in 0..m {
-            sbox.push_scalar(&[i % 1000, i % 337], (i % 97) as f64).unwrap();
+            sbox.push_scalar(&[i % 1000, i % 337], (i % 97) as f64)
+                .unwrap();
         }
         let rep = sbox.finish().unwrap();
         std::hint::black_box(rep.estimate[0]);

@@ -110,7 +110,9 @@ mod tests {
     #[test]
     fn moebius_matches_naive() {
         // 3 relations, arbitrary values.
-        let b: Vec<f64> = (0..8).map(|i| (i as f64 * 0.37 + 0.11).sin().abs()).collect();
+        let b: Vec<f64> = (0..8)
+            .map(|i| (i as f64 * 0.37 + 0.11).sin().abs())
+            .collect();
         close(&moebius_transform(&b), &moebius_transform_naive(&b));
     }
 

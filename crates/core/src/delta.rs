@@ -64,11 +64,7 @@ pub fn ratio(report: &EstimateReport, num: usize, den: usize) -> Result<DeltaEst
 
 /// General delta method: `g(X̂)` with variance `∇gᵀ Σ ∇g`, where `grad` is
 /// the gradient of `g` evaluated at the estimate vector.
-pub fn smooth_function(
-    report: &EstimateReport,
-    value: f64,
-    grad: &[f64],
-) -> Result<DeltaEstimate> {
+pub fn smooth_function(report: &EstimateReport, value: f64, grad: &[f64]) -> Result<DeltaEstimate> {
     let cov = report.covariance.as_ref().ok_or_else(|| {
         CoreError::Degenerate("covariance unavailable: delta variance cannot be formed".into())
     })?;

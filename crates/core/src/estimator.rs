@@ -144,7 +144,10 @@ pub fn unbiased_y_hats(gus: &GusParams, sample: &Moments) -> Result<Vec<MomentMa
         acc.scale(1.0 / b_s);
         y_hat[s_idx] = Some(acc);
     }
-    Ok(y_hat.into_iter().map(|m| m.expect("all computed")).collect())
+    Ok(y_hat
+        .into_iter()
+        .map(|m| m.expect("all computed"))
+        .collect())
 }
 
 /// Theorem 1 variance/covariance from moment matrices (exact if `y` are the
@@ -324,7 +327,10 @@ mod tests {
         let expect =
             (big_n - n) as f64 / (n as f64 * (big_n - 1) as f64) * (big_n as f64 * y1 - y0);
         let v = exact_variance(&gus, &pop, 0);
-        assert!((v - expect).abs() < 1e-6 * expect.abs().max(1.0), "{v} vs {expect}");
+        assert!(
+            (v - expect).abs() < 1e-6 * expect.abs().max(1.0),
+            "{v} vs {expect}"
+        );
     }
 
     #[test]

@@ -99,7 +99,9 @@ impl GroupedMoments {
         GroupedMoments {
             n,
             dims,
-            salts: (0..n as u64).map(|i| i.wrapping_mul(0xa076_1d64_78bd_642f)).collect(),
+            salts: (0..n as u64)
+                .map(|i| i.wrapping_mul(0xa076_1d64_78bd_642f))
+                .collect(),
             groups: (0..1usize << n).map(|_| FxHashMap::default()).collect(),
             total: vec![0.0; dims],
             count: 0,

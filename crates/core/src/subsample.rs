@@ -175,9 +175,7 @@ mod tests {
     #[test]
     fn keep_rate_approximates_probability() {
         let f = LineageBernoulli::uniform(schema_lo(), 0.3, 7).unwrap();
-        let kept = (0..100_000u64)
-            .filter(|&i| f.keeps_component(1, i))
-            .count();
+        let kept = (0..100_000u64).filter(|&i| f.keeps_component(1, i)).count();
         let rate = kept as f64 / 100_000.0;
         assert!((rate - 0.3).abs() < 0.01, "rate = {rate}");
     }

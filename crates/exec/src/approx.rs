@@ -212,9 +212,7 @@ pub fn approx_query(
             }
             estimate_from_sample_moments(&analysis.gus, &acc.finish())?
         }
-        Some(filter) => {
-            subsampled_report(&analysis.gus, filter, &rs, &layout, dims, n)?
-        }
+        Some(filter) => subsampled_report(&analysis.gus, filter, &rs, &layout, dims, n)?,
     };
 
     let variance_rows = report.m;
@@ -280,22 +278,18 @@ fn assemble_agg_results(
         .zip(&layout.per_agg)
         .map(|(spec, (num, den))| {
             let (estimate, variance) = match den {
-                None => (
-                    report.estimate[*num],
-                    report.variance(*num).ok(),
-                ),
+                None => (report.estimate[*num], report.variance(*num).ok()),
                 Some(den) => match ratio(report, *num, *den) {
                     Ok(d) => (d.value, Some(d.variance)),
                     Err(_) => (f64::NAN, None),
                 },
             };
-            let ci_normal = variance
-                .and_then(|v| sa_core::normal_ci(estimate, v, confidence).ok());
-            let ci_chebyshev = variance
-                .and_then(|v| sa_core::chebyshev_ci(estimate, v, confidence).ok());
-            let quantile_bound = spec.quantile.and_then(|q| {
-                variance.and_then(|v| sa_core::quantile_bound(estimate, v, q).ok())
-            });
+            let ci_normal = variance.and_then(|v| sa_core::normal_ci(estimate, v, confidence).ok());
+            let ci_chebyshev =
+                variance.and_then(|v| sa_core::chebyshev_ci(estimate, v, confidence).ok());
+            let quantile_bound = spec
+                .quantile
+                .and_then(|q| variance.and_then(|v| sa_core::quantile_bound(estimate, v, q).ok()));
             AggResult {
                 name: spec.alias.clone(),
                 func: spec.func,
@@ -343,7 +337,8 @@ mod tests {
         .unwrap();
         let mut b = TableBuilder::new("t", schema);
         for i in 0..2000 {
-            b.push_row(&[Value::Int(i % 10), Value::Float(1.0)]).unwrap();
+            b.push_row(&[Value::Int(i % 10), Value::Float(1.0)])
+                .unwrap();
         }
         c.register(b.finish().unwrap()).unwrap();
         let schema = Schema::new(vec![
@@ -370,7 +365,11 @@ mod tests {
         let r = approx_query(&sum_plan(0.5), &catalog(), &ApproxOptions::default()).unwrap();
         let a = &r.aggs[0];
         // Truth is 2000; B(0.5) estimate has σ = √((1−p)/p·Σf²) = √2000 ≈ 45.
-        assert!((a.estimate - 2000.0).abs() < 250.0, "estimate {}", a.estimate);
+        assert!(
+            (a.estimate - 2000.0).abs() < 250.0,
+            "estimate {}",
+            a.estimate
+        );
         let ci = a.ci_normal.unwrap();
         assert!(ci.width() > 0.0);
         assert!(a.ci_chebyshev.unwrap().width() > ci.width());
@@ -386,12 +385,16 @@ mod tests {
     fn count_and_avg() {
         let plan = LogicalPlan::scan("t")
             .sample(SamplingMethod::Bernoulli { p: 0.5 })
-            .aggregate(vec![
-                AggSpec::count_star("c"),
-                AggSpec::avg(col("v"), "a"),
-            ]);
-        let r = approx_query(&plan, &catalog(), &ApproxOptions { seed: 7, ..Default::default() })
-            .unwrap();
+            .aggregate(vec![AggSpec::count_star("c"), AggSpec::avg(col("v"), "a")]);
+        let r = approx_query(
+            &plan,
+            &catalog(),
+            &ApproxOptions {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!((r.aggs[0].estimate - 2000.0).abs() < 250.0);
         // AVG of a constant column is exactly 1 with ~zero variance.
         assert!((r.aggs[1].estimate - 1.0).abs() < 1e-9);

@@ -104,8 +104,8 @@ fn exec_node(plan: &LogicalPlan, catalog: &Catalog, rng: &mut StdRng) -> Result<
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
                 let be = bind(e, &inner.schema)?;
-                let dt = sa_expr::data_type(&be, &inner.schema)?
-                    .unwrap_or(sa_storage::DataType::Float);
+                let dt =
+                    sa_expr::data_type(&be, &inner.schema)?.unwrap_or(sa_storage::DataType::Float);
                 fields.push(sa_storage::Field::new(name, dt));
                 bound.push(be);
             }
@@ -210,9 +210,11 @@ fn apply_sample(
         SamplingMethod::Wor { size } => {
             let n = input.rows.len() as u64;
             if *size > n {
-                return Err(ExecError::Sampling(sa_sampling::SamplingError::InvalidSpec(
-                    format!("WOR size {size} exceeds input cardinality {n}"),
-                )));
+                return Err(ExecError::Sampling(
+                    sa_sampling::SamplingError::InvalidSpec(format!(
+                        "WOR size {size} exceeds input cardinality {n}"
+                    )),
+                ));
             }
             // Floyd over input positions.
             let mut chosen = std::collections::HashSet::with_capacity(*size as usize);
@@ -254,9 +256,11 @@ fn apply_sample(
         }
         SamplingMethod::WithReplacement { size } => {
             if input.rows.is_empty() {
-                return Err(ExecError::Sampling(sa_sampling::SamplingError::InvalidSpec(
-                    "cannot draw with replacement from an empty input".into(),
-                )));
+                return Err(ExecError::Sampling(
+                    sa_sampling::SamplingError::InvalidSpec(
+                        "cannot draw with replacement from an empty input".into(),
+                    ),
+                ));
             }
             (0..*size)
                 .map(|_| input.rows[rng.random_range(0..input.rows.len())].clone())
@@ -395,7 +399,10 @@ fn aggregate_exact(aggs: &[AggSpec], input: ResultSet) -> Result<ResultSet> {
     let mut fields = Vec::with_capacity(aggs.len());
     let mut values = Vec::with_capacity(aggs.len());
     for a in aggs {
-        fields.push(sa_storage::Field::new(&a.alias, sa_storage::DataType::Float));
+        fields.push(sa_storage::Field::new(
+            &a.alias,
+            sa_storage::DataType::Float,
+        ));
         let bound = a
             .expr
             .as_ref()
@@ -453,7 +460,8 @@ mod tests {
         .unwrap();
         let mut b = TableBuilder::new("t", schema.clone()).with_block_rows(2);
         for i in 0..6 {
-            b.push_row(&[Value::Int(i % 3), Value::Float(i as f64)]).unwrap();
+            b.push_row(&[Value::Int(i % 3), Value::Float(i as f64)])
+                .unwrap();
         }
         c.register(b.finish().unwrap()).unwrap();
         let schema2 = Schema::new(vec![
@@ -463,7 +471,8 @@ mod tests {
         .unwrap();
         let mut b = TableBuilder::new("u", schema2);
         for i in 0..3 {
-            b.push_row(&[Value::Int(i), Value::Float(10.0 * i as f64)]).unwrap();
+            b.push_row(&[Value::Int(i), Value::Float(10.0 * i as f64)])
+                .unwrap();
         }
         c.register(b.finish().unwrap()).unwrap();
         c

@@ -119,11 +119,11 @@ pub fn approx_group_query(
                 };
                 let ci_normal =
                     variance.and_then(|v| sa_core::normal_ci(estimate, v, opts.confidence).ok());
-                let ci_chebyshev = variance
-                    .and_then(|v| sa_core::chebyshev_ci(estimate, v, opts.confidence).ok());
-                let quantile_bound = spec
-                    .quantile
-                    .and_then(|q| variance.and_then(|v| sa_core::quantile_bound(estimate, v, q).ok()));
+                let ci_chebyshev =
+                    variance.and_then(|v| sa_core::chebyshev_ci(estimate, v, opts.confidence).ok());
+                let quantile_bound = spec.quantile.and_then(|q| {
+                    variance.and_then(|v| sa_core::quantile_bound(estimate, v, q).ok())
+                });
                 AggResult {
                     name: spec.alias.clone(),
                     func: spec.func,
@@ -173,9 +173,7 @@ pub fn exact_group_query(
             .map(|e| eval(e, &row.values).map_err(ExecError::Expr))
             .collect::<Result<_>>()?;
         let f = crate::approx::f_vector(&layout, row)?;
-        let entry = sums
-            .entry(key)
-            .or_insert_with(|| vec![0.0; layout.dims()]);
+        let entry = sums.entry(key).or_insert_with(|| vec![0.0; layout.dims()]);
         for (s, v) in entry.iter_mut().zip(&f) {
             *s += v;
         }
@@ -247,7 +245,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.groups.len(), 3);
-        let truth = [("A", 1000.0, 1000.0), ("B", 1000.0, 500.0), ("C", 500.0, 100.0)];
+        let truth = [
+            ("A", 1000.0, 1000.0),
+            ("B", 1000.0, 500.0),
+            ("C", 500.0, 100.0),
+        ];
         for (g, (name, sum, count)) in r.groups.iter().zip(&truth) {
             assert_eq!(g.key, vec![Value::str(*name)]);
             let ci = g.aggs[0].ci_chebyshev.as_ref().unwrap();
@@ -328,9 +330,7 @@ mod tests {
         let cat = catalog();
         assert!(approx_group_query(&plan(), &[], &cat, &ApproxOptions::default()).is_err());
         let no_agg = LogicalPlan::scan("t");
-        assert!(
-            approx_group_query(&no_agg, &[col("g")], &cat, &ApproxOptions::default()).is_err()
-        );
+        assert!(approx_group_query(&no_agg, &[col("g")], &cat, &ApproxOptions::default()).is_err());
     }
 
     #[test]

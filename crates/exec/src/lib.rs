@@ -21,9 +21,9 @@ pub mod exec;
 pub mod grouped;
 
 pub use approx::{approx_query, exact_query, AggResult, ApproxOptions, ApproxResult};
-pub use grouped::{approx_group_query, exact_group_query, GroupEstimate, GroupedApproxResult};
 pub use error::ExecError;
 pub use exec::{execute, ExecOptions, ResultSet, Row};
+pub use grouped::{approx_group_query, exact_group_query, GroupEstimate, GroupedApproxResult};
 
 /// Crate-wide result alias.
 pub type Result<T, E = ExecError> = std::result::Result<T, E>;

@@ -257,8 +257,14 @@ impl fmt::Display for Expr {
                 write!(f, " {} ", op.symbol())?;
                 fmt_side(right, f)
             }
-            Expr::Unary { op: UnOp::Neg, expr } => write!(f, "-({expr})"),
-            Expr::Unary { op: UnOp::Not, expr } => write!(f, "NOT ({expr})"),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => write!(f, "-({expr})"),
+            Expr::Unary {
+                op: UnOp::Not,
+                expr,
+            } => write!(f, "NOT ({expr})"),
         }
     }
 }
@@ -299,7 +305,10 @@ mod tests {
 
     #[test]
     fn split_conjuncts_flattens_and_chains() {
-        let e = col("a").eq(lit(1i64)).and(col("b").gt(lit(2i64))).and(col("c").lt(lit(3i64)));
+        let e = col("a")
+            .eq(lit(1i64))
+            .and(col("b").gt(lit(2i64)))
+            .and(col("c").lt(lit(3i64)));
         let parts = e.split_conjuncts();
         assert_eq!(parts.len(), 3);
         // ORs are not split.

@@ -97,12 +97,7 @@ fn binary_result_type(op: BinOp, l: DataType, r: DataType) -> Result<DataType> {
     if op.is_comparison() {
         let comparable = matches!(
             (l, r),
-            (Int, Int)
-                | (Int, Float)
-                | (Float, Int)
-                | (Float, Float)
-                | (Str, Str)
-                | (Bool, Bool)
+            (Int, Int) | (Int, Float) | (Float, Int) | (Float, Float) | (Str, Str) | (Bool, Bool)
         );
         return if comparable {
             Ok(Bool)
@@ -227,8 +222,10 @@ fn eval_compare(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
     // identical type tags (checked by the binder, re-checked cheaply here).
     let comparable = matches!(
         (l, r),
-        (Value::Int(_) | Value::Float(_), Value::Int(_) | Value::Float(_))
-            | (Value::Str(_), Value::Str(_))
+        (
+            Value::Int(_) | Value::Float(_),
+            Value::Int(_) | Value::Float(_)
+        ) | (Value::Str(_), Value::Str(_))
             | (Value::Bool(_), Value::Bool(_))
     );
     if !comparable {
@@ -364,11 +361,7 @@ mod tests {
     fn short_circuit_avoids_rhs_errors() {
         // false AND (1/0) must not evaluate the division.
         let s = schema();
-        let e = bind(
-            &lit(false).and(col("a").div(lit(0i64)).gt(lit(0i64))),
-            &s,
-        )
-        .unwrap();
+        let e = bind(&lit(false).and(col("a").div(lit(0i64)).gt(lit(0i64))), &s).unwrap();
         assert_eq!(eval(&e, &row()).unwrap(), Value::Bool(false));
         let e = bind(&lit(true).or(col("a").div(lit(0i64)).gt(lit(0i64))), &s).unwrap();
         assert_eq!(eval(&e, &row()).unwrap(), Value::Bool(true));
@@ -401,11 +394,7 @@ mod tests {
             Field::new("l_tax", DataType::Float),
         ])
         .unwrap();
-        let e = bind(
-            &col("l_discount").mul(lit(1.0).sub(col("l_tax"))),
-            &s,
-        )
-        .unwrap();
+        let e = bind(&col("l_discount").mul(lit(1.0).sub(col("l_tax"))), &s).unwrap();
         let got = eval_f64(&e, &[Value::Float(0.05), Value::Float(0.02)])
             .unwrap()
             .unwrap();

@@ -362,8 +362,8 @@ impl LogicalPlan {
                 let in_schema = input.schema(catalog)?;
                 let mut fields = Vec::with_capacity(exprs.len());
                 for (e, name) in exprs {
-                    let dt = sa_expr::data_type(e, &in_schema)?
-                        .unwrap_or(sa_storage::DataType::Float);
+                    let dt =
+                        sa_expr::data_type(e, &in_schema)?.unwrap_or(sa_storage::DataType::Float);
                     fields.push(sa_storage::Field::new(name, dt));
                 }
                 Arc::new(Schema::new(fields)?)
@@ -376,7 +376,10 @@ impl LogicalPlan {
                     if let Some(e) = &a.expr {
                         sa_expr::bind(e, &in_schema)?;
                     }
-                    fields.push(sa_storage::Field::new(&a.alias, sa_storage::DataType::Float));
+                    fields.push(sa_storage::Field::new(
+                        &a.alias,
+                        sa_storage::DataType::Float,
+                    ));
                 }
                 Arc::new(Schema::new(fields)?)
             }
@@ -391,7 +394,9 @@ impl LogicalPlan {
         let rels = self.base_relations();
         for (i, a) in rels.iter().enumerate() {
             if rels[..i].contains(a) {
-                return Err(PlanError::DuplicateAlias { alias: a.to_string() });
+                return Err(PlanError::DuplicateAlias {
+                    alias: a.to_string(),
+                });
             }
         }
         // Known tables + schema check (also binds expressions).
@@ -485,7 +490,9 @@ impl LogicalPlan {
             LogicalPlan::Join {
                 condition: Some(c), ..
             } => format!("⋈[{c}]"),
-            LogicalPlan::Join { condition: None, .. } => "×".to_string(),
+            LogicalPlan::Join {
+                condition: None, ..
+            } => "×".to_string(),
             LogicalPlan::Project { exprs, .. } => {
                 let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
                 format!("π[{}]", names.join(", "))
@@ -528,8 +535,9 @@ impl LogicalPlan {
             | LogicalPlan::Filter { input, .. }
             | LogicalPlan::Project { input, .. }
             | LogicalPlan::Aggregate { input, .. } => vec![input],
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::UnionSamples { left, right } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::UnionSamples { left, right } => {
+                vec![left, right]
+            }
         };
         let n = children.len();
         for (i, c) in children.into_iter().enumerate() {
@@ -564,12 +572,8 @@ mod tests {
             ("lineitem", vec!["l_orderkey", "l_price"]),
             ("orders", vec!["o_orderkey", "o_total"]),
         ] {
-            let schema = Schema::new(
-                cols.iter()
-                    .map(|n| Field::new(*n, DataType::Int))
-                    .collect(),
-            )
-            .unwrap();
+            let schema =
+                Schema::new(cols.iter().map(|n| Field::new(*n, DataType::Int)).collect()).unwrap();
             let mut b = TableBuilder::new(name, schema);
             b.push_row(&[Value::Int(1), Value::Int(10)]).unwrap();
             c.register(b.finish().unwrap()).unwrap();

@@ -89,7 +89,12 @@ impl RewriteTrace {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (i, s) in self.steps.iter().enumerate() {
-            out.push_str(&format!("{:>2}. {:<22} {}\n", i + 1, s.rule.to_string(), s.description));
+            out.push_str(&format!(
+                "{:>2}. {:<22} {}\n",
+                i + 1,
+                s.rule.to_string(),
+                s.description
+            ));
         }
         out
     }
@@ -350,7 +355,8 @@ mod tests {
             let mut b = TableBuilder::new(name, schema);
             b.reserve(rows as usize);
             for i in 0..rows {
-                b.push_row(&[Value::Int(i as i64), Value::Float(1.0)]).unwrap();
+                b.push_row(&[Value::Int(i as i64), Value::Float(1.0)])
+                    .unwrap();
             }
             c.register(b.finish().unwrap()).unwrap();
         }
@@ -437,9 +443,7 @@ mod tests {
         assert!((b(&["lineitem", "orders"]) - 1.667e-4).abs() < 2e-7);
         assert!((b(&["lineitem", "orders", "part"]) - 3.334e-4).abs() < 4e-7);
         assert!((b(&["lineitem", "orders", "customer"]) - 1.667e-4).abs() < 2e-7);
-        assert!(
-            (b(&["lineitem", "orders", "customer", "part"]) - 3.334e-4).abs() < 4e-7
-        );
+        assert!((b(&["lineitem", "orders", "customer", "part"]) - 3.334e-4).abs() < 4e-7);
         assert!(g.is_proper());
     }
 
@@ -517,7 +521,9 @@ mod tests {
             .aggregate(vec![AggSpec::count_star("c")]);
         assert!(matches!(
             rewrite(&plan, &paper_catalog()),
-            Err(PlanError::Sampling(sa_sampling::SamplingError::NotGus { .. }))
+            Err(PlanError::Sampling(
+                sa_sampling::SamplingError::NotGus { .. }
+            ))
         ));
     }
 

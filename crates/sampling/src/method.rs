@@ -130,9 +130,9 @@ impl SamplingMethod {
         self.validate()?;
         let n = table.row_count();
         Ok(match self {
-            SamplingMethod::Bernoulli { p } => (0..n)
-                .filter(|_| rng.random::<f64>() < *p)
-                .collect(),
+            SamplingMethod::Bernoulli { p } => {
+                (0..n).filter(|_| rng.random::<f64>() < *p).collect()
+            }
             SamplingMethod::Wor { size } => {
                 if *size > n {
                     return Err(SamplingError::InvalidSpec(format!(
@@ -235,14 +235,18 @@ mod tests {
     #[test]
     fn wor_full_population() {
         let t = table(50, 256);
-        let ids = SamplingMethod::Wor { size: 50 }.sample_seeded(&t, 3).unwrap();
+        let ids = SamplingMethod::Wor { size: 50 }
+            .sample_seeded(&t, 3)
+            .unwrap();
         assert_eq!(ids, (0..50).collect::<Vec<_>>());
     }
 
     #[test]
     fn wor_oversize_rejected() {
         let t = table(10, 256);
-        assert!(SamplingMethod::Wor { size: 11 }.sample_seeded(&t, 0).is_err());
+        assert!(SamplingMethod::Wor { size: 11 }
+            .sample_seeded(&t, 0)
+            .is_err());
         assert!(SamplingMethod::Wor { size: 11 }.gus("t", &t).is_err());
     }
 
@@ -252,7 +256,10 @@ mod tests {
         let t = table(20, 256);
         let mut counts = [0u32; 20];
         for seed in 0..2000 {
-            for id in (SamplingMethod::Wor { size: 5 }).sample_seeded(&t, seed).unwrap() {
+            for id in (SamplingMethod::Wor { size: 5 })
+                .sample_seeded(&t, seed)
+                .unwrap()
+            {
                 counts[id as usize] += 1;
             }
         }
@@ -265,7 +272,9 @@ mod tests {
     #[test]
     fn system_keeps_whole_blocks() {
         let t = table(1000, 100); // 10 blocks
-        let ids = SamplingMethod::System { p: 0.5 }.sample_seeded(&t, 4).unwrap();
+        let ids = SamplingMethod::System { p: 0.5 }
+            .sample_seeded(&t, 4)
+            .unwrap();
         // Every kept block must be complete.
         let mut blocks: Vec<u64> = ids.iter().map(|&i| i / 100).collect();
         blocks.dedup();

@@ -244,7 +244,10 @@ mod tests {
             panic!("no aggregate root")
         };
         let LogicalPlan::Join {
-            condition, left, right, ..
+            condition,
+            left,
+            right,
+            ..
         } = input.as_ref()
         else {
             panic!("no join: {input}")

@@ -152,9 +152,8 @@ impl Parser {
             }
         }
         if select.is_empty() {
-            return Err(self.err(
-                "select list needs at least one aggregate (SUM/COUNT/AVG/QUANTILE)".into(),
-            ));
+            return Err(self
+                .err("select list needs at least one aggregate (SUM/COUNT/AVG/QUANTILE)".into()));
         }
 
         self.expect_kw(Keyword::From)?;
@@ -178,9 +177,7 @@ impl Parser {
             }
         }
         if group_by.is_empty() && !keys.is_empty() {
-            return Err(self.err(
-                "non-aggregate select items require a GROUP BY clause".into(),
-            ));
+            return Err(self.err("non-aggregate select items require a GROUP BY clause".into()));
         }
         for (k, _) in &keys {
             if !group_by.contains(k) {
@@ -527,10 +524,7 @@ mod tests {
         assert_eq!(e.to_string(), "a + (b * c)");
         let p = q.predicate.unwrap();
         // ((x > 1+2) AND (y = 3)) OR (z < 4)
-        assert_eq!(
-            p.to_string(),
-            "((x > (1 + 2)) AND (y = 3)) OR (z < 4)"
-        );
+        assert_eq!(p.to_string(), "((x > (1 + 2)) AND (y = 3)) OR (z < 4)");
     }
 
     #[test]

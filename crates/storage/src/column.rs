@@ -115,9 +115,7 @@ impl Column {
     /// (ints widen), or `None` for nulls and non-numeric columns.
     pub fn f64_at(&self, row: usize) -> Option<f64> {
         match self {
-            Column::Int { data, validity } if Self::valid(validity, row) => {
-                Some(data[row] as f64)
-            }
+            Column::Int { data, validity } if Self::valid(validity, row) => Some(data[row] as f64),
             Column::Float { data, validity } if Self::valid(validity, row) => Some(data[row]),
             _ => None,
         }

@@ -156,14 +156,13 @@ impl<R: BufRead> CsvRecords<R> {
         self.buf.clear();
         // Read physical lines until quotes are balanced.
         loop {
-            let n = self
-                .reader
-                .read_until(b'\n', &mut self.buf)
-                .map_err(|e| StorageError::TypeMismatch {
+            let n = self.reader.read_until(b'\n', &mut self.buf).map_err(|e| {
+                StorageError::TypeMismatch {
                     column: "<csv io>".into(),
                     expected: DataType::Str,
                     got: e.to_string(),
-                })?;
+                }
+            })?;
             if n == 0 {
                 self.done = true;
                 if self.buf.is_empty() {
@@ -302,8 +301,7 @@ mod tests {
     #[test]
     fn type_errors_carry_position() {
         let input = "id,name,price,active\nnot_an_int,a,1.0,true\n";
-        let err =
-            read_csv(Cursor::new(input), "t", schema(), &CsvOptions::default()).unwrap_err();
+        let err = read_csv(Cursor::new(input), "t", schema(), &CsvOptions::default()).unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("record 1"), "{msg}");
         assert!(msg.contains("id"), "{msg}");
@@ -342,7 +340,13 @@ mod tests {
     fn loaded_table_joins_with_engine() {
         // The loaded table is a first-class citizen: register and query it.
         let input = "id,name,price,active\n1,a,10.0,true\n2,b,20.0,true\n3,c,30.0,false\n";
-        let t = read_csv(Cursor::new(input), "items", schema(), &CsvOptions::default()).unwrap();
+        let t = read_csv(
+            Cursor::new(input),
+            "items",
+            schema(),
+            &CsvOptions::default(),
+        )
+        .unwrap();
         let mut catalog = crate::Catalog::new();
         catalog.register(t).unwrap();
         assert_eq!(catalog.get("items").unwrap().row_count(), 3);

@@ -82,11 +82,7 @@ impl Table {
                 len: self.row_count,
             });
         }
-        Ok(self
-            .columns
-            .iter()
-            .map(|c| c.value(row as usize))
-            .collect())
+        Ok(self.columns.iter().map(|c| c.value(row as usize)).collect())
     }
 
     /// Rows per block.

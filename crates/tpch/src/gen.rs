@@ -97,7 +97,13 @@ pub struct Cardinalities {
 }
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
@@ -118,7 +124,9 @@ pub fn generate(config: &TpchConfig) -> Catalog {
     catalog
         .register(gen_customer(config, &card))
         .expect("fresh catalog");
-    catalog.register(gen_part(config, &card)).expect("fresh catalog");
+    catalog
+        .register(gen_part(config, &card))
+        .expect("fresh catalog");
     catalog
         .register(gen_partsupp(config, &card))
         .expect("fresh catalog");
@@ -316,7 +324,9 @@ pub fn gen_lineitem(config: &TpchConfig, card: &Cardinalities, orders: &Table) -
     ])
     .expect("static schema");
     let mut rng = table_rng(config.seed, 8);
-    let zipf = config.part_skew.map(|theta| Zipf::new(card.part as usize, theta));
+    let zipf = config
+        .part_skew
+        .map(|theta| Zipf::new(card.part as usize, theta));
     let mut b = TableBuilder::new("lineitem", schema).with_block_rows(config.block_rows);
     b.reserve(orders.row_count() as usize * 4);
     for o in 0..orders.row_count() {

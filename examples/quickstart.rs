@@ -36,7 +36,10 @@ fn main() {
     )
     .expect("estimable plan");
     let agg = &result.aggs[0];
-    println!("result tuples from the sampled plan : {}", result.result_rows);
+    println!(
+        "result tuples from the sampled plan : {}",
+        result.result_rows
+    );
     println!("estimate                             : {:.2}", agg.estimate);
     println!(
         "std error                            : {:.2}",

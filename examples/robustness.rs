@@ -31,7 +31,9 @@ fn main() {
     // Aggregate 1 (robust): SUM(l_quantity) — uniform small contributions.
     let qty: Vec<f64> = {
         let c = li.column_by_name("l_quantity").unwrap();
-        (0..li.row_count() as usize).map(|r| c.f64_at(r).unwrap()).collect()
+        (0..li.row_count() as usize)
+            .map(|r| c.f64_at(r).unwrap())
+            .collect()
     };
 
     // Aggregate 2 (fragile): the same column with a handful of synthetic
@@ -43,7 +45,10 @@ fn main() {
     }
 
     println!("database-as-a-sample robustness analysis (99% Bernoulli view)\n");
-    println!("{:<28} {:>14} {:>14}", "aggregate", "rel. std err", "verdict");
+    println!(
+        "{:<28} {:>14} {:>14}",
+        "aggregate", "rel. std err", "verdict"
+    );
     for (name, data) in [("SUM(l_quantity)", &qty), ("SUM(spiky variant)", &spiky)] {
         let rse = robustness_rse(data, 0.99);
         let verdict = if rse < 0.005 { "robust" } else { "FRAGILE" };

@@ -36,7 +36,12 @@ fn main() {
     println!(
         "pilot estimate: {:.0} (rel err bound ±{:.2}% at 95%)\n",
         pilot.aggs[0].estimate,
-        pilot.aggs[0].ci_normal.as_ref().unwrap().relative_half_width() * 100.0
+        pilot.aggs[0]
+            .ci_normal
+            .as_ref()
+            .unwrap()
+            .relative_half_width()
+            * 100.0
     );
 
     // Predict the precision of alternative designs from the pilot's Ŷ_S.
@@ -89,10 +94,7 @@ fn main() {
     )
     .unwrap();
     let t_sub = t0.elapsed();
-    println!(
-        "{:<26} {:>14} {:>14}",
-        "", "full sample", "sub-sampled"
-    );
+    println!("{:<26} {:>14} {:>14}", "", "full sample", "sub-sampled");
     println!(
         "{:<26} {:>14} {:>14}",
         "tuples used for variance", full.variance_rows, sub.variance_rows

@@ -55,7 +55,11 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
             "--query" => {
-                one_shot = Some(it.next().unwrap_or_else(|| die("--query needs SQL")).clone());
+                one_shot = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--query needs SQL"))
+                        .clone(),
+                );
             }
             "-h" | "--help" => {
                 eprintln!("usage: sa [--tpch SCALE] [--seed N] [--query SQL]");
@@ -115,7 +119,11 @@ fn run_line(session: &mut Session, line: &str) {
         match cmd {
             "tables" => {
                 for (name, table) in session.catalog.iter() {
-                    println!("{name:<12} {:>10} rows   {}", table.row_count(), table.schema());
+                    println!(
+                        "{name:<12} {:>10} rows   {}",
+                        table.row_count(),
+                        table.schema()
+                    );
                 }
             }
             "seed" => match arg.trim().parse() {
@@ -223,7 +231,11 @@ fn print_grouped(r: &GroupedApproxResult) {
             );
         }
     }
-    println!("({} observed groups, {} result tuples)", r.groups.len(), r.result_rows);
+    println!(
+        "({} observed groups, {} result tuples)",
+        r.groups.len(),
+        r.result_rows
+    );
 }
 
 fn run_exact(session: &Session, sql: &str) {

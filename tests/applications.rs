@@ -7,8 +7,8 @@
 //! 3. **Estimating the size of intermediate relations** — COUNT estimation
 //!    with precision, for optimizer-style cardinality estimates.
 
-use sampling_algebra::prelude::*;
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+use sampling_algebra::prelude::*;
 
 fn catalog_with(values: &[f64]) -> Catalog {
     let mut c = Catalog::new();
@@ -19,7 +19,8 @@ fn catalog_with(values: &[f64]) -> Catalog {
     .unwrap();
     let mut b = TableBuilder::new("t", schema);
     for (i, v) in values.iter().enumerate() {
-        b.push_row(&[Value::Int(i as i64 % 20), Value::Float(*v)]).unwrap();
+        b.push_row(&[Value::Int(i as i64 % 20), Value::Float(*v)])
+            .unwrap();
     }
     c.register(b.finish().unwrap()).unwrap();
     c

@@ -54,9 +54,17 @@ fn interactive_commands() {
     let stdin = child.stdin.as_mut().expect("piped stdin");
     writeln!(stdin, "\\tables").unwrap();
     writeln!(stdin, "\\seed 9").unwrap();
-    writeln!(stdin, "SELECT COUNT(*) AS n FROM orders TABLESAMPLE (50 PERCENT);").unwrap();
+    writeln!(
+        stdin,
+        "SELECT COUNT(*) AS n FROM orders TABLESAMPLE (50 PERCENT);"
+    )
+    .unwrap();
     writeln!(stdin, "\\exact SELECT COUNT(*) AS n FROM orders").unwrap();
-    writeln!(stdin, "\\trace SELECT COUNT(*) FROM orders TABLESAMPLE (50 PERCENT)").unwrap();
+    writeln!(
+        stdin,
+        "\\trace SELECT COUNT(*) FROM orders TABLESAMPLE (50 PERCENT)"
+    )
+    .unwrap();
     writeln!(stdin, "\\quit").unwrap();
     let out = child.wait_with_output().expect("binary exits");
     assert!(out.status.success());
@@ -79,7 +87,11 @@ fn bad_sql_reports_error_and_continues() {
         .expect("binary spawns");
     let stdin = child.stdin.as_mut().expect("piped stdin");
     writeln!(stdin, "SELECT FROM nothing").unwrap();
-    writeln!(stdin, "SELECT COUNT(*) AS n FROM orders TABLESAMPLE (10 PERCENT);").unwrap();
+    writeln!(
+        stdin,
+        "SELECT COUNT(*) AS n FROM orders TABLESAMPLE (10 PERCENT);"
+    )
+    .unwrap();
     writeln!(stdin, "\\quit").unwrap();
     let out = child.wait_with_output().expect("binary exits");
     assert!(out.status.success());

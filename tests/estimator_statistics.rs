@@ -7,8 +7,8 @@
 //! All randomness is seeded, so these tests are deterministic despite being
 //! Monte-Carlo in nature.
 
-use sampling_algebra::prelude::*;
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+use sampling_algebra::prelude::*;
 
 /// Fact table `t` (rows with values 1..7 cycling, keys fanning out 40×) and
 /// dimension `d` (50 rows, w = key mod 5).
@@ -32,7 +32,8 @@ fn catalog() -> Catalog {
     .unwrap();
     let mut b = TableBuilder::new("d", schema);
     for i in 0..50 {
-        b.push_row(&[Value::Int(i), Value::Float((i % 5) as f64)]).unwrap();
+        b.push_row(&[Value::Int(i), Value::Float((i % 5) as f64)])
+            .unwrap();
     }
     c.register(b.finish().unwrap()).unwrap();
     c
@@ -220,7 +221,10 @@ fn system_block_sampling_estimates_correctly() {
     let trials = 300;
     let runs = run_trials(&plan, &c, trials);
     let mean: f64 = runs.iter().map(|r| r.aggs[0].estimate).sum::<f64>() / trials as f64;
-    assert!((mean - exact).abs() < 0.03 * exact, "mean {mean} vs {exact}");
+    assert!(
+        (mean - exact).abs() < 0.03 * exact,
+        "mean {mean} vs {exact}"
+    );
     let covered = runs
         .iter()
         .filter(|r| r.aggs[0].ci_normal.as_ref().unwrap().contains(exact))
@@ -252,14 +256,21 @@ fn union_of_two_samples_analyzed_correctly() {
             let in1 = rng.random::<f64>() < p;
             let in2 = rng.random::<f64>() < q;
             if in1 || in2 {
-                let v = t.column_by_name("t.v").unwrap().f64_at(rid as usize).unwrap();
+                let v = t
+                    .column_by_name("t.v")
+                    .unwrap()
+                    .f64_at(rid as usize)
+                    .unwrap();
                 sbox.push_scalar(&[rid], v).unwrap();
             }
         }
         estimates.push(sbox.finish().unwrap());
     }
     let mean: f64 = estimates.iter().map(|r| r.estimate[0]).sum::<f64>() / trials as f64;
-    assert!((mean - exact).abs() < 0.02 * exact, "mean {mean} vs {exact}");
+    assert!(
+        (mean - exact).abs() < 0.02 * exact,
+        "mean {mean} vs {exact}"
+    );
     // Coverage under the union analysis.
     let covered = estimates
         .iter()

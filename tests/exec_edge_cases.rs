@@ -2,8 +2,8 @@
 //! operator interleavings, and plan shapes at the boundaries of what the
 //! engine supports.
 
-use sampling_algebra::prelude::*;
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+use sampling_algebra::prelude::*;
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
@@ -14,7 +14,8 @@ fn catalog() -> Catalog {
     .unwrap();
     let mut b = TableBuilder::new("t", schema.clone());
     for i in 0..100 {
-        b.push_row(&[Value::Int(i % 10), Value::Float(i as f64)]).unwrap();
+        b.push_row(&[Value::Int(i % 10), Value::Float(i as f64)])
+            .unwrap();
     }
     c.register(b.finish().unwrap()).unwrap();
     let b = TableBuilder::new("empty", schema);
@@ -77,7 +78,10 @@ fn projection_between_sample_and_aggregate() {
         })
         .sum::<f64>()
         / trials as f64;
-    assert!((mean - exact).abs() < 0.05 * exact, "mean {mean} vs {exact}");
+    assert!(
+        (mean - exact).abs() < 0.05 * exact,
+        "mean {mean} vs {exact}"
+    );
 }
 
 #[test]
@@ -128,7 +132,15 @@ fn negative_and_cancelling_values() {
     let plan = LogicalPlan::scan("pm")
         .sample(SamplingMethod::Bernoulli { p: 0.5 })
         .aggregate(vec![AggSpec::sum(col("v"), "s")]);
-    let r = approx_query(&plan, &cat, &ApproxOptions { seed: 3, ..Default::default() }).unwrap();
+    let r = approx_query(
+        &plan,
+        &cat,
+        &ApproxOptions {
+            seed: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert!(r.aggs[0].estimate.abs() < 60.0);
     assert!(r.aggs[0].variance.unwrap() > 0.0);
     // Exact answer 0 should be inside the Chebyshev interval.

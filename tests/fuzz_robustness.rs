@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 
-use sampling_algebra::prelude::*;
 use sa_storage::{DataType, Field, Schema};
+use sampling_algebra::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]

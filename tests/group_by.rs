@@ -2,8 +2,8 @@
 //! estimates with per-group confidence intervals, validated against exact
 //! per-group answers on TPC-H data.
 
-use sampling_algebra::prelude::*;
 use sampling_algebra::exec::{approx_group_query, exact_group_query};
+use sampling_algebra::prelude::*;
 use sampling_algebra::sql::plan_grouped_sql;
 
 fn tpch() -> Catalog {
@@ -151,8 +151,7 @@ fn sql_group_by_validation() {
     .unwrap_err();
     assert!(err.to_string().contains("plan_grouped_sql"), "{err}");
     // Scalar queries still parse through the grouped API with empty keys.
-    let (_, group_by) =
-        plan_grouped_sql("SELECT SUM(l_quantity) FROM lineitem", &cat).unwrap();
+    let (_, group_by) = plan_grouped_sql("SELECT SUM(l_quantity) FROM lineitem", &cat).unwrap();
     assert!(group_by.is_empty());
 }
 

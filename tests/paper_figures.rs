@@ -5,9 +5,9 @@
 //! The paper prints 4 significant digits; assertions use matching absolute
 //! tolerances.
 
+use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
 use sampling_algebra::prelude::*;
 use sampling_algebra::sampling::measure_single_relation;
-use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
 
 /// Catalog with the paper's cardinalities: orders = 150 000 (Example 1).
 fn paper_catalog() -> Catalog {
@@ -48,13 +48,8 @@ fn figure1_bernoulli_closed_form_and_empirical() {
         b.push_row(&[Value::Int(i)]).unwrap();
     }
     let table = b.finish().unwrap();
-    let emp = measure_single_relation(
-        &SamplingMethod::Bernoulli { p: 0.1 },
-        &table,
-        20_000,
-        1,
-    )
-    .unwrap();
+    let emp =
+        measure_single_relation(&SamplingMethod::Bernoulli { p: 0.1 }, &table, 20_000, 1).unwrap();
     assert!((emp.a - 0.1).abs() < 0.01, "a = {}", emp.a);
     assert!((emp.b_empty - 0.01).abs() < 0.005, "b_∅ = {}", emp.b_empty);
 }

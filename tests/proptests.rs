@@ -5,10 +5,10 @@
 
 use proptest::prelude::*;
 
-use sampling_algebra::prelude::*;
 use sa_core::coeffs::{moebius_transform, moebius_transform_naive, zeta_transform};
 use sa_core::{GroupedMoments, LineageSchema};
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder};
+use sampling_algebra::prelude::*;
 
 const TOL: f64 = 1e-9;
 

@@ -3,8 +3,8 @@
 //! analyzed with the union formula
 //! `a = a₁+a₂−a₁a₂`, `b_T = 2a−1+(1−2a₁+b₁_T)(1−2a₂+b₂_T)`.
 
-use sampling_algebra::prelude::*;
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+use sampling_algebra::prelude::*;
 
 fn catalog() -> Catalog {
     let mut c = Catalog::new();
@@ -101,7 +101,10 @@ fn union_estimate_unbiased_and_covered() {
         }
     }
     mean /= trials as f64;
-    assert!((mean - exact).abs() < 0.02 * exact, "mean {mean} vs {exact}");
+    assert!(
+        (mean - exact).abs() < 0.02 * exact,
+        "mean {mean} vs {exact}"
+    );
     let rate = covered as f64 / trials as f64;
     assert!(rate >= 0.88, "coverage {rate}");
 }
@@ -134,7 +137,10 @@ fn union_of_wor_samples() {
         })
         .sum::<f64>()
         / trials as f64;
-    assert!((mean - exact).abs() < 0.02 * exact, "mean {mean} vs {exact}");
+    assert!(
+        (mean - exact).abs() < 0.02 * exact,
+        "mean {mean} vs {exact}"
+    );
 }
 
 #[test]
@@ -169,7 +175,10 @@ fn union_under_join_composes() {
         })
         .sum::<f64>()
         / trials as f64;
-    assert!((mean - exact).abs() < 0.03 * exact, "mean {mean} vs {exact}");
+    assert!(
+        (mean - exact).abs() < 0.03 * exact,
+        "mean {mean} vs {exact}"
+    );
 }
 
 #[test]

@@ -1,0 +1,257 @@
+//! A small, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace must build offline, so this crate provides the subset of
+//! criterion's API that the benches under `crates/bench/benches/` use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`],
+//! [`Throughput`] and the [`criterion_group!`]/[`criterion_main!`] macros —
+//! backed by a simple wall-clock harness: each benchmark is warmed up
+//! briefly, then timed over as many iterations as fit in a fixed measurement
+//! window, and the mean time per iteration (plus throughput, when declared)
+//! is printed.
+//!
+//! It is intentionally *not* a statistics engine; it exists so `cargo bench`
+//! compiles and produces useful ballpark numbers without network access.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent measuring each benchmark (after warm-up).
+const MEASURE_WINDOW: Duration = Duration::from_millis(200);
+/// Wall-clock time spent warming each benchmark up.
+const WARMUP_WINDOW: Duration = Duration::from_millis(50);
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&name.into(), None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration of subsequent benchmarks does, so
+    /// the report can show elements/second or bytes/second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Run a benchmark identified by a [`BenchmarkId`], passing `input` to
+    /// the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id), self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group. (Consumes the group, like criterion's `finish`.)
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group: a function name, a parameter, or
+/// both.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name`, parameterized by `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { text: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { text: name }
+    }
+}
+
+/// How much work one benchmark iteration performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Times closures; handed to every benchmark body.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it as many times as fit in the measurement
+    /// window. The routine's return value is dropped (acting as a sink, so
+    /// results are not optimized away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + WARMUP_WINDOW;
+        while Instant::now() < warm_until {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        while start.elapsed() < MEASURE_WINDOW {
+            std::hint::black_box(routine());
+            iterations += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut bencher = Bencher {
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{label:<40} (no measurement — Bencher::iter never called?)");
+        return;
+    }
+    let per_iter = bencher.elapsed.as_secs_f64() / bencher.iterations as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "{label:<40} {:>12}/iter  ({} iters){rate}",
+        format_duration(per_iter),
+        bencher.iterations
+    );
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Define a function `$name` that runs each listed benchmark target against
+/// a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` to run the listed `criterion_group!` groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export of [`std::hint::black_box`], for benches that import it from
+/// criterion rather than `std`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,57 @@
+//! Collection strategies: `prop::collection::vec(element, size)`.
+
+use std::ops::Range;
+
+use rand::RngExt;
+
+use crate::{Strategy, TestRng};
+
+/// A number of elements: either exact (`8usize`) or a range (`5..40`).
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`; see [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// A strategy producing vectors whose elements come from `element` and whose
+/// length lies in `size` — `vec(0.0f64..1.0, 8usize)` or `vec(strat, 5..40)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

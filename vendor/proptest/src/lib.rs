@@ -1,0 +1,394 @@
+//! A small, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace must build offline, so this crate implements a miniature
+//! property-testing engine with the API surface `tests/proptests.rs` uses:
+//!
+//! * the [`Strategy`] trait with [`Strategy::prop_map`] and [`Strategy::boxed`];
+//! * range strategies (`0.0f64..1.0`, `1u64..=50`, …), tuple strategies,
+//!   [`collection::vec`], and [`any`] via [`Arbitrary`];
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros, plus [`ProptestConfig`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case panics with
+//! the case number, and the run is deterministic (the RNG is seeded from the
+//! test name and case index), so failures reproduce exactly.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleRange, SeedableRng};
+
+pub mod collection;
+pub mod sample;
+mod string;
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The generator driving value production. Deterministic per test + case.
+pub type TestRng = StdRng;
+
+/// Build the deterministic RNG for one case of one property test.
+/// (Used by the [`proptest!`] macro expansion; not part of proptest's API.)
+#[doc(hidden)]
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f(v)` for values `v` of this strategy.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between several strategies of one value type; built by
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A strategy that picks one of `arms` uniformly, then samples it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let ix = rng.random_range(0..self.arms.len());
+        self.arms[ix].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Types with a canonical "anything goes" strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let mag = rng.random_range(-300.0f64..300.0);
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag)
+    }
+}
+
+struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing arbitrary values of `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary + 'static>() -> impl Strategy<Value = T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Everything a test file normally imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy,
+        ProptestConfig, Strategy,
+    };
+
+    /// Namespace mirror of the crate root, so `prop::collection::vec` and
+    /// `prop::sample::select` work.
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Uniform choice between strategies: `prop_oneof![s1, s2, …]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Assert inside a [`proptest!`] body; reports the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Bind `name in strategy` argument lists inside the generated test body.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
+        let mut $name = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bindings!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $name:ident in $strategy:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bindings!($rng $(, $($rest)*)?);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($config:expr; $( $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_rng(stringify!($name), case);
+                    let run = || {
+                        $crate::__proptest_bindings!(rng, $($args)*);
+                        $body
+                    };
+                    // One panic message per failing case, no shrinking.
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} (deterministic; rerun reproduces it)",
+                            stringify!($name), case, config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Declare property tests. Each `#[test] fn name(x in strategy, …) { … }`
+/// item becomes a normal test that checks the body over many random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.25f64..0.75, n in 3u64..=9) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..=9).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u32..10, 0u32..10),
+            s in (0i64..5).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(pair.0 < 10 && pair.1 < 10);
+            prop_assert_eq!(s % 2, 0);
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(v in prop_oneof![0u8..1, 10u8..11]) {
+            prop_assert!(v == 0 || v == 10);
+        }
+
+        #[test]
+        fn collections_respect_size(xs in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn mut_bindings_work(mut xs in crate::collection::vec(0u32..100, 1..4)) {
+            xs.sort_unstable();
+            prop_assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let strategy = any::<u64>();
+        let mut rng = crate::test_rng("any_u64_varies", 0);
+        let a = strategy.sample(&mut rng);
+        let b = strategy.sample(&mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        use rand::RngCore;
+        let mut a = crate::test_rng("t", 3);
+        let mut b = crate::test_rng("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_rng("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

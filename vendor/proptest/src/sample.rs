@@ -1,0 +1,28 @@
+//! Sampling from explicit value lists: `prop::sample::select`.
+
+use rand::RngExt;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy returned by [`select`].
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.values[rng.random_range(0..self.values.len())].clone()
+    }
+}
+
+/// A strategy that picks uniformly from `values`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select needs at least one value");
+    Select { values }
+}

@@ -1,0 +1,113 @@
+//! String strategies from regex-like patterns: `"​.{0,200}"` as a strategy.
+//!
+//! Real proptest compiles the full regex; this stand-in supports the subset
+//! the workspace's fuzz tests use — a pattern made of literal characters and
+//! `.` atoms, each optionally quantified with `{m,n}`, `*`, `+` or `?` —
+//! which is enough to express "an arbitrary string of bounded length".
+
+use rand::RngExt;
+
+use crate::{Strategy, TestRng};
+
+/// Characters `.` generates: mostly printable ASCII (so SQL-ish inputs are
+/// exercised), with some whitespace and non-ASCII mixed in.
+fn arbitrary_char(rng: &mut TestRng) -> char {
+    match rng.random_range(0u32..10) {
+        0 => ['\t', '\n', '\r', ' ', 'é', 'λ', '—', '\u{1F600}', '\'', '"']
+            [rng.random_range(0usize..10)],
+        _ => char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap(),
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Any,
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Any,
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            other => Atom::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                let (lo, hi) = body
+                    .split_once(',')
+                    .unwrap_or((body.as_str(), body.as_str()));
+                (
+                    lo.trim().parse().expect("bad {m,n} quantifier"),
+                    hi.trim().parse().expect("bad {m,n} quantifier"),
+                )
+            }
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Strategy for `&'static str` patterns, producing `String`s matching the
+/// supported regex subset.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let reps = rng.random_range(piece.min..=piece.max);
+            for _ in 0..reps {
+                match piece.atom {
+                    Atom::Literal(c) => out.push(c),
+                    Atom::Any => out.push(arbitrary_char(rng)),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Strategy;
+
+    #[test]
+    fn dot_quantified_produces_bounded_strings(// deterministic: seeded rng
+    ) {
+        let strategy = ".{0,20}";
+        let mut rng = crate::test_rng("dot", 1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&strategy, &mut rng);
+            assert!(s.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = crate::test_rng("lit", 0);
+        assert_eq!(Strategy::sample(&"abc", &mut rng), "abc");
+    }
+}
