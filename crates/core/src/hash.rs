@@ -99,6 +99,28 @@ pub fn fingerprint128(salt: u64, id: u64) -> u128 {
     ((hi as u128) << 64) | lo as u128
 }
 
+/// Per-relation fingerprint salts, shared by every moment accumulator:
+/// groupings (and hence moments) computed by [`crate::GroupedMoments`],
+/// [`crate::MomentAccumulator`] and shard-local instances must agree, so
+/// they all derive their salts here.
+pub fn rel_salts(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0xa076_1d64_78bd_642f))
+        .collect()
+}
+
+/// The grouping key of subset `s`: per-relation fingerprints combined with
+/// wrapping addition (commutative, so the key is set-valued; collisions stay
+/// ≈ m²/2¹²⁹ because each fingerprint is already uniform).
+#[inline]
+pub fn subset_key(fp: &[u128], s: crate::relset::RelSet) -> u128 {
+    let mut key = 0u128;
+    for i in s.iter() {
+        key = key.wrapping_add(fp[i]);
+    }
+    key
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accumulator;
 pub mod ci;
 pub mod coeffs;
 pub mod delta;
@@ -61,6 +62,7 @@ pub mod params;
 pub mod relset;
 pub mod subsample;
 
+pub use accumulator::MomentAccumulator;
 pub use ci::{chebyshev_ci, normal_ci, quantile_bound, CiMethod, ConfidenceInterval};
 pub use delta::{ratio, smooth_function, DeltaEstimate};
 pub use error::CoreError;

@@ -22,7 +22,7 @@
 //! collisions are vanishingly unlikely (≈ m²/2¹²⁹).
 
 use crate::error::CoreError;
-use crate::hash::{fingerprint128, FxHashMap};
+use crate::hash::{fingerprint128, rel_salts, subset_key, FxHashMap};
 use crate::relset::RelSet;
 use crate::Result;
 
@@ -54,10 +54,16 @@ impl MomentMatrix {
 
     /// Add the outer product `v·vᵀ`.
     pub fn add_outer(&mut self, v: &[f64]) {
+        self.add_outer_scaled(v, 1.0);
+    }
+
+    /// Add `scale · v·vᵀ` (with `scale = -1` this retracts a previously
+    /// added outer product — the delta update incremental accumulators use).
+    pub fn add_outer_scaled(&mut self, v: &[f64], scale: f64) {
         debug_assert_eq!(v.len(), self.k);
         for p in 0..self.k {
             for q in 0..self.k {
-                self.data[p * self.k + q] += v[p] * v[q];
+                self.data[p * self.k + q] += scale * v[p] * v[q];
             }
         }
     }
@@ -99,9 +105,7 @@ impl GroupedMoments {
         GroupedMoments {
             n,
             dims,
-            salts: (0..n as u64)
-                .map(|i| i.wrapping_mul(0xa076_1d64_78bd_642f))
-                .collect(),
+            salts: rel_salts(n),
             groups: (0..1usize << n).map(|_| FxHashMap::default()).collect(),
             total: vec![0.0; dims],
             count: 0,
@@ -148,11 +152,7 @@ impl GroupedMoments {
             fp[i] = fingerprint128(self.salts[i], lineage[i]);
         }
         for s_idx in 1..1usize << self.n {
-            let s = RelSet::from_bits(s_idx as u32);
-            let mut key = 0u128;
-            for i in s.iter() {
-                key = key.wrapping_add(fp[i]);
-            }
+            let key = subset_key(&fp, RelSet::from_bits(s_idx as u32));
             let entry = self.groups[s_idx]
                 .entry(key)
                 .or_insert_with(|| vec![0.0; self.dims]);

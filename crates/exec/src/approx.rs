@@ -83,9 +83,10 @@ pub struct ApproxResult {
     pub report: EstimateReport,
 }
 
-/// Layout of aggregate specs onto SBox dimensions (shared by the scalar and
-/// grouped drivers).
-pub(crate) struct DimLayout {
+/// Layout of aggregate specs onto SBox dimensions (shared by the scalar,
+/// grouped and online drivers).
+#[derive(Debug)]
+pub struct DimLayout {
     /// For each agg: (dimension of the numerator, optional denominator dim).
     per_agg: Vec<(usize, Option<usize>)>,
     /// Bound argument expression per dimension (`None` = constant 1).
@@ -96,17 +97,20 @@ pub(crate) struct DimLayout {
 
 impl DimLayout {
     /// Number of SBox dimensions.
-    pub(crate) fn dims(&self) -> usize {
+    pub fn dims(&self) -> usize {
         self.dim_exprs.len()
     }
 
     /// Per-aggregate (numerator dim, optional denominator dim).
-    pub(crate) fn per_agg(&self) -> &[(usize, Option<usize>)] {
+    pub fn per_agg(&self) -> &[(usize, Option<usize>)] {
         &self.per_agg
     }
 }
 
-pub(crate) fn layout_dims(aggs: &[AggSpec], schema: &sa_storage::Schema) -> Result<DimLayout> {
+/// Map aggregate specs onto SBox dimensions, binding their argument
+/// expressions against the sampled result's `schema`. `AVG` takes two
+/// dimensions (numerator and denominator of the delta-method ratio).
+pub fn layout_dims(aggs: &[AggSpec], schema: &sa_storage::Schema) -> Result<DimLayout> {
     let mut per_agg = Vec::with_capacity(aggs.len());
     let mut dim_exprs = Vec::new();
     let mut dim_is_count = Vec::new();
@@ -145,7 +149,9 @@ pub(crate) fn layout_dims(aggs: &[AggSpec], schema: &sa_storage::Schema) -> Resu
     })
 }
 
-pub(crate) fn f_vector(layout: &DimLayout, row: &crate::exec::Row) -> Result<Vec<f64>> {
+/// The per-row aggregate vector `f(t)` of a result row under `layout` —
+/// what gets pushed (with the row's lineage) into a moment accumulator.
+pub fn f_vector(layout: &DimLayout, row: &crate::exec::Row) -> Result<Vec<f64>> {
     let mut f = Vec::with_capacity(layout.dim_exprs.len());
     for (e, is_count) in layout.dim_exprs.iter().zip(&layout.dim_is_count) {
         let v = match e {
@@ -216,7 +222,7 @@ pub fn approx_query(
     };
 
     let variance_rows = report.m;
-    let aggs_out = assemble_agg_results(aggs, &layout, &report, opts.confidence);
+    let aggs_out = agg_results_from_report(aggs, &layout, &report, opts.confidence);
     Ok(ApproxResult {
         aggs: aggs_out,
         result_rows: m,
@@ -268,7 +274,11 @@ fn subsampled_report(
     ))
 }
 
-fn assemble_agg_results(
+/// Turn a (possibly mid-stream) [`EstimateReport`] into per-aggregate
+/// results — point estimate, variance, both CI flavours and the `QUANTILE`
+/// bound — resolving delta-method `AVG` ratios. Shared by the batch driver
+/// and the online loop's progress snapshots.
+pub fn agg_results_from_report(
     aggs: &[AggSpec],
     layout: &DimLayout,
     report: &EstimateReport,

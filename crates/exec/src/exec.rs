@@ -67,7 +67,11 @@ pub fn execute(plan: &LogicalPlan, catalog: &Catalog, opts: &ExecOptions) -> Res
     exec_node(plan, catalog, &mut rng)
 }
 
-fn exec_node(plan: &LogicalPlan, catalog: &Catalog, rng: &mut StdRng) -> Result<ResultSet> {
+pub(crate) fn exec_node(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    rng: &mut StdRng,
+) -> Result<ResultSet> {
     match plan {
         LogicalPlan::Scan { table, alias } => scan(catalog, table, alias),
         LogicalPlan::Sample { method, input } => {
@@ -154,13 +158,22 @@ fn exec_node(plan: &LogicalPlan, catalog: &Catalog, rng: &mut StdRng) -> Result<
     }
 }
 
-fn scan(catalog: &Catalog, table: &str, alias: &str) -> Result<ResultSet> {
+pub(crate) fn scan_schema(
+    catalog: &Catalog,
+    table: &str,
+    alias: &str,
+) -> Result<(Arc<Table>, SchemaRef)> {
     let t = catalog.get(table)?;
     let schema = if alias == table {
         t.schema().clone()
     } else {
         Arc::new(t.schema().qualify_all(alias))
     };
+    Ok((t, schema))
+}
+
+fn scan(catalog: &Catalog, table: &str, alias: &str) -> Result<ResultSet> {
+    let (t, schema) = scan_schema(catalog, table, alias)?;
     let n = t.row_count();
     let mut rows = Vec::with_capacity(n as usize);
     for rid in 0..n {
@@ -178,7 +191,7 @@ fn scan(catalog: &Catalog, table: &str, alias: &str) -> Result<ResultSet> {
 
 /// The base table under a Sample*/Scan chain (needed for block structure and
 /// WOR population checks).
-fn base_table(mut node: &LogicalPlan, catalog: &Catalog) -> Result<Arc<Table>> {
+pub(crate) fn base_table(mut node: &LogicalPlan, catalog: &Catalog) -> Result<Arc<Table>> {
     loop {
         match node {
             LogicalPlan::Scan { table, .. } => return Ok(catalog.get(table)?),
@@ -344,11 +357,11 @@ fn join(l: ResultSet, r: ResultSet, condition: Option<&Expr>) -> Result<ResultSe
 }
 
 /// Equi-key column index pairs of a hash join: `(left index, right index)`.
-type EquiKeys = Vec<(usize, usize)>;
+pub(crate) type EquiKeys = Vec<(usize, usize)>;
 
 /// Extract `(left index, right index)` equi-key pairs from a conjunctive
 /// join condition; everything else becomes the residual predicate.
-fn split_join_condition(
+pub(crate) fn split_join_condition(
     condition: &Expr,
     left: &Schema,
     right: &Schema,

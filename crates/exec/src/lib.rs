@@ -12,6 +12,9 @@
 //!   (optionally estimating variance from a Section 7 lineage-hash
 //!   sub-sample). [`exact_query`] runs the sampling-free plan for ground
 //!   truth.
+//! * [`open_stream`] is the chunked, pull-based alternative to [`execute`]:
+//!   the same rows, a chunk at a time, for online aggregation (`sa-online`
+//!   drives it).
 
 #![warn(missing_docs)]
 
@@ -19,11 +22,16 @@ pub mod approx;
 pub mod error;
 pub mod exec;
 pub mod grouped;
+pub mod stream;
 
-pub use approx::{approx_query, exact_query, AggResult, ApproxOptions, ApproxResult};
+pub use approx::{
+    agg_results_from_report, approx_query, exact_query, f_vector, layout_dims, AggResult,
+    ApproxOptions, ApproxResult, DimLayout,
+};
 pub use error::ExecError;
 pub use exec::{execute, ExecOptions, ResultSet, Row};
 pub use grouped::{approx_group_query, exact_group_query, GroupEstimate, GroupedApproxResult};
+pub use stream::{open_stream, ChunkStream};
 
 /// Crate-wide result alias.
 pub type Result<T, E = ExecError> = std::result::Result<T, E>;

@@ -1,0 +1,902 @@
+//! Chunked, pull-based plan execution — the feed of the online driver.
+//!
+//! [`crate::execute`] materializes every operator's full output, which is
+//! fine for one-shot estimation but useless for *online aggregation*: there
+//! the consumer wants the first tuples of the sampled result immediately,
+//! an estimate after every chunk, and the right to stop early. This module
+//! provides exactly that: [`open_stream`] compiles a (non-aggregate) plan
+//! into a small Volcano-style operator tree whose [`ChunkStream::next_chunk`]
+//! yields result rows — with full per-base-relation lineage, identical in
+//! content to what the batch executor would produce — a chunk at a time.
+//!
+//! Streaming vs blocking operators:
+//!
+//! * scans, Bernoulli/`SYSTEM` samples, filters and projections stream;
+//! * a join materializes its **build** (right) side at open and streams the
+//!   probe side through it — the classic streaming hash join;
+//! * fixed-size samplers (`WOR`, with-replacement) are blocking by nature
+//!   (they must see their whole input's cardinality), so their subtree is
+//!   materialized at open and drained in chunks.
+//!
+//! Randomness: every stochastic operator draws its own RNG seed from a
+//! master RNG seeded with [`crate::ExecOptions::seed`] during `open`, in
+//! plan traversal order — so a given `(plan, seed)` pair always streams the
+//! *same* sample realization, chunk-size independent. (The realization
+//! differs from [`crate::execute`]'s for the same seed: the batch executor
+//! interleaves all operators' draws on one RNG stream, which a pull-based
+//! pipeline cannot reproduce.)
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use sa_expr::{bind, eval, eval_predicate, Expr};
+use sa_plan::LogicalPlan;
+use sa_sampling::SamplingMethod;
+use sa_storage::{Catalog, Schema, SchemaRef, Table, Value};
+
+use crate::error::ExecError;
+use crate::exec::{
+    base_table, exec_node, scan_schema, split_join_condition, EquiKeys, ExecOptions, Row,
+};
+use crate::Result;
+
+/// A chunked executor over a (non-aggregate) plan. Obtained from
+/// [`open_stream`]; rows come out of [`ChunkStream::next_chunk`].
+#[derive(Debug)]
+pub struct ChunkStream {
+    schema: SchemaRef,
+    relations: Vec<String>,
+    root: Node,
+    rows_out: u64,
+}
+
+impl ChunkStream {
+    /// Output schema of the streamed rows.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Base-relation aliases aligned with each row's lineage.
+    pub fn relations(&self) -> &[String] {
+        &self.relations
+    }
+
+    /// Total rows yielded so far.
+    pub fn rows_yielded(&self) -> u64 {
+        self.rows_out
+    }
+
+    /// Pull the next chunk of roughly `hint` rows (operators may over- or
+    /// under-fill; a join chunk, e.g., carries every match of its probe
+    /// rows). An **empty chunk means the stream is exhausted** — operators
+    /// keep pulling internally until they can either emit a row or prove
+    /// there are none left.
+    pub fn next_chunk(&mut self, hint: usize) -> Result<Vec<Row>> {
+        let hint = hint.max(1);
+        let chunk = self.root.next_chunk(hint)?;
+        self.rows_out += chunk.len() as u64;
+        Ok(chunk)
+    }
+
+    /// Per-relation **coverage** of the stream so far, aligned with
+    /// [`ChunkStream::relations`]: `(consumed, available)` sampling units of
+    /// each base relation whose tuples have had the chance to reach the
+    /// output yet. A scan that has emitted its first `k` of `N` rows reports
+    /// `(k, N)`; a fully materialized side (a join's build side, a drained
+    /// blocking sampler) reports complete coverage; `SYSTEM`-sampled
+    /// relations count blocks (their sampling/lineage unit).
+    ///
+    /// Online aggregation uses this to scale mid-stream estimates to the
+    /// full population: under a random scan order, the consumed prefix is a
+    /// WOR(`consumed`, `available`) sample of the relation, which compacts
+    /// onto the plan's GUS (Proposition 8).
+    pub fn progress(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.relations.len());
+        self.root.progress(&mut out);
+        debug_assert_eq!(out.len(), self.relations.len());
+        out
+    }
+
+    /// Drain the stream into one vector (testing / fallback convenience).
+    pub fn collect_rows(mut self, hint: usize) -> Result<Vec<Row>> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.next_chunk(hint)?;
+            if chunk.is_empty() {
+                return Ok(out);
+            }
+            out.extend(chunk);
+        }
+    }
+}
+
+/// Compile `plan` into a pull-based [`ChunkStream`]. The plan must not
+/// contain an `Aggregate` node — the online driver aggregates incrementally
+/// on top of the stream (pass the aggregate's *input* subtree).
+pub fn open_stream(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+) -> Result<ChunkStream> {
+    plan.validate(catalog)?;
+    let mut master = StdRng::seed_from_u64(opts.seed);
+    let (root, schema, relations) = build(plan, catalog, &mut master)?;
+    Ok(ChunkStream {
+        schema,
+        relations,
+        root,
+        rows_out: 0,
+    })
+}
+
+/// One operator of the streaming pipeline.
+#[derive(Debug)]
+enum Node {
+    /// Base-table scan: emits `(row values, lineage = [row id])`.
+    Scan {
+        table: Arc<Table>,
+        next: u64,
+        count: u64,
+    },
+    /// Tuple-level Bernoulli sampling with its own RNG stream.
+    Bernoulli {
+        p: f64,
+        rng: StdRng,
+        input: Box<Node>,
+    },
+    /// Block-level Bernoulli: the keep decisions are drawn at open (one coin
+    /// per block), rows ride along with their block and have their lineage
+    /// rewritten to the block id.
+    System {
+        keep: Vec<bool>,
+        base: Arc<Table>,
+        /// True when the input chain is a streaming scan prefix, so its
+        /// consumed-row count is a base-table row-id prefix that converts to
+        /// block coverage. False over a materialized sampler (WOR below
+        /// SYSTEM), whose consumed count indexes *sample* rows — block
+        /// coverage is then unknowable and reported as complete.
+        row_prefix: bool,
+        input: Box<Node>,
+    },
+    /// A blocking subtree (WOR / with-replacement sample), materialized at
+    /// open and drained in chunks.
+    Materialized { rows: Vec<Row>, next: usize },
+    /// Relational selection.
+    Filter { predicate: Expr, input: Box<Node> },
+    /// Projection.
+    Project { exprs: Vec<Expr>, input: Box<Node> },
+    /// Streaming hash join: build side materialized, probe side streamed.
+    HashJoin {
+        probe: Box<Node>,
+        build_rows: Vec<Row>,
+        build_rels: usize,
+        table: HashMap<Vec<Value>, Vec<usize>>,
+        keys: EquiKeys,
+        residual: Option<Expr>,
+    },
+    /// Nested-loop join (cross product / arbitrary θ): right side
+    /// materialized, left side streamed.
+    NestedLoop {
+        left: Box<Node>,
+        right_rows: Vec<Row>,
+        build_rels: usize,
+        residual: Option<Expr>,
+    },
+    /// Union of two independent samplings of one expression, deduplicated
+    /// by lineage (Proposition 7): left drained first, then right.
+    Dedup {
+        first: Box<Node>,
+        second: Box<Node>,
+        on_second: bool,
+        seen: HashSet<Vec<u64>>,
+    },
+}
+
+/// Build the operator tree; returns `(node, schema, relations)`.
+fn build(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    master: &mut StdRng,
+) -> Result<(Node, SchemaRef, Vec<String>)> {
+    match plan {
+        LogicalPlan::Scan { table, alias } => {
+            let (t, schema) = scan_schema(catalog, table, alias)?;
+            let count = t.row_count();
+            Ok((
+                Node::Scan {
+                    table: t,
+                    next: 0,
+                    count,
+                },
+                schema,
+                vec![alias.clone()],
+            ))
+        }
+        LogicalPlan::Sample { method, input } => {
+            method.validate().map_err(ExecError::Sampling)?;
+            match method {
+                SamplingMethod::Bernoulli { p } => {
+                    let rng = StdRng::seed_from_u64(master.random::<u64>());
+                    let (node, schema, relations) = build(input, catalog, master)?;
+                    Ok((
+                        Node::Bernoulli {
+                            p: *p,
+                            rng,
+                            input: Box::new(node),
+                        },
+                        schema,
+                        relations,
+                    ))
+                }
+                SamplingMethod::System { p } => {
+                    let base = base_table(input, catalog)?;
+                    let mut rng = StdRng::seed_from_u64(master.random::<u64>());
+                    let keep: Vec<bool> = (0..base.block_count())
+                        .map(|_| rng.random::<f64>() < *p)
+                        .collect();
+                    let (node, schema, relations) = build(input, catalog, master)?;
+                    let row_prefix = node.is_scan_prefix();
+                    Ok((
+                        Node::System {
+                            keep,
+                            base,
+                            row_prefix,
+                            input: Box::new(node),
+                        },
+                        schema,
+                        relations,
+                    ))
+                }
+                SamplingMethod::Wor { .. } | SamplingMethod::WithReplacement { .. } => {
+                    // Fixed-size samplers need their input's full cardinality
+                    // up front; materialize the whole subtree via the batch
+                    // executor with a derived RNG.
+                    let mut rng = StdRng::seed_from_u64(master.random::<u64>());
+                    let rs = exec_node(plan, catalog, &mut rng)?;
+                    Ok((
+                        Node::Materialized {
+                            rows: rs.rows,
+                            next: 0,
+                        },
+                        rs.schema,
+                        rs.relations,
+                    ))
+                }
+            }
+        }
+        LogicalPlan::Filter { predicate, input } => {
+            let (node, schema, relations) = build(input, catalog, master)?;
+            let bound = bind(predicate, &schema)?;
+            Ok((
+                Node::Filter {
+                    predicate: bound,
+                    input: Box::new(node),
+                },
+                schema,
+                relations,
+            ))
+        }
+        LogicalPlan::Project { exprs, input } => {
+            let (node, in_schema, relations) = build(input, catalog, master)?;
+            let mut bound = Vec::with_capacity(exprs.len());
+            let mut fields = Vec::with_capacity(exprs.len());
+            for (e, name) in exprs {
+                let be = bind(e, &in_schema)?;
+                let dt =
+                    sa_expr::data_type(&be, &in_schema)?.unwrap_or(sa_storage::DataType::Float);
+                fields.push(sa_storage::Field::new(name, dt));
+                bound.push(be);
+            }
+            let schema = Arc::new(Schema::new(fields).map_err(ExecError::Storage)?);
+            Ok((
+                Node::Project {
+                    exprs: bound,
+                    input: Box::new(node),
+                },
+                schema,
+                relations,
+            ))
+        }
+        LogicalPlan::Join {
+            condition,
+            left,
+            right,
+        } => {
+            let (probe, l_schema, l_rels) = build(left, catalog, master)?;
+            // Build side: materialized via the batch executor.
+            let mut rng = StdRng::seed_from_u64(master.random::<u64>());
+            let r = exec_node(right, catalog, &mut rng)?;
+            let schema = Arc::new(l_schema.join(&r.schema)?);
+            let mut relations = l_rels;
+            relations.extend(r.relations.iter().cloned());
+            let (keys, residual) = match condition {
+                None => (vec![], None),
+                Some(c) => split_join_condition(c, &l_schema, &r.schema)?,
+            };
+            let residual = residual.map(|e| bind(&e, &schema)).transpose()?;
+            let build_rels = r.relations.len();
+            let node = if keys.is_empty() {
+                Node::NestedLoop {
+                    left: Box::new(probe),
+                    right_rows: r.rows,
+                    build_rels,
+                    residual,
+                }
+            } else {
+                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (i, rr) in r.rows.iter().enumerate() {
+                    let key: Vec<Value> =
+                        keys.iter().map(|(_, ri)| rr.values[*ri].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue; // NULL keys never match
+                    }
+                    table.entry(key).or_default().push(i);
+                }
+                Node::HashJoin {
+                    probe: Box::new(probe),
+                    build_rows: r.rows,
+                    build_rels,
+                    table,
+                    keys,
+                    residual,
+                }
+            };
+            Ok((node, schema, relations))
+        }
+        LogicalPlan::UnionSamples { left, right } => {
+            let (l, schema, relations) = build(left, catalog, master)?;
+            let (r, _, _) = build(right, catalog, master)?;
+            Ok((
+                Node::Dedup {
+                    first: Box::new(l),
+                    second: Box::new(r),
+                    on_second: false,
+                    seen: HashSet::new(),
+                },
+                schema,
+                relations,
+            ))
+        }
+        LogicalPlan::Aggregate { .. } => Err(ExecError::Unsupported(
+            "open_stream streams the aggregate's input; strip the Aggregate root and \
+             accumulate incrementally (see sa-online)"
+                .into(),
+        )),
+    }
+}
+
+impl Node {
+    /// Pull roughly `hint` rows. Invariant: an empty return means this
+    /// operator is exhausted — filtering operators keep pulling until they
+    /// can emit at least one row or their input drains.
+    fn next_chunk(&mut self, hint: usize) -> Result<Vec<Row>> {
+        match self {
+            Node::Scan { table, next, count } => {
+                let end = (*next + hint as u64).min(*count);
+                let mut rows = Vec::with_capacity((end - *next) as usize);
+                for rid in *next..end {
+                    rows.push(Row {
+                        values: table.row(rid)?,
+                        lineage: vec![rid],
+                    });
+                }
+                *next = end;
+                Ok(rows)
+            }
+            Node::Materialized { rows, next } => {
+                let end = (*next + hint).min(rows.len());
+                let chunk = rows[*next..end].to_vec();
+                *next = end;
+                Ok(chunk)
+            }
+            Node::Bernoulli { p, rng, input } => loop {
+                let chunk = input.next_chunk(hint)?;
+                if chunk.is_empty() {
+                    return Ok(chunk);
+                }
+                let out: Vec<Row> = chunk
+                    .into_iter()
+                    .filter(|_| rng.random::<f64>() < *p)
+                    .collect();
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            },
+            Node::System {
+                keep, base, input, ..
+            } => loop {
+                let chunk = input.next_chunk(hint)?;
+                if chunk.is_empty() {
+                    return Ok(chunk);
+                }
+                let out: Vec<Row> = chunk
+                    .into_iter()
+                    .filter_map(|mut row| {
+                        let rid = *row.lineage.last().expect("scan lineage");
+                        let block = base.block_of(rid);
+                        if keep[block as usize] {
+                            *row.lineage.last_mut().expect("scan lineage") = block;
+                            Some(row)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            },
+            Node::Filter { predicate, input } => loop {
+                let chunk = input.next_chunk(hint)?;
+                if chunk.is_empty() {
+                    return Ok(chunk);
+                }
+                let mut out = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    if eval_predicate(predicate, &row.values)? {
+                        out.push(row);
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            },
+            Node::Project { exprs, input } => {
+                let chunk = input.next_chunk(hint)?;
+                let mut out = Vec::with_capacity(chunk.len());
+                for row in chunk {
+                    let values: Result<Vec<Value>> = exprs
+                        .iter()
+                        .map(|e| eval(e, &row.values).map_err(ExecError::Expr))
+                        .collect();
+                    out.push(Row {
+                        values: values?,
+                        lineage: row.lineage,
+                    });
+                }
+                Ok(out)
+            }
+            Node::HashJoin {
+                probe,
+                build_rows,
+                table,
+                keys,
+                residual,
+                ..
+            } => loop {
+                let chunk = probe.next_chunk(hint)?;
+                if chunk.is_empty() {
+                    return Ok(chunk);
+                }
+                let mut out = Vec::new();
+                for lr in &chunk {
+                    let key: Vec<Value> =
+                        keys.iter().map(|(li, _)| lr.values[*li].clone()).collect();
+                    if key.iter().any(Value::is_null) {
+                        continue;
+                    }
+                    let Some(matches) = table.get(&key) else {
+                        continue;
+                    };
+                    for &i in matches {
+                        join_emit(lr, &build_rows[i], residual.as_ref(), &mut out)?;
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            },
+            Node::NestedLoop {
+                left,
+                right_rows,
+                residual,
+                ..
+            } => loop {
+                let chunk = left.next_chunk(hint)?;
+                if chunk.is_empty() {
+                    return Ok(chunk);
+                }
+                let mut out = Vec::new();
+                for lr in &chunk {
+                    for rr in right_rows.iter() {
+                        join_emit(lr, rr, residual.as_ref(), &mut out)?;
+                    }
+                }
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            },
+            Node::Dedup {
+                first,
+                second,
+                on_second,
+                seen,
+            } => loop {
+                let active: &mut Node = if *on_second { second } else { first };
+                let chunk = active.next_chunk(hint)?;
+                if chunk.is_empty() {
+                    if *on_second {
+                        return Ok(chunk);
+                    }
+                    *on_second = true;
+                    continue;
+                }
+                let out: Vec<Row> = chunk
+                    .into_iter()
+                    .filter(|row| seen.insert(row.lineage.clone()))
+                    .collect();
+                if !out.is_empty() {
+                    return Ok(out);
+                }
+            },
+        }
+    }
+}
+
+impl Node {
+    /// Append this subtree's per-relation `(consumed, available)` coverage
+    /// to `out`, in scan order (see [`ChunkStream::progress`]).
+    fn progress(&self, out: &mut Vec<(u64, u64)>) {
+        match self {
+            Node::Scan { next, count, .. } => out.push((*next, *count)),
+            // A materialized blocking sampler: coverage over the *drawn
+            // sample* — it stacks onto the plan's own WOR factor exactly
+            // like a scan prefix stacks onto a Bernoulli.
+            Node::Materialized { rows, next } => out.push((*next as u64, rows.len() as u64)),
+            Node::Bernoulli { input, .. } | Node::Filter { input, .. } => input.progress(out),
+            Node::Project { input, .. } => input.progress(out),
+            Node::System {
+                base,
+                row_prefix,
+                input,
+                ..
+            } => {
+                if !*row_prefix {
+                    // The input's consumed count is not a base-row prefix
+                    // (a materialized sampler sits below): block coverage is
+                    // unknowable, so report complete — conservative for
+                    // scaling (no inflation; converges at exhaustion).
+                    out.push((base.block_count(), base.block_count()));
+                    return;
+                }
+                // Convert the row-level coverage of the underlying chain to
+                // this relation's sampling unit: blocks. A partially scanned
+                // block counts as covered (its tuples had their chance as a
+                // group; the boundary error is at most one block).
+                let mut inner = Vec::with_capacity(1);
+                input.progress(&mut inner);
+                let (rows_seen, _) = inner.pop().expect("sample chains are single-relation");
+                let blocks_seen = if rows_seen == 0 {
+                    0
+                } else {
+                    base.block_of(rows_seen - 1) + 1
+                };
+                out.push((blocks_seen, base.block_count()));
+            }
+            Node::HashJoin {
+                probe, build_rels, ..
+            } => {
+                probe.progress(out);
+                // Build side is fully materialized: complete coverage.
+                out.extend(std::iter::repeat_n((1, 1), *build_rels));
+            }
+            Node::NestedLoop {
+                left, build_rels, ..
+            } => {
+                left.progress(out);
+                out.extend(std::iter::repeat_n((1, 1), *build_rels));
+            }
+            Node::Dedup { first, second, .. } => {
+                // Both branches sample the same relations, but the union's
+                // true coverage is NOT a simple function of the two scan
+                // prefixes (while the second branch streams, tuples unique
+                // to it are still arriving even though the first branch
+                // covered every position). Report the *minimum* — coverage
+                // is only complete once both branches drained — and leave
+                // per-branch prefix composition to the online driver's
+                // future union support (it refuses to scale union plans).
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                first.progress(&mut a);
+                second.progress(&mut b);
+                for ((ca, na), (cb, _)) in a.into_iter().zip(b) {
+                    out.push((ca.min(cb), na));
+                }
+            }
+        }
+    }
+
+    /// True when this chain's consumed-row count is a prefix of base-table
+    /// row ids (a scan, possibly through streaming per-row samplers) —
+    /// false as soon as a materialized sampler or a block-unit rewrite sits
+    /// below, because their counts index different units.
+    fn is_scan_prefix(&self) -> bool {
+        match self {
+            Node::Scan { .. } => true,
+            Node::Bernoulli { input, .. } => input.is_scan_prefix(),
+            _ => false,
+        }
+    }
+}
+
+/// Concatenate a probe row with a build row (values and lineage), apply the
+/// residual predicate, and push the combined row if it passes.
+fn join_emit(lr: &Row, rr: &Row, residual: Option<&Expr>, out: &mut Vec<Row>) -> Result<()> {
+    let mut values = lr.values.clone();
+    values.extend(rr.values.iter().cloned());
+    if let Some(pred) = residual {
+        if !eval_predicate(pred, &values)? {
+            return Ok(());
+        }
+    }
+    let mut lineage = lr.lineage.clone();
+    lineage.extend(rr.lineage.iter().copied());
+    out.push(Row { values, lineage });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use sa_expr::{col, lit};
+    use sa_storage::{DataType, Field, TableBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema).with_block_rows(16);
+        for i in 0..200 {
+            b.push_row(&[Value::Int(i % 10), Value::Float(i as f64)])
+                .unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        let schema2 = Schema::new(vec![
+            Field::new("dk", DataType::Int),
+            Field::new("w", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("d", schema2);
+        for i in 0..10 {
+            b.push_row(&[Value::Int(i), Value::Float(10.0 * i as f64)])
+                .unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    /// The streamed rows of an unsampled plan must equal the batch
+    /// executor's, in order, for any chunk hint.
+    fn assert_stream_matches_batch(plan: &LogicalPlan, hint: usize) {
+        let c = catalog();
+        let batch = execute(plan, &c, &ExecOptions::default()).unwrap();
+        let stream = open_stream(plan, &c, &ExecOptions::default()).unwrap();
+        assert_eq!(stream.schema().as_ref(), batch.schema.as_ref());
+        assert_eq!(stream.relations(), &batch.relations[..]);
+        let rows = stream.collect_rows(hint).unwrap();
+        assert_eq!(rows, batch.rows, "hint={hint}");
+    }
+
+    #[test]
+    fn scan_filter_project_match_batch_for_many_hints() {
+        let plan = LogicalPlan::scan("t")
+            .filter(col("v").gt_eq(lit(25.0)))
+            .project(vec![(col("v").mul(lit(2.0)), "vv".into())]);
+        for hint in [1, 3, 64, 1000] {
+            assert_stream_matches_batch(&plan, hint);
+        }
+    }
+
+    #[test]
+    fn hash_join_matches_batch() {
+        let plan = LogicalPlan::scan("t").join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
+        for hint in [1, 7, 512] {
+            assert_stream_matches_batch(&plan, hint);
+        }
+    }
+
+    #[test]
+    fn theta_and_cross_joins_match_batch() {
+        // v > w is not an equi-condition → nested loop with residual.
+        let theta = LogicalPlan::scan("t").join_on(LogicalPlan::scan("d"), col("v").gt(col("w")));
+        let cross = LogicalPlan::scan("t").cross(LogicalPlan::scan("d"));
+        for hint in [1, 4, 300] {
+            assert_stream_matches_batch(&theta, hint);
+            assert_stream_matches_batch(&cross, hint);
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_do_not_change_the_sample() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.3 });
+        let c = catalog();
+        let collect = |hint: usize| {
+            open_stream(&plan, &c, &ExecOptions { seed: 11 })
+                .unwrap()
+                .collect_rows(hint)
+                .unwrap()
+        };
+        let small = collect(2);
+        let big = collect(500);
+        assert_eq!(small, big, "sample realization must be chunk-independent");
+        assert!(!small.is_empty() && small.len() < 200);
+    }
+
+    #[test]
+    fn different_seeds_stream_different_samples() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
+        let c = catalog();
+        let sizes: HashSet<usize> = (0..20)
+            .map(|s| {
+                open_stream(&plan, &c, &ExecOptions { seed: s })
+                    .unwrap()
+                    .collect_rows(64)
+                    .unwrap()
+                    .len()
+            })
+            .collect();
+        assert!(sizes.len() > 1, "seed ignored");
+    }
+
+    #[test]
+    fn system_sampling_rewrites_lineage_to_blocks() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::System { p: 1.0 });
+        let c = catalog();
+        let rows = open_stream(&plan, &c, &ExecOptions::default())
+            .unwrap()
+            .collect_rows(13)
+            .unwrap();
+        assert_eq!(rows.len(), 200);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.lineage, vec![(i as u64) / 16]);
+        }
+    }
+
+    #[test]
+    fn wor_sample_streams_exact_count() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 40 });
+        let c = catalog();
+        let rows = open_stream(&plan, &c, &ExecOptions { seed: 5 })
+            .unwrap()
+            .collect_rows(7)
+            .unwrap();
+        assert_eq!(rows.len(), 40);
+        let distinct: HashSet<u64> = rows.iter().map(|r| r.lineage[0]).collect();
+        assert_eq!(distinct.len(), 40);
+    }
+
+    #[test]
+    fn union_samples_dedups_by_lineage() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.4 })
+            .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }));
+        let c = catalog();
+        let rows = open_stream(&plan, &c, &ExecOptions { seed: 3 })
+            .unwrap()
+            .collect_rows(16)
+            .unwrap();
+        let distinct: HashSet<&Vec<u64>> = rows.iter().map(|r| &r.lineage).collect();
+        assert_eq!(distinct.len(), rows.len(), "duplicate lineage survived");
+    }
+
+    #[test]
+    fn progress_tracks_scan_coverage() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
+        let c = catalog();
+        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 1 }).unwrap();
+        // Probe side untouched, build side already complete.
+        assert_eq!(s.progress(), vec![(0, 200), (1, 1)]);
+        let mut last = 0;
+        while !s.next_chunk(32).unwrap().is_empty() {
+            let p = s.progress();
+            assert!(p[0].0 > last && p[0].0 <= 200, "monotone scan coverage");
+            last = p[0].0;
+            assert_eq!(p[0].1, 200);
+            assert_eq!(p[1], (1, 1));
+        }
+        assert_eq!(s.progress()[0], (200, 200), "drained scan is complete");
+    }
+
+    #[test]
+    fn progress_counts_blocks_for_system_sampling() {
+        // t has block_rows = 16 → 13 blocks (200 rows).
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::System { p: 1.0 });
+        let c = catalog();
+        let mut s = open_stream(&plan, &c, &ExecOptions::default()).unwrap();
+        assert_eq!(s.progress(), vec![(0, 13)]);
+        s.next_chunk(20).unwrap(); // 20 rows scanned → 2 blocks covered
+        assert_eq!(s.progress(), vec![(2, 13)]);
+        while !s.next_chunk(64).unwrap().is_empty() {}
+        assert_eq!(s.progress(), vec![(13, 13)]);
+    }
+
+    #[test]
+    fn progress_over_materialized_wor_counts_sample_rows() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 40 });
+        let c = catalog();
+        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 5 }).unwrap();
+        assert_eq!(s.progress(), vec![(0, 40)]);
+        s.next_chunk(15).unwrap();
+        assert_eq!(s.progress(), vec![(15, 40)]);
+        while !s.next_chunk(64).unwrap().is_empty() {}
+        assert_eq!(s.progress(), vec![(40, 40)]);
+    }
+
+    #[test]
+    fn union_progress_is_not_complete_until_both_branches_drain() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.4 })
+            .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }));
+        let c = catalog();
+        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 3 }).unwrap();
+        let mut complete_since = None;
+        let mut chunks = 0;
+        loop {
+            let chunk = s.next_chunk(16).unwrap();
+            let (consumed, total) = s.progress()[0];
+            if chunk.is_empty() {
+                assert_eq!((consumed, total), (200, 200));
+                break;
+            }
+            chunks += 1;
+            // Once coverage claims completion, no further rows may arrive —
+            // the old max-of-branches report declared completion when the
+            // first branch drained, while tuples unique to the second were
+            // still streaming in.
+            assert!(
+                complete_since.is_none(),
+                "rows arrived after completion was claimed at chunk {complete_since:?}"
+            );
+            if consumed >= total {
+                complete_since = Some(chunks);
+            }
+        }
+    }
+
+    #[test]
+    fn system_over_wor_progress_reports_complete_not_inflated() {
+        // The WOR sample's consumed count indexes *sample* rows, not base
+        // row ids; block coverage is unknowable, so it must be reported
+        // complete rather than converted (which would claim ~1 of 13 blocks
+        // and inflate scaled estimates ~13x).
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Wor { size: 40 })
+            .sample(SamplingMethod::System { p: 1.0 });
+        let c = catalog();
+        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 5 }).unwrap();
+        s.next_chunk(15).unwrap();
+        assert_eq!(s.progress(), vec![(13, 13)]);
+    }
+
+    #[test]
+    fn aggregate_root_rejected() {
+        let plan = LogicalPlan::scan("t").aggregate(vec![sa_plan::AggSpec::count_star("c")]);
+        assert!(open_stream(&plan, &catalog(), &ExecOptions::default()).is_err());
+    }
+
+    #[test]
+    fn exhausted_stream_keeps_returning_empty() {
+        let plan = LogicalPlan::scan("d");
+        let mut s = open_stream(&plan, &catalog(), &ExecOptions::default()).unwrap();
+        let mut total = 0;
+        loop {
+            let chunk = s.next_chunk(4).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            total += chunk.len();
+        }
+        assert_eq!(total, 10);
+        assert_eq!(s.rows_yielded(), 10);
+        assert!(s.next_chunk(4).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,522 @@
+//! The progressive query loop: stream chunks, update moments, snapshot,
+//! stop when the rule fires.
+//!
+//! [`run_online`] is the online counterpart of `sa_exec::approx_query`. It
+//! rewrites the plan once (the SOA analysis — and hence the top GUS — does
+//! not depend on how much of the sample has been consumed), opens a chunked
+//! [`sa_exec::open_stream`] over the aggregate's input, and then loops:
+//!
+//! 1. pull the next chunk of sampled result tuples,
+//! 2. push each tuple's `(lineage, f)` into the incremental
+//!    [`MomentAccumulator`] (so estimate/variance are O(1) to read out —
+//!    nothing is ever recomputed from scratch),
+//! 3. emit a [`ProgressSnapshot`] (estimates, CI half-widths, rows, wall
+//!    time) to the caller's callback,
+//! 4. stop when the [`StoppingRule`] fires or the stream drains.
+//!
+//! ## Scan-progress scaling
+//!
+//! A prefix of the sampled stream only gives the *scanned part* of each base
+//! relation a chance to appear, so the raw prefix estimate covers the
+//! scanned prefix, not the full population. The classical online-aggregation
+//! fix (Hellerstein et al.) assumes tuples are scanned in random order, so
+//! the scanned prefix of `k` of `N` sampling units is itself a uniform
+//! WOR(`k`, `N`) sample — which is a GUS, and **compacts onto the plan's top
+//! GUS by Proposition 8**. The driver therefore reads each snapshot under
+//! `gus_plan ⊙ Π_r WOR(k_r, N_r)` using [`ChunkStream::progress`]'s
+//! per-relation coverage: mid-stream estimates target the full answer, their
+//! intervals account for both the not-yet-scanned data *and* the plan's own
+//! sampling, and at exhaustion every factor degenerates to the identity, so
+//! the final readout **equals the batch estimator's output** on the consumed
+//! sample (up to float associativity — the moments are accumulated
+//! incrementally). Set [`OnlineOptions::scale_to_population`]` = false` to
+//! read raw prefix estimates under the plan GUS instead.
+//!
+//! Online mode is meaningful when the plan actually samples: the interval
+//! then tightens as the sample streams in. An unsampled plan still gets the
+//! scan-progress factor (estimating the full scan from the prefix), but no
+//! sampling variance of its own.
+
+use std::time::{Duration, Instant};
+
+use sa_core::{GusParams, MomentAccumulator};
+use sa_exec::{agg_results_from_report, f_vector, layout_dims, open_stream, AggResult};
+use sa_exec::{ChunkStream, ExecError, ExecOptions};
+use sa_plan::{rewrite, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
+use sa_sql::plan_online_sql;
+use sa_storage::Catalog;
+
+use crate::error::OnlineError;
+use crate::Result;
+
+/// Options for [`run_online`].
+#[derive(Debug, Clone)]
+pub struct OnlineOptions {
+    /// Seed for the plan's sampling operators (the streamed sample
+    /// realization is fully determined by `(plan, seed)`).
+    pub seed: u64,
+    /// Target rows per pulled chunk (operators may over/under-fill).
+    pub chunk_rows: usize,
+    /// Confidence level for reported intervals when the stopping rule has
+    /// no CI target of its own.
+    pub confidence: f64,
+    /// When to stop early. [`StoppingRule::exhaustive`] runs the whole
+    /// sample.
+    pub rule: StoppingRule,
+    /// Scale mid-stream estimates to the full population by compacting a
+    /// per-relation WOR(scanned, total) factor onto the plan GUS (the
+    /// random-scan-order assumption of online aggregation). Default `true`;
+    /// with `false`, snapshots read the raw prefix estimate under the plan
+    /// GUS.
+    pub scale_to_population: bool,
+}
+
+impl Default for OnlineOptions {
+    fn default() -> Self {
+        OnlineOptions {
+            seed: 0,
+            chunk_rows: 1024,
+            confidence: 0.95,
+            rule: StoppingRule::exhaustive(),
+            scale_to_population: true,
+        }
+    }
+}
+
+/// The state of the estimate after one chunk of the progressive loop.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    /// 1-based snapshot index (one per pulled chunk).
+    pub chunk: u64,
+    /// Cumulative sampled result tuples consumed.
+    pub rows: u64,
+    /// Per-aggregate estimates with intervals, in `SELECT`-list order,
+    /// judged at the stopping rule's confidence level.
+    pub aggs: Vec<AggResult>,
+    /// Worst (largest) relative CI half-width across the aggregates at the
+    /// rule's confidence, `None` while some variance is not yet estimable.
+    pub rel_half_width: Option<f64>,
+    /// Confidence level the snapshot's intervals were computed at.
+    pub confidence: f64,
+    /// Per-relation `(consumed, available)` scan coverage, aligned with the
+    /// plan's lineage schema (see [`ChunkStream::progress`]).
+    pub progress: Vec<(u64, u64)>,
+    /// The GUS the snapshot was read under: the plan GUS compacted with the
+    /// scan-progress factors (or the plan GUS itself when scaling is off /
+    /// the stream is exhausted).
+    pub gus: GusParams,
+    /// Wall time since the loop started.
+    pub elapsed: Duration,
+}
+
+/// The outcome of a progressive run.
+#[derive(Debug, Clone)]
+pub struct OnlineResult {
+    /// Why the loop stopped.
+    pub reason: StopReason,
+    /// The last emitted snapshot (the final estimates).
+    pub snapshot: ProgressSnapshot,
+    /// Number of chunks consumed (= snapshots emitted).
+    pub chunks: u64,
+    /// The SOA analysis (top GUS, lineage schema, rewrite trace).
+    pub analysis: SoaAnalysis,
+}
+
+/// Run an aggregate plan progressively. The plan root must be an
+/// [`LogicalPlan::Aggregate`]; `on_snapshot` is called after every chunk
+/// (including the final one).
+pub fn run_online(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &OnlineOptions,
+    mut on_snapshot: impl FnMut(&ProgressSnapshot),
+) -> Result<OnlineResult> {
+    let analysis = rewrite(plan, catalog).map_err(ExecError::Plan)?;
+    let LogicalPlan::Aggregate { aggs, input } = plan else {
+        return Err(OnlineError::Unsupported(
+            "run_online requires an aggregate at the plan root".into(),
+        ));
+    };
+    if opts.scale_to_population && contains_union(input) {
+        // A union's mid-stream coverage is not a per-relation scan prefix
+        // (tuples unique to the second branch keep arriving after the first
+        // branch covered every position), so compacting WOR factors onto the
+        // plan GUS would misstate it; correct support needs per-branch
+        // prefix composition.
+        return Err(OnlineError::Unsupported(
+            "population scaling over a UNION of samples is not supported yet; set \
+             OnlineOptions::scale_to_population = false (raw prefix estimates) or use the \
+             batch driver"
+                .into(),
+        ));
+    }
+    let mut stream = open_stream(input, catalog, &ExecOptions { seed: opts.seed })?;
+    let layout = layout_dims(aggs, stream.schema())?;
+    let mut acc = MomentAccumulator::new(analysis.schema.n(), layout.dims());
+    let confidence = opts.rule.confidence_or(opts.confidence);
+    let start = Instant::now();
+    let mut chunks = 0u64;
+    loop {
+        let chunk = stream.next_chunk(opts.chunk_rows)?;
+        let exhausted = chunk.is_empty();
+        for row in &chunk {
+            acc.push(&row.lineage, &f_vector(&layout, row)?)?;
+        }
+        chunks += 1;
+        let progress = stream.progress();
+        let gus = if opts.scale_to_population {
+            scan_scaled_gus(&analysis.gus, &stream, &progress)?
+        } else {
+            analysis.gus.clone()
+        };
+        let report = acc.report(&gus)?;
+        let agg_results = agg_results_from_report(aggs, &layout, &report, confidence);
+        let rel_half_width = worst_rel_half_width(&agg_results);
+        let snapshot = ProgressSnapshot {
+            chunk: chunks,
+            rows: acc.count(),
+            aggs: agg_results,
+            rel_half_width,
+            confidence,
+            progress,
+            gus,
+            elapsed: start.elapsed(),
+        };
+        on_snapshot(&snapshot);
+        let reason = if exhausted {
+            Some(StopReason::Exhausted)
+        } else {
+            opts.rule
+                .should_stop(rel_half_width, acc.count(), snapshot.elapsed)
+        };
+        if let Some(reason) = reason {
+            return Ok(OnlineResult {
+                reason,
+                snapshot,
+                chunks,
+                analysis,
+            });
+        }
+    }
+}
+
+/// Parse, bind and progressively run a scalar aggregate SQL query. A
+/// `WITHIN ε PERCENT CONFIDENCE γ` clause in the query overrides the CI
+/// target of `opts.rule` (row/time budgets are kept — they compose).
+pub fn run_online_sql(
+    sql: &str,
+    catalog: &Catalog,
+    opts: &OnlineOptions,
+    on_snapshot: impl FnMut(&ProgressSnapshot),
+) -> Result<OnlineResult> {
+    let (plan, rule) = plan_online_sql(sql, catalog)?;
+    let mut opts = opts.clone();
+    if let Some(rule) = rule {
+        opts.rule.ci_target = rule.ci_target;
+    }
+    run_online(&plan, catalog, &opts, on_snapshot)
+}
+
+/// Does the plan contain a `UnionSamples` node anywhere?
+fn contains_union(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::UnionSamples { .. } => true,
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Sample { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. } => contains_union(input),
+        LogicalPlan::Join { left, right, .. } => contains_union(left) || contains_union(right),
+    }
+}
+
+/// The plan GUS compacted with one WOR(consumed, available) factor per
+/// partially scanned relation — the random-scan-order prefix model
+/// (Proposition 8). Fully covered relations contribute the identity;
+/// relations with nothing consumed yet are skipped too (the estimate is 0
+/// there and a 0-draw WOR would be the degenerate null sampler).
+fn scan_scaled_gus(
+    plan_gus: &GusParams,
+    stream: &ChunkStream,
+    progress: &[(u64, u64)],
+) -> Result<GusParams> {
+    let mut gus = plan_gus.clone();
+    for (name, &(consumed, available)) in stream.relations().iter().zip(progress) {
+        if consumed == 0 || consumed >= available {
+            continue;
+        }
+        let prefix = GusParams::wor(name, consumed, available)
+            .and_then(|g| g.embed_by_name(plan_gus.schema().clone()))
+            .and_then(|g| gus.compact(&g))
+            .map_err(ExecError::Core)?;
+        gus = prefix;
+    }
+    Ok(gus)
+}
+
+/// The largest relative CI half-width across the aggregates, `None` when
+/// any variance is not yet estimable (so a CI target cannot fire early on
+/// partial information).
+fn worst_rel_half_width(aggs: &[AggResult]) -> Option<f64> {
+    let mut worst = 0.0f64;
+    for a in aggs {
+        let ci = a.ci_normal.as_ref()?;
+        worst = worst.max(ci.relative_half_width());
+    }
+    Some(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_expr::col;
+    use sa_plan::AggSpec;
+    use sa_sampling::SamplingMethod;
+    use sa_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn catalog(rows: i64) -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            b.push_row(&[Value::Int(i % 10), Value::Float(1.0 + (i % 7) as f64)])
+                .unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    fn sum_plan(p: f64) -> LogicalPlan {
+        LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p })
+            .aggregate(vec![AggSpec::sum(col("v"), "s")])
+    }
+
+    #[test]
+    fn snapshots_are_emitted_per_chunk_and_monotone() {
+        let c = catalog(5000);
+        let opts = OnlineOptions {
+            seed: 3,
+            chunk_rows: 256,
+            ..Default::default()
+        };
+        let mut rows_seen = Vec::new();
+        let r = run_online(&sum_plan(0.5), &c, &opts, |s| rows_seen.push(s.rows)).unwrap();
+        assert_eq!(r.reason, StopReason::Exhausted);
+        assert_eq!(r.chunks as usize, rows_seen.len());
+        assert!(rows_seen.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*rows_seen.last().unwrap(), r.snapshot.rows);
+        assert!(r.snapshot.rows > 1000, "50% of 5000 ≈ 2500");
+    }
+
+    #[test]
+    fn exhausted_run_matches_batch_estimate() {
+        let c = catalog(4000);
+        let plan = sum_plan(0.3);
+        let opts = OnlineOptions {
+            seed: 9,
+            chunk_rows: 128,
+            ..Default::default()
+        };
+        let online = run_online(&plan, &c, &opts, |_| {}).unwrap();
+        // Batch over the SAME sample realization: collect the stream.
+        let LogicalPlan::Aggregate { aggs, input } = &plan else {
+            unreachable!()
+        };
+        let mut stream = open_stream(input, &c, &ExecOptions { seed: 9 }).unwrap();
+        let layout = layout_dims(aggs, stream.schema()).unwrap();
+        let mut batch = sa_core::GroupedMoments::new(1, layout.dims());
+        loop {
+            let chunk = stream.next_chunk(4096).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            for row in &chunk {
+                batch
+                    .push(&row.lineage, &f_vector(&layout, row).unwrap())
+                    .unwrap();
+            }
+        }
+        let report =
+            sa_core::estimate_from_sample_moments(&online.analysis.gus, &batch.finish()).unwrap();
+        let est = online.snapshot.aggs[0].estimate;
+        assert!((est - report.estimate[0]).abs() < 1e-9 * (1.0 + est.abs()));
+        let (vo, vb) = (
+            online.snapshot.aggs[0].variance.unwrap(),
+            report.variance(0).unwrap(),
+        );
+        assert!((vo - vb).abs() < 1e-9 * (1.0 + vb.abs()), "{vo} vs {vb}");
+    }
+
+    #[test]
+    fn scan_scaling_targets_the_full_population() {
+        // 20k rows of mean 4.0 → truth 80k. Stop after ~1/10 of the sample:
+        // the scaled estimate must be near the full answer, the raw prefix
+        // estimate near a tenth of it.
+        let c = catalog(20_000);
+        let truth = 80_000.0; // v cycles 1..=7 (mean 4.0) over 20k rows
+        let opts = |scale| OnlineOptions {
+            seed: 2,
+            chunk_rows: 200,
+            rule: StoppingRule::rows(1800),
+            scale_to_population: scale,
+            ..Default::default()
+        };
+        let scaled = run_online(&sum_plan(0.9), &c, &opts(true), |_| {}).unwrap();
+        let raw = run_online(&sum_plan(0.9), &c, &opts(false), |_| {}).unwrap();
+        let (es, er) = (
+            scaled.snapshot.aggs[0].estimate,
+            raw.snapshot.aggs[0].estimate,
+        );
+        assert!(
+            (es - truth).abs() < 0.1 * truth,
+            "scaled {es} should be near {truth}"
+        );
+        assert!(
+            er < 0.25 * truth,
+            "raw prefix estimate {er} should cover only ~1/10 of {truth}"
+        );
+        // Scaled intervals are wider: they also carry the unscanned-data
+        // uncertainty.
+        assert!(scaled.snapshot.aggs[0].variance.unwrap() > raw.snapshot.aggs[0].variance.unwrap());
+    }
+
+    #[test]
+    fn row_budget_stops_early() {
+        let c = catalog(20_000);
+        let opts = OnlineOptions {
+            seed: 1,
+            chunk_rows: 100,
+            rule: StoppingRule::rows(500),
+            ..Default::default()
+        };
+        let r = run_online(&sum_plan(0.9), &c, &opts, |_| {}).unwrap();
+        assert_eq!(r.reason, StopReason::RowBudget);
+        assert!(r.snapshot.rows >= 500);
+        assert!(
+            r.snapshot.rows < 2000,
+            "stopped long before the ~18k sample drained: {}",
+            r.snapshot.rows
+        );
+    }
+
+    #[test]
+    fn time_budget_stops() {
+        let c = catalog(2000);
+        let opts = OnlineOptions {
+            seed: 1,
+            chunk_rows: 10,
+            rule: StoppingRule::time(Duration::ZERO),
+            ..Default::default()
+        };
+        let r = run_online(&sum_plan(0.9), &c, &opts, |_| {}).unwrap();
+        assert_eq!(r.reason, StopReason::TimeBudget);
+        assert_eq!(r.chunks, 1);
+    }
+
+    #[test]
+    fn ci_rule_converges_on_big_sample() {
+        let c = catalog(50_000);
+        let opts = OnlineOptions {
+            seed: 4,
+            chunk_rows: 512,
+            rule: StoppingRule::ci(0.05, 0.95),
+            ..Default::default()
+        };
+        let r = run_online(&sum_plan(0.5), &c, &opts, |_| {}).unwrap();
+        assert_eq!(r.reason, StopReason::CiConverged);
+        assert!(r.snapshot.rel_half_width.unwrap() <= 0.05);
+        // It genuinely stopped early.
+        assert!(r.snapshot.rows < 20_000, "rows = {}", r.snapshot.rows);
+    }
+
+    #[test]
+    fn sql_within_clause_drives_the_rule() {
+        let c = catalog(50_000);
+        let opts = OnlineOptions {
+            seed: 4,
+            chunk_rows: 512,
+            ..Default::default()
+        };
+        let mut snaps = 0u64;
+        let r = run_online_sql(
+            "SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT) \
+             WITHIN 5 PERCENT CONFIDENCE 95",
+            &c,
+            &opts,
+            |_| snaps += 1,
+        )
+        .unwrap();
+        assert_eq!(r.reason, StopReason::CiConverged);
+        assert_eq!(snaps, r.chunks);
+        assert!((r.snapshot.confidence - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn group_by_rejected_for_online_sql() {
+        let c = catalog(100);
+        let err = run_online_sql(
+            "SELECT k, SUM(v) FROM t TABLESAMPLE (50 PERCENT) GROUP BY k",
+            &c,
+            &OnlineOptions::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn union_plans_refuse_population_scaling_but_run_raw() {
+        let c = catalog(2000);
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.4 })
+            .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }))
+            .aggregate(vec![AggSpec::sum(col("v"), "s")]);
+        let err = run_online(&plan, &c, &OnlineOptions::default(), |_| {}).unwrap_err();
+        assert!(err.to_string().contains("UNION"), "{err}");
+        // Raw prefix mode still runs to exhaustion and matches the batch
+        // union estimate there.
+        let opts = OnlineOptions {
+            seed: 6,
+            chunk_rows: 128,
+            scale_to_population: false,
+            ..Default::default()
+        };
+        let r = run_online(&plan, &c, &opts, |_| {}).unwrap();
+        assert_eq!(r.reason, StopReason::Exhausted);
+        assert!(r.snapshot.rows > 0);
+    }
+
+    #[test]
+    fn non_aggregate_root_rejected() {
+        let c = catalog(10);
+        let err = run_online(
+            &LogicalPlan::scan("t"),
+            &c,
+            &OnlineOptions::default(),
+            |_| {},
+        )
+        .unwrap_err();
+        assert!(matches!(err, OnlineError::Unsupported(_)));
+    }
+
+    #[test]
+    fn empty_sample_still_produces_a_final_snapshot() {
+        // Empty table → empty stream on the very first pull; the loop must
+        // still emit one snapshot and stop as Exhausted. (A `p = 0` sampler,
+        // by contrast, is a degenerate GUS with a = 0 and errors, exactly
+        // like the batch driver.)
+        let c = catalog(0);
+        let r = run_online(&sum_plan(0.5), &c, &OnlineOptions::default(), |_| {}).unwrap();
+        assert_eq!(r.reason, StopReason::Exhausted);
+        assert_eq!(r.chunks, 1);
+        assert_eq!(r.snapshot.rows, 0);
+        assert_eq!(r.snapshot.aggs[0].estimate, 0.0);
+        let degenerate = run_online(&sum_plan(0.0), &c, &OnlineOptions::default(), |_| {});
+        assert!(matches!(degenerate, Err(OnlineError::Core(_))));
+    }
+}

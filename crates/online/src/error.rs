@@ -1,0 +1,78 @@
+//! Error type for the online aggregation driver.
+
+use std::fmt;
+
+/// Errors from the progressive estimation loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// Propagated execution error (streaming, estimation).
+    Exec(sa_exec::ExecError),
+    /// Propagated estimator error.
+    Core(sa_core::CoreError),
+    /// Propagated plan error (rewriting).
+    Plan(sa_plan::PlanError),
+    /// Propagated SQL front-end error.
+    Sql(sa_sql::SqlError),
+    /// A plan or option combination the online driver cannot handle.
+    Unsupported(String),
+}
+
+impl fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OnlineError::Exec(e) => write!(f, "{e}"),
+            OnlineError::Core(e) => write!(f, "{e}"),
+            OnlineError::Plan(e) => write!(f, "{e}"),
+            OnlineError::Sql(e) => write!(f, "{e}"),
+            OnlineError::Unsupported(msg) => write!(f, "unsupported online query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OnlineError::Exec(e) => Some(e),
+            OnlineError::Core(e) => Some(e),
+            OnlineError::Plan(e) => Some(e),
+            OnlineError::Sql(e) => Some(e),
+            OnlineError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<sa_exec::ExecError> for OnlineError {
+    fn from(e: sa_exec::ExecError) -> Self {
+        OnlineError::Exec(e)
+    }
+}
+impl From<sa_core::CoreError> for OnlineError {
+    fn from(e: sa_core::CoreError) -> Self {
+        OnlineError::Core(e)
+    }
+}
+impl From<sa_plan::PlanError> for OnlineError {
+    fn from(e: sa_plan::PlanError) -> Self {
+        OnlineError::Plan(e)
+    }
+}
+impl From<sa_sql::SqlError> for OnlineError {
+    fn from(e: sa_sql::SqlError) -> Self {
+        OnlineError::Sql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_chain() {
+        let e: OnlineError = sa_core::CoreError::Degenerate("x".into()).into();
+        assert!(e.to_string().contains('x'));
+        assert!(std::error::Error::source(&e).is_some());
+        let u = OnlineError::Unsupported("why".into());
+        assert!(u.to_string().contains("why"));
+        assert!(std::error::Error::source(&u).is_none());
+    }
+}

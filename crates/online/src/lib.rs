@@ -1,0 +1,56 @@
+//! # sa-online — online aggregation with stopping rules
+//!
+//! The paper's estimator was built to power *online aggregation*: Section
+//! 6.2's lineage-carrying plans exist precisely so the SBox can be fed
+//! incrementally, with unbiased estimates and confidence intervals that
+//! tighten as sample tuples arrive. This crate closes that loop:
+//!
+//! * a **progressive query driver** ([`run_online`] / [`run_online_sql`])
+//!   that pulls the sampled plan's result in chunks (via
+//!   [`sa_exec::open_stream`]), maintains an incremental
+//!   [`sa_core::MomentAccumulator`] — estimate, variance and CI are O(1) to
+//!   read out at any time, never recomputed from scratch — and emits a
+//!   [`ProgressSnapshot`] after every chunk;
+//! * **stopping rules** ([`sa_plan::StoppingRule`], re-exported here):
+//!   relative CI half-width ≤ ε at confidence 1−δ (the SQL
+//!   `WITHIN ε PERCENT CONFIDENCE γ` clause), a row budget, a wall-clock
+//!   budget, or run-to-exhaustion — first one to fire wins.
+//!
+//! For any fixed prefix of consumed tuples the incremental estimate and
+//! variance equal the batch estimator's output on that prefix (up to float
+//! associativity): same moments, same Theorem 1 machinery.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sa_online::{run_online_sql, OnlineOptions};
+//! use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let schema = Schema::new(vec![Field::new("v", DataType::Float)]).unwrap();
+//! let mut b = TableBuilder::new("t", schema);
+//! for i in 0..20_000 { b.push_row(&[Value::Float(1.0 + (i % 5) as f64)]).unwrap(); }
+//! catalog.register(b.finish().unwrap()).unwrap();
+//!
+//! let result = run_online_sql(
+//!     "SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT) \
+//!      WITHIN 5 PERCENT CONFIDENCE 95",
+//!     &catalog,
+//!     &OnlineOptions { seed: 7, chunk_rows: 512, ..Default::default() },
+//!     |snap| eprintln!("rows={} estimate={:.1}", snap.rows, snap.aggs[0].estimate),
+//! ).unwrap();
+//! assert!(result.snapshot.rel_half_width.unwrap() <= 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod error;
+
+pub use driver::{run_online, run_online_sql, OnlineOptions, OnlineResult, ProgressSnapshot};
+pub use error::OnlineError;
+// The vocabulary types callers need alongside the driver.
+pub use sa_plan::{CiTarget, StopReason, StoppingRule};
+
+/// Crate-wide result alias.
+pub type Result<T, E = OnlineError> = std::result::Result<T, E>;

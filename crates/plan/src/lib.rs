@@ -12,10 +12,12 @@
 pub mod error;
 pub mod plan;
 pub mod rewrite;
+pub mod stopping;
 
 pub use error::PlanError;
 pub use plan::{AggFunc, AggSpec, LogicalPlan};
 pub use rewrite::{render_gus_table, rewrite, RewriteStep, RewriteTrace, Rule, SoaAnalysis};
+pub use stopping::{CiTarget, StopReason, StoppingRule};
 
 /// Crate-wide result alias.
 pub type Result<T, E = PlanError> = std::result::Result<T, E>;

@@ -116,21 +116,30 @@ mod tests {
         );
     }
 
+    // 20k trials keep the 3σ band tight enough to catch real bias while
+    // making seed flukes rare: at 4k trials the b_∅ estimator's σ is ~0.0045
+    // and seed 7 lands 3.8σ low on the Bernoulli check by sheer bad luck
+    // (other seeds, and more trials with the same seed, converge to p²).
+
     #[test]
     fn bernoulli_matches_closed_form() {
-        check(SamplingMethod::Bernoulli { p: 0.3 }, &table(40, 256), 4000);
+        check(
+            SamplingMethod::Bernoulli { p: 0.3 },
+            &table(40, 256),
+            20_000,
+        );
     }
 
     #[test]
     fn wor_matches_closed_form() {
         // WOR pairs are negatively correlated: b_∅ = n(n−1)/(N(N−1)) < a².
-        check(SamplingMethod::Wor { size: 8 }, &table(40, 256), 4000);
+        check(SamplingMethod::Wor { size: 8 }, &table(40, 256), 20_000);
     }
 
     #[test]
     fn system_matches_closed_form_at_block_granularity() {
         // 10 blocks of 10 rows; block-level Bernoulli(0.4).
-        check(SamplingMethod::System { p: 0.4 }, &table(100, 10), 4000);
+        check(SamplingMethod::System { p: 0.4 }, &table(100, 10), 20_000);
     }
 
     #[test]

@@ -9,9 +9,17 @@
 //! [WHERE predicate]
 //! ```
 //!
-//! with `agg ::= SUM(e) | COUNT(*) | COUNT(e) | AVG(e) | QUANTILE(agg, q)`.
+//! with `agg ::= SUM(e) | COUNT(*) | COUNT(e) | AVG(e) | QUANTILE(agg, q)`,
+//! plus an optional trailing accuracy clause for online aggregation:
+//!
+//! ```sql
+//! WITHIN 5 PERCENT CONFIDENCE 95
+//! ```
+//!
+//! which lowers to a [`sa_plan::StoppingRule`] for the progressive driver.
 
 use sa_expr::Expr;
+use sa_plan::StoppingRule;
 
 /// A `TABLESAMPLE` specification.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +75,25 @@ pub enum AggCall {
     Avg(Expr),
 }
 
+/// `WITHIN ε PERCENT CONFIDENCE γ` — the online-aggregation accuracy
+/// clause: keep sampling until the γ-level confidence interval's half-width
+/// is within ε percent of the estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyClause {
+    /// Target relative half-width, as a fraction (the clause's `ε PERCENT`
+    /// divided by 100).
+    pub epsilon: f64,
+    /// Confidence level γ ∈ (0,1) (the clause accepts `95` or `0.95`).
+    pub confidence: f64,
+}
+
+impl AccuracyClause {
+    /// Lower the clause to the stopping rule the online driver consumes.
+    pub fn stopping_rule(&self) -> StoppingRule {
+        StoppingRule::ci(self.epsilon, self.confidence)
+    }
+}
+
 /// A parsed query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -84,6 +111,8 @@ pub struct Query {
     pub predicate: Option<Expr>,
     /// `GROUP BY` expressions (empty for scalar aggregates).
     pub group_by: Vec<Expr>,
+    /// Optional `WITHIN … PERCENT CONFIDENCE …` accuracy clause.
+    pub accuracy: Option<AccuracyClause>,
 }
 
 /// `CREATE VIEW name (col, …) AS` header.

@@ -186,10 +186,35 @@ pub fn plan_sql(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
 /// Parse and bind a (possibly grouped) aggregate query: returns the
 /// aggregate plan plus the `GROUP BY` expressions, ready for
 /// `sa_exec::approx_group_query` (or `approx_query` when the list is empty).
+///
+/// A `WITHIN … PERCENT CONFIDENCE …` clause, if present, is accepted and
+/// ignored here — batch estimation has no stopping loop. Use
+/// [`plan_online_sql`] to obtain the lowered stopping rule.
 pub fn plan_grouped_sql(sql: &str, catalog: &Catalog) -> Result<(LogicalPlan, Vec<Expr>)> {
     let q = crate::parser::parse(sql)?;
     let plan = bind_query(&q, catalog)?;
     Ok((plan, q.group_by))
+}
+
+/// Parse and bind a scalar aggregate query for **online** (progressive)
+/// estimation: returns the plan plus the stopping rule lowered from the
+/// query's `WITHIN ε PERCENT CONFIDENCE γ` clause (`None` when the query has
+/// no accuracy clause — the caller supplies its own rule or runs to
+/// exhaustion).
+pub fn plan_online_sql(
+    sql: &str,
+    catalog: &Catalog,
+) -> Result<(LogicalPlan, Option<sa_plan::StoppingRule>)> {
+    let q = crate::parser::parse(sql)?;
+    if !q.group_by.is_empty() {
+        return Err(SqlError::Bind(
+            "online estimation of GROUP BY queries is not supported yet; drop the GROUP BY \
+             or use the batch path"
+                .into(),
+        ));
+    }
+    let plan = bind_query(&q, catalog)?;
+    Ok((plan, q.accuracy.map(|a| a.stopping_rule())))
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use sa_expr::{col, lit, BinOp, Expr};
 use sa_storage::Value;
 
-use crate::ast::{AggCall, AggItem, Query, SampleSpec, TableRef, ViewHeader};
+use crate::ast::{AccuracyClause, AggCall, AggItem, Query, SampleSpec, TableRef, ViewHeader};
 use crate::error::SqlError;
 use crate::token::{tokenize, Keyword, Token, TokenKind};
 use crate::Result;
@@ -187,6 +187,12 @@ impl Parser {
             }
         }
 
+        let accuracy = if self.eat_kw(Keyword::Within) {
+            Some(self.accuracy_clause()?)
+        } else {
+            None
+        };
+
         let mut q = Query {
             view,
             select,
@@ -194,6 +200,7 @@ impl Parser {
             from,
             predicate,
             group_by,
+            accuracy,
         };
         // View column names override select aliases positionally.
         if let Some(v) = &q.view {
@@ -202,6 +209,30 @@ impl Parser {
             }
         }
         Ok(q)
+    }
+
+    // accuracy := WITHIN num PERCENT CONFIDENCE num   (WITHIN already eaten)
+    //
+    // The confidence accepts either a level in (0,1) or a percentage in
+    // (1,100): `CONFIDENCE 95` and `CONFIDENCE 0.95` mean the same thing.
+    fn accuracy_clause(&mut self) -> Result<AccuracyClause> {
+        let pct = self.number()?;
+        if !(0.0 < pct && pct <= 100.0) {
+            return Err(self.err(format!("WITHIN percentage {pct} not in (0,100]")));
+        }
+        self.expect_kw(Keyword::Percent)?;
+        self.expect_kw(Keyword::Confidence)?;
+        let raw = self.number()?;
+        let confidence = if raw > 1.0 { raw / 100.0 } else { raw };
+        if !(0.0 < confidence && confidence < 1.0) {
+            return Err(self.err(format!(
+                "CONFIDENCE {raw} must be a level in (0,1) or a percentage in (1,100)"
+            )));
+        }
+        Ok(AccuracyClause {
+            epsilon: pct / 100.0,
+            confidence,
+        })
     }
 
     /// True if the next token starts an aggregate call.
@@ -547,6 +578,46 @@ mod tests {
         assert!(parse("SELECT QUANTILE(QUANTILE(SUM(v),0.5),0.5) FROM t").is_err());
         assert!(parse("SELECT COUNT(*) FROM t TABLESAMPLE (200 PERCENT)").is_err());
         assert!(parse("SELECT COUNT(*) FROM t TABLESAMPLE (1.5 ROWS)").is_err());
+    }
+
+    #[test]
+    fn within_confidence_clause() {
+        let q = parse(
+            "SELECT SUM(v) FROM t TABLESAMPLE (10 PERCENT) \
+             WITHIN 5 PERCENT CONFIDENCE 95",
+        )
+        .unwrap();
+        let a = q.accuracy.unwrap();
+        assert!((a.epsilon - 0.05).abs() < 1e-12);
+        assert!((a.confidence - 0.95).abs() < 1e-12);
+        // Fractional confidence spelling means the same thing.
+        let q2 = parse("SELECT SUM(v) FROM t WITHIN 5 PERCENT CONFIDENCE 0.95").unwrap();
+        assert_eq!(q2.accuracy, q.accuracy);
+        // After WHERE and GROUP BY.
+        let q3 = parse(
+            "SELECT k, SUM(v) FROM t WHERE v > 0 GROUP BY k \
+             WITHIN 2.5 PERCENT CONFIDENCE 99;",
+        )
+        .unwrap();
+        let a3 = q3.accuracy.unwrap();
+        assert!((a3.epsilon - 0.025).abs() < 1e-12);
+        assert!((a3.confidence - 0.99).abs() < 1e-12);
+        // Absent by default.
+        assert_eq!(parse("SELECT SUM(v) FROM t").unwrap().accuracy, None);
+    }
+
+    #[test]
+    fn within_confidence_clause_errors() {
+        // Percentage out of range.
+        assert!(parse("SELECT SUM(v) FROM t WITHIN 0 PERCENT CONFIDENCE 95").is_err());
+        assert!(parse("SELECT SUM(v) FROM t WITHIN 150 PERCENT CONFIDENCE 95").is_err());
+        // Missing pieces.
+        assert!(parse("SELECT SUM(v) FROM t WITHIN 5 CONFIDENCE 95").is_err());
+        assert!(parse("SELECT SUM(v) FROM t WITHIN 5 PERCENT").is_err());
+        // CONFIDENCE 1 is ambiguous (100%? 1%?) and an invalid level either
+        // way; CONFIDENCE 100 would be a degenerate 100% level.
+        assert!(parse("SELECT SUM(v) FROM t WITHIN 5 PERCENT CONFIDENCE 1").is_err());
+        assert!(parse("SELECT SUM(v) FROM t WITHIN 5 PERCENT CONFIDENCE 100").is_err());
     }
 
     #[test]

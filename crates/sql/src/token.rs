@@ -91,6 +91,8 @@ pub enum Keyword {
     Approx,
     Group,
     By,
+    Within,
+    Confidence,
 }
 
 fn keyword_of(s: &str) -> Option<Keyword> {
@@ -119,6 +121,8 @@ fn keyword_of(s: &str) -> Option<Keyword> {
         "APPROX" => Keyword::Approx,
         "GROUP" => Keyword::Group,
         "BY" => Keyword::By,
+        "WITHIN" => Keyword::Within,
+        "CONFIDENCE" => Keyword::Confidence,
         _ => return None,
     })
 }

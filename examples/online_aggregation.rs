@@ -1,0 +1,97 @@
+//! Online aggregation: watch the estimate converge, stop when it is good
+//! enough.
+//!
+//! Runs the paper's kind of `TABLESAMPLE` aggregate progressively: the
+//! sampled plan streams in chunks, the incremental accumulator keeps
+//! estimate/variance O(1)-readable, and the loop stops as soon as the 95%
+//! interval is within ±2% of the estimate — then compares against the
+//! batch answer over the full sample and the exact answer.
+//!
+//! ```sh
+//! cargo run --release --example online_aggregation
+//! ```
+
+use sampling_algebra::prelude::*;
+use sampling_algebra::sql::plan_online_sql;
+
+fn main() {
+    // 1. Data: TPC-H at a scale where batch execution is already noticeable.
+    let catalog = generate(&TpchConfig::scale(0.01).with_seed(42));
+    let li = catalog.get("lineitem").unwrap().row_count();
+    println!("data: lineitem = {li} rows\n");
+
+    // 2. The query carries its own stopping rule in SQL.
+    let sql = "SELECT SUM(l_extendedprice * l_discount) AS revenue \
+               FROM lineitem TABLESAMPLE (25 PERCENT) \
+               WITHIN 2 PERCENT CONFIDENCE 95";
+    println!("query:\n  {sql}\n");
+
+    // 3. Progressive run with live snapshots.
+    let opts = OnlineOptions {
+        seed: 7,
+        chunk_rows: 2000,
+        ..Default::default()
+    };
+    println!(
+        "{:>8} {:>9} {:>16} {:>12} {:>8}",
+        "rows", "scanned", "estimate", "±half", "rel"
+    );
+    let result = run_online_sql(sql, &catalog, &opts, |s| {
+        let a = &s.aggs[0];
+        let (half, rel) = match &a.ci_normal {
+            Some(ci) => (
+                format!("{:.0}", ci.width() / 2.0),
+                format!("{:.2}%", ci.relative_half_width() * 100.0),
+            ),
+            None => ("—".into(), "—".into()),
+        };
+        let scanned = s
+            .progress
+            .iter()
+            .map(|(c, n)| if *n == 0 { 1.0 } else { *c as f64 / *n as f64 })
+            .fold(1.0f64, f64::min);
+        println!(
+            "{:>8} {:>8.1}% {:>16.2} {:>12} {:>8}",
+            s.rows,
+            scanned * 100.0,
+            a.estimate,
+            half,
+            rel
+        );
+    })
+    .expect("online run succeeds");
+
+    println!(
+        "\nstopped: {} after {} of the sample's tuples ({} chunks)\n",
+        result.reason, result.snapshot.rows, result.chunks
+    );
+
+    // 4. Compare: online early stop vs batch over the full sample vs exact.
+    let (plan, _) = plan_online_sql(sql, &catalog).unwrap();
+    let batch = approx_query(
+        &plan,
+        &catalog,
+        &ApproxOptions {
+            seed: 7,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let exact = exact_query(&plan, &catalog).unwrap()[0];
+    let online_est = result.snapshot.aggs[0].estimate;
+    println!("online estimate (early stop)  : {online_est:.2}");
+    println!(
+        "batch estimate (full sample)  : {:.2}",
+        batch.aggs[0].estimate
+    );
+    println!("exact answer                  : {exact:.2}");
+    println!(
+        "online error vs exact         : {:.2}%  (target was ±2% at 95%)",
+        (online_est - exact).abs() / exact * 100.0
+    );
+    let ci = result.snapshot.aggs[0].ci_normal.unwrap();
+    println!(
+        "final interval contains exact : {}",
+        if ci.contains(exact) { "yes" } else { "no" }
+    );
+}

@@ -7,16 +7,25 @@
 //! ```text
 //! sa --tpch 0.01 [--seed 42]            # start with generated data
 //! sa --tpch 0.01 --query "SELECT …"     # one-shot, non-interactive
+//! sa --online --query "SELECT … WITHIN 5 PERCENT CONFIDENCE 95"
+//!                                       # one-shot online aggregation
 //! ```
+//!
+//! `--seed` seeds both the data generator and the sampling operators, so a
+//! given invocation is fully reproducible. `--chunk N` sets the online
+//! chunk size.
 //!
 //! Inside the shell:
 //!
 //! ```text
 //! SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (10 PERCENT);
+//! \online SELECT …      progressive estimation with live snapshots
+//!                       (add WITHIN ε PERCENT CONFIDENCE γ to stop early)
 //! \exact SELECT …       run without sampling (ground truth)
 //! \trace SELECT …       show the SOA rewrite trace and top GUS table
 //! \tables               list tables
 //! \seed N               set the sampling seed
+//! \chunk N              set the online chunk size (rows)
 //! \subsample N          estimate variance from ~N tuples (§7); 0 = off
 //! \quit
 //! ```
@@ -24,6 +33,7 @@
 use std::io::{BufRead, Write};
 
 use sampling_algebra::exec::{approx_group_query, exact_group_query, GroupedApproxResult};
+use sampling_algebra::online::{OnlineResult as OnlineRunResult, ProgressSnapshot};
 use sampling_algebra::prelude::*;
 use sampling_algebra::sql::plan_grouped_sql;
 
@@ -32,12 +42,15 @@ struct Session {
     seed: u64,
     subsample: Option<u64>,
     confidence: f64,
+    chunk_rows: usize,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.005f64;
     let mut seed = 42u64;
+    let mut chunk_rows = 1024usize;
+    let mut online = false;
     let mut one_shot: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -54,6 +67,14 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
             }
+            "--chunk" => {
+                chunk_rows = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die("--chunk needs a positive row count"));
+            }
+            "--online" => online = true,
             "--query" => {
                 one_shot = Some(
                     it.next()
@@ -62,7 +83,9 @@ fn main() {
                 );
             }
             "-h" | "--help" => {
-                eprintln!("usage: sa [--tpch SCALE] [--seed N] [--query SQL]");
+                eprintln!(
+                    "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--online] [--query SQL]"
+                );
                 return;
             }
             other => die(&format!("unknown flag `{other}`")),
@@ -71,16 +94,26 @@ fn main() {
 
     eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
     let catalog = generate(&TpchConfig::scale(scale).with_seed(seed));
+    // The same seed drives the sampling operators: one `--seed` makes the
+    // whole run — data, samples, online loop — reproducible.
     let mut session = Session {
         catalog,
-        seed: 1,
+        seed,
         subsample: None,
         confidence: 0.95,
+        chunk_rows,
     };
 
     if let Some(sql) = one_shot {
-        run_line(&mut session, &sql);
+        if online {
+            run_online_mode(&mut session, &sql);
+        } else {
+            run_line(&mut session, &sql);
+        }
         return;
+    }
+    if online {
+        die("--online needs --query SQL (or use \\online inside the shell)");
     }
 
     eprintln!("sa — sampling-algebra shell. \\quit to exit, \\tables for tables.");
@@ -144,6 +177,14 @@ fn run_line(session: &mut Session, line: &str) {
                 }
                 Err(_) => println!("\\subsample needs a number (0 = off)"),
             },
+            "chunk" => match arg.trim().parse::<usize>() {
+                Ok(n) if n > 0 => {
+                    session.chunk_rows = n;
+                    println!("chunk = {n} rows");
+                }
+                _ => println!("\\chunk needs a positive row count"),
+            },
+            "online" => run_online_mode(session, arg),
             "exact" => run_exact(session, arg),
             "trace" => run_trace(session, arg),
             _ => println!("unknown command \\{cmd}"),
@@ -236,6 +277,75 @@ fn print_grouped(r: &GroupedApproxResult) {
         r.groups.len(),
         r.result_rows
     );
+}
+
+/// Progressive estimation: print one line per snapshot, then the final
+/// estimates and why the loop stopped.
+fn run_online_mode(session: &mut Session, sql: &str) {
+    let opts = OnlineOptions {
+        seed: session.seed,
+        chunk_rows: session.chunk_rows,
+        confidence: session.confidence,
+        rule: StoppingRule::exhaustive(),
+        scale_to_population: true,
+    };
+    println!(
+        "{:>10} {:>9} {:>16} {:>14} {:>8} {:>9}",
+        "rows", "scanned", "estimate", "±half-width", "rel", "elapsed"
+    );
+    let result = run_online_sql(sql, &session.catalog, &opts, print_snapshot_line);
+    match result {
+        Ok(r) => print_online_summary(&r),
+        Err(e) => println!("error: {e}"),
+    }
+    session.seed = session.seed.wrapping_add(1); // fresh sample next time
+}
+
+fn print_snapshot_line(s: &ProgressSnapshot) {
+    // Lead aggregate drives the live line; the summary prints all of them.
+    let a = &s.aggs[0];
+    let (half, rel) = match &a.ci_normal {
+        Some(ci) => (
+            format!("{:.2}", ci.width() / 2.0),
+            format!("{:.2}%", ci.relative_half_width() * 100.0),
+        ),
+        None => ("—".into(), "—".into()),
+    };
+    let scanned = s
+        .progress
+        .iter()
+        .map(|(c, n)| if *n == 0 { 1.0 } else { *c as f64 / *n as f64 })
+        .fold(1.0f64, f64::min);
+    println!(
+        "{:>10} {:>8.1}% {:>16.4} {:>14} {:>8} {:>7}ms",
+        s.rows,
+        scanned * 100.0,
+        a.estimate,
+        half,
+        rel,
+        s.elapsed.as_millis()
+    );
+}
+
+fn print_online_summary(r: &OnlineRunResult) {
+    println!(
+        "stopped: {} after {} rows in {} chunks ({} ms)",
+        r.reason,
+        r.snapshot.rows,
+        r.chunks,
+        r.snapshot.elapsed.as_millis()
+    );
+    println!(
+        "{:<16} {:>16} {:>14} {:>34}",
+        "aggregate", "estimate", "std err", "final normal CI"
+    );
+    for a in &r.snapshot.aggs {
+        let (se, ci) = match (&a.variance, &a.ci_normal) {
+            (Some(v), Some(ci)) => (format!("{:.4}", v.sqrt()), format!("{ci}")),
+            _ => ("—".into(), "(not estimable)".into()),
+        };
+        println!("{:<16} {:>16.4} {:>14} {:>34}", a.name, a.estimate, se, ci);
+    }
 }
 
 fn run_exact(session: &Session, sql: &str) {

@@ -60,6 +60,7 @@ pub use sa_baselines as baselines;
 pub use sa_core as core;
 pub use sa_exec as exec;
 pub use sa_expr as expr;
+pub use sa_online as online;
 pub use sa_plan as plan;
 pub use sa_sampling as sampling;
 pub use sa_sql as sql;
@@ -71,13 +72,20 @@ pub mod prelude {
     pub use sa_baselines::{bootstrap, compare_estimators, naive_clt, oracle_variance};
     pub use sa_core::{
         chebyshev_ci, normal_ci, quantile_bound, ConfidenceInterval, EstimateReport, GusParams,
-        LineageBernoulli, LineageSchema, RelSet, SBox,
+        LineageBernoulli, LineageSchema, MomentAccumulator, RelSet, SBox,
     };
     pub use sa_exec::{
-        approx_query, exact_query, execute, ApproxOptions, ApproxResult, ExecOptions,
+        approx_query, exact_query, execute, open_stream, ApproxOptions, ApproxResult, ChunkStream,
+        ExecOptions,
     };
     pub use sa_expr::{col, lit, Expr};
-    pub use sa_plan::{render_gus_table, rewrite, AggFunc, AggSpec, LogicalPlan, SoaAnalysis};
+    pub use sa_online::{
+        run_online, run_online_sql, OnlineOptions, OnlineResult, ProgressSnapshot,
+    };
+    pub use sa_plan::{
+        render_gus_table, rewrite, AggFunc, AggSpec, LogicalPlan, SoaAnalysis, StopReason,
+        StoppingRule,
+    };
     pub use sa_sampling::{LineageUnit, SamplingMethod};
     pub use sa_sql::plan_sql;
     pub use sa_storage::{Catalog, DataType, Field, Schema, Table, TableBuilder, Value};

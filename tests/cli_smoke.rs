@@ -78,6 +78,92 @@ fn interactive_commands() {
 }
 
 #[test]
+fn one_shot_online_query_with_stopping_rule() {
+    // Deterministic workload (fixed --seed): the ε/δ rule must fire before
+    // the 60% sample drains, and the run must say so.
+    let out = Command::new(env!("CARGO_BIN_EXE_sa"))
+        .args([
+            "--tpch", "0.002", "--seed", "7", "--chunk", "600", "--online",
+        ])
+        .arg("--query")
+        .arg(
+            "SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (60 PERCENT) \
+             WITHIN 5 PERCENT CONFIDENCE 95",
+        )
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stopped: ci-converged"), "{stdout}");
+    // Live progress lines: header plus at least two snapshots.
+    assert!(stdout.contains("±half-width"), "{stdout}");
+    assert!(stdout.matches("ms").count() >= 2, "{stdout}");
+    assert!(stdout.contains("final normal CI"), "{stdout}");
+    // Reproducible: the same seed gives byte-identical progress.
+    let again = Command::new(env!("CARGO_BIN_EXE_sa"))
+        .args([
+            "--tpch", "0.002", "--seed", "7", "--chunk", "600", "--online",
+        ])
+        .arg("--query")
+        .arg(
+            "SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (60 PERCENT) \
+             WITHIN 5 PERCENT CONFIDENCE 95",
+        )
+        .output()
+        .expect("binary runs");
+    // Wall-clock columns differ run to run; drop them, compare the rest.
+    let strip_times = |s: &str| -> String {
+        s.lines()
+            .map(|l| {
+                let t = l.trim_end();
+                if t.ends_with("ms)") {
+                    // "stopped: … (N ms)" → drop the parenthetical.
+                    t.rsplit_once(" (").map(|(h, _)| h).unwrap_or(t).to_string()
+                } else if t.ends_with("ms") {
+                    // snapshot line → drop the trailing elapsed column.
+                    t.rsplit_once(' ').map(|(h, _)| h).unwrap_or(t).to_string()
+                } else {
+                    t.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_times(&stdout),
+        strip_times(&String::from_utf8_lossy(&again.stdout))
+    );
+}
+
+#[test]
+fn interactive_online_command() {
+    let mut child = sa()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let stdin = child.stdin.as_mut().expect("piped stdin");
+    writeln!(stdin, "\\chunk 500").unwrap();
+    writeln!(
+        stdin,
+        "\\online SELECT COUNT(*) AS n FROM orders TABLESAMPLE (80 PERCENT)"
+    )
+    .unwrap();
+    writeln!(stdin, "\\online SELECT nope FROM nothing").unwrap();
+    writeln!(stdin, "\\quit").unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chunk = 500"), "{stdout}");
+    // No accuracy clause → the loop drains the sample.
+    assert!(stdout.contains("stopped: exhausted"), "{stdout}");
+    assert!(stdout.contains("final normal CI"), "{stdout}");
+    // Errors are values; the shell survives them.
+    assert!(stdout.contains("error:"), "{stdout}");
+}
+
+#[test]
 fn bad_sql_reports_error_and_continues() {
     let mut child = sa()
         .stdin(Stdio::piped())

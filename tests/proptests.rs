@@ -6,7 +6,7 @@
 use proptest::prelude::*;
 
 use sa_core::coeffs::{moebius_transform, moebius_transform_naive, zeta_transform};
-use sa_core::{GroupedMoments, LineageSchema};
+use sa_core::{GroupedMoments, LineageSchema, MomentAccumulator};
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder};
 use sampling_algebra::prelude::*;
 
@@ -213,6 +213,75 @@ proptest! {
                 b.y_scalar(RelSet::from_bits(s)),
             );
             prop_assert!((ya - yb).abs() < 1e-7 * (1.0 + ya.abs()));
+        }
+    }
+
+    #[test]
+    fn incremental_accumulator_matches_batch_for_any_chunk_split(
+        rows in prop::collection::vec((0u64..8, 0u64..8, -20.0f64..20.0), 0..80),
+        cuts in prop::collection::vec(0usize..80, 0..6),
+        shard_cut in 0usize..80,
+    ) {
+        // Batch: every row through one GroupedMoments pass.
+        let gus = GusParams::bernoulli("x", 0.4)
+            .unwrap()
+            .join(&GusParams::bernoulli("y", 0.7).unwrap())
+            .unwrap();
+        let mut batch = GroupedMoments::new(2, 1);
+        for (x, y, f) in &rows {
+            batch.push_scalar(&[*x, *y], *f).unwrap();
+        }
+        let batch_report = sa_core::estimate_from_sample_moments(&gus, &batch.finish()).unwrap();
+
+        // Incremental: the same rows in arbitrary chunk splits…
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (rows.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(rows.len());
+        bounds.sort_unstable();
+        let mut inc = MomentAccumulator::new(2, 1);
+        for w in bounds.windows(2) {
+            for (x, y, f) in &rows[w[0]..w[1]] {
+                inc.push_scalar(&[*x, *y], *f).unwrap();
+            }
+        }
+        // …and a two-shard split merged back together.
+        let k = shard_cut % (rows.len() + 1);
+        let mut left = MomentAccumulator::new(2, 1);
+        for (x, y, f) in &rows[..k] {
+            left.push_scalar(&[*x, *y], *f).unwrap();
+        }
+        let mut right = MomentAccumulator::new(2, 1);
+        for (x, y, f) in &rows[k..] {
+            right.push_scalar(&[*x, *y], *f).unwrap();
+        }
+        left.merge(&right).unwrap();
+
+        for acc in [inc, left] {
+            let report = sa_core::estimate_from_sample_moments(&gus, &acc.snapshot()).unwrap();
+            prop_assert!(
+                (report.estimate[0] - batch_report.estimate[0]).abs()
+                    <= 1e-9 * (1.0 + batch_report.estimate[0].abs())
+            );
+            let (vi, vb) = (
+                report.raw_variance(0).unwrap(),
+                batch_report.raw_variance(0).unwrap(),
+            );
+            prop_assert!((vi - vb).abs() <= 1e-9 * (1.0 + vb.abs()), "{vi} vs {vb}");
+            // The raw moments agree subset by subset, too.
+            let (mi, mb) = (acc.snapshot(), {
+                let mut b = GroupedMoments::new(2, 1);
+                for (x, y, f) in &rows {
+                    b.push_scalar(&[*x, *y], *f).unwrap();
+                }
+                b.finish()
+            });
+            for s in 0..4u32 {
+                let (yi, yb) = (
+                    mi.y_scalar(RelSet::from_bits(s)),
+                    mb.y_scalar(RelSet::from_bits(s)),
+                );
+                prop_assert!((yi - yb).abs() <= 1e-9 * (1.0 + yb.abs()), "y[{s}]: {yi} vs {yb}");
+            }
         }
     }
 
