@@ -1,0 +1,307 @@
+//! Per-group incremental moment accumulation — the state behind grouped
+//! online aggregation.
+//!
+//! The paper's GUS algebra makes every group of a `GROUP BY` query just
+//! another SUM-like aggregate: the group's indicator folds into `f(·)`
+//! (`f_g(t) = f(t)·1{key(t) = g}`, a selection by Proposition 5), so the
+//! *same* top GUS analyzes every group and each group gets its own unbiased
+//! estimate and variance. [`GroupedMomentAccumulator`] materializes exactly
+//! that view: a hash map from group key to an independent incremental
+//! [`MomentAccumulator`], so after any prefix of the sampled stream every
+//! discovered group's estimate/variance/CI is an **O(1)-in-rows readout**
+//! (`O(2ⁿ k²)` per group, nothing recomputed from scratch).
+//!
+//! Like its scalar building block, the grouped accumulator is
+//! **merge-able** ([`GroupedMomentAccumulator::merge`]): shards can consume
+//! disjoint chunk ranges and be combined associatively — groups present in
+//! both shards merge through the same rank-two delta, groups unique to one
+//! shard are adopted wholesale. Fed any chunk split (and merged in any
+//! shape), the per-group moments equal a single batch pass over the same
+//! rows, up to float associativity — the property `tests/proptests.rs` pins
+//! against the batch grouped driver.
+//!
+//! The key type is generic (`K: Eq + Hash`): the online driver uses the
+//! evaluated `GROUP BY` key tuple, tests use integers. Per-relation
+//! fingerprint salts are derived deterministically ([`crate::hash::rel_salts`]),
+//! so independently created shard accumulators merge exactly.
+
+use std::hash::Hash;
+
+use crate::accumulator::MomentAccumulator;
+use crate::error::CoreError;
+use crate::estimator::EstimateReport;
+use crate::hash::FxHashMap;
+use crate::params::GusParams;
+use crate::Result;
+
+/// A map of group key → incremental [`MomentAccumulator`], with push, shard
+/// merge, and O(1)-in-rows per-group readout.
+#[derive(Debug, Clone)]
+pub struct GroupedMomentAccumulator<K> {
+    n: usize,
+    dims: usize,
+    groups: FxHashMap<K, MomentAccumulator>,
+    count: u64,
+}
+
+impl<K: Eq + Hash> GroupedMomentAccumulator<K> {
+    /// An accumulator over `n` base relations and `dims` aggregate
+    /// dimensions per group.
+    pub fn new(n: usize, dims: usize) -> GroupedMomentAccumulator<K> {
+        assert!(dims >= 1, "at least one aggregate dimension required");
+        GroupedMomentAccumulator {
+            n,
+            dims,
+            groups: FxHashMap::default(),
+            count: 0,
+        }
+    }
+
+    /// Number of base relations.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Aggregate dimension `k` of every group.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total rows consumed across all groups (and merged shards).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of groups discovered so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when no row has been consumed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Consume one result tuple of group `key`: its per-base-relation
+    /// lineage ids and its aggregate vector.
+    pub fn push(&mut self, key: K, lineage: &[u64], f: &[f64]) -> Result<()> {
+        // Validate before touching the map, so a bad push cannot leave an
+        // empty phantom group behind.
+        if lineage.len() != self.n {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n,
+                got: lineage.len(),
+            });
+        }
+        if f.len() != self.dims {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dims,
+                got: f.len(),
+            });
+        }
+        let (n, dims) = (self.n, self.dims);
+        self.groups
+            .entry(key)
+            .or_insert_with(|| MomentAccumulator::new(n, dims))
+            .push(lineage, f)?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Scalar convenience for `dims == 1`.
+    pub fn push_scalar(&mut self, key: K, lineage: &[u64], f: f64) -> Result<()> {
+        self.push(key, lineage, &[f])
+    }
+
+    /// The accumulator of one group, if discovered.
+    pub fn group(&self, key: &K) -> Option<&MomentAccumulator> {
+        self.groups.get(key)
+    }
+
+    /// Iterate over `(key, accumulator)` pairs, in hash order — sort the
+    /// keys for deterministic output.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &MomentAccumulator)> {
+        self.groups.iter()
+    }
+
+    /// Iterate over the discovered group keys, in hash order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.groups.keys()
+    }
+
+    /// The full [`EstimateReport`] of one group under `gus` — the O(1)
+    /// per-group readout (`None` for an undiscovered group: a group with no
+    /// sampled tuple has estimate 0 and no estimable variance, the honest
+    /// classical caveat of sampling-based GROUP BY).
+    pub fn report_group(&self, key: &K, gus: &GusParams) -> Option<Result<EstimateReport>> {
+        self.groups.get(key).map(|acc| acc.report(gus))
+    }
+
+    /// Absorb another grouped accumulator over the same schema — the shard
+    /// merge. Groups shared by both shards combine exactly (same fingerprint
+    /// salts, same rank-two delta); groups unique to `other` are copied.
+    /// Cost: `O(groups in other × their lineage groups)`, never `O(rows)`.
+    pub fn merge(&mut self, other: &GroupedMomentAccumulator<K>) -> Result<()>
+    where
+        K: Clone,
+    {
+        if other.n != self.n {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n,
+                got: other.n,
+            });
+        }
+        if other.dims != self.dims {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dims,
+                got: other.dims,
+            });
+        }
+        let (n, dims) = (self.n, self.dims);
+        for (key, acc) in &other.groups {
+            self.groups
+                .entry(key.clone())
+                .or_insert_with(|| MomentAccumulator::new(n, dims))
+                .merge(acc)?;
+        }
+        self.count += other.count;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::GroupedMoments;
+    use crate::relset::RelSet;
+
+    /// rows: (group, lineage over 1 relation, f).
+    fn sample_rows() -> Vec<(u32, [u64; 1], f64)> {
+        vec![
+            (0, [1], 2.0),
+            (1, [2], 3.0),
+            (0, [3], 5.0),
+            (1, [1], 7.0),
+            (2, [4], 11.0),
+            (0, [1], 13.0),
+        ]
+    }
+
+    fn batch_for_group(rows: &[(u32, [u64; 1], f64)], g: u32) -> crate::moments::Moments {
+        let mut acc = GroupedMoments::new(1, 1);
+        for (key, lin, f) in rows {
+            if *key == g {
+                acc.push_scalar(lin, *f).unwrap();
+            }
+        }
+        acc.finish()
+    }
+
+    #[test]
+    fn per_group_moments_match_independent_batch_passes() {
+        let rows = sample_rows();
+        let mut acc: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(1, 1);
+        for (key, lin, f) in &rows {
+            acc.push_scalar(*key, lin, *f).unwrap();
+        }
+        assert_eq!(acc.group_count(), 3);
+        assert_eq!(acc.count(), rows.len() as u64);
+        for g in 0..3u32 {
+            let m = acc.group(&g).unwrap().snapshot();
+            let b = batch_for_group(&rows, g);
+            assert_eq!(m.count, b.count);
+            for s in 0..2u32 {
+                let (x, y) = (
+                    m.y_scalar(RelSet::from_bits(s)),
+                    b.y_scalar(RelSet::from_bits(s)),
+                );
+                assert!((x - y).abs() < 1e-12, "group {g} y[{s}]: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_merge_matches_single_pass_at_every_split() {
+        let rows = sample_rows();
+        let single = {
+            let mut acc: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(1, 1);
+            for (key, lin, f) in &rows {
+                acc.push_scalar(*key, lin, *f).unwrap();
+            }
+            acc
+        };
+        for split in 0..=rows.len() {
+            let mut left: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(1, 1);
+            for (key, lin, f) in &rows[..split] {
+                left.push_scalar(*key, lin, *f).unwrap();
+            }
+            let mut right: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(1, 1);
+            for (key, lin, f) in &rows[split..] {
+                right.push_scalar(*key, lin, *f).unwrap();
+            }
+            left.merge(&right).unwrap();
+            assert_eq!(left.count(), single.count());
+            assert_eq!(left.group_count(), single.group_count());
+            for g in 0..3u32 {
+                let (m, s) = (
+                    left.group(&g).unwrap().snapshot(),
+                    single.group(&g).unwrap().snapshot(),
+                );
+                for bits in 0..2u32 {
+                    let (x, y) = (
+                        m.y_scalar(RelSet::from_bits(bits)),
+                        s.y_scalar(RelSet::from_bits(bits)),
+                    );
+                    assert!((x - y).abs() < 1e-12, "split {split} group {g}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_links_lineage_groups_across_shards() {
+        // Same group key AND same lineage id split across shards must fold
+        // into one lineage group: y = (1+2)² = 9, not 1² + 2² = 5.
+        let mut a: GroupedMomentAccumulator<&str> = GroupedMomentAccumulator::new(1, 1);
+        a.push_scalar("g", &[7], 1.0).unwrap();
+        let mut b: GroupedMomentAccumulator<&str> = GroupedMomentAccumulator::new(1, 1);
+        b.push_scalar("g", &[7], 2.0).unwrap();
+        a.merge(&b).unwrap();
+        let m = a.group(&"g").unwrap().snapshot();
+        assert!((m.y_scalar(RelSet::singleton(0)) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_group_reads_out_mid_stream() {
+        let gus = GusParams::bernoulli("r", 0.5).unwrap();
+        let mut acc: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(1, 1);
+        acc.push_scalar(0, &[1], 3.0).unwrap();
+        acc.push_scalar(1, &[2], 5.0).unwrap();
+        let r0 = acc.report_group(&0, &gus).unwrap().unwrap();
+        assert!((r0.estimate[0] - 6.0).abs() < 1e-12);
+        let r1 = acc.report_group(&1, &gus).unwrap().unwrap();
+        assert!((r1.estimate[0] - 10.0).abs() < 1e-12);
+        assert!(acc.report_group(&9, &gus).is_none());
+    }
+
+    #[test]
+    fn bad_pushes_leave_no_phantom_group() {
+        let mut acc: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(2, 1);
+        assert!(acc.push_scalar(0, &[1], 1.0).is_err()); // lineage arity
+        assert!(acc.push(0, &[1, 2], &[1.0, 2.0]).is_err()); // dims
+        assert_eq!(acc.group_count(), 0);
+        assert_eq!(acc.count(), 0);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn merge_schema_mismatches_rejected() {
+        let mut acc: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(2, 1);
+        assert!(acc
+            .merge(&GroupedMomentAccumulator::<u32>::new(1, 1))
+            .is_err());
+        assert!(acc
+            .merge(&GroupedMomentAccumulator::<u32>::new(2, 2))
+            .is_err());
+    }
+}

@@ -55,6 +55,7 @@ pub mod coeffs;
 pub mod delta;
 pub mod error;
 pub mod estimator;
+pub mod grouped_accumulator;
 pub mod hash;
 pub mod moments;
 pub mod normal;
@@ -70,6 +71,7 @@ pub use estimator::{
     covariance_from_y, estimate_from_sample_moments, exact_variance, unbiased_y_hats,
     EstimateReport, SBox,
 };
+pub use grouped_accumulator::GroupedMomentAccumulator;
 pub use moments::{GroupedMoments, MomentMatrix, Moments};
 pub use params::GusParams;
 pub use relset::{LineageSchema, RelSet, MAX_RELS};

@@ -15,12 +15,12 @@
 
 use std::collections::BTreeMap;
 
-use sa_core::{estimate_from_sample_moments, ratio, GroupedMoments};
+use sa_core::{estimate_from_sample_moments, GroupedMoments};
 use sa_expr::{bind, eval, Expr};
 use sa_plan::{rewrite, LogicalPlan, SoaAnalysis};
 use sa_storage::{Catalog, Value};
 
-use crate::approx::{AggResult, ApproxOptions};
+use crate::approx::{agg_results_from_report, AggResult, ApproxOptions};
 use crate::error::ExecError;
 use crate::exec::{execute, ExecOptions};
 use crate::Result;
@@ -105,36 +105,7 @@ pub fn approx_group_query(
     for (key, acc) in partitions {
         let sample_rows = counts[&key];
         let report = estimate_from_sample_moments(&analysis.gus, &acc.finish())?;
-        let aggs_out = layout
-            .per_agg()
-            .iter()
-            .zip(aggs)
-            .map(|((num, den), spec)| {
-                let (estimate, variance) = match den {
-                    None => (report.estimate[*num], report.variance(*num).ok()),
-                    Some(den) => match ratio(&report, *num, *den) {
-                        Ok(d) => (d.value, Some(d.variance)),
-                        Err(_) => (f64::NAN, None),
-                    },
-                };
-                let ci_normal =
-                    variance.and_then(|v| sa_core::normal_ci(estimate, v, opts.confidence).ok());
-                let ci_chebyshev =
-                    variance.and_then(|v| sa_core::chebyshev_ci(estimate, v, opts.confidence).ok());
-                let quantile_bound = spec.quantile.and_then(|q| {
-                    variance.and_then(|v| sa_core::quantile_bound(estimate, v, q).ok())
-                });
-                AggResult {
-                    name: spec.alias.clone(),
-                    func: spec.func,
-                    estimate,
-                    variance,
-                    ci_normal,
-                    ci_chebyshev,
-                    quantile_bound,
-                }
-            })
-            .collect();
+        let aggs_out = agg_results_from_report(aggs, &layout, &report, opts.confidence);
         groups.push(GroupEstimate {
             key,
             aggs: aggs_out,

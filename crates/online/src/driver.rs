@@ -41,8 +41,8 @@ use std::time::{Duration, Instant};
 
 use sa_core::{GusParams, MomentAccumulator};
 use sa_exec::{agg_results_from_report, f_vector, layout_dims, open_stream, AggResult};
-use sa_exec::{ChunkStream, ExecError, ExecOptions};
-use sa_plan::{rewrite, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
+use sa_exec::{ChunkStream, DimLayout, ExecError, ExecOptions};
+use sa_plan::{rewrite, AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_sql;
 use sa_storage::Catalog;
 
@@ -131,27 +131,12 @@ pub fn run_online(
     opts: &OnlineOptions,
     mut on_snapshot: impl FnMut(&ProgressSnapshot),
 ) -> Result<OnlineResult> {
-    let analysis = rewrite(plan, catalog).map_err(ExecError::Plan)?;
-    let LogicalPlan::Aggregate { aggs, input } = plan else {
-        return Err(OnlineError::Unsupported(
-            "run_online requires an aggregate at the plan root".into(),
-        ));
-    };
-    if opts.scale_to_population && contains_union(input) {
-        // A union's mid-stream coverage is not a per-relation scan prefix
-        // (tuples unique to the second branch keep arriving after the first
-        // branch covered every position), so compacting WOR factors onto the
-        // plan GUS would misstate it; correct support needs per-branch
-        // prefix composition.
-        return Err(OnlineError::Unsupported(
-            "population scaling over a UNION of samples is not supported yet; set \
-             OnlineOptions::scale_to_population = false (raw prefix estimates) or use the \
-             batch driver"
-                .into(),
-        ));
-    }
-    let mut stream = open_stream(input, catalog, &ExecOptions { seed: opts.seed })?;
-    let layout = layout_dims(aggs, stream.schema())?;
+    let OpenedAggregate {
+        analysis,
+        aggs,
+        mut stream,
+        layout,
+    } = open_aggregate(plan, catalog, opts, "run_online")?;
     let mut acc = MomentAccumulator::new(analysis.schema.n(), layout.dims());
     let confidence = opts.rule.confidence_or(opts.confidence);
     let start = Instant::now();
@@ -217,8 +202,62 @@ pub fn run_online_sql(
     run_online(&plan, catalog, &opts, on_snapshot)
 }
 
+/// The validated, opened state every progressive loop starts from.
+pub(crate) struct OpenedAggregate<'p> {
+    pub(crate) analysis: SoaAnalysis,
+    pub(crate) aggs: &'p [AggSpec],
+    pub(crate) stream: ChunkStream,
+    pub(crate) layout: DimLayout,
+}
+
+/// Validate the options and plan shape, run the one-time SOA rewrite, open
+/// the chunked stream over the aggregate's input, and lay the aggregates
+/// onto SBox dimensions — the preamble shared by [`run_online`] and
+/// [`crate::run_online_grouped`]. `caller` names the entry point in errors.
+pub(crate) fn open_aggregate<'p>(
+    plan: &'p LogicalPlan,
+    catalog: &Catalog,
+    opts: &OnlineOptions,
+    caller: &str,
+) -> Result<OpenedAggregate<'p>> {
+    if opts.chunk_rows == 0 {
+        // A zero hint would degenerate the pull loop into one-row chunks
+        // (with a snapshot after every row); reject it loudly instead.
+        return Err(OnlineError::InvalidOptions(
+            "chunk_rows must be at least 1".into(),
+        ));
+    }
+    let analysis = rewrite(plan, catalog).map_err(ExecError::Plan)?;
+    let LogicalPlan::Aggregate { aggs, input } = plan else {
+        return Err(OnlineError::Unsupported(format!(
+            "{caller} requires an aggregate at the plan root"
+        )));
+    };
+    if opts.scale_to_population && contains_union(input) {
+        // A union's mid-stream coverage is not a per-relation scan prefix
+        // (tuples unique to the second branch keep arriving after the first
+        // branch covered every position), so compacting WOR factors onto the
+        // plan GUS would misstate it; correct support needs per-branch
+        // prefix composition.
+        return Err(OnlineError::Unsupported(
+            "population scaling over a UNION of samples is not supported yet; set \
+             OnlineOptions::scale_to_population = false (raw prefix estimates) or use the \
+             batch driver"
+                .into(),
+        ));
+    }
+    let stream = open_stream(input, catalog, &ExecOptions { seed: opts.seed })?;
+    let layout = layout_dims(aggs, stream.schema())?;
+    Ok(OpenedAggregate {
+        analysis,
+        aggs,
+        stream,
+        layout,
+    })
+}
+
 /// Does the plan contain a `UnionSamples` node anywhere?
-fn contains_union(plan: &LogicalPlan) -> bool {
+pub(crate) fn contains_union(plan: &LogicalPlan) -> bool {
     match plan {
         LogicalPlan::UnionSamples { .. } => true,
         LogicalPlan::Scan { .. } => false,
@@ -235,7 +274,7 @@ fn contains_union(plan: &LogicalPlan) -> bool {
 /// (Proposition 8). Fully covered relations contribute the identity;
 /// relations with nothing consumed yet are skipped too (the estimate is 0
 /// there and a 0-draw WOR would be the degenerate null sampler).
-fn scan_scaled_gus(
+pub(crate) fn scan_scaled_gus(
     plan_gus: &GusParams,
     stream: &ChunkStream,
     progress: &[(u64, u64)],
@@ -257,7 +296,7 @@ fn scan_scaled_gus(
 /// The largest relative CI half-width across the aggregates, `None` when
 /// any variance is not yet estimable (so a CI target cannot fire early on
 /// partial information).
-fn worst_rel_half_width(aggs: &[AggResult]) -> Option<f64> {
+pub(crate) fn worst_rel_half_width(aggs: &[AggResult]) -> Option<f64> {
     let mut worst = 0.0f64;
     for a in aggs {
         let ci = a.ci_normal.as_ref()?;
@@ -489,6 +528,20 @@ mod tests {
         let r = run_online(&plan, &c, &opts, |_| {}).unwrap();
         assert_eq!(r.reason, StopReason::Exhausted);
         assert!(r.snapshot.rows > 0);
+    }
+
+    #[test]
+    fn zero_chunk_rows_rejected() {
+        // chunk_rows = 0 would degenerate next_chunk's hint into 1-row
+        // pulls (a snapshot per row); the driver refuses it up front.
+        let c = catalog(100);
+        let opts = OnlineOptions {
+            chunk_rows: 0,
+            ..Default::default()
+        };
+        let err = run_online(&sum_plan(0.5), &c, &opts, |_| {}).unwrap_err();
+        assert!(matches!(err, OnlineError::InvalidOptions(_)), "{err}");
+        assert!(err.to_string().contains("chunk_rows"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub enum OnlineError {
     Sql(sa_sql::SqlError),
     /// A plan or option combination the online driver cannot handle.
     Unsupported(String),
+    /// An option value that is outright invalid (e.g. `chunk_rows == 0`).
+    InvalidOptions(String),
 }
 
 impl fmt::Display for OnlineError {
@@ -25,6 +27,7 @@ impl fmt::Display for OnlineError {
             OnlineError::Plan(e) => write!(f, "{e}"),
             OnlineError::Sql(e) => write!(f, "{e}"),
             OnlineError::Unsupported(msg) => write!(f, "unsupported online query: {msg}"),
+            OnlineError::InvalidOptions(msg) => write!(f, "invalid online options: {msg}"),
         }
     }
 }
@@ -36,7 +39,7 @@ impl std::error::Error for OnlineError {
             OnlineError::Core(e) => Some(e),
             OnlineError::Plan(e) => Some(e),
             OnlineError::Sql(e) => Some(e),
-            OnlineError::Unsupported(_) => None,
+            OnlineError::Unsupported(_) | OnlineError::InvalidOptions(_) => None,
         }
     }
 }
@@ -74,5 +77,8 @@ mod tests {
         let u = OnlineError::Unsupported("why".into());
         assert!(u.to_string().contains("why"));
         assert!(std::error::Error::source(&u).is_none());
+        let i = OnlineError::InvalidOptions("chunk_rows".into());
+        assert!(i.to_string().contains("chunk_rows"));
+        assert!(std::error::Error::source(&i).is_none());
     }
 }

@@ -14,7 +14,13 @@
 //! * **stopping rules** ([`sa_plan::StoppingRule`], re-exported here):
 //!   relative CI half-width ≤ ε at confidence 1−δ (the SQL
 //!   `WITHIN ε PERCENT CONFIDENCE γ` clause), a row budget, a wall-clock
-//!   budget, or run-to-exhaustion — first one to fire wins.
+//!   budget, or run-to-exhaustion — first one to fire wins;
+//! * a **grouped progressive driver** ([`run_online_grouped`] /
+//!   [`run_online_grouped_sql`]) that routes each sampled tuple to its
+//!   `GROUP BY` group's own incremental accumulator and judges the CI
+//!   target **per group** — stop when every discovered group (or the top-K
+//!   by estimate, [`GroupedOnlineOptions::ci_top_k`]) is tight enough,
+//!   while row/time budgets stay global.
 //!
 //! For any fixed prefix of consumed tuples the incremental estimate and
 //! variance equal the batch estimator's output on that prefix (up to float
@@ -46,9 +52,14 @@
 
 pub mod driver;
 pub mod error;
+pub mod grouped;
 
 pub use driver::{run_online, run_online_sql, OnlineOptions, OnlineResult, ProgressSnapshot};
 pub use error::OnlineError;
+pub use grouped::{
+    group_snapshot, run_online_grouped, run_online_grouped_sql, GroupProgress,
+    GroupedOnlineOptions, GroupedOnlineResult, GroupedProgressSnapshot,
+};
 // The vocabulary types callers need alongside the driver.
 pub use sa_plan::{CiTarget, StopReason, StoppingRule};
 

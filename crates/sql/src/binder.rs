@@ -205,16 +205,32 @@ pub fn plan_online_sql(
     sql: &str,
     catalog: &Catalog,
 ) -> Result<(LogicalPlan, Option<sa_plan::StoppingRule>)> {
-    let q = crate::parser::parse(sql)?;
-    if !q.group_by.is_empty() {
+    let (plan, group_by, rule) = plan_online_grouped_sql(sql, catalog)?;
+    if !group_by.is_empty() {
+        // Not a capability gap any more — the scalar signature just cannot
+        // carry per-group results.
         return Err(SqlError::Bind(
-            "online estimation of GROUP BY queries is not supported yet; drop the GROUP BY \
-             or use the batch path"
+            "query has GROUP BY; plan it with plan_online_grouped_sql and run it with the \
+             grouped online driver (per-group stopping)"
                 .into(),
         ));
     }
+    Ok((plan, rule))
+}
+
+/// Parse and bind a (possibly grouped) aggregate query for **online**
+/// (progressive) estimation: returns the plan, the `GROUP BY` expressions
+/// (empty for a scalar query), and the stopping rule lowered from the
+/// query's `WITHIN ε PERCENT CONFIDENCE γ` clause. Ready for
+/// `sa_online::run_online_grouped` (or `run_online` when the key list is
+/// empty).
+pub fn plan_online_grouped_sql(
+    sql: &str,
+    catalog: &Catalog,
+) -> Result<(LogicalPlan, Vec<Expr>, Option<sa_plan::StoppingRule>)> {
+    let q = crate::parser::parse(sql)?;
     let plan = bind_query(&q, catalog)?;
-    Ok((plan, q.accuracy.map(|a| a.stopping_rule())))
+    Ok((plan, q.group_by, q.accuracy.map(|a| a.stopping_rule())))
 }
 
 #[cfg(test)]
@@ -388,6 +404,41 @@ mod tests {
         };
         assert_eq!(aggs[0].alias, "col0");
         assert_eq!(aggs[1].alias, "col1");
+    }
+
+    #[test]
+    fn online_grouped_lowering_carries_keys_and_rule() {
+        let (plan, group_by, rule) = plan_online_grouped_sql(
+            "SELECT l_orderkey, SUM(l_extendedprice) AS s \
+             FROM lineitem TABLESAMPLE (10 PERCENT) \
+             GROUP BY l_orderkey WITHIN 5 PERCENT CONFIDENCE 95",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(matches!(plan, LogicalPlan::Aggregate { .. }));
+        assert_eq!(group_by.len(), 1);
+        let target = rule.unwrap().ci_target.unwrap();
+        assert!((target.epsilon - 0.05).abs() < 1e-12);
+        assert!((target.confidence - 0.95).abs() < 1e-12);
+        // A scalar query comes back with no keys.
+        let (_, group_by, rule) = plan_online_grouped_sql(
+            "SELECT SUM(l_extendedprice) FROM lineitem TABLESAMPLE (10 PERCENT)",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(group_by.is_empty());
+        assert!(rule.is_none());
+    }
+
+    #[test]
+    fn scalar_online_entry_redirects_grouped_queries() {
+        let err = plan_online_sql(
+            "SELECT l_orderkey, SUM(l_extendedprice) FROM lineitem GROUP BY l_orderkey",
+            &catalog(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"), "{err}");
+        assert!(err.to_string().contains("plan_online_grouped_sql"), "{err}");
     }
 
     #[test]

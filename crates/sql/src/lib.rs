@@ -18,7 +18,9 @@ pub mod parser;
 pub mod token;
 
 pub use ast::{AccuracyClause, AggCall, AggItem, Query, SampleSpec, TableRef, ViewHeader};
-pub use binder::{bind_query, plan_grouped_sql, plan_online_sql, plan_sql};
+pub use binder::{
+    bind_query, plan_grouped_sql, plan_online_grouped_sql, plan_online_sql, plan_sql,
+};
 pub use error::SqlError;
 pub use parser::parse;
 

@@ -5,14 +5,17 @@
 //! sampled plan streams in chunks, the incremental accumulator keeps
 //! estimate/variance O(1)-readable, and the loop stops as soon as the 95%
 //! interval is within ±2% of the estimate — then compares against the
-//! batch answer over the full sample and the exact answer.
+//! batch answer over the full sample and the exact answer. A second act
+//! does the same for a `GROUP BY` query with **per-group** stopping: the
+//! loop only quits once every return flag's interval is tight enough.
 //!
 //! ```sh
 //! cargo run --release --example online_aggregation
 //! ```
 
+use sampling_algebra::exec::exact_group_query;
 use sampling_algebra::prelude::*;
-use sampling_algebra::sql::plan_online_sql;
+use sampling_algebra::sql::{plan_online_grouped_sql, plan_online_sql};
 
 fn main() {
     // 1. Data: TPC-H at a scale where batch execution is already noticeable.
@@ -94,4 +97,73 @@ fn main() {
         "final interval contains exact : {}",
         if ci.contains(exact) { "yes" } else { "no" }
     );
+
+    // 5. Grouped online aggregation: every group carries its own interval,
+    //    and the stopping rule is judged per group — the loop runs until the
+    //    slowest group's interval is within ±5%.
+    let gsql = "SELECT l_returnflag, SUM(l_extendedprice) AS revenue \
+                FROM lineitem TABLESAMPLE (25 PERCENT) \
+                GROUP BY l_returnflag \
+                WITHIN 5 PERCENT CONFIDENCE 95";
+    println!("\ngrouped query:\n  {gsql}\n");
+    let gopts = GroupedOnlineOptions {
+        online: OnlineOptions {
+            seed: 7,
+            chunk_rows: 2000,
+            ..Default::default()
+        },
+        // For long-tailed group counts, `ci_top_k: Some(k)` would let the
+        // K heaviest groups drive termination; three flags need no policy.
+        ci_top_k: None,
+    };
+    let grouped = run_online_grouped_sql(gsql, &catalog, &gopts, |s| {
+        let per_group: Vec<String> = s
+            .groups
+            .iter()
+            .map(|g| {
+                format!(
+                    "{}={:.3e}{}",
+                    g.key[0],
+                    g.aggs[0].estimate,
+                    if g.converged { "*" } else { "" }
+                )
+            })
+            .collect();
+        println!(
+            "{:>8} rows  {:>2} groups (+{} new)  worst rel {:>6}  [{}]",
+            s.rows,
+            s.groups.len(),
+            s.new_groups,
+            s.rel_half_width
+                .map(|r| format!("{:.2}%", r * 100.0))
+                .unwrap_or_else(|| "—".into()),
+            per_group.join(" ")
+        );
+    })
+    .expect("grouped online run succeeds");
+    println!(
+        "\nstopped: {} after {} tuples ({} chunks); * marks converged groups\n",
+        grouped.reason, grouped.snapshot.rows, grouped.chunks
+    );
+
+    // 6. Per-group comparison against the exact grouped answer.
+    let (gplan, group_by, _) = plan_online_grouped_sql(gsql, &catalog).unwrap();
+    let exact_groups = exact_group_query(&gplan, &group_by, &catalog).unwrap();
+    println!(
+        "{:<6} {:>16} {:>16} {:>9} {:>9}",
+        "flag", "estimate", "exact", "error", "covered"
+    );
+    for g in &grouped.snapshot.groups {
+        let truth = exact_groups[&g.key][0];
+        let est = g.aggs[0].estimate;
+        let ci = g.aggs[0].ci_normal.as_ref().unwrap();
+        println!(
+            "{:<6} {:>16.2} {:>16.2} {:>8.2}% {:>9}",
+            g.key[0].to_string(),
+            est,
+            truth,
+            (est - truth).abs() / truth * 100.0,
+            if ci.contains(truth) { "yes" } else { "no" }
+        );
+    }
 }

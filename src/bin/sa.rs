@@ -33,9 +33,12 @@
 use std::io::{BufRead, Write};
 
 use sampling_algebra::exec::{approx_group_query, exact_group_query, GroupedApproxResult};
-use sampling_algebra::online::{OnlineResult as OnlineRunResult, ProgressSnapshot};
+use sampling_algebra::online::{
+    run_online_grouped, GroupedOnlineOptions, GroupedOnlineResult, GroupedProgressSnapshot,
+    OnlineResult as OnlineRunResult, ProgressSnapshot,
+};
 use sampling_algebra::prelude::*;
-use sampling_algebra::sql::plan_grouped_sql;
+use sampling_algebra::sql::{plan_grouped_sql, plan_online_grouped_sql};
 
 struct Session {
     catalog: Catalog,
@@ -279,26 +282,61 @@ fn print_grouped(r: &GroupedApproxResult) {
     );
 }
 
-/// Progressive estimation: print one line per snapshot, then the final
-/// estimates and why the loop stopped.
+/// Progressive estimation: print one line (scalar) or one table (grouped)
+/// per snapshot, then the final estimates and why the loop stopped.
 fn run_online_mode(session: &mut Session, sql: &str) {
-    let opts = OnlineOptions {
+    let (plan, group_by, rule) = match plan_online_grouped_sql(sql, &session.catalog) {
+        Ok(p) => p,
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
+    let mut opts = OnlineOptions {
         seed: session.seed,
         chunk_rows: session.chunk_rows,
         confidence: session.confidence,
         rule: StoppingRule::exhaustive(),
         scale_to_population: true,
     };
-    println!(
-        "{:>10} {:>9} {:>16} {:>14} {:>8} {:>9}",
-        "rows", "scanned", "estimate", "±half-width", "rel", "elapsed"
-    );
-    let result = run_online_sql(sql, &session.catalog, &opts, print_snapshot_line);
-    match result {
-        Ok(r) => print_online_summary(&r),
-        Err(e) => println!("error: {e}"),
+    if let Some(rule) = rule {
+        opts.rule.ci_target = rule.ci_target;
+    }
+    if group_by.is_empty() {
+        println!(
+            "{:>10} {:>9} {:>16} {:>14} {:>8} {:>9}",
+            "rows", "scanned", "estimate", "±half-width", "rel", "elapsed"
+        );
+        match run_online(&plan, &session.catalog, &opts, print_snapshot_line) {
+            Ok(r) => print_online_summary(&r),
+            Err(e) => println!("error: {e}"),
+        }
+    } else {
+        let opts = GroupedOnlineOptions {
+            online: opts,
+            ci_top_k: None,
+        };
+        let result = run_online_grouped(
+            &plan,
+            &group_by,
+            &session.catalog,
+            &opts,
+            print_grouped_snapshot,
+        );
+        match result {
+            Ok(r) => print_grouped_online_summary(&r),
+            Err(e) => println!("error: {e}"),
+        }
     }
     session.seed = session.seed.wrapping_add(1); // fresh sample next time
+}
+
+/// Smallest per-relation scan fraction — the pessimistic "scanned" column.
+fn min_scan_fraction(progress: &[(u64, u64)]) -> f64 {
+    progress
+        .iter()
+        .map(|(c, n)| if *n == 0 { 1.0 } else { *c as f64 / *n as f64 })
+        .fold(1.0f64, f64::min)
 }
 
 fn print_snapshot_line(s: &ProgressSnapshot) {
@@ -311,20 +349,100 @@ fn print_snapshot_line(s: &ProgressSnapshot) {
         ),
         None => ("—".into(), "—".into()),
     };
-    let scanned = s
-        .progress
-        .iter()
-        .map(|(c, n)| if *n == 0 { 1.0 } else { *c as f64 / *n as f64 })
-        .fold(1.0f64, f64::min);
     println!(
         "{:>10} {:>8.1}% {:>16.4} {:>14} {:>8} {:>7}ms",
         s.rows,
-        scanned * 100.0,
+        min_scan_fraction(&s.progress) * 100.0,
         a.estimate,
         half,
         rel,
         s.elapsed.as_millis()
     );
+}
+
+/// One compact table per grouped snapshot: a chunk header line, then one
+/// line per (group, aggregate). Deterministic for a fixed seed — no wall
+/// times — so seeded runs are byte-reproducible.
+fn print_grouped_snapshot(s: &GroupedProgressSnapshot) {
+    let worst = s
+        .rel_half_width
+        .map(|r| format!("{:.2}%", r * 100.0))
+        .unwrap_or_else(|| "—".into());
+    println!(
+        "[chunk {:>4}] {:>9} rows {:>6.1}% scanned {:>3} groups (+{} new) worst rel {}",
+        s.chunk,
+        s.rows,
+        min_scan_fraction(&s.progress) * 100.0,
+        s.groups.len(),
+        s.new_groups,
+        worst
+    );
+    for g in &s.groups {
+        let key: Vec<String> = g.key.iter().map(|v| v.to_string()).collect();
+        for a in &g.aggs {
+            let (half, rel) = match &a.ci_normal {
+                Some(ci) => (
+                    format!("{:.2}", ci.width() / 2.0),
+                    format!("{:.2}%", ci.relative_half_width() * 100.0),
+                ),
+                None => ("—".into(), "—".into()),
+            };
+            let mark = if g.converged {
+                "  ok"
+            } else if !g.tracked {
+                "  (untracked)"
+            } else {
+                ""
+            };
+            println!(
+                "    {:<20} {:<12} {:>16.4} {:>14} {:>8}{}",
+                key.join(","),
+                a.name,
+                a.estimate,
+                half,
+                rel,
+                mark
+            );
+        }
+    }
+}
+
+fn print_grouped_online_summary(r: &GroupedOnlineResult) {
+    println!(
+        "stopped: {} after {} rows in {} chunks ({} ms)",
+        r.reason,
+        r.snapshot.rows,
+        r.chunks,
+        r.snapshot.elapsed.as_millis()
+    );
+    println!(
+        "{:<20} {:<12} {:>16} {:>14} {:>34} {:>8}",
+        r.snapshot.group_exprs.join(", "),
+        "aggregate",
+        "estimate",
+        "std err",
+        "final normal CI",
+        "tuples"
+    );
+    for g in &r.snapshot.groups {
+        let key: Vec<String> = g.key.iter().map(|v| v.to_string()).collect();
+        for a in &g.aggs {
+            let (se, ci) = match (&a.variance, &a.ci_normal) {
+                (Some(v), Some(ci)) => (format!("{:.4}", v.sqrt()), format!("{ci}")),
+                _ => ("—".into(), "(not estimable)".into()),
+            };
+            println!(
+                "{:<20} {:<12} {:>16.4} {:>14} {:>34} {:>8}",
+                key.join(","),
+                a.name,
+                a.estimate,
+                se,
+                ci,
+                g.sample_rows
+            );
+        }
+    }
+    println!("({} observed groups)", r.snapshot.groups.len());
 }
 
 fn print_online_summary(r: &OnlineRunResult) {

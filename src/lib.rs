@@ -71,8 +71,9 @@ pub use sa_tpch as tpch;
 pub mod prelude {
     pub use sa_baselines::{bootstrap, compare_estimators, naive_clt, oracle_variance};
     pub use sa_core::{
-        chebyshev_ci, normal_ci, quantile_bound, ConfidenceInterval, EstimateReport, GusParams,
-        LineageBernoulli, LineageSchema, MomentAccumulator, RelSet, SBox,
+        chebyshev_ci, normal_ci, quantile_bound, ConfidenceInterval, EstimateReport,
+        GroupedMomentAccumulator, GusParams, LineageBernoulli, LineageSchema, MomentAccumulator,
+        RelSet, SBox,
     };
     pub use sa_exec::{
         approx_query, exact_query, execute, open_stream, ApproxOptions, ApproxResult, ChunkStream,
@@ -80,7 +81,9 @@ pub mod prelude {
     };
     pub use sa_expr::{col, lit, Expr};
     pub use sa_online::{
-        run_online, run_online_sql, OnlineOptions, OnlineResult, ProgressSnapshot,
+        run_online, run_online_grouped, run_online_grouped_sql, run_online_sql,
+        GroupedOnlineOptions, GroupedOnlineResult, GroupedProgressSnapshot, OnlineOptions,
+        OnlineResult, ProgressSnapshot,
     };
     pub use sa_plan::{
         render_gus_table, rewrite, AggFunc, AggSpec, LogicalPlan, SoaAnalysis, StopReason,

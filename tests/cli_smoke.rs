@@ -10,6 +10,25 @@ fn sa() -> Command {
     c
 }
 
+/// Wall-clock columns differ run to run; drop them, compare the rest.
+fn strip_times(s: &str) -> String {
+    s.lines()
+        .map(|l| {
+            let t = l.trim_end();
+            if t.ends_with("ms)") {
+                // "stopped: … (N ms)" → drop the parenthetical.
+                t.rsplit_once(" (").map(|(h, _)| h).unwrap_or(t).to_string()
+            } else if t.ends_with("ms") {
+                // snapshot line → drop the trailing elapsed column.
+                t.rsplit_once(' ').map(|(h, _)| h).unwrap_or(t).to_string()
+            } else {
+                t.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 #[test]
 fn one_shot_scalar_query() {
     let out = sa()
@@ -111,28 +130,97 @@ fn one_shot_online_query_with_stopping_rule() {
         )
         .output()
         .expect("binary runs");
-    // Wall-clock columns differ run to run; drop them, compare the rest.
-    let strip_times = |s: &str| -> String {
-        s.lines()
-            .map(|l| {
-                let t = l.trim_end();
-                if t.ends_with("ms)") {
-                    // "stopped: … (N ms)" → drop the parenthetical.
-                    t.rsplit_once(" (").map(|(h, _)| h).unwrap_or(t).to_string()
-                } else if t.ends_with("ms") {
-                    // snapshot line → drop the trailing elapsed column.
-                    t.rsplit_once(' ').map(|(h, _)| h).unwrap_or(t).to_string()
-                } else {
-                    t.to_string()
-                }
-            })
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
     assert_eq!(
         strip_times(&stdout),
         strip_times(&String::from_utf8_lossy(&again.stdout))
     );
+}
+
+#[test]
+fn one_shot_online_grouped_query_with_per_group_stopping() {
+    // GROUP BY + WITHIN: live per-group snapshot tables, per-group stopping,
+    // and byte-identical output across two runs with the same seed.
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_sa"))
+            .args([
+                "--tpch", "0.002", "--seed", "42", "--chunk", "800", "--online",
+            ])
+            .arg("--query")
+            .arg(
+                "SELECT l_returnflag, SUM(l_quantity) AS q \
+                 FROM lineitem TABLESAMPLE (30 PERCENT) \
+                 GROUP BY l_returnflag \
+                 WITHIN 10 PERCENT CONFIDENCE 95",
+            )
+            .output()
+            .expect("binary runs")
+    };
+    let out = run();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Live per-group snapshot tables: chunk headers plus one line per group.
+    assert!(stdout.contains("groups (+"), "{stdout}");
+    assert!(stdout.contains("worst rel"), "{stdout}");
+    for flag in ["A", "N", "R"] {
+        assert!(
+            stdout.matches(&format!("\n    {flag}")).count() >= 2,
+            "expected repeated snapshot lines for group {flag}: {stdout}"
+        );
+    }
+    // Per-group stopping fired before exhaustion, and the summary table
+    // reports every group.
+    assert!(stdout.contains("stopped: ci-converged"), "{stdout}");
+    assert!(stdout.contains("final normal CI"), "{stdout}");
+    assert!(stdout.contains("(3 observed groups)"), "{stdout}");
+    // Reproducible: the same seed gives byte-identical progress.
+    let again = run();
+    assert_eq!(
+        strip_times(&stdout),
+        strip_times(&String::from_utf8_lossy(&again.stdout))
+    );
+}
+
+#[test]
+fn chunk_zero_flag_rejected() {
+    // Regression: `--chunk 0` must be rejected at the CLI boundary with a
+    // clear error instead of degenerating the pull loop into 1-row chunks.
+    let out = Command::new(env!("CARGO_BIN_EXE_sa"))
+        .args(["--tpch", "0.001", "--chunk", "0", "--online"])
+        .arg("--query")
+        .arg("SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (20 PERCENT)")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "--chunk 0 must fail");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("positive row count"), "{stderr}");
+}
+
+#[test]
+fn interactive_chunk_zero_rejected_and_session_survives() {
+    // Regression: `\chunk 0` is refused, the previous chunk size stays in
+    // effect, and the shell keeps working.
+    let mut child = sa()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let stdin = child.stdin.as_mut().expect("piped stdin");
+    writeln!(stdin, "\\chunk 500").unwrap();
+    writeln!(stdin, "\\chunk 0").unwrap();
+    writeln!(
+        stdin,
+        "\\online SELECT COUNT(*) AS n FROM orders TABLESAMPLE (80 PERCENT)"
+    )
+    .unwrap();
+    writeln!(stdin, "\\quit").unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chunk = 500"), "{stdout}");
+    assert!(stdout.contains("positive row count"), "{stdout}");
+    assert!(stdout.contains("stopped: exhausted"), "{stdout}");
 }
 
 #[test]

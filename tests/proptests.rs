@@ -6,8 +6,10 @@
 use proptest::prelude::*;
 
 use sa_core::coeffs::{moebius_transform, moebius_transform_naive, zeta_transform};
-use sa_core::{GroupedMoments, LineageSchema, MomentAccumulator};
+use sa_core::{GroupedMomentAccumulator, GroupedMoments, LineageSchema, MomentAccumulator};
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder};
+use sampling_algebra::exec::{agg_results_from_report, approx_group_query, layout_dims};
+use sampling_algebra::expr::{bind, eval};
 use sampling_algebra::prelude::*;
 
 const TOL: f64 = 1e-9;
@@ -281,6 +283,107 @@ proptest! {
                     mb.y_scalar(RelSet::from_bits(s)),
                 );
                 prop_assert!((yi - yb).abs() <= 1e-9 * (1.0 + yb.abs()), "y[{s}]: {yi} vs {yb}");
+            }
+        }
+    }
+
+    #[test]
+    fn grouped_accumulator_matches_batch_grouped_query(
+        p in 0.2f64..1.0,
+        seed in 0u64..1000,
+        cuts in prop::collection::vec(0usize..400, 0..6),
+        shard_cut in 0usize..400,
+    ) {
+        // t(g, v): 9 groups with varying sizes and values.
+        let mut catalog = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("g", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..300i64 {
+            b.push_row(&[
+                sa_storage::Value::Int((i * i) % 9),
+                sa_storage::Value::Float(((i % 13) - 6) as f64),
+            ])
+            .unwrap();
+        }
+        catalog.register(b.finish().unwrap()).unwrap();
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p })
+            .aggregate(vec![AggSpec::sum(col("v"), "s"), AggSpec::count_star("n")]);
+
+        // The batch grouped driver's answer…
+        let batch = approx_group_query(
+            &plan,
+            &[col("g")],
+            &catalog,
+            &ApproxOptions { seed, confidence: 0.95, subsample_target: None },
+        )
+        .unwrap();
+        // …and the SAME realized sample as raw rows (approx_group_query
+        // executes the aggregate input with this very seed).
+        let LogicalPlan::Aggregate { aggs, input } = &plan else { unreachable!() };
+        let rs = execute(input, &catalog, &ExecOptions { seed }).unwrap();
+        let layout = layout_dims(aggs, &rs.schema).unwrap();
+        let key_expr = bind(&col("g"), &rs.schema).unwrap();
+        let keyed: Vec<(Vec<sa_storage::Value>, &sa_exec::Row)> = rs
+            .rows
+            .iter()
+            .map(|row| (vec![eval(&key_expr, &row.values).unwrap()], row))
+            .collect();
+
+        // Incremental: arbitrary chunk boundaries into one accumulator…
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c % (keyed.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(keyed.len());
+        bounds.sort_unstable();
+        let dims = layout.dims();
+        let mut inc: GroupedMomentAccumulator<Vec<sa_storage::Value>> =
+            GroupedMomentAccumulator::new(1, dims);
+        for w in bounds.windows(2) {
+            for (key, row) in &keyed[w[0]..w[1]] {
+                inc.push(key.clone(), &row.lineage, &sa_exec::f_vector(&layout, row).unwrap())
+                    .unwrap();
+            }
+        }
+        // …and a two-shard split merged back together.
+        let k = shard_cut % (keyed.len() + 1);
+        let mut left: GroupedMomentAccumulator<Vec<sa_storage::Value>> =
+            GroupedMomentAccumulator::new(1, dims);
+        for (key, row) in &keyed[..k] {
+            left.push(key.clone(), &row.lineage, &sa_exec::f_vector(&layout, row).unwrap())
+                .unwrap();
+        }
+        let mut right: GroupedMomentAccumulator<Vec<sa_storage::Value>> =
+            GroupedMomentAccumulator::new(1, dims);
+        for (key, row) in &keyed[k..] {
+            right.push(key.clone(), &row.lineage, &sa_exec::f_vector(&layout, row).unwrap())
+                .unwrap();
+        }
+        left.merge(&right).unwrap();
+
+        let gus = &batch.analysis.gus;
+        for acc in [&inc, &left] {
+            prop_assert_eq!(acc.group_count(), batch.groups.len());
+            for g in &batch.groups {
+                let report = acc.report_group(&g.key, gus).expect("group present").unwrap();
+                let incs = agg_results_from_report(aggs, &layout, &report, 0.95);
+                for (a_inc, a_batch) in incs.iter().zip(&g.aggs) {
+                    prop_assert!(
+                        (a_inc.estimate - a_batch.estimate).abs()
+                            <= 1e-9 * (1.0 + a_batch.estimate.abs()),
+                        "{:?}/{}: {} vs {}", g.key, a_batch.name, a_inc.estimate, a_batch.estimate
+                    );
+                    if let (Some(vi), Some(vb)) = (a_inc.variance, a_batch.variance) {
+                        prop_assert!(
+                            (vi - vb).abs() <= 1e-9 * (1.0 + vb.abs()),
+                            "{:?}/{}: var {} vs {}", g.key, a_batch.name, vi, vb
+                        );
+                    }
+                }
+                prop_assert_eq!(acc.group(&g.key).unwrap().count(), g.sample_rows);
             }
         }
     }

@@ -32,7 +32,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec<T>` with element strategy `S`; see [`vec`].
+/// Strategy for `Vec<T>` with element strategy `S`; see [`vec()`](crate::collection::vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
