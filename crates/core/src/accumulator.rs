@@ -24,7 +24,10 @@
 //! ([`MomentAccumulator::merge`]): shards can consume disjoint chunk ranges
 //! in parallel and be combined associatively, with groups shared across
 //! shards re-linked through the same rank-two delta. Merging is `O(groups
-//! in the absorbed shard)`, never `O(rows)`.
+//! in the absorbed shard)`, never `O(rows)`. The type is plain data
+//! (`Send + Sync + Clone`) — `sa-online`'s worker pool moves shard
+//! accumulators across threads and merges deltas on a coordinator; that
+//! surface is pinned by a compile-time assertion in this module's tests.
 //!
 //! Up to floating-point associativity, a `MomentAccumulator` fed any chunk
 //! split (and merged in any shape) agrees with `GroupedMoments` fed the same
@@ -313,6 +316,16 @@ mod tests {
         assert!(acc.merge(&other).is_err());
         let other = MomentAccumulator::new(2, 2);
         assert!(acc.merge(&other).is_err());
+    }
+
+    #[test]
+    fn accumulators_are_send_sync_clone() {
+        // The shard-parallel online driver moves accumulators into worker
+        // threads and clones/merges them on a coordinator; a field change
+        // that breaks Send/Sync/Clone must fail here, at compile time.
+        fn assert_shardable<T: Send + Sync + Clone>() {}
+        assert_shardable::<MomentAccumulator>();
+        assert_shardable::<crate::GroupedMomentAccumulator<Vec<u64>>>();
     }
 
     #[test]

@@ -14,7 +14,39 @@
 //!   truth.
 //! * [`open_stream`] is the chunked, pull-based alternative to [`execute`]:
 //!   the same rows, a chunk at a time, for online aggregation (`sa-online`
-//!   drives it).
+//!   drives it). [`open_stream_partitioned`] splits the same stream into N
+//!   disjoint, deterministic worker slices for shard-parallel drivers.
+//!
+//! # Examples
+//!
+//! Estimate a sampled SUM with a confidence interval (the paper's full
+//! pipeline), then stream the same sampled scan chunk by chunk:
+//!
+//! ```
+//! use sa_exec::{approx_query, open_stream, ApproxOptions, ExecOptions};
+//! use sa_plan::{AggSpec, LogicalPlan};
+//! use sa_sampling::SamplingMethod;
+//! use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+//!
+//! let mut catalog = Catalog::new();
+//! let schema = Schema::new(vec![Field::new("v", DataType::Float)]).unwrap();
+//! let mut b = TableBuilder::new("t", schema);
+//! for _ in 0..1000 { b.push_row(&[Value::Float(2.0)]).unwrap(); }
+//! catalog.register(b.finish().unwrap()).unwrap();
+//!
+//! // Batch: SUM(v) over a 50% Bernoulli sample, scaled up with a CI.
+//! let plan = LogicalPlan::scan("t")
+//!     .sample(SamplingMethod::Bernoulli { p: 0.5 })
+//!     .aggregate(vec![AggSpec::sum(sa_expr::col("v"), "s")]);
+//! let result = approx_query(&plan, &catalog, &ApproxOptions::default()).unwrap();
+//! assert!((result.aggs[0].estimate - 2000.0).abs() < 400.0);
+//!
+//! // Streaming: the aggregate's *input*, pulled in chunks with lineage.
+//! let sampled = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
+//! let mut stream = open_stream(&sampled, &catalog, &ExecOptions { seed: 7 }).unwrap();
+//! let chunk = stream.next_chunk(64).unwrap();
+//! assert!(!chunk.is_empty() && chunk[0].lineage.len() == 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -31,7 +63,7 @@ pub use approx::{
 pub use error::ExecError;
 pub use exec::{execute, ExecOptions, ResultSet, Row};
 pub use grouped::{approx_group_query, exact_group_query, GroupEstimate, GroupedApproxResult};
-pub use stream::{open_stream, ChunkStream};
+pub use stream::{open_stream, open_stream_partitioned, ChunkStream};
 
 /// Crate-wide result alias.
 pub type Result<T, E = ExecError> = std::result::Result<T, E>;

@@ -121,25 +121,88 @@ pub fn open_stream(
     catalog: &Catalog,
     opts: &ExecOptions,
 ) -> Result<ChunkStream> {
+    let mut streams = open_stream_partitioned(plan, catalog, opts, 1)?;
+    Ok(streams.pop().expect("one partition yields one stream"))
+}
+
+/// Compile `plan` into `parts` [`ChunkStream`]s over **disjoint,
+/// deterministic slices** of the sampled data, for shard-parallel online
+/// aggregation (`sa-online` drives one worker thread per stream).
+///
+/// Partitioning semantics, chosen so the union of the worker streams is a
+/// single coherent sample of the plan and summed per-worker
+/// [`ChunkStream::progress`] is a true per-relation `(consumed, available)`
+/// coverage (the Prop-8 prefix compaction keeps working):
+///
+/// * the streaming **scan spine** is split into `parts` contiguous,
+///   block-aligned row slices (block alignment keeps `SYSTEM` block
+///   coverage and keep-decisions whole per worker);
+/// * **Bernoulli** samplers on the spine draw from per-worker RNG streams
+///   (seeds derived deterministically from the operator seed and the worker
+///   index), so per-row keep decisions stay independent across rows;
+/// * **`SYSTEM`** keep decisions, **blocking samplers** (WOR /
+///   with-replacement, materialized once and sliced contiguously) and
+///   **join build sides** (materialized once, shared behind `Arc`) are
+///   drawn exactly once from the same master-RNG positions the sequential
+///   [`open_stream`] uses — so those realizations are *identical* to the
+///   single-stream run and every worker probes the same build side;
+/// * `UnionSamples` cannot be partitioned (its lineage dedup is global
+///   state) and is rejected.
+///
+/// `parts == 1` IS the sequential stream ([`open_stream`] delegates here),
+/// so the two paths cannot drift: one full-range slice, base seeds used
+/// directly, `UnionSamples` supported.
+/// For `parts > 1`, a plan whose only stochastic operators are shared
+/// (scans, `SYSTEM`, WOR, build sides) streams the *same* rows as the
+/// sequential run, in the same order when worker outputs are concatenated
+/// by index; only spine Bernoulli draws differ (each worker has its own
+/// stream), and the union remains a valid Bernoulli sample.
+pub fn open_stream_partitioned(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+    parts: usize,
+) -> Result<Vec<ChunkStream>> {
+    if parts == 0 {
+        return Err(ExecError::Unsupported(
+            "open_stream_partitioned needs at least one partition".into(),
+        ));
+    }
     plan.validate(catalog)?;
     let mut master = StdRng::seed_from_u64(opts.seed);
-    let (root, schema, relations) = build(plan, catalog, &mut master)?;
-    Ok(ChunkStream {
-        schema,
-        relations,
-        root,
-        rows_out: 0,
-    })
+    let (roots, schema, relations) = build_partitioned(plan, catalog, &mut master, parts)?;
+    Ok(roots
+        .into_iter()
+        .map(|root| ChunkStream {
+            schema: schema.clone(),
+            relations: relations.clone(),
+            root,
+            rows_out: 0,
+        })
+        .collect())
+}
+
+/// Derive worker `w`'s RNG seed from a spine operator's base seed —
+/// splitmix64-style finalization, so per-worker streams are decorrelated
+/// but fully determined by `(plan, seed, parts)`.
+fn worker_seed(base: u64, worker: u64) -> u64 {
+    let mut z = base ^ worker.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// One operator of the streaming pipeline.
 #[derive(Debug)]
 enum Node {
-    /// Base-table scan: emits `(row values, lineage = [row id])`.
+    /// Base-table scan over the row range `[start, end)`: emits
+    /// `(row values, lineage = [row id])`. A full scan has `start = 0`,
+    /// `end = row_count`; a partitioned worker scans a block-aligned slice.
     Scan {
         table: Arc<Table>,
+        start: u64,
         next: u64,
-        count: u64,
+        end: u64,
     },
     /// Tuple-level Bernoulli sampling with its own RNG stream.
     Bernoulli {
@@ -169,19 +232,22 @@ enum Node {
     /// Projection.
     Project { exprs: Vec<Expr>, input: Box<Node> },
     /// Streaming hash join: build side materialized, probe side streamed.
+    /// The build rows and hash table sit behind `Arc` so partitioned worker
+    /// streams share one materialization instead of re-drawing (and
+    /// re-sampling!) the build side per worker.
     HashJoin {
         probe: Box<Node>,
-        build_rows: Vec<Row>,
+        build_rows: Arc<Vec<Row>>,
         build_rels: usize,
-        table: HashMap<Vec<Value>, Vec<usize>>,
+        table: Arc<HashMap<Vec<Value>, Vec<usize>>>,
         keys: EquiKeys,
         residual: Option<Expr>,
     },
     /// Nested-loop join (cross product / arbitrary θ): right side
-    /// materialized, left side streamed.
+    /// materialized (shared across partitioned workers), left side streamed.
     NestedLoop {
         left: Box<Node>,
-        right_rows: Vec<Row>,
+        right_rows: Arc<Vec<Row>>,
         build_rels: usize,
         residual: Option<Expr>,
     },
@@ -195,92 +261,139 @@ enum Node {
     },
 }
 
-/// Build the operator tree; returns `(node, schema, relations)`.
-fn build(
+/// Build one operator tree per worker over disjoint slices; returns
+/// `(nodes, schema, relations)` with `nodes.len() == parts`. This is THE
+/// builder — the sequential stream is simply `parts == 1` (one full-range
+/// slice, base seeds used directly), so the traversal, the master-RNG draw
+/// order and the bound expressions cannot drift between the sequential and
+/// partitioned paths. Shared stochastic operators (SYSTEM keeps, blocking
+/// samplers, join build sides) are drawn once at the same master positions
+/// regardless of `parts`; only spine Bernoulli samplers derive per-worker
+/// seeds when `parts > 1`.
+fn build_partitioned(
     plan: &LogicalPlan,
     catalog: &Catalog,
     master: &mut StdRng,
-) -> Result<(Node, SchemaRef, Vec<String>)> {
+    parts: usize,
+) -> Result<(Vec<Node>, SchemaRef, Vec<String>)> {
     match plan {
         LogicalPlan::Scan { table, alias } => {
             let (t, schema) = scan_schema(catalog, table, alias)?;
-            let count = t.row_count();
-            Ok((
-                Node::Scan {
-                    table: t,
-                    next: 0,
-                    count,
-                },
-                schema,
-                vec![alias.clone()],
-            ))
+            let block_rows = t.block_rows() as u64;
+            let rows = t.row_count();
+            let blocks = t.block_count();
+            // Contiguous block-aligned slices: worker w owns blocks
+            // [blocks·w/parts, blocks·(w+1)/parts). Some slices are empty
+            // when there are fewer blocks than workers — they just drain
+            // immediately (oversubscription degrades gracefully).
+            let nodes = (0..parts as u64)
+                .map(|w| {
+                    let start = (blocks * w / parts as u64 * block_rows).min(rows);
+                    let end = (blocks * (w + 1) / parts as u64 * block_rows).min(rows);
+                    Node::Scan {
+                        table: t.clone(),
+                        start,
+                        next: start,
+                        end,
+                    }
+                })
+                .collect();
+            Ok((nodes, schema, vec![alias.clone()]))
         }
         LogicalPlan::Sample { method, input } => {
             method.validate().map_err(ExecError::Sampling)?;
             match method {
                 SamplingMethod::Bernoulli { p } => {
-                    let rng = StdRng::seed_from_u64(master.random::<u64>());
-                    let (node, schema, relations) = build(input, catalog, master)?;
-                    Ok((
-                        Node::Bernoulli {
-                            p: *p,
-                            rng,
-                            input: Box::new(node),
-                        },
-                        schema,
-                        relations,
-                    ))
+                    let base = master.random::<u64>();
+                    let (inputs, schema, relations) =
+                        build_partitioned(input, catalog, master, parts)?;
+                    let nodes = inputs
+                        .into_iter()
+                        .enumerate()
+                        .map(|(w, node)| {
+                            // A single stream uses the base seed directly
+                            // (the historical sequential realization);
+                            // workers get derived, decorrelated streams.
+                            let seed = if parts == 1 {
+                                base
+                            } else {
+                                worker_seed(base, w as u64)
+                            };
+                            Node::Bernoulli {
+                                p: *p,
+                                rng: StdRng::seed_from_u64(seed),
+                                input: Box::new(node),
+                            }
+                        })
+                        .collect();
+                    Ok((nodes, schema, relations))
                 }
                 SamplingMethod::System { p } => {
                     let base = base_table(input, catalog)?;
                     let mut rng = StdRng::seed_from_u64(master.random::<u64>());
+                    // ONE keep vector for all workers: slices are
+                    // block-aligned, so each block's keep decision is used
+                    // by exactly one worker and the union is a single
+                    // coherent SYSTEM sample (identical to the sequential
+                    // realization for the same seed).
                     let keep: Vec<bool> = (0..base.block_count())
                         .map(|_| rng.random::<f64>() < *p)
                         .collect();
-                    let (node, schema, relations) = build(input, catalog, master)?;
-                    let row_prefix = node.is_scan_prefix();
-                    Ok((
-                        Node::System {
-                            keep,
-                            base,
-                            row_prefix,
-                            input: Box::new(node),
-                        },
-                        schema,
-                        relations,
-                    ))
+                    let (inputs, schema, relations) =
+                        build_partitioned(input, catalog, master, parts)?;
+                    let nodes = inputs
+                        .into_iter()
+                        .map(|node| {
+                            let row_prefix = node.is_scan_prefix();
+                            Node::System {
+                                keep: keep.clone(),
+                                base: base.clone(),
+                                row_prefix,
+                                input: Box::new(node),
+                            }
+                        })
+                        .collect();
+                    Ok((nodes, schema, relations))
                 }
                 SamplingMethod::Wor { .. } | SamplingMethod::WithReplacement { .. } => {
-                    // Fixed-size samplers need their input's full cardinality
-                    // up front; materialize the whole subtree via the batch
-                    // executor with a derived RNG.
+                    // Blocking samplers need their input's full cardinality
+                    // up front: materialized once via the batch executor
+                    // (the same draw at any `parts`), sample rows sliced
+                    // contiguously across workers.
                     let mut rng = StdRng::seed_from_u64(master.random::<u64>());
                     let rs = exec_node(plan, catalog, &mut rng)?;
-                    Ok((
-                        Node::Materialized {
+                    let len = rs.rows.len();
+                    let nodes = if parts == 1 {
+                        vec![Node::Materialized {
                             rows: rs.rows,
                             next: 0,
-                        },
-                        rs.schema,
-                        rs.relations,
-                    ))
+                        }]
+                    } else {
+                        (0..parts)
+                            .map(|w| Node::Materialized {
+                                rows: rs.rows[len * w / parts..len * (w + 1) / parts].to_vec(),
+                                next: 0,
+                            })
+                            .collect()
+                    };
+                    Ok((nodes, rs.schema, rs.relations))
                 }
             }
         }
         LogicalPlan::Filter { predicate, input } => {
-            let (node, schema, relations) = build(input, catalog, master)?;
+            let (inputs, schema, relations) = build_partitioned(input, catalog, master, parts)?;
             let bound = bind(predicate, &schema)?;
-            Ok((
-                Node::Filter {
-                    predicate: bound,
+            let nodes = inputs
+                .into_iter()
+                .map(|node| Node::Filter {
+                    predicate: bound.clone(),
                     input: Box::new(node),
-                },
-                schema,
-                relations,
-            ))
+                })
+                .collect();
+            Ok((nodes, schema, relations))
         }
         LogicalPlan::Project { exprs, input } => {
-            let (node, in_schema, relations) = build(input, catalog, master)?;
+            let (inputs, in_schema, relations) = build_partitioned(input, catalog, master, parts)?;
             let mut bound = Vec::with_capacity(exprs.len());
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
@@ -291,22 +404,25 @@ fn build(
                 bound.push(be);
             }
             let schema = Arc::new(Schema::new(fields).map_err(ExecError::Storage)?);
-            Ok((
-                Node::Project {
-                    exprs: bound,
+            let nodes = inputs
+                .into_iter()
+                .map(|node| Node::Project {
+                    exprs: bound.clone(),
                     input: Box::new(node),
-                },
-                schema,
-                relations,
-            ))
+                })
+                .collect();
+            Ok((nodes, schema, relations))
         }
         LogicalPlan::Join {
             condition,
             left,
             right,
         } => {
-            let (probe, l_schema, l_rels) = build(left, catalog, master)?;
-            // Build side: materialized via the batch executor.
+            let (probes, l_schema, l_rels) = build_partitioned(left, catalog, master, parts)?;
+            // Build side: materialized ONCE (same master position as the
+            // sequential build) and shared behind Arc by every worker —
+            // re-drawing it per worker would join each probe slice against
+            // a different sample of the right input.
             let mut rng = StdRng::seed_from_u64(master.random::<u64>());
             let r = exec_node(right, catalog, &mut rng)?;
             let schema = Arc::new(l_schema.join(&r.schema)?);
@@ -317,45 +433,29 @@ fn build(
                 Some(c) => split_join_condition(c, &l_schema, &r.schema)?,
             };
             let residual = residual.map(|e| bind(&e, &schema)).transpose()?;
-            let build_rels = r.relations.len();
-            let node = if keys.is_empty() {
-                Node::NestedLoop {
-                    left: Box::new(probe),
-                    right_rows: r.rows,
-                    build_rels,
-                    residual,
-                }
-            } else {
-                let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for (i, rr) in r.rows.iter().enumerate() {
-                    let key: Vec<Value> =
-                        keys.iter().map(|(_, ri)| rr.values[*ri].clone()).collect();
-                    if key.iter().any(Value::is_null) {
-                        continue; // NULL keys never match
-                    }
-                    table.entry(key).or_default().push(i);
-                }
-                Node::HashJoin {
-                    probe: Box::new(probe),
-                    build_rows: r.rows,
-                    build_rels,
-                    table,
-                    keys,
-                    residual,
-                }
-            };
-            Ok((node, schema, relations))
+            let build = JoinBuild::new(r.rows, r.relations.len(), keys, residual);
+            let nodes = probes.into_iter().map(|probe| build.node(probe)).collect();
+            Ok((nodes, schema, relations))
         }
         LogicalPlan::UnionSamples { left, right } => {
-            let (l, schema, relations) = build(left, catalog, master)?;
-            let (r, _, _) = build(right, catalog, master)?;
+            // The union's lineage dedup is global state across both
+            // branches, so it only streams on a single stream.
+            if parts > 1 {
+                return Err(ExecError::Unsupported(
+                    "a UNION of samples cannot be partitioned: its lineage dedup is global \
+                     state across both branches — run it on a single stream (parallelism = 1)"
+                        .into(),
+                ));
+            }
+            let (mut l, schema, relations) = build_partitioned(left, catalog, master, 1)?;
+            let (mut r, _, _) = build_partitioned(right, catalog, master, 1)?;
             Ok((
-                Node::Dedup {
-                    first: Box::new(l),
-                    second: Box::new(r),
+                vec![Node::Dedup {
+                    first: Box::new(l.pop().expect("one part")),
+                    second: Box::new(r.pop().expect("one part")),
                     on_second: false,
                     seen: HashSet::new(),
-                },
+                }],
                 schema,
                 relations,
             ))
@@ -374,16 +474,18 @@ impl Node {
     /// can emit at least one row or their input drains.
     fn next_chunk(&mut self, hint: usize) -> Result<Vec<Row>> {
         match self {
-            Node::Scan { table, next, count } => {
-                let end = (*next + hint as u64).min(*count);
-                let mut rows = Vec::with_capacity((end - *next) as usize);
-                for rid in *next..end {
+            Node::Scan {
+                table, next, end, ..
+            } => {
+                let upto = (*next + hint as u64).min(*end);
+                let mut rows = Vec::with_capacity((upto - *next) as usize);
+                for rid in *next..upto {
                     rows.push(Row {
                         values: table.row(rid)?,
                         lineage: vec![rid],
                     });
                 }
-                *next = end;
+                *next = upto;
                 Ok(rows)
             }
             Node::Materialized { rows, next } => {
@@ -541,7 +643,12 @@ impl Node {
     /// to `out`, in scan order (see [`ChunkStream::progress`]).
     fn progress(&self, out: &mut Vec<(u64, u64)>) {
         match self {
-            Node::Scan { next, count, .. } => out.push((*next, *count)),
+            // Coverage is relative to this node's slice, so a partitioned
+            // set of workers sums to the whole relation's `(consumed,
+            // available)` — a full scan reports `(next, row_count)` as ever.
+            Node::Scan {
+                start, next, end, ..
+            } => out.push((*next - *start, *end - *start)),
             // A materialized blocking sampler: coverage over the *drawn
             // sample* — it stacks onto the plan's own WOR factor exactly
             // like a scan prefix stacks onto a Bernoulli.
@@ -565,16 +672,22 @@ impl Node {
                 // Convert the row-level coverage of the underlying chain to
                 // this relation's sampling unit: blocks. A partially scanned
                 // block counts as covered (its tuples had their chance as a
-                // group; the boundary error is at most one block).
-                let mut inner = Vec::with_capacity(1);
-                input.progress(&mut inner);
-                let (rows_seen, _) = inner.pop().expect("sample chains are single-relation");
-                let blocks_seen = if rows_seen == 0 {
+                // group; the boundary error is at most one block). Slices
+                // are block-aligned, so per-worker block ranges are disjoint
+                // and sum to the full block count.
+                let (start, next, end) =
+                    input.scan_span().expect("row_prefix chains end in a scan");
+                let blocks_seen = if next == start {
                     0
                 } else {
-                    base.block_of(rows_seen - 1) + 1
+                    base.block_of(next - 1) - base.block_of(start) + 1
                 };
-                out.push((blocks_seen, base.block_count()));
+                let blocks_avail = if end == start {
+                    0
+                } else {
+                    base.block_of(end - 1) - base.block_of(start) + 1
+                };
+                out.push((blocks_seen, blocks_avail));
             }
             Node::HashJoin {
                 probe, build_rels, ..
@@ -618,6 +731,77 @@ impl Node {
             Node::Scan { .. } => true,
             Node::Bernoulli { input, .. } => input.is_scan_prefix(),
             _ => false,
+        }
+    }
+
+    /// The `(start, next, end)` row span of the scan at the bottom of a
+    /// scan-prefix chain (`None` when [`Node::is_scan_prefix`] is false).
+    fn scan_span(&self) -> Option<(u64, u64, u64)> {
+        match self {
+            Node::Scan {
+                start, next, end, ..
+            } => Some((*start, *next, *end)),
+            Node::Bernoulli { input, .. } => input.scan_span(),
+            _ => None,
+        }
+    }
+}
+
+/// A join's materialized build side plus the bound condition — assembled
+/// once, shared (via `Arc` clones) by every worker stream that probes it.
+struct JoinBuild {
+    rows: Arc<Vec<Row>>,
+    table: Arc<HashMap<Vec<Value>, Vec<usize>>>,
+    build_rels: usize,
+    keys: EquiKeys,
+    residual: Option<Expr>,
+}
+
+impl JoinBuild {
+    fn new(
+        build_rows: Vec<Row>,
+        build_rels: usize,
+        keys: EquiKeys,
+        residual: Option<Expr>,
+    ) -> Self {
+        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        if !keys.is_empty() {
+            for (i, rr) in build_rows.iter().enumerate() {
+                let key: Vec<Value> = keys.iter().map(|(_, ri)| rr.values[*ri].clone()).collect();
+                if key.iter().any(Value::is_null) {
+                    continue; // NULL keys never match
+                }
+                table.entry(key).or_default().push(i);
+            }
+        }
+        JoinBuild {
+            rows: Arc::new(build_rows),
+            table: Arc::new(table),
+            build_rels,
+            keys,
+            residual,
+        }
+    }
+
+    /// The join operator over one probe node (hash join when equi-keys
+    /// exist, nested loop otherwise).
+    fn node(&self, probe: Node) -> Node {
+        if self.keys.is_empty() {
+            Node::NestedLoop {
+                left: Box::new(probe),
+                right_rows: self.rows.clone(),
+                build_rels: self.build_rels,
+                residual: self.residual.clone(),
+            }
+        } else {
+            Node::HashJoin {
+                probe: Box::new(probe),
+                build_rows: self.rows.clone(),
+                build_rels: self.build_rels,
+                table: self.table.clone(),
+                keys: self.keys.clone(),
+                residual: self.residual.clone(),
+            }
         }
     }
 }
@@ -875,6 +1059,174 @@ mod tests {
         let mut s = open_stream(&plan, &c, &ExecOptions { seed: 5 }).unwrap();
         s.next_chunk(15).unwrap();
         assert_eq!(s.progress(), vec![(13, 13)]);
+    }
+
+    /// Drain a stream into rows with the given chunk hint.
+    fn drain(mut s: ChunkStream, hint: usize) -> Vec<Row> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = s.next_chunk(hint).unwrap();
+            if chunk.is_empty() {
+                return out;
+            }
+            out.extend(chunk);
+        }
+    }
+
+    /// Element-wise sum of per-worker progress reports.
+    fn summed_progress(streams: &[ChunkStream]) -> Vec<(u64, u64)> {
+        let mut total = vec![(0u64, 0u64); streams[0].relations().len()];
+        for s in streams {
+            for (t, (c, n)) in total.iter_mut().zip(s.progress()) {
+                t.0 += c;
+                t.1 += n;
+            }
+        }
+        total
+    }
+
+    #[test]
+    fn partitioned_streams_are_sendable() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ChunkStream>();
+    }
+
+    #[test]
+    fn one_partition_is_the_sequential_stream() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.4 })
+            .filter(col("v").gt_eq(lit(10.0)));
+        let c = catalog();
+        let opts = ExecOptions { seed: 11 };
+        let seq = open_stream(&plan, &c, &opts)
+            .unwrap()
+            .collect_rows(64)
+            .unwrap();
+        let mut parts = open_stream_partitioned(&plan, &c, &opts, 1).unwrap();
+        assert_eq!(parts.len(), 1);
+        let rows = parts.pop().unwrap().collect_rows(64).unwrap();
+        assert_eq!(rows, seq, "parts = 1 must be byte-identical to open_stream");
+    }
+
+    #[test]
+    fn partitioned_scan_concatenates_to_the_sequential_rows() {
+        // No per-tuple Bernoulli on the spine → the union of the worker
+        // slices IS the sequential realization, in worker-index order.
+        let c = catalog();
+        for plan in [
+            LogicalPlan::scan("t"),
+            LogicalPlan::scan("t")
+                .filter(col("v").gt_eq(lit(25.0)))
+                .project(vec![(col("v").mul(lit(2.0)), "vv".into())]),
+            LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 40 }),
+            LogicalPlan::scan("t").sample(SamplingMethod::System { p: 0.6 }),
+            LogicalPlan::scan("t").join_on(LogicalPlan::scan("d"), col("k").eq(col("dk"))),
+        ] {
+            let opts = ExecOptions { seed: 5 };
+            let seq = open_stream(&plan, &c, &opts)
+                .unwrap()
+                .collect_rows(32)
+                .unwrap();
+            for parts in [2usize, 3, 5] {
+                let streams = open_stream_partitioned(&plan, &c, &opts, parts).unwrap();
+                assert_eq!(streams.len(), parts);
+                let rows: Vec<Row> = streams.into_iter().flat_map(|s| drain(s, 17)).collect();
+                assert_eq!(rows, seq, "parts={parts} plan={plan:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_bernoulli_slices_are_disjoint_and_deterministic() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
+        let c = catalog();
+        let opts = ExecOptions { seed: 9 };
+        let collect = || -> Vec<Vec<Row>> {
+            open_stream_partitioned(&plan, &c, &opts, 4)
+                .unwrap()
+                .into_iter()
+                .map(|s| drain(s, 16))
+                .collect()
+        };
+        let a = collect();
+        assert_eq!(a, collect(), "same (plan, seed, parts) must replay exactly");
+        let all: Vec<u64> = a.iter().flatten().map(|r| r.lineage[0]).collect();
+        let distinct: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(distinct.len(), all.len(), "worker slices must be disjoint");
+        assert!(all.len() > 50 && all.len() < 150, "p=0.5 of 200 rows");
+        // Worker slices are contiguous and ordered: every row of worker w
+        // precedes every row of worker w+1.
+        for w in 1..a.len() {
+            let prev_max = a[w - 1].iter().map(|r| r.lineage[0]).max();
+            let cur_min = a[w].iter().map(|r| r.lineage[0]).min();
+            if let (Some(p), Some(c)) = (prev_max, cur_min) {
+                assert!(p < c, "slice {w} overlaps slice {}", w - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_progress_sums_to_full_relation_coverage() {
+        // t: 200 rows; d joins as a fully-materialized build side.
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
+        let c = catalog();
+        let mut streams = open_stream_partitioned(&plan, &c, &ExecOptions { seed: 1 }, 3).unwrap();
+        assert_eq!(summed_progress(&streams), vec![(0, 200), (3, 3)]);
+        let mut last = 0u64;
+        loop {
+            let mut any = false;
+            for s in streams.iter_mut() {
+                any |= !s.next_chunk(16).unwrap().is_empty();
+            }
+            let p = summed_progress(&streams);
+            assert!(p[0].0 >= last && p[0].1 == 200, "monotone summed coverage");
+            last = p[0].0;
+            if !any {
+                break;
+            }
+        }
+        assert_eq!(summed_progress(&streams)[0], (200, 200));
+    }
+
+    #[test]
+    fn partitioned_system_blocks_sum_to_block_count() {
+        // 200 rows, block_rows 16 → 13 blocks split over 4 workers.
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::System { p: 1.0 });
+        let c = catalog();
+        let mut streams = open_stream_partitioned(&plan, &c, &ExecOptions::default(), 4).unwrap();
+        assert_eq!(summed_progress(&streams)[0], (0, 13));
+        for s in streams.iter_mut() {
+            while !s.next_chunk(64).unwrap().is_empty() {}
+        }
+        assert_eq!(summed_progress(&streams)[0], (13, 13));
+    }
+
+    #[test]
+    fn oversubscribed_partitioning_degrades_gracefully() {
+        // d has 10 rows (one block): far more workers than blocks — extra
+        // workers get empty slices and drain immediately.
+        let plan = LogicalPlan::scan("d");
+        let c = catalog();
+        let streams = open_stream_partitioned(&plan, &c, &ExecOptions::default(), 64).unwrap();
+        assert_eq!(streams.len(), 64);
+        let rows: Vec<Row> = streams.into_iter().flat_map(|s| drain(s, 4)).collect();
+        assert_eq!(rows.len(), 10, "every row exactly once");
+    }
+
+    #[test]
+    fn partitioned_union_and_aggregate_and_zero_parts_rejected() {
+        let c = catalog();
+        let union = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.4 })
+            .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }));
+        let err = open_stream_partitioned(&union, &c, &ExecOptions::default(), 2).unwrap_err();
+        assert!(err.to_string().contains("UNION"), "{err}");
+        let agg = LogicalPlan::scan("t").aggregate(vec![sa_plan::AggSpec::count_star("c")]);
+        assert!(open_stream_partitioned(&agg, &c, &ExecOptions::default(), 2).is_err());
+        let scan = LogicalPlan::scan("t");
+        assert!(open_stream_partitioned(&scan, &c, &ExecOptions::default(), 0).is_err());
     }
 
     #[test]

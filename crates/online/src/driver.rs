@@ -40,13 +40,14 @@
 use std::time::{Duration, Instant};
 
 use sa_core::{GusParams, MomentAccumulator};
-use sa_exec::{agg_results_from_report, f_vector, layout_dims, open_stream, AggResult};
-use sa_exec::{ChunkStream, DimLayout, ExecError, ExecOptions};
+use sa_exec::{agg_results_from_report, f_vector, layout_dims, open_stream_partitioned, AggResult};
+use sa_exec::{ChunkStream, DimLayout, ExecError, ExecOptions, Row};
 use sa_plan::{rewrite, AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_sql;
 use sa_storage::Catalog;
 
 use crate::error::OnlineError;
+use crate::parallel::run_worker_pool;
 use crate::Result;
 
 /// Options for [`run_online`].
@@ -69,6 +70,14 @@ pub struct OnlineOptions {
     /// with `false`, snapshots read the raw prefix estimate under the plan
     /// GUS.
     pub scale_to_population: bool,
+    /// Number of worker threads driving the sampled plan (`--jobs N` in the
+    /// CLI). `1` (the default) runs the classic single-threaded loop —
+    /// byte-identical snapshots for a fixed seed. `N > 1` opens
+    /// [`sa_exec::open_stream_partitioned`] slices and merges shard-local
+    /// accumulators per snapshot tick; the exhaustion readout still equals
+    /// the batch estimator on the realized union sample, while mid-run
+    /// snapshot *timing* becomes scheduling-dependent. `0` is rejected.
+    pub parallelism: usize,
 }
 
 impl Default for OnlineOptions {
@@ -79,6 +88,7 @@ impl Default for OnlineOptions {
             confidence: 0.95,
             rule: StoppingRule::exhaustive(),
             scale_to_population: true,
+            parallelism: 1,
         }
     }
 }
@@ -86,7 +96,9 @@ impl Default for OnlineOptions {
 /// The state of the estimate after one chunk of the progressive loop.
 #[derive(Debug, Clone)]
 pub struct ProgressSnapshot {
-    /// 1-based snapshot index (one per pulled chunk).
+    /// 1-based snapshot index. In the sequential loop (`parallelism = 1`)
+    /// this equals the number of pulled chunks; with workers it counts
+    /// coordinator ticks, each of which may absorb several worker chunks.
     pub chunk: u64,
     /// Cumulative sampled result tuples consumed.
     pub rows: u64,
@@ -116,7 +128,9 @@ pub struct OnlineResult {
     pub reason: StopReason,
     /// The last emitted snapshot (the final estimates).
     pub snapshot: ProgressSnapshot,
-    /// Number of chunks consumed (= snapshots emitted).
+    /// Number of snapshots emitted. Equals the chunks consumed only in the
+    /// sequential loop (`parallelism = 1`); a parallel coordinator tick may
+    /// absorb several worker chunks.
     pub chunks: u64,
     /// The SOA analysis (top GUS, lineage schema, rewrite trace).
     pub analysis: SoaAnalysis,
@@ -134,9 +148,13 @@ pub fn run_online(
     let OpenedAggregate {
         analysis,
         aggs,
-        mut stream,
+        mut streams,
         layout,
     } = open_aggregate(plan, catalog, opts, "run_online")?;
+    if streams.len() > 1 {
+        return run_online_parallel(analysis, aggs, streams, layout, opts, on_snapshot);
+    }
+    let mut stream = streams.pop().expect("open_aggregate yields >= 1 stream");
     let mut acc = MomentAccumulator::new(analysis.schema.n(), layout.dims());
     let confidence = opts.rule.confidence_or(opts.confidence);
     let start = Instant::now();
@@ -148,32 +166,20 @@ pub fn run_online(
             acc.push(&row.lineage, &f_vector(&layout, row)?)?;
         }
         chunks += 1;
-        let progress = stream.progress();
-        let gus = if opts.scale_to_population {
-            scan_scaled_gus(&analysis.gus, &stream, &progress)?
-        } else {
-            analysis.gus.clone()
-        };
-        let report = acc.report(&gus)?;
-        let agg_results = agg_results_from_report(aggs, &layout, &report, confidence);
-        let rel_half_width = worst_rel_half_width(&agg_results);
-        let snapshot = ProgressSnapshot {
-            chunk: chunks,
-            rows: acc.count(),
-            aggs: agg_results,
-            rel_half_width,
+        let (snapshot, reason) = scalar_tick(
+            &acc,
+            aggs,
+            &layout,
+            &analysis.gus,
+            stream.relations(),
+            stream.progress(),
+            opts,
             confidence,
-            progress,
-            gus,
-            elapsed: start.elapsed(),
-        };
+            chunks,
+            exhausted,
+            &start,
+        )?;
         on_snapshot(&snapshot);
-        let reason = if exhausted {
-            Some(StopReason::Exhausted)
-        } else {
-            opts.rule
-                .should_stop(rel_half_width, acc.count(), snapshot.elapsed)
-        };
         if let Some(reason) = reason {
             return Ok(OnlineResult {
                 reason,
@@ -183,6 +189,107 @@ pub fn run_online(
             });
         }
     }
+}
+
+/// Build the snapshot for one tick of the scalar loop and judge the
+/// stopping rule (exhaustion wins) — the per-tick readout shared verbatim
+/// by the sequential loop and the parallel coordinator, so the two paths
+/// cannot diverge in snapshot semantics or stop precedence.
+#[allow(clippy::too_many_arguments)]
+fn scalar_tick(
+    acc: &MomentAccumulator,
+    aggs: &[AggSpec],
+    layout: &DimLayout,
+    plan_gus: &GusParams,
+    relations: &[String],
+    progress: Vec<(u64, u64)>,
+    opts: &OnlineOptions,
+    confidence: f64,
+    chunk: u64,
+    exhausted: bool,
+    start: &Instant,
+) -> Result<(ProgressSnapshot, Option<StopReason>)> {
+    let gus = if opts.scale_to_population {
+        scan_scaled_gus(plan_gus, relations, &progress)?
+    } else {
+        plan_gus.clone()
+    };
+    let report = acc.report(&gus)?;
+    let agg_results = agg_results_from_report(aggs, layout, &report, confidence);
+    let rel_half_width = worst_rel_half_width(&agg_results);
+    let snapshot = ProgressSnapshot {
+        chunk,
+        rows: acc.count(),
+        aggs: agg_results,
+        rel_half_width,
+        confidence,
+        progress,
+        gus,
+        elapsed: start.elapsed(),
+    };
+    let reason = if exhausted {
+        Some(StopReason::Exhausted)
+    } else {
+        opts.rule
+            .should_stop(rel_half_width, snapshot.rows, snapshot.elapsed)
+    };
+    Ok((snapshot, reason))
+}
+
+/// The shard-parallel progressive loop: one worker thread per partitioned
+/// stream, thread-local accumulators, a coordinator that absorbs the
+/// queued per-chunk deltas per snapshot tick and judges the stopping rule
+/// exactly as the sequential loop does (see [`crate::parallel`]).
+fn run_online_parallel(
+    analysis: SoaAnalysis,
+    aggs: &[AggSpec],
+    streams: Vec<ChunkStream>,
+    layout: DimLayout,
+    opts: &OnlineOptions,
+    mut on_snapshot: impl FnMut(&ProgressSnapshot),
+) -> Result<OnlineResult> {
+    let n = analysis.schema.n();
+    let dims = layout.dims();
+    let relations: Vec<String> = streams[0].relations().to_vec();
+    let confidence = opts.rule.confidence_or(opts.confidence);
+    let start = Instant::now();
+    let mut chunks = 0u64;
+    let mut last: Option<ProgressSnapshot> = None;
+    let layout = &layout;
+    let (_, reason) = run_worker_pool(
+        streams,
+        opts.chunk_rows,
+        || MomentAccumulator::new(n, dims),
+        |acc: &mut MomentAccumulator, row: &Row| {
+            acc.push(&row.lineage, &f_vector(layout, row)?)
+                .map_err(OnlineError::Core)
+        },
+        |merged, progress, exhausted| {
+            chunks += 1;
+            let (snapshot, reason) = scalar_tick(
+                merged,
+                aggs,
+                layout,
+                &analysis.gus,
+                &relations,
+                progress.to_vec(),
+                opts,
+                confidence,
+                chunks,
+                exhausted,
+                &start,
+            )?;
+            on_snapshot(&snapshot);
+            last = Some(snapshot);
+            Ok(reason)
+        },
+    )?;
+    Ok(OnlineResult {
+        reason,
+        snapshot: last.expect("the pool judges at least one tick"),
+        chunks,
+        analysis,
+    })
 }
 
 /// Parse, bind and progressively run a scalar aggregate SQL query. A
@@ -202,16 +309,18 @@ pub fn run_online_sql(
     run_online(&plan, catalog, &opts, on_snapshot)
 }
 
-/// The validated, opened state every progressive loop starts from.
+/// The validated, opened state every progressive loop starts from. For
+/// `parallelism = 1` there is exactly one stream (the classic sequential
+/// loop); for `N > 1`, `streams` holds one disjoint slice per worker.
 pub(crate) struct OpenedAggregate<'p> {
     pub(crate) analysis: SoaAnalysis,
     pub(crate) aggs: &'p [AggSpec],
-    pub(crate) stream: ChunkStream,
+    pub(crate) streams: Vec<ChunkStream>,
     pub(crate) layout: DimLayout,
 }
 
 /// Validate the options and plan shape, run the one-time SOA rewrite, open
-/// the chunked stream over the aggregate's input, and lay the aggregates
+/// the chunked stream(s) over the aggregate's input, and lay the aggregates
 /// onto SBox dimensions — the preamble shared by [`run_online`] and
 /// [`crate::run_online_grouped`]. `caller` names the entry point in errors.
 pub(crate) fn open_aggregate<'p>(
@@ -225,6 +334,13 @@ pub(crate) fn open_aggregate<'p>(
         // (with a snapshot after every row); reject it loudly instead.
         return Err(OnlineError::InvalidOptions(
             "chunk_rows must be at least 1".into(),
+        ));
+    }
+    if opts.parallelism == 0 {
+        // Zero workers cannot make progress; mirror the chunk_rows check
+        // rather than silently rounding up to 1.
+        return Err(OnlineError::InvalidOptions(
+            "parallelism must be at least 1".into(),
         ));
     }
     let analysis = rewrite(plan, catalog).map_err(ExecError::Plan)?;
@@ -246,12 +362,17 @@ pub(crate) fn open_aggregate<'p>(
                 .into(),
         ));
     }
-    let stream = open_stream(input, catalog, &ExecOptions { seed: opts.seed })?;
-    let layout = layout_dims(aggs, stream.schema())?;
+    let streams = open_stream_partitioned(
+        input,
+        catalog,
+        &ExecOptions { seed: opts.seed },
+        opts.parallelism,
+    )?;
+    let layout = layout_dims(aggs, streams[0].schema())?;
     Ok(OpenedAggregate {
         analysis,
         aggs,
-        stream,
+        streams,
         layout,
     })
 }
@@ -273,14 +394,16 @@ pub(crate) fn contains_union(plan: &LogicalPlan) -> bool {
 /// partially scanned relation — the random-scan-order prefix model
 /// (Proposition 8). Fully covered relations contribute the identity;
 /// relations with nothing consumed yet are skipped too (the estimate is 0
-/// there and a 0-draw WOR would be the degenerate null sampler).
+/// there and a 0-draw WOR would be the degenerate null sampler). `progress`
+/// may be a single stream's report or the element-wise sum over partitioned
+/// workers — slice-relative coverage sums to the true per-relation prefix.
 pub(crate) fn scan_scaled_gus(
     plan_gus: &GusParams,
-    stream: &ChunkStream,
+    relations: &[String],
     progress: &[(u64, u64)],
 ) -> Result<GusParams> {
     let mut gus = plan_gus.clone();
-    for (name, &(consumed, available)) in stream.relations().iter().zip(progress) {
+    for (name, &(consumed, available)) in relations.iter().zip(progress) {
         if consumed == 0 || consumed >= available {
             continue;
         }
@@ -308,6 +431,7 @@ pub(crate) fn worst_rel_half_width(aggs: &[AggResult]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sa_exec::open_stream;
     use sa_expr::col;
     use sa_plan::AggSpec;
     use sa_sampling::SamplingMethod;

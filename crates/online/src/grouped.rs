@@ -35,16 +35,18 @@
 
 use std::time::Instant;
 
-use sa_core::GroupedMomentAccumulator;
-use sa_exec::{agg_results_from_report, f_vector, AggResult, ExecError};
+use sa_core::{GroupedMomentAccumulator, GusParams};
+use sa_exec::Row;
+use sa_exec::{agg_results_from_report, f_vector, AggResult, ChunkStream, DimLayout, ExecError};
 use sa_expr::{bind, eval, Expr};
-use sa_plan::{LogicalPlan, SoaAnalysis, StopReason};
+use sa_plan::{AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_grouped_sql;
 use sa_storage::{Catalog, Value};
 
 use crate::driver::{open_aggregate, scan_scaled_gus, worst_rel_half_width, OpenedAggregate};
 use crate::driver::{OnlineOptions, ProgressSnapshot};
 use crate::error::OnlineError;
+use crate::parallel::run_worker_pool;
 use crate::Result;
 
 /// Options for [`run_online_grouped`].
@@ -87,7 +89,9 @@ pub struct GroupProgress {
 /// loop.
 #[derive(Debug, Clone)]
 pub struct GroupedProgressSnapshot {
-    /// 1-based snapshot index (one per pulled chunk).
+    /// 1-based snapshot index. In the sequential loop (`parallelism = 1`)
+    /// this equals the number of pulled chunks; with workers it counts
+    /// coordinator ticks, each of which may absorb several worker chunks.
     pub chunk: u64,
     /// Cumulative sampled result tuples consumed (all groups).
     pub rows: u64,
@@ -121,7 +125,9 @@ pub struct GroupedOnlineResult {
     pub reason: StopReason,
     /// The last emitted snapshot (the final per-group estimates).
     pub snapshot: GroupedProgressSnapshot,
-    /// Number of chunks consumed (= snapshots emitted).
+    /// Number of snapshots emitted. Equals the chunks consumed only in the
+    /// sequential loop (`parallelism = 1`); a parallel coordinator tick may
+    /// absorb several worker chunks.
     pub chunks: u64,
     /// The SOA analysis shared by every group.
     pub analysis: SoaAnalysis,
@@ -149,15 +155,28 @@ pub fn run_online_grouped(
     let OpenedAggregate {
         analysis,
         aggs,
-        mut stream,
+        mut streams,
         layout,
     } = open_aggregate(plan, catalog, &opts.online, "run_online_grouped")?;
     let bound_keys: Vec<Expr> = group_by
         .iter()
-        .map(|e| bind(e, stream.schema()))
+        .map(|e| bind(e, streams[0].schema()))
         .collect::<std::result::Result<_, _>>()
         .map_err(ExecError::Expr)?;
     let group_exprs: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
+    if streams.len() > 1 {
+        return run_online_grouped_parallel(
+            analysis,
+            aggs,
+            streams,
+            layout,
+            bound_keys,
+            group_exprs,
+            opts,
+            on_snapshot,
+        );
+    }
+    let mut stream = streams.pop().expect("open_aggregate yields >= 1 stream");
     let mut acc: GroupedMomentAccumulator<Vec<Value>> =
         GroupedMomentAccumulator::new(analysis.schema.n(), layout.dims());
     let rule = &opts.online.rule;
@@ -169,62 +188,27 @@ pub fn run_online_grouped(
         let exhausted = chunk.is_empty();
         let known_groups = acc.group_count();
         for row in &chunk {
-            let key: Vec<Value> = bound_keys
-                .iter()
-                .map(|e| eval(e, &row.values).map_err(ExecError::Expr))
-                .collect::<std::result::Result<_, _>>()?;
+            let key = eval_group_key(&bound_keys, row)?;
             acc.push(key, &row.lineage, &f_vector(&layout, row)?)?;
         }
         chunks += 1;
         let new_groups = (acc.group_count() - known_groups) as u64;
-        let progress = stream.progress();
-        let gus = if opts.online.scale_to_population {
-            scan_scaled_gus(&analysis.gus, &stream, &progress)?
-        } else {
-            analysis.gus.clone()
-        };
-        // Deterministic snapshot order: sort the discovered keys.
-        let mut keys: Vec<Vec<Value>> = acc.keys().cloned().collect();
-        keys.sort();
-        let mut groups = Vec::with_capacity(keys.len());
-        for key in keys {
-            let slot = acc.group(&key).expect("key just listed");
-            let report = slot.report(&gus)?;
-            let agg_results = agg_results_from_report(aggs, &layout, &report, confidence);
-            let rel = worst_rel_half_width(&agg_results);
-            let converged = match (rule.ci_target, rel) {
-                (Some(t), Some(r)) => r.is_finite() && r <= t.epsilon,
-                _ => false,
-            };
-            groups.push(GroupProgress {
-                key,
-                aggs: agg_results,
-                sample_rows: slot.count(),
-                rel_half_width: rel,
-                converged,
-                tracked: true,
-            });
-        }
-        apply_top_k_policy(&mut groups, opts.ci_top_k);
-        let rel_half_width = tracked_rel_half_width(&groups);
-        let snapshot = GroupedProgressSnapshot {
-            chunk: chunks,
-            rows: acc.count(),
-            group_exprs: group_exprs.clone(),
-            groups,
-            new_groups,
-            rel_half_width,
+        let (snapshot, reason) = grouped_tick(
+            &acc,
+            aggs,
+            &layout,
+            &analysis.gus,
+            stream.relations(),
+            stream.progress(),
+            opts,
             confidence,
-            progress,
-            gus,
-            elapsed: start.elapsed(),
-        };
+            chunks,
+            new_groups,
+            &group_exprs,
+            exhausted,
+            &start,
+        )?;
         on_snapshot(&snapshot);
-        let reason = if exhausted {
-            Some(StopReason::Exhausted)
-        } else {
-            rule.should_stop(rel_half_width, acc.count(), snapshot.elapsed)
-        };
         if let Some(reason) = reason {
             return Ok(GroupedOnlineResult {
                 reason,
@@ -234,6 +218,54 @@ pub fn run_online_grouped(
             });
         }
     }
+}
+
+/// Build the snapshot for one tick of the grouped loop and judge the
+/// stopping rule (exhaustion wins) — the per-tick readout shared verbatim
+/// by the sequential loop and the parallel coordinator, so the two paths
+/// cannot diverge in snapshot semantics or stop precedence.
+#[allow(clippy::too_many_arguments)]
+fn grouped_tick(
+    acc: &GroupedMomentAccumulator<Vec<Value>>,
+    aggs: &[AggSpec],
+    layout: &DimLayout,
+    plan_gus: &GusParams,
+    relations: &[String],
+    progress: Vec<(u64, u64)>,
+    opts: &GroupedOnlineOptions,
+    confidence: f64,
+    chunk: u64,
+    new_groups: u64,
+    group_exprs: &[String],
+    exhausted: bool,
+    start: &Instant,
+) -> Result<(GroupedProgressSnapshot, Option<StopReason>)> {
+    let rule = &opts.online.rule;
+    let gus = if opts.online.scale_to_population {
+        scan_scaled_gus(plan_gus, relations, &progress)?
+    } else {
+        plan_gus.clone()
+    };
+    let (groups, rel_half_width) =
+        group_progress_table(acc, aggs, layout, rule, confidence, opts.ci_top_k, &gus)?;
+    let snapshot = GroupedProgressSnapshot {
+        chunk,
+        rows: acc.count(),
+        group_exprs: group_exprs.to_vec(),
+        groups,
+        new_groups,
+        rel_half_width,
+        confidence,
+        progress,
+        gus,
+        elapsed: start.elapsed(),
+    };
+    let reason = if exhausted {
+        Some(StopReason::Exhausted)
+    } else {
+        rule.should_stop(rel_half_width, snapshot.rows, snapshot.elapsed)
+    };
+    Ok((snapshot, reason))
 }
 
 /// Parse, bind and progressively run a `GROUP BY` aggregate SQL query. A
@@ -256,6 +288,123 @@ pub fn run_online_grouped_sql(
         opts.online.rule.ci_target = rule.ci_target;
     }
     run_online_grouped(&plan, &group_by, catalog, &opts, on_snapshot)
+}
+
+/// Evaluate the bound `GROUP BY` expressions on one result row.
+fn eval_group_key(bound_keys: &[Expr], row: &Row) -> Result<Vec<Value>> {
+    bound_keys
+        .iter()
+        .map(|e| eval(e, &row.values).map_err(|e| OnlineError::Exec(ExecError::Expr(e))))
+        .collect()
+}
+
+/// Read every discovered group out of `acc` under `gus`, in deterministic
+/// key order, apply the top-K tracking policy, and return the table plus
+/// the tracked worst relative half-width — the per-snapshot readout shared
+/// by the sequential and shard-parallel grouped loops.
+fn group_progress_table(
+    acc: &GroupedMomentAccumulator<Vec<Value>>,
+    aggs: &[AggSpec],
+    layout: &DimLayout,
+    rule: &StoppingRule,
+    confidence: f64,
+    ci_top_k: Option<usize>,
+    gus: &GusParams,
+) -> Result<(Vec<GroupProgress>, Option<f64>)> {
+    let mut keys: Vec<Vec<Value>> = acc.keys().cloned().collect();
+    keys.sort();
+    let mut groups = Vec::with_capacity(keys.len());
+    for key in keys {
+        let slot = acc.group(&key).expect("key just listed");
+        let report = slot.report(gus)?;
+        let agg_results = agg_results_from_report(aggs, layout, &report, confidence);
+        let rel = worst_rel_half_width(&agg_results);
+        let converged = match (rule.ci_target, rel) {
+            (Some(t), Some(r)) => r.is_finite() && r <= t.epsilon,
+            _ => false,
+        };
+        groups.push(GroupProgress {
+            key,
+            aggs: agg_results,
+            sample_rows: slot.count(),
+            rel_half_width: rel,
+            converged,
+            tracked: true,
+        });
+    }
+    apply_top_k_policy(&mut groups, ci_top_k);
+    let rel_half_width = tracked_rel_half_width(&groups);
+    Ok((groups, rel_half_width))
+}
+
+/// The shard-parallel grouped loop: one worker per partitioned stream
+/// routing rows into a thread-local [`GroupedMomentAccumulator`]; the
+/// coordinator absorbs the queued per-chunk deltas per tick and judges the
+/// per-group rule exactly as the sequential loop does (see
+/// [`crate::parallel`]).
+#[allow(clippy::too_many_arguments)]
+fn run_online_grouped_parallel(
+    analysis: SoaAnalysis,
+    aggs: &[AggSpec],
+    streams: Vec<ChunkStream>,
+    layout: DimLayout,
+    bound_keys: Vec<Expr>,
+    group_exprs: Vec<String>,
+    opts: &GroupedOnlineOptions,
+    mut on_snapshot: impl FnMut(&GroupedProgressSnapshot),
+) -> Result<GroupedOnlineResult> {
+    let n = analysis.schema.n();
+    let dims = layout.dims();
+    let relations: Vec<String> = streams[0].relations().to_vec();
+    let rule = &opts.online.rule;
+    let confidence = rule.confidence_or(opts.online.confidence);
+    let start = Instant::now();
+    let mut chunks = 0u64;
+    let mut known_groups = 0usize;
+    let mut last: Option<GroupedProgressSnapshot> = None;
+    let layout = &layout;
+    let bound_keys = &bound_keys;
+    let (_, reason) = run_worker_pool(
+        streams,
+        opts.online.chunk_rows,
+        || GroupedMomentAccumulator::<Vec<Value>>::new(n, dims),
+        |acc: &mut GroupedMomentAccumulator<Vec<Value>>, row: &Row| {
+            let key = eval_group_key(bound_keys, row)?;
+            acc.push(key, &row.lineage, &f_vector(layout, row)?)
+                .map_err(OnlineError::Core)
+        },
+        |merged, progress, exhausted| {
+            chunks += 1;
+            // Discovery is judged on the merged view: a group two shards
+            // found independently still counts as one discovery.
+            let new_groups = merged.group_count().saturating_sub(known_groups) as u64;
+            known_groups = merged.group_count();
+            let (snapshot, reason) = grouped_tick(
+                merged,
+                aggs,
+                layout,
+                &analysis.gus,
+                &relations,
+                progress.to_vec(),
+                opts,
+                confidence,
+                chunks,
+                new_groups,
+                &group_exprs,
+                exhausted,
+                &start,
+            )?;
+            on_snapshot(&snapshot);
+            last = Some(snapshot);
+            Ok(reason)
+        },
+    )?;
+    Ok(GroupedOnlineResult {
+        reason,
+        snapshot: last.expect("the pool judges at least one tick"),
+        chunks,
+        analysis,
+    })
 }
 
 /// Demote all but the `k` groups with the largest absolute first-aggregate

@@ -20,7 +20,15 @@
 //!   `GROUP BY` group's own incremental accumulator and judges the CI
 //!   target **per group** — stop when every discovered group (or the top-K
 //!   by estimate, [`GroupedOnlineOptions::ci_top_k`]) is tight enough,
-//!   while row/time budgets stay global.
+//!   while row/time budgets stay global;
+//! * **shard parallelism** ([`OnlineOptions::parallelism`], `--jobs N` in
+//!   the CLI): both drivers can fan the sampled plan out over N worker
+//!   threads via `sa_exec::open_stream_partitioned` — each worker owns a
+//!   disjoint slice and a thread-local accumulator, and the coordinator
+//!   merges per-shard deltas into the global estimate at every snapshot
+//!   tick (estimates compose exactly under the accumulators' shard merge).
+//!   `parallelism = 1` (the default) is the classic sequential loop,
+//!   byte-identical for a fixed seed.
 //!
 //! For any fixed prefix of consumed tuples the incremental estimate and
 //! variance equal the batch estimator's output on that prefix (up to float
@@ -53,6 +61,7 @@
 pub mod driver;
 pub mod error;
 pub mod grouped;
+pub(crate) mod parallel;
 
 pub use driver::{run_online, run_online_sql, OnlineOptions, OnlineResult, ProgressSnapshot};
 pub use error::OnlineError;

@@ -1,0 +1,294 @@
+//! The shard-parallel worker pool behind `parallelism > 1`.
+//!
+//! The paper's estimator makes parallel online aggregation almost free:
+//! second-moment state composes exactly under
+//! [`sa_core::MomentAccumulator::merge`] (the same rank-two delta algebra
+//! the per-row path uses), so N workers can consume disjoint slices of the
+//! sampled plan and the coordinator can read the *global* estimate at any
+//! time by absorbing the workers' queued deltas — never touching a row
+//! twice.
+//!
+//! Topology: [`sa_exec::open_stream_partitioned`] hands each worker thread
+//! its own [`ChunkStream`] over a disjoint, deterministic slice. Workers
+//! loop pull-chunk → accumulate it into a fresh local **delta** (all
+//! per-row work happens outside any lock) → queue the delta on the shard
+//! slot (an O(1) push under a mutex only the coordinator ever contends
+//! on) → ping the coordinator. The coordinator wakes on pings (batching
+//! whatever is already pending), takes each shard's queued deltas, absorbs
+//! them into one persistent global accumulator — because merge composes
+//! exactly,
+//! `global ⊕ δ₁ ⊕ δ₂ ⊕ …` equals a single accumulator fed every row, so
+//! per-tick cost is proportional to the *new* rows, never the total — sums
+//! per-shard scan progress (slices report slice-relative `(consumed,
+//! available)`, so the sums are true per-relation coverage and the Prop-8
+//! prefix scaling is unchanged), and judges the stopping rule exactly as
+//! the sequential loop does. On stop it raises a cancellation flag;
+//! workers observe it at their next chunk boundary.
+//!
+//! Mid-run snapshot *timing* depends on thread scheduling (which worker
+//! pings first), and so does the merge interleaving — estimates are exact
+//! up to floating-point associativity of the merge order (the exhaustion
+//! readout equals the batch estimator on the realized union sample to
+//! 1e-9, pinned by `tests/parallel_online.rs`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
+
+use sa_exec::{ChunkStream, Row};
+use sa_storage::Value;
+
+use crate::error::OnlineError;
+use crate::Result;
+
+/// An accumulator that can absorb a shard built over the same lineage
+/// schema — the merge the coordinator folds worker state with. Deltas are
+/// *moved* from worker queues to the coordinator (no cloning), so `Send`
+/// is the only marker required.
+pub(crate) trait ShardAccumulator: Send {
+    /// Merge `other` into `self` (exact, order-insensitive up to float
+    /// associativity).
+    fn absorb(&mut self, other: &Self) -> Result<()>;
+    /// Rows consumed so far (used to skip no-change snapshot ticks).
+    fn rows(&self) -> u64;
+}
+
+impl ShardAccumulator for sa_core::MomentAccumulator {
+    fn absorb(&mut self, other: &Self) -> Result<()> {
+        self.merge(other).map_err(OnlineError::Core)
+    }
+    fn rows(&self) -> u64 {
+        self.count()
+    }
+}
+
+impl ShardAccumulator for sa_core::GroupedMomentAccumulator<Vec<Value>> {
+    fn absorb(&mut self, other: &Self) -> Result<()> {
+        self.merge(other).map_err(OnlineError::Core)
+    }
+    fn rows(&self) -> u64 {
+        self.count()
+    }
+}
+
+/// One worker's published state: per-chunk delta accumulators queued since
+/// the coordinator last drained (each built *outside* the lock — publishing
+/// is an O(1) `Vec::push`, so the coordinator never waits on a chunk's
+/// accumulation), the latest slice-relative scan progress, and whether the
+/// stream has drained.
+struct ShardState<A> {
+    deltas: Vec<A>,
+    /// Rows across `deltas` not yet drained by the coordinator — the
+    /// backpressure quantity.
+    pending_rows: u64,
+    progress: Vec<(u64, u64)>,
+    exhausted: bool,
+    error: Option<OnlineError>,
+}
+
+/// One worker's slot: its state plus the condvar the coordinator signals
+/// after draining the delta (backpressure release).
+struct Shard<A> {
+    state: Mutex<ShardState<A>>,
+    drained: Condvar,
+}
+
+/// Drive `streams.len()` worker threads over their disjoint slices and
+/// judge the stopping rule on the merged state after every tick.
+///
+/// `judge` is called on the coordinator thread with the merged accumulator,
+/// the summed per-relation progress, and whether *every* shard has drained;
+/// it emits the snapshot and returns `Some(reason)` to stop (it must return
+/// `Some` when `exhausted` is true — there will be no further tick). The
+/// final merged accumulator and the stop reason are returned; workers are
+/// joined before this function returns.
+pub(crate) fn run_worker_pool<A, P, J>(
+    streams: Vec<ChunkStream>,
+    chunk_rows: usize,
+    new_acc: impl Fn() -> A + Sync,
+    push_row: P,
+    mut judge: J,
+) -> Result<(A, sa_plan::StopReason)>
+where
+    A: ShardAccumulator,
+    P: Fn(&mut A, &Row) -> Result<()> + Sync,
+    J: FnMut(&A, &[(u64, u64)], bool) -> Result<Option<sa_plan::StopReason>>,
+{
+    let nrels = streams.first().map(|s| s.relations().len()).unwrap_or(0);
+    // Backpressure: a worker pauses once its un-drained deltas hold two
+    // chunks' worth of rows, until the coordinator drains them. This bounds
+    // the overshoot past a stopping rule (and the delta memory) to
+    // O(workers × chunk_rows) without throttling steady-state throughput —
+    // the coordinator drains every tick.
+    let backpressure = 2 * chunk_rows.max(1) as u64;
+    let shards: Vec<Shard<A>> = streams
+        .iter()
+        .map(|s| Shard {
+            state: Mutex::new(ShardState {
+                deltas: Vec::new(),
+                pending_rows: 0,
+                progress: s.progress(),
+                exhausted: false,
+                error: None,
+            }),
+            drained: Condvar::new(),
+        })
+        .collect();
+    let cancel = AtomicBool::new(false);
+    let (tx, rx) = mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        for (stream, shard) in streams.into_iter().zip(&shards) {
+            let tx = tx.clone();
+            let cancel = &cancel;
+            let push_row = &push_row;
+            let new_acc = &new_acc;
+            scope.spawn(move || {
+                worker_loop(
+                    stream,
+                    chunk_rows,
+                    backpressure,
+                    shard,
+                    new_acc,
+                    push_row,
+                    cancel,
+                    tx,
+                )
+            });
+        }
+        drop(tx); // the coordinator's recv() errors once every worker exits
+        let mut global = new_acc();
+        let out = (|| {
+            let mut last_judged: Option<u64> = None;
+            loop {
+                // Wait for at least one completed chunk, then fold in
+                // everything already pending — a fast worker must not build
+                // a snapshot backlog the coordinator can never drain.
+                if rx.recv().is_ok() {
+                    while rx.try_recv().is_ok() {}
+                }
+                let mut progress = vec![(0u64, 0u64); nrels];
+                let mut exhausted = true;
+                for shard in &shards {
+                    // Take the queued deltas under the lock (an O(1) swap),
+                    // merge outside it — the worker accumulates its next
+                    // chunk meanwhile.
+                    let deltas = {
+                        let mut s = shard.state.lock().map_err(|_| {
+                            OnlineError::Unsupported("a worker thread panicked".into())
+                        })?;
+                        if let Some(e) = &s.error {
+                            return Err(e.clone());
+                        }
+                        for (t, &(c, n)) in progress.iter_mut().zip(&s.progress) {
+                            t.0 += c;
+                            t.1 += n;
+                        }
+                        exhausted &= s.exhausted;
+                        s.pending_rows = 0;
+                        std::mem::take(&mut s.deltas)
+                    };
+                    shard.drained.notify_all();
+                    for delta in &deltas {
+                        global.absorb(delta)?;
+                    }
+                }
+                // A ping with no new rows (a worker's final empty pull, a
+                // backpressure re-ping) would replay the previous snapshot
+                // verbatim; skip it unless it is the first tick or carries
+                // the exhaustion verdict. Quiet gaps are bounded by one
+                // chunk, so a time budget still fires promptly.
+                if last_judged == Some(global.rows()) && !exhausted {
+                    continue;
+                }
+                last_judged = Some(global.rows());
+                if let Some(reason) = judge(&global, &progress, exhausted)? {
+                    return Ok(reason);
+                }
+            }
+        })();
+        // Stop, error or panic: workers observe the flag at their next
+        // chunk boundary (waking any that were blocked on backpressure);
+        // the scope joins them before returning.
+        cancel.store(true, Ordering::Relaxed);
+        for shard in &shards {
+            let _guard = shard.state.lock();
+            shard.drained.notify_all();
+        }
+        out.map(|reason| (global, reason))
+    })
+}
+
+/// One worker: pull a chunk, accumulate it into a fresh local delta
+/// **outside the lock** (the expensive per-row work — expression eval,
+/// `f_vector`, fingerprinting — never blocks the coordinator), publish the
+/// delta with an O(1) queue push, ping the coordinator — pausing under
+/// backpressure — until drained, cancelled or failed.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<A, P>(
+    mut stream: ChunkStream,
+    chunk_rows: usize,
+    backpressure: u64,
+    shard: &Shard<A>,
+    new_acc: &(impl Fn() -> A + Sync),
+    push_row: &P,
+    cancel: &AtomicBool,
+    tx: mpsc::Sender<()>,
+) where
+    A: ShardAccumulator,
+    P: Fn(&mut A, &Row) -> Result<()> + Sync,
+{
+    let fail = |e: OnlineError| {
+        if let Ok(mut s) = shard.state.lock() {
+            s.error = Some(e);
+        }
+        let _ = tx.send(());
+    };
+    loop {
+        if cancel.load(Ordering::Relaxed) {
+            return;
+        }
+        let chunk = match stream.next_chunk(chunk_rows) {
+            Ok(chunk) => chunk,
+            Err(e) => return fail(e.into()),
+        };
+        let exhausted = chunk.is_empty();
+        let mut delta = None;
+        if !exhausted {
+            let mut local = new_acc();
+            for row in &chunk {
+                if let Err(e) = push_row(&mut local, row) {
+                    return fail(e);
+                }
+            }
+            delta = Some(local);
+        }
+        let Ok(mut s) = shard.state.lock() else {
+            return;
+        };
+        if let Some(local) = delta {
+            s.deltas.push(local);
+            s.pending_rows += chunk.len() as u64;
+        }
+        s.progress = stream.progress();
+        s.exhausted = exhausted;
+        // Backpressure: once the un-drained deltas hold two chunks' worth
+        // of rows, wait for the coordinator to drain them — running further
+        // ahead only grows the overshoot past a stopping rule the
+        // coordinator has not judged yet.
+        while s.pending_rows >= backpressure && !cancel.load(Ordering::Relaxed) {
+            // The ping must be in flight before parking, or the coordinator
+            // may never wake to drain us.
+            let _ = tx.send(());
+            let Ok(next) = shard.drained.wait(s) else {
+                return;
+            };
+            s = next;
+        }
+        drop(s);
+        // The coordinator may already have stopped and dropped the
+        // receiver; that just means nobody needs the ping.
+        let _ = tx.send(());
+        if exhausted {
+            return;
+        }
+    }
+}

@@ -166,4 +166,29 @@ fn main() {
             if ci.contains(truth) { "yes" } else { "no" }
         );
     }
+
+    // 7. Shard parallelism: the same query over 4 worker threads. Each
+    //    worker consumes a disjoint slice of the sampled plan into a
+    //    thread-local accumulator; the coordinator merges per-shard deltas
+    //    at every snapshot and judges the stopping rule on the global
+    //    state. At forced exhaustion the merged readout equals the batch
+    //    estimator on the realized sample (to 1e-9) at any worker count.
+    println!("\nsame scalar query, 4 worker threads (--jobs 4):");
+    let popts = OnlineOptions {
+        seed: 7,
+        chunk_rows: 2000,
+        parallelism: 4,
+        ..Default::default()
+    };
+    let mut ticks = 0u64;
+    let parallel = run_online_sql(sql, &catalog, &popts, |_| ticks += 1).expect("parallel run");
+    println!(
+        "stopped: {} after {} tuples in {} snapshot ticks; estimate {:.2} \
+         (sequential early stop was {:.2})",
+        parallel.reason,
+        parallel.snapshot.rows,
+        ticks,
+        parallel.snapshot.aggs[0].estimate,
+        online_est
+    );
 }

@@ -13,7 +13,9 @@
 //!
 //! `--seed` seeds both the data generator and the sampling operators, so a
 //! given invocation is fully reproducible. `--chunk N` sets the online
-//! chunk size.
+//! chunk size; `--jobs N` drives the online loop with N shard-parallel
+//! worker threads (merged per snapshot; `--jobs 1`, the default, is the
+//! classic deterministic single-threaded loop).
 //!
 //! Inside the shell:
 //!
@@ -26,6 +28,7 @@
 //! \tables               list tables
 //! \seed N               set the sampling seed
 //! \chunk N              set the online chunk size (rows)
+//! \jobs N               set the online worker count (1 = sequential)
 //! \subsample N          estimate variance from ~N tuples (§7); 0 = off
 //! \quit
 //! ```
@@ -46,6 +49,7 @@ struct Session {
     subsample: Option<u64>,
     confidence: f64,
     chunk_rows: usize,
+    jobs: usize,
 }
 
 fn main() {
@@ -53,6 +57,7 @@ fn main() {
     let mut scale = 0.005f64;
     let mut seed = 42u64;
     let mut chunk_rows = 1024usize;
+    let mut jobs = 1usize;
     let mut online = false;
     let mut one_shot: Option<String> = None;
     let mut it = args.iter();
@@ -77,6 +82,13 @@ fn main() {
                     .filter(|n| *n > 0)
                     .unwrap_or_else(|| die("--chunk needs a positive row count"));
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die("--jobs needs a positive worker count"));
+            }
             "--online" => online = true,
             "--query" => {
                 one_shot = Some(
@@ -87,7 +99,8 @@ fn main() {
             }
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--online] [--query SQL]"
+                    "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--jobs N] [--online] \
+                     [--query SQL]"
                 );
                 return;
             }
@@ -105,6 +118,7 @@ fn main() {
         subsample: None,
         confidence: 0.95,
         chunk_rows,
+        jobs,
     };
 
     if let Some(sql) = one_shot {
@@ -186,6 +200,13 @@ fn run_line(session: &mut Session, line: &str) {
                     println!("chunk = {n} rows");
                 }
                 _ => println!("\\chunk needs a positive row count"),
+            },
+            "jobs" => match arg.trim().parse::<usize>() {
+                Ok(n) if n > 0 => {
+                    session.jobs = n;
+                    println!("jobs = {n} worker{}", if n == 1 { "" } else { "s" });
+                }
+                _ => println!("\\jobs needs a positive worker count"),
             },
             "online" => run_online_mode(session, arg),
             "exact" => run_exact(session, arg),
@@ -298,6 +319,7 @@ fn run_online_mode(session: &mut Session, sql: &str) {
         confidence: session.confidence,
         rule: StoppingRule::exhaustive(),
         scale_to_population: true,
+        parallelism: session.jobs,
     };
     if let Some(rule) = rule {
         opts.rule.ci_target = rule.ci_target;

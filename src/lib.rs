@@ -76,8 +76,8 @@ pub mod prelude {
         RelSet, SBox,
     };
     pub use sa_exec::{
-        approx_query, exact_query, execute, open_stream, ApproxOptions, ApproxResult, ChunkStream,
-        ExecOptions,
+        approx_query, exact_query, execute, open_stream, open_stream_partitioned, ApproxOptions,
+        ApproxResult, ChunkStream, ExecOptions,
     };
     pub use sa_expr::{col, lit, Expr};
     pub use sa_online::{

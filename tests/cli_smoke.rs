@@ -97,6 +97,68 @@ fn interactive_commands() {
 }
 
 #[test]
+fn jobs_flag_drives_parallel_online_query() {
+    // The shard-parallel path end to end: --jobs 4 must run the online
+    // query to a stop and print the same summary shape as --jobs 1.
+    let out = Command::new(env!("CARGO_BIN_EXE_sa"))
+        .args([
+            "--tpch", "0.002", "--seed", "7", "--chunk", "600", "--jobs", "4", "--online",
+        ])
+        .arg("--query")
+        .arg(
+            "SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (60 PERCENT) \
+             WITHIN 5 PERCENT CONFIDENCE 95",
+        )
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stopped: ci-converged"), "{stdout}");
+    assert!(stdout.contains("final normal CI"), "{stdout}");
+}
+
+#[test]
+fn jobs_zero_flag_rejected() {
+    let out = sa()
+        .args(["--jobs", "0", "--online"])
+        .arg("--query")
+        .arg("SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (20 PERCENT)")
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "--jobs 0 must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}
+
+#[test]
+fn interactive_jobs_command() {
+    let mut child = sa()
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+    let stdin = child.stdin.as_mut().expect("piped stdin");
+    writeln!(stdin, "\\jobs 0").unwrap(); // rejected, session survives
+    writeln!(stdin, "\\jobs 2").unwrap();
+    writeln!(
+        stdin,
+        "\\online SELECT SUM(l_quantity) AS q FROM lineitem TABLESAMPLE (40 PERCENT)"
+    )
+    .unwrap();
+    writeln!(stdin, "\\quit").unwrap();
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("\\jobs needs a positive worker count"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("jobs = 2 workers"), "{stdout}");
+    assert!(stdout.contains("stopped: exhausted"), "{stdout}");
+}
+
+#[test]
 fn one_shot_online_query_with_stopping_rule() {
     // Deterministic workload (fixed --seed): the ε/δ rule must fire before
     // the 60% sample drains, and the run must say so.

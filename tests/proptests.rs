@@ -287,6 +287,62 @@ proptest! {
         }
     }
 
+    /// Any shard partition of a streamed plan — every worker's rows pushed
+    /// into its own accumulator, shards merged in worker order — equals the
+    /// sequential accumulator fed the same rows, to 1e-9: the invariant the
+    /// shard-parallel online driver rests on.
+    #[test]
+    fn partitioned_plan_shards_merge_to_the_sequential_accumulator(
+        parts in 1usize..6,
+        seed in 0u64..500,
+        p in 0.2f64..0.9,
+        hint in 1usize..300,
+    ) {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Field::new("v", DataType::Float)]).unwrap();
+        let mut b = TableBuilder::new("t", schema).with_block_rows(32);
+        for i in 0..400 {
+            b.push_row(&[Value::Float(((i * 37) % 101) as f64 - 50.0)]).unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p });
+        let streams = sampling_algebra::exec::open_stream_partitioned(
+            &plan, &c, &ExecOptions { seed }, parts,
+        ).unwrap();
+        let mut merged = MomentAccumulator::new(1, 1);
+        let mut all_rows = Vec::new();
+        for s in streams {
+            let rows = s.collect_rows(hint).unwrap();
+            let mut shard = MomentAccumulator::new(1, 1);
+            for row in &rows {
+                shard.push_scalar(&row.lineage, row.values[0].as_f64().unwrap()).unwrap();
+            }
+            merged.merge(&shard).unwrap();
+            all_rows.extend(rows);
+        }
+        let mut sequential = MomentAccumulator::new(1, 1);
+        for row in &all_rows {
+            sequential.push_scalar(&row.lineage, row.values[0].as_f64().unwrap()).unwrap();
+        }
+        let (ms, mm) = (sequential.snapshot(), merged.snapshot());
+        prop_assert_eq!(mm.count, ms.count);
+        for s in 0..2u32 {
+            let (ym, ys) = (
+                mm.y_scalar(sa_core::RelSet::from_bits(s)),
+                ms.y_scalar(sa_core::RelSet::from_bits(s)),
+            );
+            prop_assert!((ym - ys).abs() <= TOL * (1.0 + ys.abs()), "y[{}]: {} vs {}", s, ym, ys);
+        }
+        let gus = GusParams::bernoulli("t", p).unwrap();
+        let (rm, rs) = (
+            sa_core::estimate_from_sample_moments(&gus, &mm).unwrap(),
+            sa_core::estimate_from_sample_moments(&gus, &ms).unwrap(),
+        );
+        prop_assert!(
+            (rm.estimate[0] - rs.estimate[0]).abs() <= TOL * (1.0 + rs.estimate[0].abs())
+        );
+    }
+
     #[test]
     fn grouped_accumulator_matches_batch_grouped_query(
         p in 0.2f64..1.0,
