@@ -5,6 +5,7 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sa_bench::workloads;
 use sa_core::{GroupedMoments, GusParams, MomentAccumulator};
 use sa_exec::{execute, open_stream, ExecOptions};
 use sa_online::{run_online, OnlineOptions, StoppingRule};
@@ -159,12 +160,41 @@ fn bench_progressive_loop(c: &mut Criterion) {
     group.finish();
 }
 
+/// The TPC-H scan+filter workload (the PR-5 acceptance query): exhaustion
+/// throughput of the columnar online loop over a sampled lineitem scan
+/// with a selection and a projected arithmetic expression. The plans come
+/// from `workloads::columnar` — the same definitions `bench_report`
+/// measures into `BENCH_PR5.json`.
+fn bench_tpch_scan_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_tpch");
+    let cat = workloads::tpch_small(7);
+    let rows = cat.get("lineitem").unwrap().row_count();
+    group.throughput(Throughput::Elements(rows));
+    let scan = workloads::columnar::scan_plan();
+    let scan_filter = workloads::columnar::filter_project_plan();
+    let opts = OnlineOptions {
+        seed: 1,
+        chunk_rows: 4096,
+        ..Default::default()
+    };
+    for (name, plan) in [("scan", &scan), ("scan_filter", &scan_filter)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = run_online(black_box(plan), &cat, &opts, |_| {}).unwrap();
+                black_box(r.snapshot.rows)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_accumulate,
     bench_snapshot_readout,
     bench_merge,
     bench_stream_vs_materialize,
-    bench_progressive_loop
+    bench_progressive_loop,
+    bench_tpch_scan_filter
 );
 criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! Machine-readable throughput report for the online execution engine.
+//!
+//! Runs the four canonical TPC-H online workloads — scan, filter+project,
+//! grouped, join — to exhaustion at 1 and 4 worker threads, and reports
+//! result-tuple throughput (rows/s). Unlike the criterion benches this tool
+//! emits a stable JSON summary, so perf trajectories can be committed next
+//! to the code that changed them (see `BENCH_PR5.json`).
+//!
+//! ```sh
+//! cargo run --release -p sa-bench --bin bench_report -- --json out.json
+//! cargo run --release -p sa-bench --bin bench_report -- --scale 0.02 --reps 5
+//! ```
+
+use std::time::Instant;
+
+use sa_bench::workloads::{self, columnar};
+use sa_expr::col;
+use sa_online::{
+    run_online, run_online_grouped, GroupedOnlineOptions, OnlineOptions, StoppingRule,
+};
+use sa_plan::LogicalPlan;
+use sa_storage::Catalog;
+
+/// One measured cell of the report.
+struct Cell {
+    workload: &'static str,
+    jobs: usize,
+    rows: u64,
+    secs: f64,
+}
+
+impl Cell {
+    fn rows_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.rows as f64 / self.secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn online_opts(jobs: usize) -> OnlineOptions {
+    OnlineOptions {
+        seed: 1,
+        chunk_rows: 4096,
+        rule: StoppingRule::exhaustive(),
+        parallelism: jobs,
+        ..Default::default()
+    }
+}
+
+/// Best-of-`reps` exhaustion run of a scalar workload.
+fn measure_scalar(
+    workload: &'static str,
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    jobs: usize,
+    reps: usize,
+) -> Cell {
+    let opts = online_opts(jobs);
+    let mut best = f64::INFINITY;
+    let mut rows = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = run_online(plan, catalog, &opts, |_| {}).expect("workload runs");
+        let secs = t.elapsed().as_secs_f64();
+        rows = r.snapshot.rows;
+        best = best.min(secs);
+    }
+    Cell {
+        workload,
+        jobs,
+        rows,
+        secs: best,
+    }
+}
+
+/// Best-of-`reps` exhaustion run of the grouped workload.
+fn measure_grouped(catalog: &Catalog, jobs: usize, reps: usize) -> Cell {
+    let opts = GroupedOnlineOptions {
+        online: online_opts(jobs),
+        ..Default::default()
+    };
+    let plan = columnar::grouped_plan();
+    let mut best = f64::INFINITY;
+    let mut rows = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = run_online_grouped(&plan, &[col("l_returnflag")], catalog, &opts, |_| {})
+            .expect("grouped workload runs");
+        let secs = t.elapsed().as_secs_f64();
+        rows = r.snapshot.rows;
+        best = best.min(secs);
+    }
+    Cell {
+        workload: "grouped",
+        jobs,
+        rows,
+        secs: best,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, scale: f64, reps: usize, cells: &[Cell]) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"meta\": {{ \"tpch_scale\": {scale}, \"reps\": {reps}, \"seed\": 1, \
+         \"chunk_rows\": 4096, \"metric\": \"exhaustion result-tuple throughput, best of reps\" }},\n"
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"workload\": \"{}\", \"jobs\": {}, \"rows\": {}, \"secs\": {:.6}, \
+             \"rows_per_sec\": {:.1} }}{}\n",
+            json_escape(c.workload),
+            c.jobs,
+            c.rows,
+            c.secs,
+            c.rows_per_sec(),
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write json report");
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut scale = 0.02f64;
+    let mut reps = 3usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            "--scale" => scale = it.next().expect("--scale needs a value").parse().unwrap(),
+            "--reps" => reps = it.next().expect("--reps needs a value").parse().unwrap(),
+            other => {
+                eprintln!("usage: bench_report [--json PATH] [--scale S] [--reps N] (got {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!("generating TPC-H at scale {scale}…");
+    let catalog = workloads::tpch_at(scale, 7);
+    let mut cells = Vec::new();
+    for jobs in [1usize, 4] {
+        cells.push(measure_scalar(
+            "scan",
+            &columnar::scan_plan(),
+            &catalog,
+            jobs,
+            reps,
+        ));
+        cells.push(measure_scalar(
+            "filter_project",
+            &columnar::filter_project_plan(),
+            &catalog,
+            jobs,
+            reps,
+        ));
+        cells.push(measure_grouped(&catalog, jobs, reps));
+        cells.push(measure_scalar(
+            "join",
+            &columnar::join_plan(),
+            &catalog,
+            jobs,
+            reps,
+        ));
+        for c in cells.iter().rev().take(4) {
+            eprintln!(
+                "{:>16} jobs={} rows={:>8} {:>8.1} ms {:>12.0} rows/s",
+                c.workload,
+                c.jobs,
+                c.rows,
+                c.secs * 1e3,
+                c.rows_per_sec()
+            );
+        }
+    }
+    println!("workload,jobs,rows,secs,rows_per_sec");
+    for c in &cells {
+        println!(
+            "{},{},{},{:.6},{:.1}",
+            c.workload,
+            c.jobs,
+            c.rows,
+            c.secs,
+            c.rows_per_sec()
+        );
+    }
+    if let Some(path) = json_path {
+        write_json(&path, scale, reps, &cells);
+    }
+}

@@ -11,6 +11,11 @@ pub fn tpch_small(seed: u64) -> Catalog {
     generate(&TpchConfig::scale(0.005).with_seed(seed))
 }
 
+/// TPC-H at an arbitrary scale factor (throughput reports pick their own).
+pub fn tpch_at(scale: f64, seed: u64) -> Catalog {
+    generate(&TpchConfig::scale(scale).with_seed(seed))
+}
+
 /// TPC-H with the paper's Example 1 orders cardinality (150 000), for
 /// coefficient reproduction.
 pub fn tpch_paper(seed: u64) -> Catalog {
@@ -75,6 +80,58 @@ pub fn three_table(catalog: &Catalog, percent: f64) -> LogicalPlan {
         catalog,
     )
     .expect("three-table binds")
+}
+
+/// The PR-5 columnar throughput workloads, shared by `bench_online`'s
+/// `online_tpch` group and the `bench_report` binary (which writes
+/// `BENCH_PR5.json`) — one definition, so the criterion bench and the
+/// committed numbers cannot drift apart.
+pub mod columnar {
+    use sa_expr::{col, lit};
+    use sa_plan::{AggSpec, LogicalPlan};
+    use sa_sampling::SamplingMethod;
+
+    /// Scan: a sampled single-table SUM, no filter — pure stream +
+    /// accumulate cost.
+    pub fn scan_plan() -> LogicalPlan {
+        LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.9 })
+            .aggregate(vec![AggSpec::sum(col("l_quantity"), "s")])
+    }
+
+    /// Scan+filter (the acceptance query): selection plus a projected
+    /// arithmetic expression.
+    pub fn filter_project_plan() -> LogicalPlan {
+        LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.9 })
+            .filter(
+                col("l_extendedprice")
+                    .gt(lit(1000.0))
+                    .and(col("l_discount").lt(lit(0.08))),
+            )
+            .project(vec![(
+                col("l_extendedprice").mul(lit(1.0).sub(col("l_discount"))),
+                "disc_price".into(),
+            )])
+            .aggregate(vec![AggSpec::sum(col("disc_price"), "s")])
+    }
+
+    /// Grouped: per-group SUM over the return flag (drive with
+    /// `run_online_grouped` and key `l_returnflag`).
+    pub fn grouped_plan() -> LogicalPlan {
+        scan_plan()
+    }
+
+    /// Join: sampled lineitem ⋈ sampled orders.
+    pub fn join_plan() -> LogicalPlan {
+        LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .join_on(
+                LogicalPlan::scan("orders").sample(SamplingMethod::Bernoulli { p: 0.5 }),
+                col("l_orderkey").eq(col("o_orderkey")),
+            )
+            .aggregate(vec![AggSpec::sum(col("l_quantity"), "s")])
+    }
 }
 
 /// A synthetic catalog of `n` relations with `rows` rows each, for rewriter

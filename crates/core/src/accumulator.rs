@@ -139,6 +139,82 @@ impl MomentAccumulator {
         self.push(lineage, &[f])
     }
 
+    /// Consume a whole columnar chunk of result tuples: `lineage` holds one
+    /// id column per base relation, `f` one value column per aggregate
+    /// dimension, all of equal length. Equivalent to pushing each row (up
+    /// to float associativity — the same 1e-9 class as shard merging), but
+    /// amortized: the `S = ∅` rank-two delta collapses to **one**
+    /// retract/add pair per batch instead of two outer products per row,
+    /// arity checks hoist out of the row loop, and a tuple landing in a
+    /// fresh lineage group skips the retract of its zero vector entirely
+    /// (exact — the retract would subtract `0·0ᵀ`).
+    pub fn push_batch(&mut self, lineage: &[&[u64]], f: &[&[f64]]) -> Result<()> {
+        if lineage.len() != self.n {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n,
+                got: lineage.len(),
+            });
+        }
+        if f.len() != self.dims {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dims,
+                got: f.len(),
+            });
+        }
+        let rows = f
+            .first()
+            .map(|c| c.len())
+            .or_else(|| lineage.first().map(|c| c.len()))
+            .unwrap_or(0);
+        for col in lineage
+            .iter()
+            .map(|c| c.len())
+            .chain(f.iter().map(|c| c.len()))
+        {
+            if col != rows {
+                return Err(CoreError::DimensionMismatch {
+                    expected: rows,
+                    got: col,
+                });
+            }
+        }
+        if rows == 0 {
+            return Ok(());
+        }
+        self.count += rows as u64;
+        // S = ∅: the single global group — retract once, replay every row's
+        // contribution to the running total, re-add once.
+        self.y[RelSet::EMPTY.index()].add_outer_scaled(&self.total, -1.0);
+        let mut fp = [0u128; crate::relset::MAX_RELS];
+        for r in 0..rows {
+            for (t, col) in self.total.iter_mut().zip(f) {
+                *t += col[r];
+            }
+            for i in 0..self.n {
+                fp[i] = fingerprint128(self.salts[i], lineage[i][r]);
+            }
+            for s_idx in 1..1usize << self.n {
+                let key = subset_key(&fp, RelSet::from_bits(s_idx as u32));
+                match self.groups[s_idx].entry(key) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let entry = e.get_mut();
+                        self.y[s_idx].add_outer_scaled(entry, -1.0);
+                        for (d, col) in entry.iter_mut().zip(f) {
+                            *d += col[r];
+                        }
+                        self.y[s_idx].add_outer(entry);
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let entry = v.insert(f.iter().map(|col| col[r]).collect());
+                        self.y[s_idx].add_outer(entry);
+                    }
+                }
+            }
+        }
+        self.y[RelSet::EMPTY.index()].add_outer(&self.total);
+        Ok(())
+    }
+
     /// Absorb another accumulator over the same lineage schema — the shard
     /// merge. Groups present in both shards are combined through the same
     /// rank-two delta the per-row path uses, so the result is exactly what a
@@ -265,6 +341,54 @@ mod tests {
             left.merge(&right).unwrap();
             assert_moments_eq(&left.snapshot(), &batch(&rows), 1e-12);
         }
+    }
+
+    #[test]
+    fn push_batch_matches_per_row_pushes() {
+        let rows = sample_rows();
+        let mut per_row = MomentAccumulator::new(2, 1);
+        for (lin, f) in &rows {
+            per_row.push_scalar(lin, *f).unwrap();
+        }
+        // One batch push of the same rows in column-major form.
+        let l0: Vec<u64> = rows.iter().map(|(l, _)| l[0]).collect();
+        let l1: Vec<u64> = rows.iter().map(|(l, _)| l[1]).collect();
+        let fv: Vec<f64> = rows.iter().map(|(_, f)| *f).collect();
+        let mut batched = MomentAccumulator::new(2, 1);
+        batched.push_batch(&[&l0, &l1], &[&fv]).unwrap();
+        assert_moments_eq(&batched.snapshot(), &per_row.snapshot(), 1e-12);
+        // Splitting the batch at any point changes nothing.
+        for split in 0..=rows.len() {
+            let mut acc = MomentAccumulator::new(2, 1);
+            acc.push_batch(&[&l0[..split], &l1[..split]], &[&fv[..split]])
+                .unwrap();
+            acc.push_batch(&[&l0[split..], &l1[split..]], &[&fv[split..]])
+                .unwrap();
+            assert_moments_eq(&acc.snapshot(), &per_row.snapshot(), 1e-12);
+        }
+    }
+
+    #[test]
+    fn push_batch_multi_dim_and_arity_checks() {
+        let mut batched = MomentAccumulator::new(1, 2);
+        let mut per_row = MomentAccumulator::new(1, 2);
+        let lin = [1u64, 1, 2];
+        let f0 = [1.0, 2.0, 4.0];
+        let f1 = [10.0, 20.0, 40.0];
+        batched.push_batch(&[&lin], &[&f0, &f1]).unwrap();
+        for i in 0..3 {
+            per_row.push(&[lin[i]], &[f0[i], f1[i]]).unwrap();
+        }
+        assert_moments_eq(&batched.snapshot(), &per_row.snapshot(), 1e-12);
+        // Wrong relation count, dim count, or ragged columns.
+        let mut acc = MomentAccumulator::new(2, 1);
+        assert!(acc.push_batch(&[&lin], &[&f0]).is_err());
+        assert!(acc.push_batch(&[&lin, &lin], &[&f0, &f1]).is_err());
+        assert!(acc.push_batch(&[&lin, &lin[..2]], &[&f0]).is_err());
+        assert_eq!(acc.count(), 0, "failed batch must not half-apply");
+        // Empty batch is a no-op.
+        acc.push_batch(&[&[], &[]], &[&[]]).unwrap();
+        assert_eq!(acc.count(), 0);
     }
 
     #[test]

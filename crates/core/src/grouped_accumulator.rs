@@ -30,17 +30,25 @@ use std::hash::Hash;
 use crate::accumulator::MomentAccumulator;
 use crate::error::CoreError;
 use crate::estimator::EstimateReport;
-use crate::hash::FxHashMap;
+use crate::hash::FpMap;
 use crate::params::GusParams;
 use crate::Result;
 
 /// A map of group key → incremental [`MomentAccumulator`], with push, shard
 /// merge, and O(1)-in-rows per-group readout.
+///
+/// Groups live in an [`FpMap`]: keyed by a 64-bit fingerprint of the key
+/// (one cheap hash instead of cloning/boxing key tuples through a generic
+/// map) with stored-key collision resolution, so a fingerprint collision
+/// costs an equality check, never correctness.
+/// [`GroupedMomentAccumulator::push_batch`] feeds one group a whole chunk
+/// partition at a time, landing in the scalar accumulator's amortized
+/// batch path.
 #[derive(Debug, Clone)]
 pub struct GroupedMomentAccumulator<K> {
     n: usize,
     dims: usize,
-    groups: FxHashMap<K, MomentAccumulator>,
+    groups: FpMap<K, MomentAccumulator>,
     count: u64,
 }
 
@@ -52,9 +60,16 @@ impl<K: Eq + Hash> GroupedMomentAccumulator<K> {
         GroupedMomentAccumulator {
             n,
             dims,
-            groups: FxHashMap::default(),
+            groups: FpMap::new(),
             count: 0,
         }
+    }
+
+    /// The accumulator slot of `key`, created on first touch.
+    fn slot(&mut self, key: K) -> &mut MomentAccumulator {
+        let (n, dims) = (self.n, self.dims);
+        self.groups
+            .get_or_insert_with(key, || MomentAccumulator::new(n, dims))
     }
 
     /// Number of base relations.
@@ -99,11 +114,7 @@ impl<K: Eq + Hash> GroupedMomentAccumulator<K> {
                 got: f.len(),
             });
         }
-        let (n, dims) = (self.n, self.dims);
-        self.groups
-            .entry(key)
-            .or_insert_with(|| MomentAccumulator::new(n, dims))
-            .push(lineage, f)?;
+        self.slot(key).push(lineage, f)?;
         self.count += 1;
         Ok(())
     }
@@ -111,6 +122,52 @@ impl<K: Eq + Hash> GroupedMomentAccumulator<K> {
     /// Scalar convenience for `dims == 1`.
     pub fn push_scalar(&mut self, key: K, lineage: &[u64], f: f64) -> Result<()> {
         self.push(key, lineage, &[f])
+    }
+
+    /// Consume a whole chunk partition of one group: `lineage` holds one id
+    /// column per base relation, `f` one value column per dimension (see
+    /// [`MomentAccumulator::push_batch`]). The grouped online driver
+    /// partitions each chunk by key once and lands every partition here —
+    /// the key is hashed (and, for a new group, stored) once per partition
+    /// instead of once per row.
+    pub fn push_batch(&mut self, key: K, lineage: &[&[u64]], f: &[&[f64]]) -> Result<()> {
+        // Validate before touching the map, so a bad push cannot leave an
+        // empty phantom group behind.
+        if lineage.len() != self.n {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.n,
+                got: lineage.len(),
+            });
+        }
+        if f.len() != self.dims {
+            return Err(CoreError::DimensionMismatch {
+                expected: self.dims,
+                got: f.len(),
+            });
+        }
+        let rows = f
+            .first()
+            .map(|c| c.len())
+            .or_else(|| lineage.first().map(|c| c.len()))
+            .unwrap_or(0);
+        for len in lineage
+            .iter()
+            .map(|c| c.len())
+            .chain(f.iter().map(|c| c.len()))
+        {
+            if len != rows {
+                return Err(CoreError::DimensionMismatch {
+                    expected: rows,
+                    got: len,
+                });
+            }
+        }
+        if rows == 0 {
+            return Ok(());
+        }
+        self.slot(key).push_batch(lineage, f)?;
+        self.count += rows as u64;
+        Ok(())
     }
 
     /// The accumulator of one group, if discovered.
@@ -126,7 +183,7 @@ impl<K: Eq + Hash> GroupedMomentAccumulator<K> {
 
     /// Iterate over the discovered group keys, in hash order.
     pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.groups.keys()
+        self.iter().map(|(k, _)| k)
     }
 
     /// The full [`EstimateReport`] of one group under `gus` — the O(1)
@@ -134,7 +191,7 @@ impl<K: Eq + Hash> GroupedMomentAccumulator<K> {
     /// sampled tuple has estimate 0 and no estimable variance, the honest
     /// classical caveat of sampling-based GROUP BY).
     pub fn report_group(&self, key: &K, gus: &GusParams) -> Option<Result<EstimateReport>> {
-        self.groups.get(key).map(|acc| acc.report(gus))
+        self.group(key).map(|acc| acc.report(gus))
     }
 
     /// Absorb another grouped accumulator over the same schema — the shard
@@ -157,12 +214,8 @@ impl<K: Eq + Hash> GroupedMomentAccumulator<K> {
                 got: other.dims,
             });
         }
-        let (n, dims) = (self.n, self.dims);
-        for (key, acc) in &other.groups {
-            self.groups
-                .entry(key.clone())
-                .or_insert_with(|| MomentAccumulator::new(n, dims))
-                .merge(acc)?;
+        for (key, acc) in other.groups.iter() {
+            self.slot(key.clone()).merge(acc)?;
         }
         self.count += other.count;
         Ok(())
@@ -292,6 +345,86 @@ mod tests {
         assert_eq!(acc.group_count(), 0);
         assert_eq!(acc.count(), 0);
         assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn push_batch_matches_per_row_and_validates_first() {
+        let rows = sample_rows();
+        let mut per_row: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(1, 1);
+        for (key, lin, f) in &rows {
+            per_row.push_scalar(*key, lin, *f).unwrap();
+        }
+        // Partition the rows by group and feed each partition as one batch.
+        let mut batched: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(1, 1);
+        for g in 0..3u32 {
+            let lin: Vec<u64> = rows
+                .iter()
+                .filter(|(k, _, _)| *k == g)
+                .map(|(_, l, _)| l[0])
+                .collect();
+            let f: Vec<f64> = rows
+                .iter()
+                .filter(|(k, _, _)| *k == g)
+                .map(|(_, _, f)| *f)
+                .collect();
+            batched.push_batch(g, &[&lin], &[&f]).unwrap();
+        }
+        assert_eq!(batched.count(), per_row.count());
+        assert_eq!(batched.group_count(), per_row.group_count());
+        for g in 0..3u32 {
+            let (a, b) = (
+                batched.group(&g).unwrap().snapshot(),
+                per_row.group(&g).unwrap().snapshot(),
+            );
+            for bits in 0..2u32 {
+                let (x, y) = (
+                    a.y_scalar(RelSet::from_bits(bits)),
+                    b.y_scalar(RelSet::from_bits(bits)),
+                );
+                assert!((x - y).abs() < 1e-12, "group {g}: {x} vs {y}");
+            }
+        }
+        // Bad batches leave no phantom group (validated before the map).
+        let mut acc: GroupedMomentAccumulator<u32> = GroupedMomentAccumulator::new(2, 1);
+        assert!(acc.push_batch(9, &[&[1, 2]], &[&[1.0, 2.0]]).is_err());
+        assert!(acc.push_batch(9, &[&[1], &[2]], &[&[1.0], &[2.0]]).is_err());
+        assert!(acc.push_batch(9, &[&[1], &[2, 3]], &[&[1.0]]).is_err());
+        assert_eq!(acc.group_count(), 0);
+        // Empty batch is a no-op that creates no group either.
+        acc.push_batch(9, &[&[], &[]], &[&[]]).unwrap();
+        assert_eq!(acc.group_count(), 0);
+        assert_eq!(acc.count(), 0);
+    }
+
+    #[test]
+    fn fingerprint_buckets_resolve_collisions_by_stored_key() {
+        // Force a bucket collision by using a key type whose hash is
+        // constant; distinct keys must stay distinct groups.
+        #[derive(PartialEq, Eq, Clone, Debug)]
+        struct SameHash(u32);
+        impl std::hash::Hash for SameHash {
+            fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+                state.write_u64(42);
+            }
+        }
+        let mut acc: GroupedMomentAccumulator<SameHash> = GroupedMomentAccumulator::new(1, 1);
+        acc.push_scalar(SameHash(0), &[1], 2.0).unwrap();
+        acc.push_scalar(SameHash(1), &[1], 5.0).unwrap();
+        acc.push_scalar(SameHash(0), &[2], 3.0).unwrap();
+        assert_eq!(acc.group_count(), 2);
+        let g0 = acc.group(&SameHash(0)).unwrap();
+        assert_eq!(g0.count(), 2);
+        assert!((g0.total()[0] - 5.0).abs() < 1e-12);
+        let g1 = acc.group(&SameHash(1)).unwrap();
+        assert!((g1.total()[0] - 5.0).abs() < 1e-12);
+        assert_eq!(g1.count(), 1);
+        // Merge across shards with colliding fingerprints stays group-aware.
+        let mut other: GroupedMomentAccumulator<SameHash> = GroupedMomentAccumulator::new(1, 1);
+        other.push_scalar(SameHash(1), &[1], 7.0).unwrap();
+        other.push_scalar(SameHash(2), &[9], 1.0).unwrap();
+        acc.merge(&other).unwrap();
+        assert_eq!(acc.group_count(), 3);
+        assert!((acc.group(&SameHash(1)).unwrap().total()[0] - 12.0).abs() < 1e-12);
     }
 
     #[test]

@@ -121,11 +121,125 @@ pub fn subset_key(fp: &[u128], s: crate::relset::RelSet) -> u128 {
     key
 }
 
+/// A map keyed by a 64-bit **fingerprint** of the key with stored-key
+/// collision resolution: the deterministic splitmix64-finalized Fx hash of
+/// the key selects a bucket of `(stored key, value)` pairs, and real key
+/// equality resolves within the bucket — so a fingerprint collision costs
+/// one extra comparison, never correctness. The splitmix64 finalization
+/// matters: keys often hash f64 bit patterns whose entropy sits in the
+/// high bits, which Fx's multiply-only mixing would leave out of the
+/// map's bucket-index (low) bits.
+///
+/// This is the one bucket scheme shared by every group-keyed structure
+/// (the grouped moment accumulators, the batch `GROUP BY` partitioner), so
+/// collision/equality semantics cannot drift between them.
+#[derive(Debug, Clone)]
+pub struct FpMap<K, V> {
+    buckets: FxHashMap<u64, Vec<(K, V)>>,
+    len: usize,
+}
+
+impl<K, V> Default for FpMap<K, V> {
+    fn default() -> Self {
+        FpMap {
+            buckets: FxHashMap::default(),
+            len: 0,
+        }
+    }
+}
+
+impl<K: Eq + std::hash::Hash, V> FpMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The deterministic key fingerprint (a fixed hasher, so independently
+    /// built maps — e.g. shard accumulators — bucket identically).
+    #[inline]
+    pub fn fingerprint(key: &K) -> u64 {
+        use std::hash::BuildHasher;
+        splitmix64(FxBuildHasher::default().hash_one(key))
+    }
+
+    /// Number of entries (distinct keys).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value of `key`, if present.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.buckets
+            .get(&Self::fingerprint(key))?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// The value slot of `key`, created with `make` on first touch (the
+    /// key is moved in only when new — no clone on the hit path).
+    pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> &mut V {
+        let bucket = self.buckets.entry(Self::fingerprint(&key)).or_default();
+        // The collision check: match on the stored key, not the hash.
+        if let Some(i) = bucket.iter().position(|(k, _)| *k == key) {
+            return &mut bucket[i].1;
+        }
+        self.len += 1;
+        bucket.push((key, make()));
+        &mut bucket.last_mut().expect("just pushed").1
+    }
+
+    /// Iterate over `(key, value)` pairs, in hash order — sort the keys
+    /// for deterministic output.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets
+            .values()
+            .flat_map(|b| b.iter().map(|(k, v)| (k, v)))
+    }
+
+    /// Drain into `(key, value)` pairs ordered by key — the one sort, paid
+    /// at readout instead of on every probe.
+    pub fn into_sorted(self) -> Vec<(K, V)>
+    where
+        K: Ord,
+    {
+        let mut out: Vec<(K, V)> = self.buckets.into_values().flatten().collect();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
     use std::hash::BuildHasher;
+
+    #[test]
+    fn fp_map_resolves_collisions_and_sorts_at_readout() {
+        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Debug)]
+        struct SameHash(u32);
+        impl std::hash::Hash for SameHash {
+            fn hash<H: Hasher>(&self, state: &mut H) {
+                state.write_u64(7); // every key shares one fingerprint
+            }
+        }
+        let mut m: FpMap<SameHash, u32> = FpMap::new();
+        for k in [2u32, 0, 1, 0, 2, 2] {
+            *m.get_or_insert_with(SameHash(k), || 0) += 1;
+        }
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&SameHash(2)), Some(&3));
+        assert_eq!(m.get(&SameHash(9)), None);
+        let sorted = m.into_sorted();
+        let keys: Vec<u32> = sorted.iter().map(|(k, _)| k.0).collect();
+        assert_eq!(keys, vec![0, 1, 2]);
+    }
 
     #[test]
     fn fx_hash_differs_on_different_keys() {

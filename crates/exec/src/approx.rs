@@ -174,6 +174,82 @@ pub fn f_vector(layout: &DimLayout, row: &crate::exec::Row) -> Result<Vec<f64>> 
     Ok(f)
 }
 
+/// Compiled batch evaluator of a [`DimLayout`]: computes every SBox
+/// dimension's `f` column for a whole [`sa_storage::ColumnarBatch`] at once
+/// (type-resolved once, no per-row expression dispatch). The online drivers
+/// use this with [`crate::ChunkStream::next_batch`] +
+/// `MomentAccumulator::push_batch`.
+#[derive(Debug)]
+pub struct BatchDimEval {
+    kernels: Vec<Option<sa_expr::CompiledExpr>>,
+    is_count: Vec<bool>,
+}
+
+impl DimLayout {
+    /// Compile this layout's dimension expressions for batch evaluation
+    /// against `schema` (the stream's output schema — the same one the
+    /// layout was bound against).
+    pub fn compile_batch(&self, schema: &sa_storage::Schema) -> Result<BatchDimEval> {
+        let kernels = self
+            .dim_exprs
+            .iter()
+            .map(|e| {
+                e.as_ref()
+                    .map(|e| sa_expr::compile(e, schema))
+                    .transpose()
+                    .map_err(ExecError::Expr)
+            })
+            .collect::<Result<_>>()?;
+        Ok(BatchDimEval {
+            kernels,
+            is_count: self.dim_is_count.clone(),
+        })
+    }
+}
+
+impl BatchDimEval {
+    /// Number of SBox dimensions.
+    pub fn dims(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// The per-dimension `f` columns of a batch (`dims × rows`), with the
+    /// exact [`f_vector`] semantics: `COUNT(*)`/AVG-denominator dims are 1,
+    /// `COUNT(expr)` dims are the non-null indicator, SUM dims treat NULL
+    /// as 0.
+    pub fn eval(&self, batch: &sa_storage::ColumnarBatch) -> Result<Vec<Vec<f64>>> {
+        let rows = batch.rows();
+        let mut out = Vec::with_capacity(self.kernels.len());
+        for (k, is_count) in self.kernels.iter().zip(&self.is_count) {
+            let col = match k {
+                None => vec![1.0; rows], // COUNT(*) / AVG denominator
+                Some(k) => {
+                    let (mut vals, validity) = k.eval_f64(batch).map_err(ExecError::Expr)?;
+                    if *is_count {
+                        match validity {
+                            None => vals.iter_mut().for_each(|v| *v = 1.0),
+                            Some(validity) => {
+                                for (v, ok) in vals.iter_mut().zip(validity) {
+                                    *v = if ok { 1.0 } else { 0.0 };
+                                }
+                            }
+                        }
+                    } else if let Some(validity) = validity {
+                        for (v, ok) in vals.iter_mut().zip(validity) {
+                            if !ok {
+                                *v = 0.0; // SUM skips NULLs
+                            }
+                        }
+                    }
+                    vals
+                }
+            };
+            out.push(col);
+        }
+        Ok(out)
+    }
+}
+
 /// Run a sampled aggregate plan and produce estimates with confidence
 /// intervals. The plan root must be an [`LogicalPlan::Aggregate`].
 pub fn approx_query(

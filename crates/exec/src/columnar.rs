@@ -1,0 +1,195 @@
+//! The columnar chunk: a batch of result tuples plus per-relation lineage.
+//!
+//! [`ColumnarChunk`] is what the streaming executor's operators exchange: a
+//! [`ColumnarBatch`] of typed column vectors (see [`sa_storage::chunk`])
+//! paired with one lineage column (`Vec<u64>`) per base relation of the
+//! producing subtree. Operators filter/gather whole chunks; per-row
+//! [`Row`]s are materialized only at the row-level API boundary
+//! ([`ColumnarChunk::to_rows`], which backs [`crate::ChunkStream::next_chunk`]).
+
+use sa_storage::{ColumnVec, ColumnarBatch, DataType, Schema, Value};
+
+use crate::exec::Row;
+
+/// A chunk of streamed result tuples in columnar form: the value batch and
+/// one lineage id column per base relation (in scan order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarChunk {
+    /// Column values, aligned with the producing node's schema.
+    pub batch: ColumnarBatch,
+    /// Lineage id columns, one per base relation, each of `rows()` length.
+    pub lineage: Vec<Vec<u64>>,
+}
+
+impl ColumnarChunk {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.batch.rows()
+    }
+
+    /// True when the chunk carries no rows (the stream-exhausted signal).
+    pub fn is_empty(&self) -> bool {
+        self.batch.is_empty()
+    }
+
+    /// Keep the rows where `mask` is true.
+    pub fn filter(&self, mask: &[bool]) -> ColumnarChunk {
+        ColumnarChunk {
+            batch: self.batch.filter(mask),
+            lineage: self
+                .lineage
+                .iter()
+                .map(|l| {
+                    l.iter()
+                        .zip(mask)
+                        .filter(|(_, &m)| m)
+                        .map(|(&x, _)| x)
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Gather rows by index (repetition allowed).
+    pub fn take(&self, indices: &[u32]) -> ColumnarChunk {
+        ColumnarChunk {
+            batch: self.batch.take(indices),
+            lineage: self
+                .lineage
+                .iter()
+                .map(|l| indices.iter().map(|&i| l[i as usize]).collect())
+                .collect(),
+        }
+    }
+
+    /// The contiguous sub-chunk `[start, start + len)`.
+    pub fn slice(&self, start: usize, len: usize) -> ColumnarChunk {
+        ColumnarChunk {
+            batch: self.batch.slice(start, len),
+            lineage: self
+                .lineage
+                .iter()
+                .map(|l| l[start..start + len].to_vec())
+                .collect(),
+        }
+    }
+
+    /// Materialize the row-level view (the [`crate::ChunkStream::next_chunk`]
+    /// adapter).
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.rows())
+            .map(|i| Row {
+                values: self.batch.row_values(i),
+                lineage: self.lineage.iter().map(|l| l[i]).collect(),
+            })
+            .collect()
+    }
+
+    /// Convert materialized rows (a blocking sampler's drained subtree, a
+    /// join build side) into one columnar chunk. Column types come from
+    /// `schema`, except where the materialized values disagree with it (a
+    /// `NULL`-typed projection can produce, e.g., booleans under a `Float`
+    /// field — the row executor tolerates that, so this bridge must too);
+    /// such columns take the type of their first non-null value.
+    pub fn from_rows(schema: &Schema, n_rels: usize, rows: &[Row]) -> ColumnarChunk {
+        let columns = (0..schema.fields().len())
+            .map(|c| {
+                let declared = schema.field(c).data_type;
+                let compatible = rows.iter().all(|r| match (&r.values[c], declared) {
+                    (Value::Null, _) => true,
+                    (Value::Int(_), DataType::Int | DataType::Float) => true,
+                    (v, dt) => v.data_type() == Some(dt),
+                });
+                let dtype = if compatible {
+                    declared
+                } else {
+                    rows.iter()
+                        .find_map(|r| r.values[c].data_type())
+                        .unwrap_or(declared)
+                };
+                ColumnVec::from_values(dtype, rows.iter().map(move |r| r.values[c].clone()))
+            })
+            .collect();
+        let lineage = (0..n_rels)
+            .map(|rel| rows.iter().map(|r| r.lineage[rel]).collect())
+            .collect();
+        ColumnarChunk {
+            batch: ColumnarBatch::new(columns, rows.len()),
+            lineage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_storage::Field;
+
+    fn chunk() -> ColumnarChunk {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let rows: Vec<Row> = (0..5)
+            .map(|i| Row {
+                values: vec![Value::Int(i), Value::Float(i as f64 * 0.5)],
+                lineage: vec![i as u64, 100 + i as u64],
+            })
+            .collect();
+        ColumnarChunk::from_rows(&schema, 2, &rows)
+    }
+
+    #[test]
+    fn row_round_trip() {
+        let c = chunk();
+        let rows = c.to_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[3].values, vec![Value::Int(3), Value::Float(1.5)]);
+        assert_eq!(rows[3].lineage, vec![3, 103]);
+        let again = ColumnarChunk::from_rows(
+            &Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Float),
+            ])
+            .unwrap(),
+            2,
+            &rows,
+        );
+        assert_eq!(again, c);
+    }
+
+    #[test]
+    fn filter_take_slice_carry_lineage() {
+        let c = chunk();
+        let f = c.filter(&[true, false, false, true, true]);
+        assert_eq!(f.rows(), 3);
+        assert_eq!(f.lineage[0], vec![0, 3, 4]);
+        assert_eq!(f.lineage[1], vec![100, 103, 104]);
+        let t = c.take(&[4, 0]);
+        assert_eq!(t.lineage[0], vec![4, 0]);
+        let s = c.slice(1, 2);
+        assert_eq!(s.lineage[0], vec![1, 2]);
+        assert_eq!(s.to_rows()[0].values[0], Value::Int(1));
+    }
+
+    #[test]
+    fn from_rows_tolerates_schema_value_mismatch() {
+        // A NULL-typed projection defaults to a Float field but can produce
+        // booleans at runtime; the bridge must not panic.
+        let schema = Schema::new(vec![Field::new("x", DataType::Float)]).unwrap();
+        let rows = vec![
+            Row {
+                values: vec![Value::Bool(false)],
+                lineage: vec![0],
+            },
+            Row {
+                values: vec![Value::Null],
+                lineage: vec![1],
+            },
+        ];
+        let c = ColumnarChunk::from_rows(&schema, 1, &rows);
+        assert_eq!(c.to_rows()[0].values[0], Value::Bool(false));
+        assert!(c.to_rows()[1].values[0].is_null());
+    }
+}

@@ -15,6 +15,7 @@
 
 use std::collections::BTreeMap;
 
+use sa_core::hash::FpMap;
 use sa_core::{estimate_from_sample_moments, GroupedMoments};
 use sa_expr::{bind, eval, Expr};
 use sa_plan::{rewrite, LogicalPlan, SoaAnalysis};
@@ -85,25 +86,23 @@ pub fn approx_group_query(
     let dims = layout.dims();
     let n = analysis.schema.n();
 
-    // Partition rows by group key.
-    let mut partitions: BTreeMap<Vec<Value>, GroupedMoments> = BTreeMap::new();
-    let mut counts: BTreeMap<Vec<Value>, u64> = BTreeMap::new();
+    // Partition rows by group key, fingerprint-hashed (keys are sorted
+    // once at readout, not compared on every row).
+    let mut partitions: FpMap<Vec<Value>, (GroupedMoments, u64)> = FpMap::new();
     for row in &rs.rows {
         let key: Vec<Value> = bound_keys
             .iter()
             .map(|e| eval(e, &row.values).map_err(ExecError::Expr))
             .collect::<Result<_>>()?;
         let f = crate::approx::f_vector(&layout, row)?;
-        partitions
-            .entry(key.clone())
-            .or_insert_with(|| GroupedMoments::new(n, dims))
-            .push(&row.lineage, &f)?;
-        *counts.entry(key).or_insert(0) += 1;
+        let (acc, count) = partitions.get_or_insert_with(key, || (GroupedMoments::new(n, dims), 0));
+        acc.push(&row.lineage, &f)?;
+        *count += 1;
     }
 
+    let partitions = partitions.into_sorted();
     let mut groups = Vec::with_capacity(partitions.len());
-    for (key, acc) in partitions {
-        let sample_rows = counts[&key];
+    for (key, (acc, sample_rows)) in partitions {
         let report = estimate_from_sample_moments(&analysis.gus, &acc.finish())?;
         let aggs_out = agg_results_from_report(aggs, &layout, &report, opts.confidence);
         groups.push(GroupEstimate {
@@ -137,21 +136,21 @@ pub fn exact_group_query(
         .map(|e| bind(e, &rs.schema))
         .collect::<std::result::Result<_, _>>()?;
     let layout = crate::approx::layout_dims(aggs, &rs.schema)?;
-    let mut sums: BTreeMap<Vec<Value>, Vec<f64>> = BTreeMap::new();
+    let mut sums: FpMap<Vec<Value>, Vec<f64>> = FpMap::new();
     for row in &rs.rows {
         let key: Vec<Value> = bound_keys
             .iter()
             .map(|e| eval(e, &row.values).map_err(ExecError::Expr))
             .collect::<Result<_>>()?;
         let f = crate::approx::f_vector(&layout, row)?;
-        let entry = sums.entry(key).or_insert_with(|| vec![0.0; layout.dims()]);
+        let entry = sums.get_or_insert_with(key, || vec![0.0; layout.dims()]);
         for (s, v) in entry.iter_mut().zip(&f) {
             *s += v;
         }
     }
     // Collapse dimensions to per-agg values (ratio for AVG).
     let mut out = BTreeMap::new();
-    for (key, dims_sum) in sums {
+    for (key, dims_sum) in sums.into_sorted() {
         let vals: Vec<f64> = layout
             .per_agg()
             .iter()

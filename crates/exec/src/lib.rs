@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod columnar;
 pub mod error;
 pub mod exec;
 pub mod grouped;
@@ -58,8 +59,9 @@ pub mod stream;
 
 pub use approx::{
     agg_results_from_report, approx_query, exact_query, f_vector, layout_dims, AggResult,
-    ApproxOptions, ApproxResult, DimLayout,
+    ApproxOptions, ApproxResult, BatchDimEval, DimLayout,
 };
+pub use columnar::ColumnarChunk;
 pub use error::ExecError;
 pub use exec::{execute, ExecOptions, ResultSet, Row};
 pub use grouped::{approx_group_query, exact_group_query, GroupEstimate, GroupedApproxResult};

@@ -5,9 +5,25 @@
 //! the consumer wants the first tuples of the sampled result immediately,
 //! an estimate after every chunk, and the right to stop early. This module
 //! provides exactly that: [`open_stream`] compiles a (non-aggregate) plan
-//! into a small Volcano-style operator tree whose [`ChunkStream::next_chunk`]
-//! yields result rows — with full per-base-relation lineage, identical in
-//! content to what the batch executor would produce — a chunk at a time.
+//! into a small Volcano-style operator tree that yields result tuples a
+//! chunk at a time — with full per-base-relation lineage, identical in
+//! content to what the batch executor would produce.
+//!
+//! ## Columnar batches
+//!
+//! Operators exchange [`ColumnarChunk`]s — typed column vectors gathered
+//! straight from `sa-storage` columns plus per-relation lineage columns —
+//! and evaluate filters/projections through `sa-expr`'s *compiled*
+//! expressions ([`sa_expr::compile()`]): type dispatch happens once at open,
+//! per-chunk work is tight loops over `i64`/`f64`/`bool`/dictionary-code
+//! slices, and no per-row `Vec<Value>` is allocated on the hot path. A
+//! `Filter` directly under a `Project` fuses into one operator that gathers
+//! only the columns the projection reads. Joins key their hash tables by a
+//! 64-bit fingerprint of the equi-key cells (with a stored-key equality
+//! check on probe, so a fingerprint collision can never produce a wrong
+//! join). [`ChunkStream::next_batch`] exposes the columnar chunks;
+//! [`ChunkStream::next_chunk`] is a thin adapter that materializes
+//! [`Row`]s for row-at-a-time consumers.
 //!
 //! Streaming vs blocking operators:
 //!
@@ -20,31 +36,35 @@
 //!
 //! Randomness: every stochastic operator draws its own RNG seed from a
 //! master RNG seeded with [`crate::ExecOptions::seed`] during `open`, in
-//! plan traversal order — so a given `(plan, seed)` pair always streams the
-//! *same* sample realization, chunk-size independent. (The realization
+//! plan traversal order — and per-row samplers draw **one coin per input
+//! row in row order** — so a given `(plan, seed)` pair always streams the
+//! *same* sample realization, chunk-size independent and identical to what
+//! the row-at-a-time stream realized before batching. (The realization
 //! differs from [`crate::execute`]'s for the same seed: the batch executor
 //! interleaves all operators' draws on one RNG stream, which a pull-based
 //! pipeline cannot reproduce.)
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::hash::Hasher;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use sa_expr::{bind, eval, eval_predicate, Expr};
+use sa_core::hash::{FxHashMap, FxHasher};
+use sa_expr::{bind, compile, CompiledExpr};
 use sa_plan::LogicalPlan;
 use sa_sampling::SamplingMethod;
-use sa_storage::{Catalog, Schema, SchemaRef, Table, Value};
+use sa_storage::{Catalog, ColumnVec, ColumnarBatch, Schema, SchemaRef, Table};
 
+use crate::columnar::ColumnarChunk;
 use crate::error::ExecError;
-use crate::exec::{
-    base_table, exec_node, scan_schema, split_join_condition, EquiKeys, ExecOptions, Row,
-};
+use crate::exec::{base_table, exec_node, scan_schema, split_join_condition, ExecOptions, Row};
 use crate::Result;
 
 /// A chunked executor over a (non-aggregate) plan. Obtained from
-/// [`open_stream`]; rows come out of [`ChunkStream::next_chunk`].
+/// [`open_stream`]; columnar chunks come out of [`ChunkStream::next_batch`]
+/// (and materialized rows out of the [`ChunkStream::next_chunk`] adapter).
 #[derive(Debug)]
 pub struct ChunkStream {
     schema: SchemaRef,
@@ -69,16 +89,22 @@ impl ChunkStream {
         self.rows_out
     }
 
-    /// Pull the next chunk of roughly `hint` rows (operators may over- or
-    /// under-fill; a join chunk, e.g., carries every match of its probe
-    /// rows). An **empty chunk means the stream is exhausted** — operators
-    /// keep pulling internally until they can either emit a row or prove
-    /// there are none left.
-    pub fn next_chunk(&mut self, hint: usize) -> Result<Vec<Row>> {
+    /// Pull the next columnar chunk of roughly `hint` rows (operators may
+    /// over- or under-fill; a join chunk, e.g., carries every match of its
+    /// probe rows). An **empty chunk means the stream is exhausted** —
+    /// operators keep pulling internally until they can either emit a row
+    /// or prove there are none left.
+    pub fn next_batch(&mut self, hint: usize) -> Result<ColumnarChunk> {
         let hint = hint.max(1);
-        let chunk = self.root.next_chunk(hint)?;
-        self.rows_out += chunk.len() as u64;
+        let chunk = self.root.next_batch(hint)?;
+        self.rows_out += chunk.rows() as u64;
         Ok(chunk)
+    }
+
+    /// Row-at-a-time adapter over [`ChunkStream::next_batch`]: the same
+    /// tuples, materialized as [`Row`]s.
+    pub fn next_chunk(&mut self, hint: usize) -> Result<Vec<Row>> {
+        Ok(self.next_batch(hint)?.to_rows())
     }
 
     /// Per-relation **coverage** of the stream so far, aligned with
@@ -192,19 +218,22 @@ fn worker_seed(base: u64, worker: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One operator of the streaming pipeline.
+/// One operator of the streaming pipeline. Every operator transforms whole
+/// [`ColumnarChunk`]s.
 #[derive(Debug)]
 enum Node {
-    /// Base-table scan over the row range `[start, end)`: emits
-    /// `(row values, lineage = [row id])`. A full scan has `start = 0`,
-    /// `end = row_count`; a partitioned worker scans a block-aligned slice.
+    /// Base-table scan over the row range `[start, end)`: gathers column
+    /// slices straight from storage plus a lineage column of row ids. A
+    /// full scan has `start = 0`, `end = row_count`; a partitioned worker
+    /// scans a block-aligned slice.
     Scan {
         table: Arc<Table>,
         start: u64,
         next: u64,
         end: u64,
     },
-    /// Tuple-level Bernoulli sampling with its own RNG stream.
+    /// Tuple-level Bernoulli sampling with its own RNG stream (one coin per
+    /// input row, in row order).
     Bernoulli {
         p: f64,
         rng: StdRng,
@@ -225,31 +254,45 @@ enum Node {
         input: Box<Node>,
     },
     /// A blocking subtree (WOR / with-replacement sample), materialized at
-    /// open and drained in chunks.
-    Materialized { rows: Vec<Row>, next: usize },
-    /// Relational selection.
-    Filter { predicate: Expr, input: Box<Node> },
-    /// Projection.
-    Project { exprs: Vec<Expr>, input: Box<Node> },
-    /// Streaming hash join: build side materialized, probe side streamed.
-    /// The build rows and hash table sit behind `Arc` so partitioned worker
-    /// streams share one materialization instead of re-drawing (and
+    /// open as one columnar chunk and drained in slices.
+    Materialized { chunk: ColumnarChunk, next: usize },
+    /// Relational selection (compiled predicate → mask → compact).
+    Filter {
+        predicate: CompiledExpr,
+        input: Box<Node>,
+    },
+    /// Projection (compiled kernels evaluated per chunk).
+    Project {
+        exprs: Vec<CompiledExpr>,
+        input: Box<Node>,
+    },
+    /// Fused selection + projection: one pass computes the selection mask,
+    /// gathers only the columns the projection reads, and evaluates the
+    /// projection kernels over the compacted batch — no intermediate
+    /// filtered chunk of untouched columns.
+    FilterProject {
+        predicate: CompiledExpr,
+        /// Projection kernels, column-remapped onto `used`.
+        exprs: Vec<CompiledExpr>,
+        /// Input column indices the projection reads, ascending.
+        used: Vec<usize>,
+        input: Box<Node>,
+    },
+    /// Streaming hash join: build side materialized and fingerprint-keyed,
+    /// probe side streamed. The build sits behind `Arc` so partitioned
+    /// worker streams share one materialization instead of re-drawing (and
     /// re-sampling!) the build side per worker.
     HashJoin {
         probe: Box<Node>,
-        build_rows: Arc<Vec<Row>>,
-        build_rels: usize,
-        table: Arc<HashMap<Vec<Value>, Vec<usize>>>,
-        keys: EquiKeys,
-        residual: Option<Expr>,
+        build: Arc<JoinBuild>,
+        residual: Option<CompiledExpr>,
     },
     /// Nested-loop join (cross product / arbitrary θ): right side
     /// materialized (shared across partitioned workers), left side streamed.
     NestedLoop {
         left: Box<Node>,
-        right_rows: Arc<Vec<Row>>,
-        build_rels: usize,
-        residual: Option<Expr>,
+        build: Arc<JoinBuild>,
+        residual: Option<CompiledExpr>,
     },
     /// Union of two independent samplings of one expression, deduplicated
     /// by lineage (Proposition 7): left drained first, then right.
@@ -265,11 +308,11 @@ enum Node {
 /// `(nodes, schema, relations)` with `nodes.len() == parts`. This is THE
 /// builder — the sequential stream is simply `parts == 1` (one full-range
 /// slice, base seeds used directly), so the traversal, the master-RNG draw
-/// order and the bound expressions cannot drift between the sequential and
-/// partitioned paths. Shared stochastic operators (SYSTEM keeps, blocking
-/// samplers, join build sides) are drawn once at the same master positions
-/// regardless of `parts`; only spine Bernoulli samplers derive per-worker
-/// seeds when `parts > 1`.
+/// order and the compiled expressions cannot drift between the sequential
+/// and partitioned paths. Shared stochastic operators (SYSTEM keeps,
+/// blocking samplers, join build sides) are drawn once at the same master
+/// positions regardless of `parts`; only spine Bernoulli samplers derive
+/// per-worker seeds when `parts > 1`.
 fn build_partitioned(
     plan: &LogicalPlan,
     catalog: &Catalog,
@@ -362,17 +405,20 @@ fn build_partitioned(
                     // contiguously across workers.
                     let mut rng = StdRng::seed_from_u64(master.random::<u64>());
                     let rs = exec_node(plan, catalog, &mut rng)?;
-                    let len = rs.rows.len();
+                    let n_rels = rs.relations.len();
+                    let chunk = ColumnarChunk::from_rows(&rs.schema, n_rels, &rs.rows);
+                    let len = chunk.rows();
                     let nodes = if parts == 1 {
-                        vec![Node::Materialized {
-                            rows: rs.rows,
-                            next: 0,
-                        }]
+                        vec![Node::Materialized { chunk, next: 0 }]
                     } else {
                         (0..parts)
-                            .map(|w| Node::Materialized {
-                                rows: rs.rows[len * w / parts..len * (w + 1) / parts].to_vec(),
-                                next: 0,
+                            .map(|w| {
+                                let start = len * w / parts;
+                                let end = len * (w + 1) / parts;
+                                Node::Materialized {
+                                    chunk: chunk.slice(start, end - start),
+                                    next: 0,
+                                }
                             })
                             .collect()
                     };
@@ -382,11 +428,11 @@ fn build_partitioned(
         }
         LogicalPlan::Filter { predicate, input } => {
             let (inputs, schema, relations) = build_partitioned(input, catalog, master, parts)?;
-            let bound = bind(predicate, &schema)?;
+            let compiled = compile(predicate, &schema)?;
             let nodes = inputs
                 .into_iter()
                 .map(|node| Node::Filter {
-                    predicate: bound.clone(),
+                    predicate: compiled.clone(),
                     input: Box::new(node),
                 })
                 .collect();
@@ -394,21 +440,51 @@ fn build_partitioned(
         }
         LogicalPlan::Project { exprs, input } => {
             let (inputs, in_schema, relations) = build_partitioned(input, catalog, master, parts)?;
-            let mut bound = Vec::with_capacity(exprs.len());
+            let mut compiled = Vec::with_capacity(exprs.len());
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
                 let be = bind(e, &in_schema)?;
                 let dt =
                     sa_expr::data_type(&be, &in_schema)?.unwrap_or(sa_storage::DataType::Float);
                 fields.push(sa_storage::Field::new(name, dt));
-                bound.push(be);
+                compiled.push(compile(&be, &in_schema)?);
             }
             let schema = Arc::new(Schema::new(fields).map_err(ExecError::Storage)?);
+            // Fuse a directly-underlying Filter: gather only the columns the
+            // projection reads, once, after masking.
+            let mut used: Vec<usize> = Vec::new();
+            for c in &compiled {
+                for i in c.columns_used() {
+                    if !used.contains(&i) {
+                        used.push(i);
+                    }
+                }
+            }
+            used.sort_unstable();
+            let remapped: Vec<CompiledExpr> = compiled
+                .iter()
+                .map(|c| {
+                    let mut c = c.clone();
+                    let used = &used;
+                    c.remap_columns(&|old| {
+                        used.binary_search(&old).expect("used covers every column")
+                    });
+                    c
+                })
+                .collect();
             let nodes = inputs
                 .into_iter()
-                .map(|node| Node::Project {
-                    exprs: bound.clone(),
-                    input: Box::new(node),
+                .map(|node| match node {
+                    Node::Filter { predicate, input } => Node::FilterProject {
+                        predicate,
+                        exprs: remapped.clone(),
+                        used: used.clone(),
+                        input,
+                    },
+                    node => Node::Project {
+                        exprs: compiled.clone(),
+                        input: Box::new(node),
+                    },
                 })
                 .collect();
             Ok((nodes, schema, relations))
@@ -432,9 +508,13 @@ fn build_partitioned(
                 None => (vec![], None),
                 Some(c) => split_join_condition(c, &l_schema, &r.schema)?,
             };
-            let residual = residual.map(|e| bind(&e, &schema)).transpose()?;
-            let build = JoinBuild::new(r.rows, r.relations.len(), keys, residual);
-            let nodes = probes.into_iter().map(|probe| build.node(probe)).collect();
+            let residual = residual.map(|e| compile(&e, &schema)).transpose()?;
+            let build_chunk = ColumnarChunk::from_rows(&r.schema, r.relations.len(), &r.rows);
+            let build = Arc::new(JoinBuild::new(build_chunk, r.relations.len(), keys));
+            let nodes = probes
+                .into_iter()
+                .map(|probe| build.clone().node(probe, residual.clone()))
+                .collect();
             Ok((nodes, schema, relations))
         }
         LogicalPlan::UnionSamples { left, right } => {
@@ -469,144 +549,194 @@ fn build_partitioned(
 }
 
 impl Node {
-    /// Pull roughly `hint` rows. Invariant: an empty return means this
-    /// operator is exhausted — filtering operators keep pulling until they
-    /// can emit at least one row or their input drains.
-    fn next_chunk(&mut self, hint: usize) -> Result<Vec<Row>> {
+    /// Pull roughly `hint` rows as one columnar chunk. Invariant: an empty
+    /// return means this operator is exhausted — filtering operators keep
+    /// pulling until they can emit at least one row or their input drains.
+    fn next_batch(&mut self, hint: usize) -> Result<ColumnarChunk> {
         match self {
             Node::Scan {
                 table, next, end, ..
             } => {
                 let upto = (*next + hint as u64).min(*end);
-                let mut rows = Vec::with_capacity((upto - *next) as usize);
-                for rid in *next..upto {
-                    rows.push(Row {
-                        values: table.row(rid)?,
-                        lineage: vec![rid],
-                    });
-                }
+                let batch = table.batch_range(*next, upto).map_err(ExecError::Storage)?;
+                let lineage = vec![(*next..upto).collect()];
                 *next = upto;
-                Ok(rows)
+                Ok(ColumnarChunk { batch, lineage })
             }
-            Node::Materialized { rows, next } => {
-                let end = (*next + hint).min(rows.len());
-                let chunk = rows[*next..end].to_vec();
+            Node::Materialized { chunk, next } => {
+                let end = (*next + hint).min(chunk.rows());
+                let out = chunk.slice(*next, end - *next);
                 *next = end;
-                Ok(chunk)
+                Ok(out)
             }
             Node::Bernoulli { p, rng, input } => loop {
-                let chunk = input.next_chunk(hint)?;
+                let chunk = input.next_batch(hint)?;
                 if chunk.is_empty() {
                     return Ok(chunk);
                 }
-                let out: Vec<Row> = chunk
-                    .into_iter()
-                    .filter(|_| rng.random::<f64>() < *p)
+                // One coin per input row, in row order — the same RNG
+                // consumption as a per-row filter, so the realization is
+                // chunk-size independent.
+                let mask: Vec<bool> = (0..chunk.rows())
+                    .map(|_| rng.random::<f64>() < *p)
                     .collect();
-                if !out.is_empty() {
-                    return Ok(out);
+                if mask.iter().any(|&m| m) {
+                    return Ok(chunk.filter(&mask));
                 }
             },
             Node::System {
                 keep, base, input, ..
             } => loop {
-                let chunk = input.next_chunk(hint)?;
+                let chunk = input.next_batch(hint)?;
                 if chunk.is_empty() {
                     return Ok(chunk);
                 }
-                let out: Vec<Row> = chunk
-                    .into_iter()
-                    .filter_map(|mut row| {
-                        let rid = *row.lineage.last().expect("scan lineage");
-                        let block = base.block_of(rid);
-                        if keep[block as usize] {
-                            *row.lineage.last_mut().expect("scan lineage") = block;
-                            Some(row)
-                        } else {
-                            None
-                        }
-                    })
+                let rids = chunk.lineage.last().expect("scan lineage");
+                let mask: Vec<bool> = rids
+                    .iter()
+                    .map(|&rid| keep[base.block_of(rid) as usize])
                     .collect();
-                if !out.is_empty() {
-                    return Ok(out);
+                if !mask.iter().any(|&m| m) {
+                    continue;
                 }
+                let mut out = chunk.filter(&mask);
+                // This relation's sampling — and hence lineage — unit is
+                // the block: rewrite the kept rows' ids.
+                let blocks = out.lineage.last_mut().expect("scan lineage");
+                for rid in blocks.iter_mut() {
+                    *rid = base.block_of(*rid);
+                }
+                return Ok(out);
             },
             Node::Filter { predicate, input } => loop {
-                let chunk = input.next_chunk(hint)?;
+                let chunk = input.next_batch(hint)?;
                 if chunk.is_empty() {
                     return Ok(chunk);
                 }
-                let mut out = Vec::with_capacity(chunk.len());
-                for row in chunk {
-                    if eval_predicate(predicate, &row.values)? {
-                        out.push(row);
-                    }
-                }
-                if !out.is_empty() {
-                    return Ok(out);
+                let mask = predicate.eval_mask(&chunk.batch)?;
+                if mask.iter().any(|&m| m) {
+                    return Ok(chunk.filter(&mask));
                 }
             },
             Node::Project { exprs, input } => {
-                let chunk = input.next_chunk(hint)?;
-                let mut out = Vec::with_capacity(chunk.len());
-                for row in chunk {
-                    let values: Result<Vec<Value>> = exprs
-                        .iter()
-                        .map(|e| eval(e, &row.values).map_err(ExecError::Expr))
-                        .collect();
-                    out.push(Row {
-                        values: values?,
-                        lineage: row.lineage,
-                    });
-                }
-                Ok(out)
+                let chunk = input.next_batch(hint)?;
+                let rows = chunk.rows();
+                let columns = exprs
+                    .iter()
+                    .map(|e| e.eval_column(&chunk.batch))
+                    .collect::<sa_expr::Result<Vec<_>>>()?;
+                Ok(ColumnarChunk {
+                    batch: ColumnarBatch::new(columns, rows),
+                    lineage: chunk.lineage,
+                })
             }
+            Node::FilterProject {
+                predicate,
+                exprs,
+                used,
+                input,
+            } => loop {
+                let chunk = input.next_batch(hint)?;
+                let indices: Vec<u32> = if chunk.is_empty() {
+                    // An exhausted input still flows through the gather +
+                    // eval below (with no rows), so the chunk keeps the
+                    // projected column count — consumers above may evaluate
+                    // expressions against it.
+                    Vec::new()
+                } else {
+                    let mask = predicate.eval_mask(&chunk.batch)?;
+                    let selected: Vec<u32> = mask
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &m)| m)
+                        .map(|(i, _)| i as u32)
+                        .collect();
+                    if selected.is_empty() {
+                        continue;
+                    }
+                    selected
+                };
+                // Gather only the columns the projection reads, compacted
+                // to the selected rows, then evaluate densely. (The
+                // projection kernels are remapped onto `used`, so they must
+                // never see the full-width input batch — not even empty.)
+                let gathered = ColumnarBatch::new(
+                    used.iter()
+                        .map(|&c| chunk.batch.column(c).take(&indices))
+                        .collect(),
+                    indices.len(),
+                );
+                let columns = exprs
+                    .iter()
+                    .map(|e| e.eval_column(&gathered))
+                    .collect::<sa_expr::Result<Vec<_>>>()?;
+                let lineage = chunk
+                    .lineage
+                    .iter()
+                    .map(|l| indices.iter().map(|&i| l[i as usize]).collect())
+                    .collect();
+                return Ok(ColumnarChunk {
+                    batch: ColumnarBatch::new(columns, indices.len()),
+                    lineage,
+                });
+            },
             Node::HashJoin {
                 probe,
-                build_rows,
-                table,
-                keys,
+                build,
                 residual,
-                ..
             } => loop {
-                let chunk = probe.next_chunk(hint)?;
+                let chunk = probe.next_batch(hint)?;
                 if chunk.is_empty() {
-                    return Ok(chunk);
+                    return join_output(&chunk, &[], build, &[], residual.as_ref());
                 }
-                let mut out = Vec::new();
-                for lr in &chunk {
-                    let key: Vec<Value> =
-                        keys.iter().map(|(li, _)| lr.values[*li].clone()).collect();
-                    if key.iter().any(Value::is_null) {
-                        continue;
-                    }
-                    let Some(matches) = table.get(&key) else {
+                let probe_cols: Vec<&ColumnVec> = build
+                    .keys
+                    .iter()
+                    .map(|(li, _)| chunk.batch.column(*li))
+                    .collect();
+                let mut probe_idx: Vec<u32> = Vec::new();
+                let mut build_idx: Vec<u32> = Vec::new();
+                for i in 0..chunk.rows() {
+                    let Some(fp) = key_fingerprint(&probe_cols, i) else {
+                        continue; // NULL keys never match
+                    };
+                    let Some(candidates) = build.table.get(&fp) else {
                         continue;
                     };
-                    for &i in matches {
-                        join_emit(lr, &build_rows[i], residual.as_ref(), &mut out)?;
+                    for &j in candidates {
+                        // Stored-key equality check: a fingerprint
+                        // collision (or cross-type coercion subtlety) can
+                        // never fabricate a match.
+                        if build.key_matches(&probe_cols, i, j) {
+                            probe_idx.push(i as u32);
+                            build_idx.push(j);
+                        }
                     }
                 }
+                let out = join_output(&chunk, &probe_idx, build, &build_idx, residual.as_ref())?;
                 if !out.is_empty() {
                     return Ok(out);
                 }
             },
             Node::NestedLoop {
                 left,
-                right_rows,
+                build,
                 residual,
-                ..
             } => loop {
-                let chunk = left.next_chunk(hint)?;
+                let chunk = left.next_batch(hint)?;
                 if chunk.is_empty() {
-                    return Ok(chunk);
+                    return join_output(&chunk, &[], build, &[], residual.as_ref());
                 }
-                let mut out = Vec::new();
-                for lr in &chunk {
-                    for rr in right_rows.iter() {
-                        join_emit(lr, rr, residual.as_ref(), &mut out)?;
+                let n = build.chunk.rows() as u32;
+                let mut probe_idx = Vec::with_capacity(chunk.rows() * n as usize);
+                let mut build_idx = Vec::with_capacity(chunk.rows() * n as usize);
+                for i in 0..chunk.rows() as u32 {
+                    for j in 0..n {
+                        probe_idx.push(i);
+                        build_idx.push(j);
                     }
                 }
+                let out = join_output(&chunk, &probe_idx, build, &build_idx, residual.as_ref())?;
                 if !out.is_empty() {
                     return Ok(out);
                 }
@@ -618,7 +748,7 @@ impl Node {
                 seen,
             } => loop {
                 let active: &mut Node = if *on_second { second } else { first };
-                let chunk = active.next_chunk(hint)?;
+                let chunk = active.next_batch(hint)?;
                 if chunk.is_empty() {
                     if *on_second {
                         return Ok(chunk);
@@ -626,14 +756,63 @@ impl Node {
                     *on_second = true;
                     continue;
                 }
-                let out: Vec<Row> = chunk
-                    .into_iter()
-                    .filter(|row| seen.insert(row.lineage.clone()))
+                let mask: Vec<bool> = (0..chunk.rows())
+                    .map(|i| {
+                        let lin: Vec<u64> = chunk.lineage.iter().map(|l| l[i]).collect();
+                        seen.insert(lin)
+                    })
                     .collect();
-                if !out.is_empty() {
-                    return Ok(out);
+                if mask.iter().any(|&m| m) {
+                    return Ok(chunk.filter(&mask));
                 }
             },
+        }
+    }
+}
+
+/// The 64-bit fingerprint of a row's equi-key cells, or `None` when any
+/// cell is NULL (NULL join keys never match). Hashing goes through
+/// [`ColumnVec::hash_cell`], which writes exactly what `Value::hash` would —
+/// so numerically equal `Int`/`Float` keys collide on purpose and the
+/// stored-key check resolves them. The Fx state is finalized with
+/// splitmix64: numeric cells hash by their f64 bit pattern, whose entropy
+/// sits in the HIGH bits, and Fx's multiply-only mixing never propagates
+/// high bits downward — without full avalanche, every small-integer key
+/// would share its low bits and the hash table would degenerate into one
+/// giant probe chain.
+fn key_fingerprint(cols: &[&ColumnVec], row: usize) -> Option<u64> {
+    let mut h = FxHasher::default();
+    for c in cols {
+        if !c.is_valid(row) {
+            return None;
+        }
+        c.hash_cell(row, &mut h);
+    }
+    Some(sa_core::hash::splitmix64(h.finish()))
+}
+
+/// Assemble a join's output chunk from matched (probe, build) index pairs:
+/// gather both sides, concatenate columns and lineage, apply the residual.
+fn join_output(
+    probe: &ColumnarChunk,
+    probe_idx: &[u32],
+    build: &JoinBuild,
+    build_idx: &[u32],
+    residual: Option<&CompiledExpr>,
+) -> Result<ColumnarChunk> {
+    let left = probe.take(probe_idx);
+    let right = build.chunk.take(build_idx);
+    let mut lineage = left.lineage;
+    lineage.extend(right.lineage);
+    let combined = ColumnarChunk {
+        batch: left.batch.concat_columns(right.batch),
+        lineage,
+    };
+    match residual {
+        None => Ok(combined),
+        Some(pred) => {
+            let mask = pred.eval_mask(&combined.batch)?;
+            Ok(combined.filter(&mask))
         }
     }
 }
@@ -652,9 +831,9 @@ impl Node {
             // A materialized blocking sampler: coverage over the *drawn
             // sample* — it stacks onto the plan's own WOR factor exactly
             // like a scan prefix stacks onto a Bernoulli.
-            Node::Materialized { rows, next } => out.push((*next as u64, rows.len() as u64)),
+            Node::Materialized { chunk, next } => out.push((*next as u64, chunk.rows() as u64)),
             Node::Bernoulli { input, .. } | Node::Filter { input, .. } => input.progress(out),
-            Node::Project { input, .. } => input.progress(out),
+            Node::Project { input, .. } | Node::FilterProject { input, .. } => input.progress(out),
             Node::System {
                 base,
                 row_prefix,
@@ -689,18 +868,14 @@ impl Node {
                 };
                 out.push((blocks_seen, blocks_avail));
             }
-            Node::HashJoin {
-                probe, build_rels, ..
-            } => {
+            Node::HashJoin { probe, build, .. } => {
                 probe.progress(out);
                 // Build side is fully materialized: complete coverage.
-                out.extend(std::iter::repeat_n((1, 1), *build_rels));
+                out.extend(std::iter::repeat_n((1, 1), build.n_rels));
             }
-            Node::NestedLoop {
-                left, build_rels, ..
-            } => {
+            Node::NestedLoop { left, build, .. } => {
                 left.progress(out);
-                out.extend(std::iter::repeat_n((1, 1), *build_rels));
+                out.extend(std::iter::repeat_n((1, 1), build.n_rels));
             }
             Node::Dedup { first, second, .. } => {
                 // Both branches sample the same relations, but the union's
@@ -747,79 +922,66 @@ impl Node {
     }
 }
 
-/// A join's materialized build side plus the bound condition — assembled
-/// once, shared (via `Arc` clones) by every worker stream that probes it.
+/// A join's materialized build side: the columnar build rows, shared (via
+/// `Arc`) by every worker stream that probes them, plus the
+/// fingerprint-keyed hash table. The table maps the 64-bit key fingerprint
+/// to the build row indices carrying it (in build order); probes verify
+/// actual key equality against the stored rows, so fingerprint collisions
+/// cost a comparison, never correctness.
+#[derive(Debug)]
 struct JoinBuild {
-    rows: Arc<Vec<Row>>,
-    table: Arc<HashMap<Vec<Value>, Vec<usize>>>,
-    build_rels: usize,
-    keys: EquiKeys,
-    residual: Option<Expr>,
+    chunk: ColumnarChunk,
+    n_rels: usize,
+    keys: crate::exec::EquiKeys,
+    table: FxHashMap<u64, Vec<u32>>,
 }
 
 impl JoinBuild {
-    fn new(
-        build_rows: Vec<Row>,
-        build_rels: usize,
-        keys: EquiKeys,
-        residual: Option<Expr>,
-    ) -> Self {
-        let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    fn new(chunk: ColumnarChunk, n_rels: usize, keys: crate::exec::EquiKeys) -> Self {
+        let mut table: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         if !keys.is_empty() {
-            for (i, rr) in build_rows.iter().enumerate() {
-                let key: Vec<Value> = keys.iter().map(|(_, ri)| rr.values[*ri].clone()).collect();
-                if key.iter().any(Value::is_null) {
-                    continue; // NULL keys never match
+            let key_cols: Vec<&ColumnVec> =
+                keys.iter().map(|(_, ri)| chunk.batch.column(*ri)).collect();
+            for i in 0..chunk.rows() {
+                if let Some(fp) = key_fingerprint(&key_cols, i) {
+                    table.entry(fp).or_default().push(i as u32);
                 }
-                table.entry(key).or_default().push(i);
             }
         }
         JoinBuild {
-            rows: Arc::new(build_rows),
-            table: Arc::new(table),
-            build_rels,
+            chunk,
+            n_rels,
             keys,
-            residual,
+            table,
         }
+    }
+
+    /// Does build row `j`'s key equal probe row `i`'s (cell-by-cell, with
+    /// the engine's cross-type numeric equality)?
+    fn key_matches(&self, probe_cols: &[&ColumnVec], i: usize, j: u32) -> bool {
+        self.keys
+            .iter()
+            .zip(probe_cols)
+            .all(|((_, ri), pc)| pc.cell_eq(i, self.chunk.batch.column(*ri), j as usize))
     }
 
     /// The join operator over one probe node (hash join when equi-keys
     /// exist, nested loop otherwise).
-    fn node(&self, probe: Node) -> Node {
+    fn node(self: Arc<Self>, probe: Node, residual: Option<CompiledExpr>) -> Node {
         if self.keys.is_empty() {
             Node::NestedLoop {
                 left: Box::new(probe),
-                right_rows: self.rows.clone(),
-                build_rels: self.build_rels,
-                residual: self.residual.clone(),
+                build: self,
+                residual,
             }
         } else {
             Node::HashJoin {
                 probe: Box::new(probe),
-                build_rows: self.rows.clone(),
-                build_rels: self.build_rels,
-                table: self.table.clone(),
-                keys: self.keys.clone(),
-                residual: self.residual.clone(),
+                build: self,
+                residual,
             }
         }
     }
-}
-
-/// Concatenate a probe row with a build row (values and lineage), apply the
-/// residual predicate, and push the combined row if it passes.
-fn join_emit(lr: &Row, rr: &Row, residual: Option<&Expr>, out: &mut Vec<Row>) -> Result<()> {
-    let mut values = lr.values.clone();
-    values.extend(rr.values.iter().cloned());
-    if let Some(pred) = residual {
-        if !eval_predicate(pred, &values)? {
-            return Ok(());
-        }
-    }
-    let mut lineage = lr.lineage.clone();
-    lineage.extend(rr.lineage.iter().copied());
-    out.push(Row { values, lineage });
-    Ok(())
 }
 
 #[cfg(test)]
@@ -827,7 +989,7 @@ mod tests {
     use super::*;
     use crate::exec::execute;
     use sa_expr::{col, lit};
-    use sa_storage::{DataType, Field, TableBuilder};
+    use sa_storage::{DataType, Field, TableBuilder, Value};
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
@@ -1250,5 +1412,132 @@ mod tests {
         assert_eq!(total, 10);
         assert_eq!(s.rows_yielded(), 10);
         assert!(s.next_chunk(4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_under_project_fuses_and_matches_unfused() {
+        // Project(Filter(x)) builds the fused operator; Project(Sample(
+        // Filter(x))) cannot fuse. Both must produce identical rows.
+        let fused = LogicalPlan::scan("t")
+            .filter(col("v").gt_eq(lit(25.0)).and(col("k").lt(lit(8i64))))
+            .project(vec![
+                (col("v").mul(lit(2.0)), "vv".into()),
+                (col("k"), "k".into()),
+            ]);
+        let c = catalog();
+        let streams = open_stream_partitioned(&fused, &c, &ExecOptions::default(), 1).unwrap();
+        assert!(
+            matches!(streams[0].root, Node::FilterProject { .. }),
+            "filter directly under project must fuse"
+        );
+        for hint in [1, 9, 100] {
+            assert_stream_matches_batch(&fused, hint);
+        }
+    }
+
+    #[test]
+    fn fused_filter_project_drains_cleanly_under_another_project() {
+        // Regression: the fused operator's exhaustion chunk must carry the
+        // PROJECTED column layout (kernels are remapped onto `used`), or an
+        // expression-evaluating consumer above — here an outer Project —
+        // errors on the final empty pull instead of draining.
+        let plan = LogicalPlan::scan("t")
+            .filter(col("v").gt_eq(lit(10.0)))
+            .project(vec![(col("v").mul(lit(2.0)), "x".into())])
+            .project(vec![(col("x").add(lit(1.0)), "y".into())]);
+        for hint in [1, 7, 1000] {
+            assert_stream_matches_batch(&plan, hint);
+        }
+        // Exhaustion also stays clean when the fused operator feeds a
+        // join's probe side (join_output evaluates over the empty chunk).
+        let joined = LogicalPlan::scan("t")
+            .filter(col("v").gt_eq(lit(10.0)))
+            .project(vec![(col("k"), "k".into())])
+            .join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
+        assert_stream_matches_batch(&joined, 64);
+    }
+
+    #[test]
+    fn columnar_batches_match_row_adapter() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.6 })
+            .filter(col("v").gt_eq(lit(10.0)));
+        let c = catalog();
+        let opts = ExecOptions { seed: 4 };
+        let mut via_batch = open_stream(&plan, &c, &opts).unwrap();
+        let mut via_rows = open_stream(&plan, &c, &opts).unwrap();
+        loop {
+            let batch = via_batch.next_batch(33).unwrap();
+            let rows = via_rows.next_chunk(33).unwrap();
+            assert_eq!(batch.to_rows(), rows);
+            if rows.is_empty() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn nan_join_keys_match_like_the_batch_executor() {
+        // Value::total_cmp says NaN == NaN, and the batch executor's
+        // Value-keyed hash join honours that — the fingerprint join must
+        // too (hash_cell already hashes every NaN identically; cell_eq
+        // must agree).
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Float),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("l", schema);
+        for v in [f64::NAN, 1.0, 2.0, f64::NAN] {
+            b.push_row(&[Value::Float(v), Value::Float(10.0)]).unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        let schema = Schema::new(vec![
+            Field::new("rk", DataType::Float),
+            Field::new("w", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("r", schema);
+        for v in [f64::NAN, 2.0] {
+            b.push_row(&[Value::Float(v), Value::Float(20.0)]).unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        let plan = LogicalPlan::scan("l").join_on(LogicalPlan::scan("r"), col("k").eq(col("rk")));
+        let batch = execute(&plan, &c, &ExecOptions::default()).unwrap();
+        let rows = open_stream(&plan, &c, &ExecOptions::default())
+            .unwrap()
+            .collect_rows(8)
+            .unwrap();
+        assert_eq!(rows.len(), 3, "two NaN matches + the 2.0 match");
+        assert_eq!(rows, batch.rows);
+    }
+
+    #[test]
+    fn join_fingerprint_table_checks_stored_keys() {
+        // Cross-type keys: t.k is Int, join against a Float-typed key
+        // column — numeric equality must hold and the fingerprint bucket's
+        // stored-key verification must reject non-equal keys that share a
+        // bucket.
+        let mut c = catalog();
+        let schema = Schema::new(vec![
+            Field::new("fk", DataType::Float),
+            Field::new("u", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("f", schema);
+        for i in 0..10 {
+            b.push_row(&[Value::Float(i as f64), Value::Float(100.0 + i as f64)])
+                .unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        let plan = LogicalPlan::scan("t").join_on(LogicalPlan::scan("f"), col("k").eq(col("fk")));
+        let batch = execute(&plan, &c, &ExecOptions::default()).unwrap();
+        let rows = open_stream(&plan, &c, &ExecOptions::default())
+            .unwrap()
+            .collect_rows(64)
+            .unwrap();
+        assert_eq!(rows, batch.rows);
+        assert_eq!(rows.len(), 200, "every t row matches exactly one f row");
     }
 }

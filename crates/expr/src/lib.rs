@@ -12,10 +12,12 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod compile;
 pub mod error;
 pub mod eval;
 
 pub use ast::{col, lit, BinOp, Expr, UnOp};
+pub use compile::{compile, CompiledExpr};
 pub use error::ExprError;
 pub use eval::{bind, data_type, eval, eval_f64, eval_predicate};
 

@@ -40,8 +40,8 @@
 use std::time::{Duration, Instant};
 
 use sa_core::{GusParams, MomentAccumulator};
-use sa_exec::{agg_results_from_report, f_vector, layout_dims, open_stream_partitioned, AggResult};
-use sa_exec::{ChunkStream, DimLayout, ExecError, ExecOptions, Row};
+use sa_exec::{agg_results_from_report, layout_dims, open_stream_partitioned, AggResult};
+use sa_exec::{BatchDimEval, ChunkStream, ColumnarChunk, DimLayout, ExecError, ExecOptions};
 use sa_plan::{rewrite, AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_sql;
 use sa_storage::Catalog;
@@ -78,6 +78,37 @@ pub struct OnlineOptions {
     /// the batch estimator on the realized union sample, while mid-run
     /// snapshot *timing* becomes scheduling-dependent. `0` is rejected.
     pub parallelism: usize,
+    /// Grow the pull hint as the estimate stabilizes: once the relative CI
+    /// half-width improves by less than 10% between consecutive snapshots,
+    /// the chunk size doubles (up to 64× [`OnlineOptions::chunk_rows`]),
+    /// cutting snapshot/readout overhead on long runs. The *realized
+    /// sample* is chunk-size independent, so estimates are unchanged —
+    /// only snapshot cadence coarsens. Default `false`. Applies to the
+    /// sequential loops; parallel workers keep their fixed chunk size (the
+    /// coordinator already batches their deltas per tick).
+    pub adaptive_chunks: bool,
+}
+
+/// Hard cap multiplier for [`OnlineOptions::adaptive_chunks`]: the pull
+/// hint never exceeds `chunk_rows × 64`.
+pub(crate) const ADAPTIVE_CHUNK_CAP_FACTOR: usize = 64;
+
+/// One step of the adaptive chunk policy: double `cur` (up to `cap`) when
+/// the relative CI half-width `rel` improved by less than 10% over `prev`.
+pub(crate) fn adapt_chunk_hint(
+    cur: usize,
+    cap: usize,
+    prev: &mut Option<f64>,
+    rel: Option<f64>,
+) -> usize {
+    let mut next = cur;
+    if let (Some(p), Some(r)) = (*prev, rel) {
+        if p.is_finite() && r.is_finite() && r > 0.9 * p {
+            next = cur.saturating_mul(2).min(cap);
+        }
+    }
+    *prev = rel;
+    next
 }
 
 impl Default for OnlineOptions {
@@ -89,6 +120,7 @@ impl Default for OnlineOptions {
             rule: StoppingRule::exhaustive(),
             scale_to_population: true,
             parallelism: 1,
+            adaptive_chunks: false,
         }
     }
 }
@@ -155,16 +187,18 @@ pub fn run_online(
         return run_online_parallel(analysis, aggs, streams, layout, opts, on_snapshot);
     }
     let mut stream = streams.pop().expect("open_aggregate yields >= 1 stream");
+    let dim_eval = layout.compile_batch(stream.schema())?;
     let mut acc = MomentAccumulator::new(analysis.schema.n(), layout.dims());
     let confidence = opts.rule.confidence_or(opts.confidence);
     let start = Instant::now();
     let mut chunks = 0u64;
+    let mut hint = opts.chunk_rows;
+    let cap = opts.chunk_rows.saturating_mul(ADAPTIVE_CHUNK_CAP_FACTOR);
+    let mut prev_rel: Option<f64> = None;
     loop {
-        let chunk = stream.next_chunk(opts.chunk_rows)?;
+        let chunk = stream.next_batch(hint)?;
         let exhausted = chunk.is_empty();
-        for row in &chunk {
-            acc.push(&row.lineage, &f_vector(&layout, row)?)?;
-        }
+        push_scalar_chunk(&mut acc, &dim_eval, &chunk)?;
         chunks += 1;
         let (snapshot, reason) = scalar_tick(
             &acc,
@@ -188,7 +222,27 @@ pub fn run_online(
                 analysis,
             });
         }
+        if opts.adaptive_chunks {
+            hint = adapt_chunk_hint(hint, cap, &mut prev_rel, snapshot.rel_half_width);
+        }
     }
+}
+
+/// Accumulate one columnar chunk into a scalar accumulator: evaluate every
+/// SBox dimension's `f` column at once and land in the amortized
+/// [`MomentAccumulator::push_batch`] path.
+pub(crate) fn push_scalar_chunk(
+    acc: &mut MomentAccumulator,
+    dim_eval: &BatchDimEval,
+    chunk: &ColumnarChunk,
+) -> Result<()> {
+    if chunk.is_empty() {
+        return Ok(());
+    }
+    let f_cols = dim_eval.eval(&chunk.batch)?;
+    let lineage: Vec<&[u64]> = chunk.lineage.iter().map(|l| l.as_slice()).collect();
+    let f: Vec<&[f64]> = f_cols.iter().map(|c| c.as_slice()).collect();
+    acc.push_batch(&lineage, &f).map_err(OnlineError::Core)
 }
 
 /// Build the snapshot for one tick of the scalar loop and judge the
@@ -251,18 +305,19 @@ fn run_online_parallel(
     let n = analysis.schema.n();
     let dims = layout.dims();
     let relations: Vec<String> = streams[0].relations().to_vec();
+    let dim_eval = layout.compile_batch(streams[0].schema())?;
     let confidence = opts.rule.confidence_or(opts.confidence);
     let start = Instant::now();
     let mut chunks = 0u64;
     let mut last: Option<ProgressSnapshot> = None;
     let layout = &layout;
+    let dim_eval = &dim_eval;
     let (_, reason) = run_worker_pool(
         streams,
         opts.chunk_rows,
         || MomentAccumulator::new(n, dims),
-        |acc: &mut MomentAccumulator, row: &Row| {
-            acc.push(&row.lineage, &f_vector(layout, row)?)
-                .map_err(OnlineError::Core)
+        |acc: &mut MomentAccumulator, chunk: &ColumnarChunk| {
+            push_scalar_chunk(acc, dim_eval, chunk)
         },
         |merged, progress, exhausted| {
             chunks += 1;
@@ -431,7 +486,7 @@ pub(crate) fn worst_rel_half_width(aggs: &[AggResult]) -> Option<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sa_exec::open_stream;
+    use sa_exec::{f_vector, open_stream};
     use sa_expr::col;
     use sa_plan::AggSpec;
     use sa_sampling::SamplingMethod;

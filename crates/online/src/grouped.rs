@@ -33,16 +33,19 @@
 //! the consumed sample (up to float associativity) — pinned to 1e-9 by
 //! `tests/online_grouped.rs`.
 
+use std::hash::Hasher;
 use std::time::Instant;
 
+use sa_core::hash::{FxHashMap, FxHasher};
 use sa_core::{GroupedMomentAccumulator, GusParams};
-use sa_exec::Row;
-use sa_exec::{agg_results_from_report, f_vector, AggResult, ChunkStream, DimLayout, ExecError};
-use sa_expr::{bind, eval, Expr};
+use sa_exec::{agg_results_from_report, AggResult, ChunkStream, ColumnarChunk, DimLayout};
+use sa_exec::{BatchDimEval, ExecError};
+use sa_expr::{compile, CompiledExpr, Expr};
 use sa_plan::{AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_grouped_sql;
-use sa_storage::{Catalog, Value};
+use sa_storage::{Catalog, ColumnVec, Value};
 
+use crate::driver::{adapt_chunk_hint, ADAPTIVE_CHUNK_CAP_FACTOR};
 use crate::driver::{open_aggregate, scan_scaled_gus, worst_rel_half_width, OpenedAggregate};
 use crate::driver::{OnlineOptions, ProgressSnapshot};
 use crate::error::OnlineError;
@@ -158,9 +161,9 @@ pub fn run_online_grouped(
         mut streams,
         layout,
     } = open_aggregate(plan, catalog, &opts.online, "run_online_grouped")?;
-    let bound_keys: Vec<Expr> = group_by
+    let key_kernels: Vec<CompiledExpr> = group_by
         .iter()
-        .map(|e| bind(e, streams[0].schema()))
+        .map(|e| compile(e, streams[0].schema()))
         .collect::<std::result::Result<_, _>>()
         .map_err(ExecError::Expr)?;
     let group_exprs: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
@@ -170,27 +173,31 @@ pub fn run_online_grouped(
             aggs,
             streams,
             layout,
-            bound_keys,
+            key_kernels,
             group_exprs,
             opts,
             on_snapshot,
         );
     }
     let mut stream = streams.pop().expect("open_aggregate yields >= 1 stream");
+    let dim_eval = layout.compile_batch(stream.schema())?;
     let mut acc: GroupedMomentAccumulator<Vec<Value>> =
         GroupedMomentAccumulator::new(analysis.schema.n(), layout.dims());
     let rule = &opts.online.rule;
     let confidence = rule.confidence_or(opts.online.confidence);
     let start = Instant::now();
     let mut chunks = 0u64;
+    let mut hint = opts.online.chunk_rows;
+    let cap = opts
+        .online
+        .chunk_rows
+        .saturating_mul(ADAPTIVE_CHUNK_CAP_FACTOR);
+    let mut prev_rel: Option<f64> = None;
     loop {
-        let chunk = stream.next_chunk(opts.online.chunk_rows)?;
+        let chunk = stream.next_batch(hint)?;
         let exhausted = chunk.is_empty();
         let known_groups = acc.group_count();
-        for row in &chunk {
-            let key = eval_group_key(&bound_keys, row)?;
-            acc.push(key, &row.lineage, &f_vector(&layout, row)?)?;
-        }
+        push_grouped_chunk(&mut acc, &key_kernels, &dim_eval, &chunk)?;
         chunks += 1;
         let new_groups = (acc.group_count() - known_groups) as u64;
         let (snapshot, reason) = grouped_tick(
@@ -217,7 +224,106 @@ pub fn run_online_grouped(
                 analysis,
             });
         }
+        if opts.online.adaptive_chunks {
+            hint = adapt_chunk_hint(hint, cap, &mut prev_rel, snapshot.rel_half_width);
+        }
     }
+}
+
+/// Group-identity equality of two cells of one evaluated key column: like
+/// SQL `GROUP BY` (and unlike join keys), `NULL` groups with `NULL`.
+fn group_cell_eq(col: &ColumnVec, i: usize, j: usize) -> bool {
+    match (col.is_valid(i), col.is_valid(j)) {
+        (false, false) => true,
+        (true, true) => col.cell_eq(i, col, j),
+        _ => false,
+    }
+}
+
+/// Route one columnar chunk into the grouped accumulator: evaluate the key
+/// kernels and the aggregate dimensions once per chunk, partition the rows
+/// by a 64-bit key fingerprint, and feed each partition through the
+/// amortized [`GroupedMomentAccumulator::push_batch`] path — the group key
+/// tuple is materialized once per (chunk × group), not once per row. Rows
+/// whose key collides with a different key's fingerprint (astronomically
+/// rare; detected by comparing against the partition's representative row)
+/// fall back to individual pushes with their own key.
+pub(crate) fn push_grouped_chunk(
+    acc: &mut GroupedMomentAccumulator<Vec<Value>>,
+    key_kernels: &[CompiledExpr],
+    dim_eval: &BatchDimEval,
+    chunk: &ColumnarChunk,
+) -> Result<()> {
+    if chunk.is_empty() {
+        return Ok(());
+    }
+    let key_cols: Vec<ColumnVec> = key_kernels
+        .iter()
+        .map(|k| k.eval_column(&chunk.batch))
+        .collect::<std::result::Result<_, _>>()
+        .map_err(|e| OnlineError::Exec(ExecError::Expr(e)))?;
+    let f_cols = dim_eval.eval(&chunk.batch)?;
+    let rows = chunk.rows();
+    // Partition row indices by key fingerprint, in first-seen order (the
+    // accumulation order is deterministic for a fixed seed and chunking).
+    let mut parts: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+    let mut order: Vec<u64> = Vec::new();
+    for i in 0..rows {
+        let mut h = FxHasher::default();
+        for c in &key_cols {
+            c.hash_cell(i, &mut h);
+        }
+        // splitmix64 finalization: cell hashes carry their entropy in the
+        // high bits (f64 bit patterns), which Fx's multiply-only mixing
+        // never propagates down into the map's bucket-index bits.
+        let fp = sa_core::hash::splitmix64(h.finish());
+        parts
+            .entry(fp)
+            .or_insert_with(|| {
+                order.push(fp);
+                Vec::new()
+            })
+            .push(i as u32);
+    }
+    let materialize_key =
+        |row: usize| -> Vec<Value> { key_cols.iter().map(|c| c.value(row)).collect() };
+    let mut lin_scratch: Vec<Vec<u64>> = vec![Vec::new(); chunk.lineage.len()];
+    let mut f_scratch: Vec<Vec<f64>> = vec![Vec::new(); f_cols.len()];
+    for fp in order {
+        let idxs = &parts[&fp];
+        let rep = idxs[0] as usize;
+        for s in lin_scratch.iter_mut() {
+            s.clear();
+        }
+        for s in f_scratch.iter_mut() {
+            s.clear();
+        }
+        let mut stragglers: Vec<u32> = Vec::new();
+        for &i in idxs {
+            let i = i as usize;
+            // Stored-key collision check against the representative row.
+            if i != rep && !key_cols.iter().all(|c| group_cell_eq(c, i, rep)) {
+                stragglers.push(i as u32);
+                continue;
+            }
+            for (s, l) in lin_scratch.iter_mut().zip(&chunk.lineage) {
+                s.push(l[i]);
+            }
+            for (s, f) in f_scratch.iter_mut().zip(&f_cols) {
+                s.push(f[i]);
+            }
+        }
+        let lineage: Vec<&[u64]> = lin_scratch.iter().map(|s| s.as_slice()).collect();
+        let f: Vec<&[f64]> = f_scratch.iter().map(|s| s.as_slice()).collect();
+        acc.push_batch(materialize_key(rep), &lineage, &f)?;
+        for i in stragglers {
+            let i = i as usize;
+            let lin: Vec<u64> = chunk.lineage.iter().map(|l| l[i]).collect();
+            let fv: Vec<f64> = f_cols.iter().map(|f| f[i]).collect();
+            acc.push(materialize_key(i), &lin, &fv)?;
+        }
+    }
+    Ok(())
 }
 
 /// Build the snapshot for one tick of the grouped loop and judge the
@@ -290,14 +396,6 @@ pub fn run_online_grouped_sql(
     run_online_grouped(&plan, &group_by, catalog, &opts, on_snapshot)
 }
 
-/// Evaluate the bound `GROUP BY` expressions on one result row.
-fn eval_group_key(bound_keys: &[Expr], row: &Row) -> Result<Vec<Value>> {
-    bound_keys
-        .iter()
-        .map(|e| eval(e, &row.values).map_err(|e| OnlineError::Exec(ExecError::Expr(e))))
-        .collect()
-}
-
 /// Read every discovered group out of `acc` under `gus`, in deterministic
 /// key order, apply the top-K tracking policy, and return the table plus
 /// the tracked worst relative half-width — the per-snapshot readout shared
@@ -348,7 +446,7 @@ fn run_online_grouped_parallel(
     aggs: &[AggSpec],
     streams: Vec<ChunkStream>,
     layout: DimLayout,
-    bound_keys: Vec<Expr>,
+    key_kernels: Vec<CompiledExpr>,
     group_exprs: Vec<String>,
     opts: &GroupedOnlineOptions,
     mut on_snapshot: impl FnMut(&GroupedProgressSnapshot),
@@ -356,6 +454,7 @@ fn run_online_grouped_parallel(
     let n = analysis.schema.n();
     let dims = layout.dims();
     let relations: Vec<String> = streams[0].relations().to_vec();
+    let dim_eval = layout.compile_batch(streams[0].schema())?;
     let rule = &opts.online.rule;
     let confidence = rule.confidence_or(opts.online.confidence);
     let start = Instant::now();
@@ -363,15 +462,14 @@ fn run_online_grouped_parallel(
     let mut known_groups = 0usize;
     let mut last: Option<GroupedProgressSnapshot> = None;
     let layout = &layout;
-    let bound_keys = &bound_keys;
+    let dim_eval = &dim_eval;
+    let key_kernels = &key_kernels;
     let (_, reason) = run_worker_pool(
         streams,
         opts.online.chunk_rows,
         || GroupedMomentAccumulator::<Vec<Value>>::new(n, dims),
-        |acc: &mut GroupedMomentAccumulator<Vec<Value>>, row: &Row| {
-            let key = eval_group_key(bound_keys, row)?;
-            acc.push(key, &row.lineage, &f_vector(layout, row)?)
-                .map_err(OnlineError::Core)
+        |acc: &mut GroupedMomentAccumulator<Vec<Value>>, chunk: &ColumnarChunk| {
+            push_grouped_chunk(acc, key_kernels, dim_eval, chunk)
         },
         |merged, progress, exhausted| {
             chunks += 1;
@@ -471,8 +569,9 @@ pub fn group_snapshot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sa_exec::{layout_dims, open_stream, ExecOptions};
+    use sa_exec::{f_vector, layout_dims, open_stream, ExecOptions};
     use sa_expr::col;
+    use sa_expr::{bind, eval};
     use sa_plan::{AggSpec, StoppingRule};
     use sa_sampling::SamplingMethod;
     use sa_storage::{DataType, Field, Schema, TableBuilder};

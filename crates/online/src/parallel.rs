@@ -34,7 +34,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
 
-use sa_exec::{ChunkStream, Row};
+use sa_exec::{ChunkStream, ColumnarChunk};
 use sa_storage::Value;
 
 use crate::error::OnlineError;
@@ -95,22 +95,24 @@ struct Shard<A> {
 /// Drive `streams.len()` worker threads over their disjoint slices and
 /// judge the stopping rule on the merged state after every tick.
 ///
-/// `judge` is called on the coordinator thread with the merged accumulator,
-/// the summed per-relation progress, and whether *every* shard has drained;
-/// it emits the snapshot and returns `Some(reason)` to stop (it must return
-/// `Some` when `exhausted` is true — there will be no further tick). The
-/// final merged accumulator and the stop reason are returned; workers are
-/// joined before this function returns.
+/// `push_chunk` accumulates one whole columnar chunk into a shard-local
+/// delta (the per-chunk batch path — workers never touch rows one at a
+/// time). `judge` is called on the coordinator thread with the merged
+/// accumulator, the summed per-relation progress, and whether *every*
+/// shard has drained; it emits the snapshot and returns `Some(reason)` to
+/// stop (it must return `Some` when `exhausted` is true — there will be no
+/// further tick). The final merged accumulator and the stop reason are
+/// returned; workers are joined before this function returns.
 pub(crate) fn run_worker_pool<A, P, J>(
     streams: Vec<ChunkStream>,
     chunk_rows: usize,
     new_acc: impl Fn() -> A + Sync,
-    push_row: P,
+    push_chunk: P,
     mut judge: J,
 ) -> Result<(A, sa_plan::StopReason)>
 where
     A: ShardAccumulator,
-    P: Fn(&mut A, &Row) -> Result<()> + Sync,
+    P: Fn(&mut A, &ColumnarChunk) -> Result<()> + Sync,
     J: FnMut(&A, &[(u64, u64)], bool) -> Result<Option<sa_plan::StopReason>>,
 {
     let nrels = streams.first().map(|s| s.relations().len()).unwrap_or(0);
@@ -139,7 +141,7 @@ where
         for (stream, shard) in streams.into_iter().zip(&shards) {
             let tx = tx.clone();
             let cancel = &cancel;
-            let push_row = &push_row;
+            let push_chunk = &push_chunk;
             let new_acc = &new_acc;
             scope.spawn(move || {
                 worker_loop(
@@ -148,7 +150,7 @@ where
                     backpressure,
                     shard,
                     new_acc,
-                    push_row,
+                    push_chunk,
                     cancel,
                     tx,
                 )
@@ -217,11 +219,12 @@ where
     })
 }
 
-/// One worker: pull a chunk, accumulate it into a fresh local delta
-/// **outside the lock** (the expensive per-row work — expression eval,
-/// `f_vector`, fingerprinting — never blocks the coordinator), publish the
-/// delta with an O(1) queue push, ping the coordinator — pausing under
-/// backpressure — until drained, cancelled or failed.
+/// One worker: pull a columnar chunk, accumulate it into a fresh local
+/// delta **outside the lock** (the expensive per-chunk work — compiled
+/// expression eval, batch moment pushes, fingerprinting — never blocks the
+/// coordinator), publish the delta with an O(1) queue push, ping the
+/// coordinator — pausing under backpressure — until drained, cancelled or
+/// failed.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<A, P>(
     mut stream: ChunkStream,
@@ -229,12 +232,12 @@ fn worker_loop<A, P>(
     backpressure: u64,
     shard: &Shard<A>,
     new_acc: &(impl Fn() -> A + Sync),
-    push_row: &P,
+    push_chunk: &P,
     cancel: &AtomicBool,
     tx: mpsc::Sender<()>,
 ) where
     A: ShardAccumulator,
-    P: Fn(&mut A, &Row) -> Result<()> + Sync,
+    P: Fn(&mut A, &ColumnarChunk) -> Result<()> + Sync,
 {
     let fail = |e: OnlineError| {
         if let Ok(mut s) = shard.state.lock() {
@@ -246,7 +249,7 @@ fn worker_loop<A, P>(
         if cancel.load(Ordering::Relaxed) {
             return;
         }
-        let chunk = match stream.next_chunk(chunk_rows) {
+        let chunk = match stream.next_batch(chunk_rows) {
             Ok(chunk) => chunk,
             Err(e) => return fail(e.into()),
         };
@@ -254,10 +257,8 @@ fn worker_loop<A, P>(
         let mut delta = None;
         if !exhausted {
             let mut local = new_acc();
-            for row in &chunk {
-                if let Err(e) = push_row(&mut local, row) {
-                    return fail(e);
-                }
+            if let Err(e) = push_chunk(&mut local, &chunk) {
+                return fail(e);
             }
             delta = Some(local);
         }
@@ -266,7 +267,7 @@ fn worker_loop<A, P>(
         };
         if let Some(local) = delta {
             s.deltas.push(local);
-            s.pending_rows += chunk.len() as u64;
+            s.pending_rows += chunk.rows() as u64;
         }
         s.progress = stream.progress();
         s.exhausted = exhausted;

@@ -38,10 +38,15 @@ pub enum Column {
         /// Validity; empty means all-valid.
         validity: Vec<bool>,
     },
-    /// String column.
+    /// String column, dictionary-coded: the value at `row` is
+    /// `dict[codes[row]]`. Repeated strings share one interned entry, and
+    /// columnar batches gathered from this column share the dictionary
+    /// behind the `Arc` (see [`crate::chunk`]).
     Str {
-        /// Values (empty string where invalid).
-        data: Vec<Arc<str>>,
+        /// The dictionary: code → interned string (never empty).
+        dict: crate::chunk::StrDict,
+        /// Per-row dictionary codes (point at `""` where invalid).
+        codes: Vec<u32>,
         /// Validity; empty means all-valid.
         validity: Vec<bool>,
     },
@@ -64,7 +69,7 @@ impl Column {
             Column::Bool { data, .. } => data.len(),
             Column::Int { data, .. } => data.len(),
             Column::Float { data, .. } => data.len(),
-            Column::Str { data, .. } => data.len(),
+            Column::Str { codes, .. } => codes.len(),
         }
     }
 
@@ -101,13 +106,37 @@ impl Column {
                     Value::Null
                 }
             }
-            Column::Str { data, validity } => {
+            Column::Str {
+                dict,
+                codes,
+                validity,
+            } => {
                 if Self::valid(validity, row) {
-                    Value::Str(data[row].clone())
+                    Value::Str(dict[codes[row] as usize].clone())
                 } else {
                     Value::Null
                 }
             }
+        }
+    }
+
+    /// The validity of rows `[start, end)` in the batch representation:
+    /// `None` when every row in the range is valid.
+    pub(crate) fn validity_range(&self, start: usize, end: usize) -> Option<Vec<bool>> {
+        let validity = match self {
+            Column::Bool { validity, .. }
+            | Column::Int { validity, .. }
+            | Column::Float { validity, .. }
+            | Column::Str { validity, .. } => validity,
+        };
+        if validity.is_empty() {
+            return None;
+        }
+        let slice = &validity[start..end];
+        if slice.iter().all(|&v| v) {
+            None
+        } else {
+            Some(slice.to_vec())
         }
     }
 
@@ -122,7 +151,9 @@ impl Column {
     }
 }
 
-/// Incremental builder for a [`Column`] of a fixed [`DataType`].
+/// Incremental builder for a [`Column`] of a fixed [`DataType`]. String
+/// columns are dictionary-encoded as they are built: each distinct string
+/// is interned once and rows store `u32` codes.
 #[derive(Debug)]
 pub struct ColumnBuilder {
     name: String,
@@ -130,7 +161,9 @@ pub struct ColumnBuilder {
     bools: Vec<bool>,
     ints: Vec<i64>,
     floats: Vec<f64>,
-    strs: Vec<Arc<str>>,
+    dict: Vec<Arc<str>>,
+    dict_index: std::collections::HashMap<Arc<str>, u32>,
+    codes: Vec<u32>,
     validity: Vec<bool>,
     has_null: bool,
     len: usize,
@@ -146,11 +179,24 @@ impl ColumnBuilder {
             bools: vec![],
             ints: vec![],
             floats: vec![],
-            strs: vec![],
+            dict: vec![],
+            dict_index: Default::default(),
+            codes: vec![],
             validity: vec![],
             has_null: false,
             len: 0,
         }
+    }
+
+    /// Intern `s` into the dictionary, returning its code.
+    fn intern(&mut self, s: Arc<str>) -> u32 {
+        if let Some(&code) = self.dict_index.get(&s) {
+            return code;
+        }
+        let code = u32::try_from(self.dict.len()).expect("dictionary exceeds u32 codes");
+        self.dict.push(s.clone());
+        self.dict_index.insert(s, code);
+        code
     }
 
     /// Reserve capacity for `n` more rows.
@@ -159,7 +205,7 @@ impl ColumnBuilder {
             DataType::Bool => self.bools.reserve(n),
             DataType::Int => self.ints.reserve(n),
             DataType::Float => self.floats.reserve(n),
-            DataType::Str => self.strs.reserve(n),
+            DataType::Str => self.codes.reserve(n),
         }
         self.validity.reserve(n);
     }
@@ -190,7 +236,10 @@ impl ColumnBuilder {
                     DataType::Bool => self.bools.push(false),
                     DataType::Int => self.ints.push(0),
                     DataType::Float => self.floats.push(0.0),
-                    DataType::Str => self.strs.push(Arc::from("")),
+                    DataType::Str => {
+                        let code = self.intern(Arc::from(""));
+                        self.codes.push(code);
+                    }
                 }
             }
             (Value::Bool(b), DataType::Bool) => {
@@ -211,7 +260,8 @@ impl ColumnBuilder {
             }
             (Value::Str(s), DataType::Str) => {
                 self.validity.push(true);
-                self.strs.push(s.clone());
+                let code = self.intern(s.clone());
+                self.codes.push(code);
             }
             _ => return Err(mismatch(&v)),
         }
@@ -251,7 +301,12 @@ impl ColumnBuilder {
                 validity,
             },
             DataType::Str => Column::Str {
-                data: self.strs,
+                dict: Arc::new(if self.dict.is_empty() {
+                    vec![Arc::from("")]
+                } else {
+                    self.dict
+                }),
+                codes: self.codes,
                 validity,
             },
         }

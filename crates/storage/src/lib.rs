@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod error;
@@ -29,6 +30,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use chunk::{ColumnData, ColumnVec, ColumnarBatch, StrDict};
 pub use column::{Column, ColumnBuilder};
 pub use csv::{read_csv, write_csv, CsvOptions};
 pub use error::StorageError;

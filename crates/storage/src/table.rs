@@ -104,6 +104,25 @@ impl Table {
         row / self.block_rows as u64
     }
 
+    /// Gather the half-open row range `[start, end)` as a columnar batch —
+    /// a typed memcpy per column, no per-row [`Value`] materialization
+    /// (string columns share their dictionary with the batch).
+    pub fn batch_range(&self, start: RowId, end: RowId) -> Result<crate::chunk::ColumnarBatch> {
+        if end > self.row_count || start > end {
+            return Err(StorageError::RowOutOfBounds {
+                row: end,
+                len: self.row_count,
+            });
+        }
+        let (s, e) = (start as usize, end as usize);
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| crate::chunk::ColumnVec::from_column_range(c, s, e))
+            .collect();
+        Ok(crate::chunk::ColumnarBatch::new(columns, e - s))
+    }
+
     /// The half-open row range `[start, end)` of block `block`.
     pub fn block_range(&self, block: BlockId) -> (RowId, RowId) {
         let start = block * self.block_rows as u64;

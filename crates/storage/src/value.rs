@@ -185,7 +185,7 @@ impl Hash for Value {
     }
 }
 
-fn norm_f64_bits(f: f64) -> u64 {
+pub(crate) fn norm_f64_bits(f: f64) -> u64 {
     // Normalize -0.0 to +0.0 so equal values hash equally.
     if f == 0.0 {
         0f64.to_bits()

@@ -29,6 +29,7 @@
 //! \seed N               set the sampling seed
 //! \chunk N              set the online chunk size (rows)
 //! \jobs N               set the online worker count (1 = sequential)
+//! \adaptive on|off      grow online chunks as the estimate stabilizes
 //! \subsample N          estimate variance from ~N tuples (§7); 0 = off
 //! \quit
 //! ```
@@ -50,6 +51,7 @@ struct Session {
     confidence: f64,
     chunk_rows: usize,
     jobs: usize,
+    adaptive_chunks: bool,
 }
 
 fn main() {
@@ -58,6 +60,7 @@ fn main() {
     let mut seed = 42u64;
     let mut chunk_rows = 1024usize;
     let mut jobs = 1usize;
+    let mut adaptive_chunks = false;
     let mut online = false;
     let mut one_shot: Option<String> = None;
     let mut it = args.iter();
@@ -89,6 +92,7 @@ fn main() {
                     .filter(|n| *n > 0)
                     .unwrap_or_else(|| die("--jobs needs a positive worker count"));
             }
+            "--adaptive-chunks" => adaptive_chunks = true,
             "--online" => online = true,
             "--query" => {
                 one_shot = Some(
@@ -99,8 +103,8 @@ fn main() {
             }
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--jobs N] [--online] \
-                     [--query SQL]"
+                    "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--jobs N] \
+                     [--adaptive-chunks] [--online] [--query SQL]"
                 );
                 return;
             }
@@ -119,6 +123,7 @@ fn main() {
         confidence: 0.95,
         chunk_rows,
         jobs,
+        adaptive_chunks,
     };
 
     if let Some(sql) = one_shot {
@@ -207,6 +212,17 @@ fn run_line(session: &mut Session, line: &str) {
                     println!("jobs = {n} worker{}", if n == 1 { "" } else { "s" });
                 }
                 _ => println!("\\jobs needs a positive worker count"),
+            },
+            "adaptive" => match arg.trim() {
+                "on" => {
+                    session.adaptive_chunks = true;
+                    println!("adaptive chunks on (grow up to 64× once the CI stalls)");
+                }
+                "off" => {
+                    session.adaptive_chunks = false;
+                    println!("adaptive chunks off");
+                }
+                _ => println!("\\adaptive needs `on` or `off`"),
             },
             "online" => run_online_mode(session, arg),
             "exact" => run_exact(session, arg),
@@ -320,6 +336,7 @@ fn run_online_mode(session: &mut Session, sql: &str) {
         rule: StoppingRule::exhaustive(),
         scale_to_population: true,
         parallelism: session.jobs,
+        adaptive_chunks: session.adaptive_chunks,
     };
     if let Some(rule) = rule {
         opts.rule.ci_target = rule.ci_target;
