@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! # sa-baselines — the estimators the paper argues against (and with)
 //!
 //! The related-work section of the paper motivates GUS by the failure of

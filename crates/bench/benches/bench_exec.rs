@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Criterion bench: sampled-plan execution — the engine-side cost of the
 //! pipeline (scan + sample + hash join + lineage bookkeeping), and the full
 //! `approx_query` path including estimation.

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Criterion bench for the online aggregation subsystem: incremental
 //! accumulation vs batch, the O(1)-in-rows snapshot readout, shard merge,
 //! and the chunked stream vs materializing execution.

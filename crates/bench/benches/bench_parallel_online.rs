@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Criterion bench for shard-parallel online aggregation: the scaling
 //! curve of `OnlineOptions::parallelism` on time-to-fixed-ε-stop and on
 //! run-to-exhaustion throughput.

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Machine-readable throughput report for the online execution engine.
 //!
 //! Runs the four canonical TPC-H online workloads — scan, filter+project,
@@ -16,7 +18,7 @@ use std::time::Instant;
 use sa_bench::workloads::{self, columnar};
 use sa_expr::col;
 use sa_online::{
-    run_online, run_online_grouped, GroupedOnlineOptions, OnlineOptions, StoppingRule,
+    run_online, run_online_grouped, Engine, GroupedOnlineOptions, OnlineOptions, StoppingRule,
 };
 use sa_plan::LogicalPlan;
 use sa_storage::Catalog;
@@ -96,6 +98,53 @@ fn measure_grouped(catalog: &Catalog, jobs: usize, reps: usize) -> Cell {
         workload: "grouped",
         jobs,
         rows,
+        secs: best,
+    }
+}
+
+/// Best-of-`reps` run of N concurrent sessions over one table attached to
+/// the engine's shared scan cursor. `rows` reports the storage rows
+/// *scanned per query* — the serving win to watch: with sharing, N queries
+/// cost ~1 table scan, so the per-query cost falls roughly as 1/N.
+fn measure_shared(engine: &Engine, clients: usize, reps: usize) -> Cell {
+    let plan = columnar::scan_plan();
+    let mut best = f64::INFINITY;
+    let mut per_query = 0;
+    for _ in 0..reps {
+        let before = engine
+            .scan_stats("lineitem")
+            .map(|s| s.rows_gathered)
+            .unwrap_or(0);
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|i| {
+                    let engine = engine.clone();
+                    let plan = plan.clone();
+                    scope.spawn(move || {
+                        engine
+                            .session()
+                            .query_plan(&plan)
+                            .seed(i as u64 + 1)
+                            .chunk_rows(4096)
+                            .run()
+                            .expect("shared workload runs")
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread");
+            }
+        });
+        let secs = t.elapsed().as_secs_f64();
+        let after = engine.scan_stats("lineitem").expect("hub exists");
+        per_query = (after.rows_gathered - before) / clients as u64;
+        best = best.min(secs);
+    }
+    Cell {
+        workload: "shared_scan",
+        jobs: clients,
+        rows: per_query,
         secs: best,
     }
 }
@@ -181,6 +230,20 @@ fn main() {
                 c.rows_per_sec()
             );
         }
+    }
+    // Shared-scan serving workload: N concurrent queries over lineitem via
+    // one circular scan; `rows` is the storage scan cost *per query*.
+    let engine = Engine::builder(catalog.clone()).shared_scans(true).build();
+    for clients in [1usize, 4, 16] {
+        let c = measure_shared(&engine, clients, reps);
+        eprintln!(
+            "{:>16} jobs={} rows/query={:>8} {:>8.1} ms",
+            c.workload,
+            c.jobs,
+            c.rows,
+            c.secs * 1e3,
+        );
+        cells.push(c);
     }
     println!("workload,jobs,rows,secs,rows_per_sec");
     for c in &cells {

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Experiments E5 and E7: accuracy/coverage analysis and the comparison
 //! against naive estimators.
 //!

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Experiment E8: the Section 8 applications, as reportable tables.
 
 use sa_core::{GusParams, SBox};

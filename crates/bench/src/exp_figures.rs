@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Experiments E1–E4: regenerate the paper's printed artifacts
 //! (Figure 1 table, Figure 2/Examples 1–3, Figure 4/Example 4,
 //! Figure 5/Examples 5–6).

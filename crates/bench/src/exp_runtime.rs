@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Experiment E6: runtime analysis.
 //!
 //! (i) SOA rewriter latency vs number of relations (the paper claims "a few

@@ -252,6 +252,10 @@ impl BatchDimEval {
 
 /// Run a sampled aggregate plan and produce estimates with confidence
 /// intervals. The plan root must be an [`LogicalPlan::Aggregate`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sa_online::Engine::new(catalog).session().query_plan(&plan).batch()`"
+)]
 pub fn approx_query(
     plan: &LogicalPlan,
     catalog: &Catalog,
@@ -406,6 +410,7 @@ pub fn exact_query(plan: &LogicalPlan, catalog: &Catalog) -> Result<Vec<f64>> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sa_expr::col;

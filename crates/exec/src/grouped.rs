@@ -55,6 +55,10 @@ pub struct GroupedApproxResult {
 /// `plan` is an ordinary aggregate plan (as for
 /// [`crate::approx::approx_query`]); `group_by` are expressions over the
 /// aggregate input's schema.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sa_online::Engine::new(catalog).session().query_plan(&plan).group_by(...).batch()`"
+)]
 pub fn approx_group_query(
     plan: &LogicalPlan,
     group_by: &[Expr],
@@ -165,6 +169,7 @@ pub fn exact_group_query(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sa_expr::col;

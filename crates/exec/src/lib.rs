@@ -23,6 +23,7 @@
 //! pipeline), then stream the same sampled scan chunk by chunk:
 //!
 //! ```
+//! # #![allow(deprecated)] // approx_query: kept as the low-level batch entry
 //! use sa_exec::{approx_query, open_stream, ApproxOptions, ExecOptions};
 //! use sa_plan::{AggSpec, LogicalPlan};
 //! use sa_sampling::SamplingMethod;
@@ -55,17 +56,25 @@ pub mod columnar;
 pub mod error;
 pub mod exec;
 pub mod grouped;
+pub mod shared;
 pub mod stream;
 
+#[allow(deprecated)]
+pub use approx::approx_query;
 pub use approx::{
-    agg_results_from_report, approx_query, exact_query, f_vector, layout_dims, AggResult,
-    ApproxOptions, ApproxResult, BatchDimEval, DimLayout,
+    agg_results_from_report, exact_query, f_vector, layout_dims, AggResult, ApproxOptions,
+    ApproxResult, BatchDimEval, DimLayout,
 };
 pub use columnar::ColumnarChunk;
 pub use error::ExecError;
 pub use exec::{execute, ExecOptions, ResultSet, Row};
-pub use grouped::{approx_group_query, exact_group_query, GroupEstimate, GroupedApproxResult};
-pub use stream::{open_stream, open_stream_partitioned, ChunkStream};
+#[allow(deprecated)]
+pub use grouped::approx_group_query;
+pub use grouped::{exact_group_query, GroupEstimate, GroupedApproxResult};
+pub use shared::{SharedScanCursor, SharedScanStats, SharedTableScan};
+pub use stream::{
+    open_shared_stream, open_stream, open_stream_partitioned, shared_scan_table, ChunkStream,
+};
 
 /// Crate-wide result alias.
 pub type Result<T, E = ExecError> = std::result::Result<T, E>;

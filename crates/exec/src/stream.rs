@@ -60,6 +60,7 @@ use sa_storage::{Catalog, ColumnVec, ColumnarBatch, Schema, SchemaRef, Table};
 use crate::columnar::ColumnarChunk;
 use crate::error::ExecError;
 use crate::exec::{base_table, exec_node, scan_schema, split_join_condition, ExecOptions, Row};
+use crate::shared::{SharedScanCursor, SharedTableScan};
 use crate::Result;
 
 /// A chunked executor over a (non-aggregate) plan. Obtained from
@@ -208,6 +209,89 @@ pub fn open_stream_partitioned(
         .collect())
 }
 
+/// The catalog table name of a plan that can ride a shared scan cursor, or
+/// `None` when it cannot. Eligible shapes are a single-table streaming
+/// chain — `Scan`, optionally through tuple-level `Bernoulli` sampling,
+/// `Filter`s and `Project`s. Everything else (joins, unions, `SYSTEM` — a
+/// block-coverage design whose keep decisions are tied to a scan-prefix
+/// origin — and blocking samplers, which materialize privately anyway)
+/// falls back to a private stream.
+pub fn shared_scan_table(plan: &LogicalPlan) -> Option<&str> {
+    match plan {
+        LogicalPlan::Scan { table, .. } => Some(table),
+        LogicalPlan::Sample {
+            method: SamplingMethod::Bernoulli { .. },
+            input,
+        } => shared_scan_table(input),
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            shared_scan_table(input)
+        }
+        _ => None,
+    }
+}
+
+/// Compile `plan` into a [`ChunkStream`] whose leaf is a cursor on `scan`
+/// instead of a private table scan: the stream attaches at the hub's
+/// current position and drains after one full revolution, sharing the
+/// gather work with every other cursor (see [`SharedTableScan`]).
+///
+/// The plan must be shared-scan eligible ([`shared_scan_table`]) over the
+/// hub's table. Everything else is identical to [`open_stream`] — the same
+/// master-RNG seed derivation (a Bernoulli sampler's coins depend only on
+/// `opts.seed` and the attach origin, one coin per consumed row in
+/// consumption order), the same compiled expressions, the same fused
+/// operators.
+pub fn open_shared_stream(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &ExecOptions,
+    scan: &Arc<SharedTableScan>,
+) -> Result<ChunkStream> {
+    let Some(table) = shared_scan_table(plan) else {
+        return Err(ExecError::Unsupported(
+            "plan is not shared-scan eligible: only a single-table chain of \
+             Scan/Bernoulli/Filter/Project can ride a shared cursor"
+                .into(),
+        ));
+    };
+    if table != scan.table().name() {
+        return Err(ExecError::Unsupported(format!(
+            "shared scan hub is over table '{}' but the plan scans '{table}'",
+            scan.table().name()
+        )));
+    }
+    plan.validate(catalog)?;
+    let mut master = StdRng::seed_from_u64(opts.seed);
+    let (mut roots, schema, relations) = build_partitioned(plan, catalog, &mut master, 1)?;
+    let mut root = roots.pop().expect("one partition yields one stream");
+    let swapped = swap_in_shared_cursor(&mut root, scan);
+    debug_assert!(swapped, "eligible plan must bottom out in a scan");
+    Ok(ChunkStream {
+        schema,
+        relations,
+        root,
+        rows_out: 0,
+    })
+}
+
+/// Replace the scan leaf of an eligible operator tree with a cursor
+/// attached to `scan`; returns whether a leaf was swapped.
+fn swap_in_shared_cursor(node: &mut Node, scan: &Arc<SharedTableScan>) -> bool {
+    match node {
+        Node::Scan { .. } => {
+            *node = Node::Shared {
+                cursor: scan.attach(),
+            };
+            true
+        }
+        Node::Bernoulli { input, .. }
+        | Node::Filter { input, .. }
+        | Node::Project { input, .. }
+        | Node::FilterProject { input, .. } => swap_in_shared_cursor(input, scan),
+        _ => false,
+    }
+}
+
 /// Derive worker `w`'s RNG seed from a spine operator's base seed —
 /// splitmix64-style finalization, so per-worker streams are decorrelated
 /// but fully determined by `(plan, seed, parts)`.
@@ -232,6 +316,11 @@ enum Node {
         next: u64,
         end: u64,
     },
+    /// A cursor on a [`SharedTableScan`] hub in place of a private scan:
+    /// the same chunks-with-row-id-lineage contract, but the rows arrive in
+    /// circular order from the cursor's attach origin and the gathering
+    /// work is shared with every other cursor on the hub.
+    Shared { cursor: SharedScanCursor },
     /// Tuple-level Bernoulli sampling with its own RNG stream (one coin per
     /// input row, in row order).
     Bernoulli {
@@ -563,6 +652,7 @@ impl Node {
                 *next = upto;
                 Ok(ColumnarChunk { batch, lineage })
             }
+            Node::Shared { cursor } => cursor.next_batch(hint),
             Node::Materialized { chunk, next } => {
                 let end = (*next + hint).min(chunk.rows());
                 let out = chunk.slice(*next, end - *next);
@@ -828,6 +918,11 @@ impl Node {
             Node::Scan {
                 start, next, end, ..
             } => out.push((*next - *start, *end - *start)),
+            // A shared cursor's consumed prefix is a circularly-shifted row
+            // range — still WOR(consumed, N) coverage (the design is
+            // invariant under a fixed rotation of the relation), so it
+            // reports exactly like a private scan.
+            Node::Shared { cursor } => out.push(cursor.progress()),
             // A materialized blocking sampler: coverage over the *drawn
             // sample* — it stacks onto the plan's own WOR factor exactly
             // like a scan prefix stacks onto a Bernoulli.
@@ -1511,6 +1606,68 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), 3, "two NaN matches + the 2.0 match");
         assert_eq!(rows, batch.rows);
+    }
+
+    #[test]
+    fn shared_stream_at_origin_zero_matches_private_stream() {
+        // A fresh hub's first cursor starts at physical row 0, and the
+        // Bernoulli seed derivation is identical to the private path — so
+        // the realization must be byte-identical to open_stream.
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.4 })
+            .filter(col("v").gt_eq(lit(10.0)))
+            .project(vec![(col("v").mul(lit(2.0)), "vv".into())]);
+        let c = catalog();
+        let opts = ExecOptions { seed: 11 };
+        let private = open_stream(&plan, &c, &opts)
+            .unwrap()
+            .collect_rows(64)
+            .unwrap();
+        let hub = Arc::new(SharedTableScan::new(c.get("t").unwrap(), 32));
+        let shared = open_shared_stream(&plan, &c, &opts, &hub)
+            .unwrap()
+            .collect_rows(17)
+            .unwrap();
+        assert_eq!(shared, private);
+        assert_eq!(hub.rows_gathered(), 200);
+    }
+
+    #[test]
+    fn shared_stream_progress_covers_the_whole_relation() {
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
+        let c = catalog();
+        let hub = Arc::new(SharedTableScan::new(c.get("t").unwrap(), 64));
+        // Advance the hub so the stream attaches mid-scan.
+        let mut warm = hub.attach();
+        warm.next_batch(64).unwrap();
+        drop(warm);
+        let mut s = open_shared_stream(&plan, &c, &ExecOptions { seed: 3 }, &hub).unwrap();
+        assert_eq!(s.progress(), vec![(0, 200)]);
+        let mut last = 0;
+        while !s.next_chunk(32).unwrap().is_empty() {
+            let (consumed, total) = s.progress()[0];
+            assert!(consumed > last && total == 200);
+            last = consumed;
+        }
+        assert_eq!(s.progress(), vec![(200, 200)], "full circular coverage");
+    }
+
+    #[test]
+    fn ineligible_plans_are_rejected_for_shared_scans() {
+        let c = catalog();
+        let hub = Arc::new(SharedTableScan::new(c.get("t").unwrap(), 64));
+        let join = LogicalPlan::scan("t").join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
+        let system = LogicalPlan::scan("t").sample(SamplingMethod::System { p: 0.5 });
+        let wor = LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 10 });
+        let other = LogicalPlan::scan("d");
+        for plan in [&join, &system, &wor] {
+            assert!(shared_scan_table(plan).is_none());
+            assert!(open_shared_stream(plan, &c, &ExecOptions::default(), &hub).is_err());
+        }
+        // Eligible shape, wrong table for this hub.
+        assert_eq!(shared_scan_table(&other), Some("d"));
+        let err = open_shared_stream(&other, &c, &ExecOptions::default(), &hub).unwrap_err();
+        assert!(err.to_string().contains("'t'"), "{err}");
     }
 
     #[test]

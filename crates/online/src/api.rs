@@ -1,0 +1,317 @@
+//! The unified options and result surface of the Engine/Session API.
+//!
+//! Historically every entry point had its own options struct and result
+//! shape: `OnlineOptions` for scalar online runs, `GroupedOnlineOptions`
+//! (which duplicated every scalar field behind an `.online` member) for
+//! grouped runs, and `ApproxOptions` for the batch drivers. [`QueryOptions`]
+//! collapses the online pair into one flat struct — scalar vs. grouped is
+//! decided by the query (its `GROUP BY` list), not by which options type
+//! the caller picked — and [`Snapshot`] / [`QueryResult`] make the result
+//! shape a variant rather than a separate entry point.
+
+use std::time::Duration;
+
+use sa_core::GusParams;
+use sa_exec::{ApproxResult, GroupedApproxResult};
+use sa_plan::{SoaAnalysis, StopReason, StoppingRule};
+
+#[allow(deprecated)]
+use crate::driver::OnlineOptions;
+use crate::driver::{OnlineResult, ProgressSnapshot};
+#[allow(deprecated)]
+use crate::grouped::GroupedOnlineOptions;
+use crate::grouped::{GroupedOnlineResult, GroupedProgressSnapshot};
+
+/// Options for one query run through the [`crate::Engine`] — the unified
+/// successor of `OnlineOptions` and `GroupedOnlineOptions` (grouped runs no
+/// longer nest the scalar options behind an `.online` member; the grouped
+/// `ci_top_k` policy is a flat field that scalar runs simply ignore).
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Seed for the plan's sampling operators (the streamed sample
+    /// realization is fully determined by `(plan, seed)`; sessions assign a
+    /// stable per-session seed so estimates stay comparable across runs).
+    pub seed: u64,
+    /// Target rows per pulled chunk (operators may over/under-fill).
+    pub chunk_rows: usize,
+    /// Confidence level for reported intervals when the stopping rule has
+    /// no CI target of its own.
+    pub confidence: f64,
+    /// When to stop early. [`StoppingRule::exhaustive`] runs the whole
+    /// sample. For grouped queries the rule's CI target is judged per
+    /// group.
+    pub rule: StoppingRule,
+    /// Scale mid-stream estimates to the full population by compacting a
+    /// per-relation WOR(scanned, total) factor onto the plan GUS (the
+    /// random-scan-order assumption of online aggregation). Default `true`;
+    /// with `false`, snapshots read the raw prefix estimate under the plan
+    /// GUS.
+    pub scale_to_population: bool,
+    /// Number of worker threads driving the sampled plan. `1` (the
+    /// default) runs the classic single-threaded loop — byte-identical
+    /// snapshots for a fixed seed, and the only mode that can attach to an
+    /// engine's shared scan. `0` is rejected.
+    pub parallelism: usize,
+    /// Grow the pull hint as the estimate stabilizes (see the driver
+    /// module docs). Default `false`.
+    pub adaptive_chunks: bool,
+    /// Grouped queries only: judge the CI stopping target on the `K`
+    /// groups with the largest absolute (first-aggregate) estimates — the
+    /// long-tail policy. Tail groups are still estimated and reported;
+    /// they just cannot postpone termination. Ignored by scalar queries.
+    /// `None` (default): every discovered group must meet the target.
+    pub ci_top_k: Option<usize>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            seed: 0,
+            chunk_rows: 1024,
+            confidence: 0.95,
+            rule: StoppingRule::exhaustive(),
+            scale_to_population: true,
+            parallelism: 1,
+            adaptive_chunks: false,
+            ci_top_k: None,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<&OnlineOptions> for QueryOptions {
+    fn from(o: &OnlineOptions) -> Self {
+        QueryOptions {
+            seed: o.seed,
+            chunk_rows: o.chunk_rows,
+            confidence: o.confidence,
+            rule: o.rule.clone(),
+            scale_to_population: o.scale_to_population,
+            parallelism: o.parallelism,
+            adaptive_chunks: o.adaptive_chunks,
+            ci_top_k: None,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<&GroupedOnlineOptions> for QueryOptions {
+    fn from(o: &GroupedOnlineOptions) -> Self {
+        QueryOptions {
+            ci_top_k: o.ci_top_k,
+            ..QueryOptions::from(&o.online)
+        }
+    }
+}
+
+/// One progressive snapshot, scalar or grouped — the unified shape a
+/// [`crate::QueryHandle`] streams and a [`QueryResult`] finishes with.
+#[derive(Debug, Clone)]
+pub enum Snapshot {
+    /// A scalar query's snapshot (no `GROUP BY`).
+    Scalar(ProgressSnapshot),
+    /// A grouped query's snapshot (one entry per discovered group).
+    Grouped(GroupedProgressSnapshot),
+}
+
+impl Snapshot {
+    /// Cumulative sampled result tuples consumed.
+    pub fn rows(&self) -> u64 {
+        match self {
+            Snapshot::Scalar(s) => s.rows,
+            Snapshot::Grouped(s) => s.rows,
+        }
+    }
+
+    /// 1-based snapshot index.
+    pub fn chunk(&self) -> u64 {
+        match self {
+            Snapshot::Scalar(s) => s.chunk,
+            Snapshot::Grouped(s) => s.chunk,
+        }
+    }
+
+    /// Worst (largest) relative CI half-width the stopping rule is judged
+    /// on (tracked groups only, for grouped snapshots).
+    pub fn rel_half_width(&self) -> Option<f64> {
+        match self {
+            Snapshot::Scalar(s) => s.rel_half_width,
+            Snapshot::Grouped(s) => s.rel_half_width,
+        }
+    }
+
+    /// Confidence level the snapshot's intervals were computed at.
+    pub fn confidence(&self) -> f64 {
+        match self {
+            Snapshot::Scalar(s) => s.confidence,
+            Snapshot::Grouped(s) => s.confidence,
+        }
+    }
+
+    /// Per-relation `(consumed, available)` scan coverage.
+    pub fn progress(&self) -> &[(u64, u64)] {
+        match self {
+            Snapshot::Scalar(s) => &s.progress,
+            Snapshot::Grouped(s) => &s.progress,
+        }
+    }
+
+    /// The GUS the snapshot was read under.
+    pub fn gus(&self) -> &GusParams {
+        match self {
+            Snapshot::Scalar(s) => &s.gus,
+            Snapshot::Grouped(s) => &s.gus,
+        }
+    }
+
+    /// Wall time since the loop started.
+    pub fn elapsed(&self) -> Duration {
+        match self {
+            Snapshot::Scalar(s) => s.elapsed,
+            Snapshot::Grouped(s) => s.elapsed,
+        }
+    }
+
+    /// The scalar snapshot, if this is one.
+    pub fn as_scalar(&self) -> Option<&ProgressSnapshot> {
+        match self {
+            Snapshot::Scalar(s) => Some(s),
+            Snapshot::Grouped(_) => None,
+        }
+    }
+
+    /// The grouped snapshot, if this is one.
+    pub fn as_grouped(&self) -> Option<&GroupedProgressSnapshot> {
+        match self {
+            Snapshot::Scalar(_) => None,
+            Snapshot::Grouped(s) => Some(s),
+        }
+    }
+}
+
+/// The outcome of a progressive run through the Engine/Session API:
+/// scalar vs. grouped is a variant of [`QueryResult::snapshot`], not a
+/// separate entry point.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Why the loop stopped.
+    pub reason: StopReason,
+    /// The last emitted snapshot (the final estimates).
+    pub snapshot: Snapshot,
+    /// Number of snapshots emitted.
+    pub chunks: u64,
+    /// The SOA analysis (top GUS, lineage schema, rewrite trace).
+    pub analysis: SoaAnalysis,
+}
+
+impl From<OnlineResult> for QueryResult {
+    fn from(r: OnlineResult) -> Self {
+        QueryResult {
+            reason: r.reason,
+            snapshot: Snapshot::Scalar(r.snapshot),
+            chunks: r.chunks,
+            analysis: r.analysis,
+        }
+    }
+}
+
+impl From<GroupedOnlineResult> for QueryResult {
+    fn from(r: GroupedOnlineResult) -> Self {
+        QueryResult {
+            reason: r.reason,
+            snapshot: Snapshot::Grouped(r.snapshot),
+            chunks: r.chunks,
+            analysis: r.analysis,
+        }
+    }
+}
+
+/// The outcome of a one-shot batch run ([`crate::QueryBuilder::batch`]):
+/// the whole sample is consumed in one pass, no snapshots are streamed.
+#[derive(Debug, Clone)]
+pub enum BatchOutput {
+    /// A scalar query's estimates.
+    Scalar(ApproxResult),
+    /// A grouped query's per-group estimates.
+    Grouped(GroupedApproxResult),
+}
+
+impl BatchOutput {
+    /// The scalar result, if this is one.
+    pub fn as_scalar(&self) -> Option<&ApproxResult> {
+        match self {
+            BatchOutput::Scalar(r) => Some(r),
+            BatchOutput::Grouped(_) => None,
+        }
+    }
+
+    /// The grouped result, if this is one.
+    pub fn as_grouped(&self) -> Option<&GroupedApproxResult> {
+        match self {
+            BatchOutput::Scalar(_) => None,
+            BatchOutput::Grouped(r) => Some(r),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+
+    /// The satellite regression: the unified defaults must match the old
+    /// option structs field-for-field, so migrating a caller from
+    /// `OnlineOptions::default()` / `GroupedOnlineOptions::default()` to
+    /// `QueryOptions::default()` cannot change any run's semantics.
+    #[test]
+    fn defaults_match_the_old_option_structs_field_for_field() {
+        let new = QueryOptions::default();
+        let old = OnlineOptions::default();
+        assert_eq!(new.seed, old.seed);
+        assert_eq!(new.chunk_rows, old.chunk_rows);
+        assert_eq!(new.confidence, old.confidence);
+        assert_eq!(new.rule, old.rule);
+        assert_eq!(new.scale_to_population, old.scale_to_population);
+        assert_eq!(new.parallelism, old.parallelism);
+        assert_eq!(new.adaptive_chunks, old.adaptive_chunks);
+        let grouped = GroupedOnlineOptions::default();
+        assert_eq!(new.ci_top_k, grouped.ci_top_k);
+        // And the grouped struct's nested defaults were identical to the
+        // scalar ones (the duplication QueryOptions collapses).
+        assert_eq!(grouped.online.seed, old.seed);
+        assert_eq!(grouped.online.chunk_rows, old.chunk_rows);
+        assert_eq!(grouped.online.confidence, old.confidence);
+        assert_eq!(grouped.online.rule, old.rule);
+        assert_eq!(grouped.online.scale_to_population, old.scale_to_population);
+        assert_eq!(grouped.online.parallelism, old.parallelism);
+        assert_eq!(grouped.online.adaptive_chunks, old.adaptive_chunks);
+    }
+
+    #[test]
+    fn conversions_carry_every_field() {
+        let old = OnlineOptions {
+            seed: 7,
+            chunk_rows: 99,
+            confidence: 0.9,
+            rule: StoppingRule::rows(123),
+            scale_to_population: false,
+            parallelism: 3,
+            adaptive_chunks: true,
+        };
+        let q = QueryOptions::from(&old);
+        assert_eq!(q.seed, 7);
+        assert_eq!(q.chunk_rows, 99);
+        assert_eq!(q.confidence, 0.9);
+        assert_eq!(q.rule, StoppingRule::rows(123));
+        assert!(!q.scale_to_population);
+        assert_eq!(q.parallelism, 3);
+        assert!(q.adaptive_chunks);
+        assert_eq!(q.ci_top_k, None);
+        let g = GroupedOnlineOptions {
+            online: old,
+            ci_top_k: Some(5),
+        };
+        assert_eq!(QueryOptions::from(&g).ci_top_k, Some(5));
+        assert_eq!(QueryOptions::from(&g).seed, 7);
+    }
+}

@@ -37,20 +37,28 @@
 //! scan-progress factor (estimating the full scan from the prefix), but no
 //! sampling variance of its own.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sa_core::{GusParams, MomentAccumulator};
 use sa_exec::{agg_results_from_report, layout_dims, open_stream_partitioned, AggResult};
+use sa_exec::{open_shared_stream, SharedTableScan};
 use sa_exec::{BatchDimEval, ChunkStream, ColumnarChunk, DimLayout, ExecError, ExecOptions};
 use sa_plan::{rewrite, AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_sql;
 use sa_storage::Catalog;
 
-use crate::error::OnlineError;
+use crate::api::QueryOptions;
+use crate::error::Error;
 use crate::parallel::run_worker_pool;
 use crate::Result;
 
-/// Options for [`run_online`].
+/// Options for the deprecated [`run_online`] free function.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sa_online::QueryOptions` with the `Engine`/`Session` builder API"
+)]
 #[derive(Debug, Clone)]
 pub struct OnlineOptions {
     /// Seed for the plan's sampling operators (the streamed sample
@@ -111,6 +119,7 @@ pub(crate) fn adapt_chunk_hint(
     next
 }
 
+#[allow(deprecated)]
 impl Default for OnlineOptions {
     fn default() -> Self {
         OnlineOptions {
@@ -122,6 +131,30 @@ impl Default for OnlineOptions {
             parallelism: 1,
             adaptive_chunks: false,
         }
+    }
+}
+
+/// How a progressive run is wired into its surroundings: an optional
+/// cancellation flag (set by [`crate::QueryHandle::cancel`]) and an
+/// optional shared scan hub the stream should attach to instead of opening
+/// a private scan. The deprecated free functions run with the default
+/// (no cancellation, private scans); the [`crate::Engine`] fills both in.
+#[derive(Default, Clone)]
+pub(crate) struct RunCtx {
+    /// Checked once per snapshot tick; when set, the loop stops with
+    /// [`StopReason::Cancelled`] after emitting the tick's snapshot.
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
+    /// Attach the (sequential) stream to this shared circular scan; the
+    /// attach origin becomes a scan-prefix origin shift in the Prop-8
+    /// scaling. Ignored for `parallelism > 1`.
+    pub(crate) shared: Option<Arc<SharedTableScan>>,
+}
+
+impl RunCtx {
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel
+            .as_deref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 }
 
@@ -171,10 +204,33 @@ pub struct OnlineResult {
 /// Run an aggregate plan progressively. The plan root must be an
 /// [`LogicalPlan::Aggregate`]; `on_snapshot` is called after every chunk
 /// (including the final one).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Engine::new(catalog).session().query_plan(&plan).run_with(...)`"
+)]
+#[allow(deprecated)]
 pub fn run_online(
     plan: &LogicalPlan,
     catalog: &Catalog,
     opts: &OnlineOptions,
+    on_snapshot: impl FnMut(&ProgressSnapshot),
+) -> Result<OnlineResult> {
+    drive_scalar(
+        plan,
+        catalog,
+        &QueryOptions::from(opts),
+        &RunCtx::default(),
+        on_snapshot,
+    )
+}
+
+/// The canonical scalar progressive loop; everything public (the builder
+/// API and the deprecated free functions) funnels into this.
+pub(crate) fn drive_scalar(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    opts: &QueryOptions,
+    ctx: &RunCtx,
     mut on_snapshot: impl FnMut(&ProgressSnapshot),
 ) -> Result<OnlineResult> {
     let OpenedAggregate {
@@ -182,9 +238,9 @@ pub fn run_online(
         aggs,
         mut streams,
         layout,
-    } = open_aggregate(plan, catalog, opts, "run_online")?;
+    } = open_aggregate(plan, catalog, opts, ctx, "run_online")?;
     if streams.len() > 1 {
-        return run_online_parallel(analysis, aggs, streams, layout, opts, on_snapshot);
+        return drive_scalar_parallel(analysis, aggs, streams, layout, opts, ctx, on_snapshot);
     }
     let mut stream = streams.pop().expect("open_aggregate yields >= 1 stream");
     let dim_eval = layout.compile_batch(stream.schema())?;
@@ -211,6 +267,7 @@ pub fn run_online(
             confidence,
             chunks,
             exhausted,
+            ctx.cancelled(),
             &start,
         )?;
         on_snapshot(&snapshot);
@@ -242,13 +299,14 @@ pub(crate) fn push_scalar_chunk(
     let f_cols = dim_eval.eval(&chunk.batch)?;
     let lineage: Vec<&[u64]> = chunk.lineage.iter().map(|l| l.as_slice()).collect();
     let f: Vec<&[f64]> = f_cols.iter().map(|c| c.as_slice()).collect();
-    acc.push_batch(&lineage, &f).map_err(OnlineError::Core)
+    acc.push_batch(&lineage, &f).map_err(Error::Core)
 }
 
 /// Build the snapshot for one tick of the scalar loop and judge the
-/// stopping rule (exhaustion wins) — the per-tick readout shared verbatim
-/// by the sequential loop and the parallel coordinator, so the two paths
-/// cannot diverge in snapshot semantics or stop precedence.
+/// stopping rule (exhaustion wins, then cancellation, then the rule) — the
+/// per-tick readout shared verbatim by the sequential loop and the parallel
+/// coordinator, so the two paths cannot diverge in snapshot semantics or
+/// stop precedence.
 #[allow(clippy::too_many_arguments)]
 fn scalar_tick(
     acc: &MomentAccumulator,
@@ -257,10 +315,11 @@ fn scalar_tick(
     plan_gus: &GusParams,
     relations: &[String],
     progress: Vec<(u64, u64)>,
-    opts: &OnlineOptions,
+    opts: &QueryOptions,
     confidence: f64,
     chunk: u64,
     exhausted: bool,
+    cancelled: bool,
     start: &Instant,
 ) -> Result<(ProgressSnapshot, Option<StopReason>)> {
     let gus = if opts.scale_to_population {
@@ -283,6 +342,10 @@ fn scalar_tick(
     };
     let reason = if exhausted {
         Some(StopReason::Exhausted)
+    } else if cancelled {
+        // A cancelled loop still emits this snapshot: the accumulated
+        // prefix is a valid mid-stream estimate.
+        Some(StopReason::Cancelled)
     } else {
         opts.rule
             .should_stop(rel_half_width, snapshot.rows, snapshot.elapsed)
@@ -294,12 +357,13 @@ fn scalar_tick(
 /// stream, thread-local accumulators, a coordinator that absorbs the
 /// queued per-chunk deltas per snapshot tick and judges the stopping rule
 /// exactly as the sequential loop does (see [`crate::parallel`]).
-fn run_online_parallel(
+fn drive_scalar_parallel(
     analysis: SoaAnalysis,
     aggs: &[AggSpec],
     streams: Vec<ChunkStream>,
     layout: DimLayout,
-    opts: &OnlineOptions,
+    opts: &QueryOptions,
+    ctx: &RunCtx,
     mut on_snapshot: impl FnMut(&ProgressSnapshot),
 ) -> Result<OnlineResult> {
     let n = analysis.schema.n();
@@ -332,6 +396,7 @@ fn run_online_parallel(
                 confidence,
                 chunks,
                 exhausted,
+                ctx.cancelled(),
                 &start,
             )?;
             on_snapshot(&snapshot);
@@ -350,6 +415,11 @@ fn run_online_parallel(
 /// Parse, bind and progressively run a scalar aggregate SQL query. A
 /// `WITHIN ε PERCENT CONFIDENCE γ` clause in the query overrides the CI
 /// target of `opts.rule` (row/time budgets are kept — they compose).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Engine::new(catalog).session().query(sql).run_with(...)`"
+)]
+#[allow(deprecated)]
 pub fn run_online_sql(
     sql: &str,
     catalog: &Catalog,
@@ -357,11 +427,11 @@ pub fn run_online_sql(
     on_snapshot: impl FnMut(&ProgressSnapshot),
 ) -> Result<OnlineResult> {
     let (plan, rule) = plan_online_sql(sql, catalog)?;
-    let mut opts = opts.clone();
+    let mut opts = QueryOptions::from(opts);
     if let Some(rule) = rule {
         opts.rule.ci_target = rule.ci_target;
     }
-    run_online(&plan, catalog, &opts, on_snapshot)
+    drive_scalar(&plan, catalog, &opts, &RunCtx::default(), on_snapshot)
 }
 
 /// The validated, opened state every progressive loop starts from. For
@@ -381,26 +451,27 @@ pub(crate) struct OpenedAggregate<'p> {
 pub(crate) fn open_aggregate<'p>(
     plan: &'p LogicalPlan,
     catalog: &Catalog,
-    opts: &OnlineOptions,
+    opts: &QueryOptions,
+    ctx: &RunCtx,
     caller: &str,
 ) -> Result<OpenedAggregate<'p>> {
     if opts.chunk_rows == 0 {
         // A zero hint would degenerate the pull loop into one-row chunks
         // (with a snapshot after every row); reject it loudly instead.
-        return Err(OnlineError::InvalidOptions(
+        return Err(Error::InvalidOptions(
             "chunk_rows must be at least 1".into(),
         ));
     }
     if opts.parallelism == 0 {
         // Zero workers cannot make progress; mirror the chunk_rows check
         // rather than silently rounding up to 1.
-        return Err(OnlineError::InvalidOptions(
+        return Err(Error::InvalidOptions(
             "parallelism must be at least 1".into(),
         ));
     }
     let analysis = rewrite(plan, catalog).map_err(ExecError::Plan)?;
     let LogicalPlan::Aggregate { aggs, input } = plan else {
-        return Err(OnlineError::Unsupported(format!(
+        return Err(Error::Unsupported(format!(
             "{caller} requires an aggregate at the plan root"
         )));
     };
@@ -410,19 +481,22 @@ pub(crate) fn open_aggregate<'p>(
         // branch covered every position), so compacting WOR factors onto the
         // plan GUS would misstate it; correct support needs per-branch
         // prefix composition.
-        return Err(OnlineError::Unsupported(
+        return Err(Error::Unsupported(
             "population scaling over a UNION of samples is not supported yet; set \
-             OnlineOptions::scale_to_population = false (raw prefix estimates) or use the \
+             QueryOptions::scale_to_population = false (raw prefix estimates) or use the \
              batch driver"
                 .into(),
         ));
     }
-    let streams = open_stream_partitioned(
-        input,
-        catalog,
-        &ExecOptions { seed: opts.seed },
-        opts.parallelism,
-    )?;
+    let exec_opts = ExecOptions { seed: opts.seed };
+    let streams = match (&ctx.shared, opts.parallelism) {
+        // Attach the sequential loop to the engine's shared circular scan:
+        // same sample realization semantics (one Bernoulli coin per consumed
+        // row), but the scan origin is wherever the hub's head currently is
+        // — a scan-prefix origin shift the Prop-8 scaling is invariant to.
+        (Some(hub), 1) => vec![open_shared_stream(input, catalog, &exec_opts, hub)?],
+        _ => open_stream_partitioned(input, catalog, &exec_opts, opts.parallelism)?,
+    };
     let layout = layout_dims(aggs, streams[0].schema())?;
     Ok(OpenedAggregate {
         analysis,
@@ -484,6 +558,7 @@ pub(crate) fn worst_rel_half_width(aggs: &[AggResult]) -> Option<f64> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sa_exec::{f_vector, open_stream};
@@ -719,7 +794,7 @@ mod tests {
             ..Default::default()
         };
         let err = run_online(&sum_plan(0.5), &c, &opts, |_| {}).unwrap_err();
-        assert!(matches!(err, OnlineError::InvalidOptions(_)), "{err}");
+        assert!(matches!(err, Error::InvalidOptions(_)), "{err}");
         assert!(err.to_string().contains("chunk_rows"), "{err}");
     }
 
@@ -733,7 +808,7 @@ mod tests {
             |_| {},
         )
         .unwrap_err();
-        assert!(matches!(err, OnlineError::Unsupported(_)));
+        assert!(matches!(err, Error::Unsupported(_)));
     }
 
     #[test]
@@ -749,6 +824,6 @@ mod tests {
         assert_eq!(r.snapshot.rows, 0);
         assert_eq!(r.snapshot.aggs[0].estimate, 0.0);
         let degenerate = run_online(&sum_plan(0.0), &c, &OnlineOptions::default(), |_| {});
-        assert!(matches!(degenerate, Err(OnlineError::Core(_))));
+        assert!(matches!(degenerate, Err(Error::Core(_))));
     }
 }

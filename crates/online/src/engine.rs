@@ -1,0 +1,875 @@
+//! The serving layer: an owned [`Engine`] hands out [`Session`]s; a
+//! session builds queries with one fluent surface and runs them online
+//! (streaming snapshots through a [`QueryHandle`]), synchronously, or as a
+//! one-shot batch.
+//!
+//! ```text
+//! Engine (catalog, defaults, admission, shared scans)
+//!   └─ session() ─▶ Session (stable per-session seed)
+//!        └─ query(sql) / query_plan(&plan) ─▶ QueryBuilder
+//!             .within(0.05, 0.95).seed(7)...
+//!             ├─ .run() / .run_with(cb) ─▶ QueryResult   (synchronous)
+//!             ├─ .online()              ─▶ QueryHandle   (spawned thread:
+//!             │                            snapshot iterator + cancel + wait)
+//!             └─ .batch()               ─▶ BatchOutput   (one-shot estimate)
+//! ```
+//!
+//! ## Seeds
+//!
+//! Each session gets a stable seed derived from the engine's default seed
+//! and the session's ordinal (`splitmix64(default_seed + ordinal)`), so the
+//! i-th session of an engine always sees the same sample realization —
+//! estimates stay *comparable across sessions and restarts* in the spirit
+//! of coordinated sampling (keep the randomness fixed, vary the query).
+//! `.seed(s)` on the builder overrides it per query.
+//!
+//! ## Admission control
+//!
+//! [`EngineBuilder::max_concurrent`] bounds the queries in flight; past the
+//! bound, terminals fail fast with [`Error::Busy`] instead of queueing —
+//! the serving front-end decides whether to retry or shed load.
+//!
+//! ## Shared scans
+//!
+//! With [`EngineBuilder::shared_scans`] enabled, concurrent sequential
+//! queries over the same table attach to one circular columnar scan
+//! ([`SharedTableScan`]): N queries cost ~1 table scan. A query attaching
+//! mid-scan starts at the hub's current head — a scan-prefix *origin
+//! shift* that the Proposition-8 WOR(consumed, total) scaling is invariant
+//! to, so estimates and intervals are exactly as if the query had its own
+//! scan (see `docs/estimation-notes.md`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use sa_core::hash::splitmix64;
+use sa_exec::shared::{DEFAULT_BUS_ROWS, DEFAULT_MAX_LAG_ROWS};
+use sa_exec::{shared_scan_table, ApproxOptions, SharedScanStats, SharedTableScan};
+use sa_expr::Expr;
+use sa_plan::LogicalPlan;
+use sa_sql::plan_online_grouped_sql;
+use sa_storage::Catalog;
+
+use crate::api::{BatchOutput, QueryOptions, QueryResult, Snapshot};
+use crate::driver::{drive_scalar, RunCtx};
+use crate::error::Error;
+use crate::grouped::drive_grouped;
+use crate::Result;
+
+/// Everything sessions share, behind one allocation.
+struct EngineInner {
+    catalog: Catalog,
+    defaults: QueryOptions,
+    max_concurrent: usize,
+    shared_scans: bool,
+    bus_rows: usize,
+    max_lag_rows: u64,
+    /// One shared circular scan hub per table, created on first use.
+    scans: Mutex<HashMap<String, Arc<SharedTableScan>>>,
+    /// Queries in flight (admission control).
+    active: AtomicUsize,
+    /// Session ordinal counter (seed derivation).
+    sessions: AtomicU64,
+}
+
+/// The owned query engine: a catalog plus the serving policy (default
+/// options, per-session seeds, admission control, shared scan hubs).
+/// Cheap to clone — clones share the same engine state.
+///
+/// ```
+/// use sa_online::Engine;
+/// use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+///
+/// let mut catalog = Catalog::new();
+/// let schema = Schema::new(vec![Field::new("v", DataType::Float)]).unwrap();
+/// let mut b = TableBuilder::new("t", schema);
+/// for i in 0..20_000 { b.push_row(&[Value::Float(1.0 + (i % 5) as f64)]).unwrap(); }
+/// catalog.register(b.finish().unwrap()).unwrap();
+///
+/// let engine = Engine::new(catalog);
+/// let session = engine.session();
+/// let result = session
+///     .query("SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)")
+///     .within(0.05, 0.95)
+///     .seed(7)
+///     .run()
+///     .unwrap();
+/// let agg = &result.snapshot.as_scalar().unwrap().aggs[0];
+/// assert!((agg.estimate - 60_000.0).abs() < 6_000.0);
+/// ```
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+/// Configures and builds an [`Engine`].
+pub struct EngineBuilder {
+    catalog: Catalog,
+    defaults: QueryOptions,
+    max_concurrent: usize,
+    shared_scans: bool,
+    bus_rows: usize,
+    max_lag_rows: u64,
+}
+
+impl EngineBuilder {
+    /// Default [`QueryOptions`] every query starts from (the builder's
+    /// setters override per query; the seed is further specialized per
+    /// session).
+    pub fn defaults(mut self, defaults: QueryOptions) -> EngineBuilder {
+        self.defaults = defaults;
+        self
+    }
+
+    /// Bound the queries in flight: past the bound, query terminals fail
+    /// fast with [`Error::Busy`]. Default: unbounded.
+    pub fn max_concurrent(mut self, max: usize) -> EngineBuilder {
+        self.max_concurrent = max;
+        self
+    }
+
+    /// Attach concurrent sequential queries over one table to a shared
+    /// circular scan (N queries ≈ 1 table scan). Default off: a private
+    /// scan per query keeps realizations independent of engine history.
+    pub fn shared_scans(mut self, on: bool) -> EngineBuilder {
+        self.shared_scans = on;
+        self
+    }
+
+    /// Tune the shared scan hubs: rows per bus chunk and the maximum lag
+    /// (in rows) the fastest reader may build over the slowest before it
+    /// blocks.
+    pub fn scan_window(mut self, bus_rows: usize, max_lag_rows: u64) -> EngineBuilder {
+        self.bus_rows = bus_rows;
+        self.max_lag_rows = max_lag_rows;
+        self
+    }
+
+    /// Build the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner {
+                catalog: self.catalog,
+                defaults: self.defaults,
+                max_concurrent: self.max_concurrent,
+                shared_scans: self.shared_scans,
+                bus_rows: self.bus_rows,
+                max_lag_rows: self.max_lag_rows,
+                scans: Mutex::new(HashMap::new()),
+                active: AtomicUsize::new(0),
+                sessions: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Engine {
+    /// An engine over `catalog` with default policy (no concurrency bound,
+    /// private scans, [`QueryOptions::default`] defaults).
+    pub fn new(catalog: Catalog) -> Engine {
+        Engine::builder(catalog).build()
+    }
+
+    /// Start configuring an engine over `catalog`.
+    pub fn builder(catalog: Catalog) -> EngineBuilder {
+        EngineBuilder {
+            catalog,
+            defaults: QueryOptions::default(),
+            max_concurrent: usize::MAX,
+            shared_scans: false,
+            bus_rows: DEFAULT_BUS_ROWS,
+            max_lag_rows: DEFAULT_MAX_LAG_ROWS,
+        }
+    }
+
+    /// The engine's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.inner.catalog
+    }
+
+    /// Open a session: a stable identity whose seed is derived from the
+    /// engine's default seed and the session ordinal, so the i-th session
+    /// always samples the same realization (override per query with
+    /// [`QueryBuilder::seed`]).
+    pub fn session(&self) -> Session {
+        let ordinal = self.inner.sessions.fetch_add(1, Ordering::Relaxed) + 1;
+        Session {
+            engine: self.clone(),
+            id: ordinal,
+            seed: splitmix64(self.inner.defaults.seed.wrapping_add(ordinal)),
+        }
+    }
+
+    /// Queries currently in flight (admitted, not yet finished).
+    pub fn active_queries(&self) -> usize {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// The shared scan hub for `table`, created on first use — public so
+    /// tests and tools can warm a hub to a given head position or hold a
+    /// gate cursor on it. Works regardless of the `shared_scans` toggle
+    /// (which only controls whether *queries* attach automatically).
+    pub fn shared_scan(&self, table: &str) -> Result<Arc<SharedTableScan>> {
+        let mut scans = self.inner.scans.lock().expect("scan registry poisoned");
+        if let Some(hub) = scans.get(table) {
+            return Ok(Arc::clone(hub));
+        }
+        let t = self.inner.catalog.get(table)?;
+        let hub = Arc::new(
+            SharedTableScan::new(t, self.inner.bus_rows).with_max_lag_rows(self.inner.max_lag_rows),
+        );
+        scans.insert(table.to_string(), Arc::clone(&hub));
+        Ok(hub)
+    }
+
+    /// Live stats of `table`'s shared scan hub, if one exists.
+    pub fn scan_stats(&self, table: &str) -> Option<SharedScanStats> {
+        let scans = self.inner.scans.lock().expect("scan registry poisoned");
+        scans.get(table).map(|h| h.stats())
+    }
+
+    /// Admit one query or fail fast with [`Error::Busy`].
+    fn admit(&self) -> Result<AdmitGuard> {
+        let max = self.inner.max_concurrent;
+        let mut cur = self.inner.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= max {
+                return Err(Error::Busy { active: cur, max });
+            }
+            match self.inner.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(AdmitGuard(self.clone())),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// The shared hub the query should attach to, if shared scans are on
+    /// and the plan is shaped for it (a sequential Bernoulli/filter/project
+    /// pipeline over one base table).
+    fn shared_hub(
+        &self,
+        plan: &LogicalPlan,
+        opts: &QueryOptions,
+    ) -> Result<Option<Arc<SharedTableScan>>> {
+        if !self.inner.shared_scans || opts.parallelism != 1 {
+            return Ok(None);
+        }
+        let LogicalPlan::Aggregate { input, .. } = plan else {
+            return Ok(None);
+        };
+        match shared_scan_table(input) {
+            Some(table) => {
+                let table = table.to_string();
+                Ok(Some(self.shared_scan(&table)?))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Decrements the in-flight counter when a query finishes (however it
+/// finishes).
+struct AdmitGuard(Engine);
+
+impl Drop for AdmitGuard {
+    fn drop(&mut self) {
+        self.0.inner.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A client identity handed out by [`Engine::session`]: carries the
+/// engine handle and a stable per-session seed. Cheap to clone.
+#[derive(Clone)]
+pub struct Session {
+    engine: Engine,
+    id: u64,
+    seed: u64,
+}
+
+impl Session {
+    /// The session's ordinal (1-based, in `Engine::session` call order).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The session's derived seed (the default for its queries).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The engine this session belongs to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Build a query from SQL. `GROUP BY` decides scalar vs. grouped; a
+    /// `WITHIN ε PERCENT CONFIDENCE γ` clause becomes the CI stopping
+    /// target (overriding one set on the builder).
+    pub fn query(&self, sql: &str) -> QueryBuilder {
+        self.builder(QueryInput::Sql(sql.to_string()))
+    }
+
+    /// Build a query from a logical plan (the root must be an aggregate).
+    /// Add [`QueryBuilder::group_by`] expressions for a grouped run.
+    pub fn query_plan(&self, plan: &LogicalPlan) -> QueryBuilder {
+        self.builder(QueryInput::Plan(plan.clone()))
+    }
+
+    fn builder(&self, input: QueryInput) -> QueryBuilder {
+        let mut opts = self.engine.inner.defaults.clone();
+        opts.seed = self.seed;
+        QueryBuilder {
+            engine: self.engine.clone(),
+            input,
+            group_by: Vec::new(),
+            opts,
+        }
+    }
+}
+
+enum QueryInput {
+    Sql(String),
+    Plan(LogicalPlan),
+}
+
+/// One fluent surface for configuring and running a query — the successor
+/// of the six `run_online*`/`approx_*` free functions.
+pub struct QueryBuilder {
+    engine: Engine,
+    input: QueryInput,
+    group_by: Vec<Expr>,
+    opts: QueryOptions,
+}
+
+impl QueryBuilder {
+    /// Stop when every (tracked) aggregate's relative CI half-width is
+    /// ≤ `epsilon` at `confidence` — the `WITHIN ε PERCENT CONFIDENCE γ`
+    /// clause.
+    pub fn within(mut self, epsilon: f64, confidence: f64) -> QueryBuilder {
+        self.opts.rule = self.opts.rule.with_ci_target(epsilon, confidence);
+        self
+    }
+
+    /// Seed for the plan's sampling operators, overriding the session's
+    /// derived seed.
+    pub fn seed(mut self, seed: u64) -> QueryBuilder {
+        self.opts.seed = seed;
+        self
+    }
+
+    /// Stop after consuming at least `rows` result tuples.
+    pub fn rows(mut self, rows: u64) -> QueryBuilder {
+        self.opts.rule = self.opts.rule.with_row_budget(rows);
+        self
+    }
+
+    /// Stop after `budget` of wall-clock time.
+    pub fn time(mut self, budget: Duration) -> QueryBuilder {
+        self.opts.rule = self.opts.rule.with_time_budget(budget);
+        self
+    }
+
+    /// Confidence level for reported intervals when no CI target is set.
+    pub fn confidence(mut self, confidence: f64) -> QueryBuilder {
+        self.opts.confidence = confidence;
+        self
+    }
+
+    /// Target rows per pulled chunk.
+    pub fn chunk_rows(mut self, rows: usize) -> QueryBuilder {
+        self.opts.chunk_rows = rows;
+        self
+    }
+
+    /// Worker threads driving the sampled plan (`> 1` disables shared-scan
+    /// attach for this query).
+    pub fn jobs(mut self, jobs: usize) -> QueryBuilder {
+        self.opts.parallelism = jobs;
+        self
+    }
+
+    /// Grow the pull hint as the estimate stabilizes.
+    pub fn adaptive_chunks(mut self, on: bool) -> QueryBuilder {
+        self.opts.adaptive_chunks = on;
+        self
+    }
+
+    /// Scale mid-stream estimates to the full population (default) or read
+    /// raw prefix estimates.
+    pub fn scale_to_population(mut self, on: bool) -> QueryBuilder {
+        self.opts.scale_to_population = on;
+        self
+    }
+
+    /// Grouped runs: judge the CI target on only the top-`k` groups by
+    /// absolute estimate.
+    pub fn ci_top_k(mut self, k: usize) -> QueryBuilder {
+        self.opts.ci_top_k = Some(k);
+        self
+    }
+
+    /// Group a plan query by these expressions (SQL queries carry their
+    /// own `GROUP BY`).
+    pub fn group_by(mut self, exprs: Vec<Expr>) -> QueryBuilder {
+        self.group_by = exprs;
+        self
+    }
+
+    /// Replace the whole option set (the other setters tweak fields on top
+    /// of the session defaults; this swaps everything, seed included).
+    pub fn options(mut self, opts: QueryOptions) -> QueryBuilder {
+        self.opts = opts;
+        self
+    }
+
+    /// Run synchronously to the stopping rule, discarding intermediate
+    /// snapshots.
+    pub fn run(self) -> Result<QueryResult> {
+        self.run_with(|_| {})
+    }
+
+    /// Run synchronously, invoking `on_snapshot` after every chunk
+    /// (including the final one).
+    pub fn run_with(self, on_snapshot: impl FnMut(Snapshot)) -> Result<QueryResult> {
+        let _guard = self.engine.admit()?;
+        execute(
+            &self.engine,
+            self.input,
+            self.group_by,
+            self.opts,
+            None,
+            on_snapshot,
+        )
+    }
+
+    /// Run on a background thread, returning a [`QueryHandle`] that
+    /// streams snapshots, supports cancellation, and yields the final
+    /// result.
+    pub fn online(self) -> Result<QueryHandle> {
+        let guard = self.engine.admit()?;
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let engine = self.engine;
+        let input = self.input;
+        let group_by = self.group_by;
+        let opts = self.opts;
+        let cancel_in = Arc::clone(&cancel);
+        let join = thread::Builder::new()
+            .name("sa-query".into())
+            .spawn(move || {
+                let _guard = guard; // released when the query finishes
+                execute(&engine, input, group_by, opts, Some(cancel_in), |snap| {
+                    // A receiver that went away is cancellation by
+                    // disinterest, not an error.
+                    let _ = tx.send(snap);
+                })
+            })
+            .map_err(|e| Error::Unsupported(format!("cannot spawn query worker: {e}")))?;
+        Ok(QueryHandle {
+            cancel,
+            rx,
+            join: Some(join),
+        })
+    }
+
+    /// Run the paper's one-shot batch estimator over the full sample — no
+    /// snapshots, no stopping rule, just the final estimates with
+    /// intervals.
+    pub fn batch(self) -> Result<BatchOutput> {
+        let _guard = self.engine.admit()?;
+        let (plan, group_by, opts) = resolve(&self.engine, self.input, self.group_by, self.opts)?;
+        let approx = ApproxOptions {
+            seed: opts.seed,
+            confidence: opts.rule.confidence_or(opts.confidence),
+            subsample_target: None,
+        };
+        let catalog = self.engine.catalog();
+        #[allow(deprecated)]
+        if group_by.is_empty() {
+            let r = sa_exec::approx_query(&plan, catalog, &approx)?;
+            Ok(BatchOutput::Scalar(r))
+        } else {
+            let r = sa_exec::approx_group_query(&plan, &group_by, catalog, &approx)?;
+            Ok(BatchOutput::Grouped(r))
+        }
+    }
+}
+
+/// Turn the builder's input into a runnable `(plan, group_by, options)`
+/// triple: SQL is parsed and bound, its `WITHIN` clause overrides the CI
+/// target, and its `GROUP BY` list decides scalar vs. grouped.
+fn resolve(
+    engine: &Engine,
+    input: QueryInput,
+    group_by: Vec<Expr>,
+    mut opts: QueryOptions,
+) -> Result<(LogicalPlan, Vec<Expr>, QueryOptions)> {
+    match input {
+        QueryInput::Sql(sql) => {
+            if !group_by.is_empty() {
+                return Err(Error::InvalidOptions(
+                    "group_by() applies to plan queries; SQL queries carry their own GROUP BY"
+                        .into(),
+                ));
+            }
+            let (plan, group_by, rule) = plan_online_grouped_sql(&sql, engine.catalog())?;
+            if let Some(rule) = rule {
+                opts.rule.ci_target = rule.ci_target;
+            }
+            Ok((plan, group_by, opts))
+        }
+        QueryInput::Plan(plan) => Ok((plan, group_by, opts)),
+    }
+}
+
+/// The one dispatch point every terminal funnels into: resolve the input,
+/// pick a shared scan hub if eligible, and run the scalar or grouped
+/// progressive loop.
+fn execute(
+    engine: &Engine,
+    input: QueryInput,
+    group_by: Vec<Expr>,
+    opts: QueryOptions,
+    cancel: Option<Arc<AtomicBool>>,
+    mut on_snapshot: impl FnMut(Snapshot),
+) -> Result<QueryResult> {
+    let (plan, group_by, opts) = resolve(engine, input, group_by, opts)?;
+    let ctx = RunCtx {
+        cancel,
+        shared: engine.shared_hub(&plan, &opts)?,
+    };
+    let catalog = engine.catalog();
+    if group_by.is_empty() {
+        drive_scalar(&plan, catalog, &opts, &ctx, |s| {
+            on_snapshot(Snapshot::Scalar(s.clone()))
+        })
+        .map(QueryResult::from)
+    } else {
+        drive_grouped(&plan, &group_by, catalog, &opts, &ctx, |s| {
+            on_snapshot(Snapshot::Grouped(s.clone()))
+        })
+        .map(QueryResult::from)
+    }
+}
+
+/// A running online query: snapshots stream out as they are produced;
+/// [`QueryHandle::cancel`] stops the loop at its next tick (the final
+/// snapshot is still a valid mid-stream estimate, reported with
+/// [`sa_plan::StopReason::Cancelled`]); [`QueryHandle::wait`] joins the
+/// worker and returns the final [`QueryResult`]. Dropping the handle
+/// cancels the query.
+pub struct QueryHandle {
+    cancel: Arc<AtomicBool>,
+    rx: mpsc::Receiver<Snapshot>,
+    join: Option<thread::JoinHandle<Result<QueryResult>>>,
+}
+
+impl QueryHandle {
+    /// Ask the query to stop at its next snapshot tick. Idempotent; the
+    /// loop finishes with [`sa_plan::StopReason::Cancelled`] unless a
+    /// stopping rule or exhaustion wins the race.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocking iterator over the snapshots as the worker produces them;
+    /// ends when the query finishes.
+    pub fn snapshots(&self) -> impl Iterator<Item = Snapshot> + '_ {
+        self.rx.iter()
+    }
+
+    /// The next snapshot if one is already queued (non-blocking).
+    pub fn try_snapshot(&self) -> Option<Snapshot> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Has the worker finished (result ready, [`QueryHandle::wait`] will
+    /// not block)?
+    pub fn is_finished(&self) -> bool {
+        self.join.as_ref().is_none_or(|j| j.is_finished())
+    }
+
+    /// Wait for the query to finish and return the final result.
+    pub fn wait(mut self) -> Result<QueryResult> {
+        let join = self.join.take().expect("wait consumes the handle");
+        join.join()
+            .map_err(|_| Error::Unsupported("query worker panicked".into()))?
+    }
+}
+
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        // An abandoned handle should not keep burning a worker (or an
+        // admission slot) on a query nobody can observe any more.
+        self.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_expr::col;
+    use sa_plan::{AggSpec, StopReason};
+    use sa_sampling::SamplingMethod;
+    use sa_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn catalog(rows: i64) -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            b.push_row(&[Value::Int(i % 10), Value::Float(1.0 + (i % 7) as f64)])
+                .unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    fn sum_plan(p: f64) -> LogicalPlan {
+        LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p })
+            .aggregate(vec![AggSpec::sum(sa_expr::col("v"), "s")])
+    }
+
+    #[test]
+    fn sessions_get_stable_distinct_seeds() {
+        let c = catalog(10);
+        let a = Engine::new(c);
+        let (s1, s2) = (a.session(), a.session());
+        assert_eq!(s1.id(), 1);
+        assert_eq!(s2.id(), 2);
+        assert_ne!(s1.seed(), s2.seed());
+        // A second engine with the same defaults derives the same seeds:
+        // session i is reproducible across restarts.
+        let b = Engine::new(catalog(10));
+        assert_eq!(b.session().seed(), s1.seed());
+        assert_eq!(b.session().seed(), s2.seed());
+    }
+
+    #[test]
+    fn plan_query_matches_the_deprecated_driver() {
+        let c = catalog(4000);
+        let engine = Engine::new(catalog(4000));
+        let r = engine
+            .session()
+            .query_plan(&sum_plan(0.4))
+            .seed(9)
+            .chunk_rows(128)
+            .run()
+            .unwrap();
+        assert_eq!(r.reason, StopReason::Exhausted);
+        #[allow(deprecated)]
+        let old = crate::driver::run_online(
+            &sum_plan(0.4),
+            &c,
+            &crate::driver::OnlineOptions {
+                seed: 9,
+                chunk_rows: 128,
+                ..Default::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        let new = &r.snapshot.as_scalar().unwrap().aggs[0];
+        assert_eq!(new.estimate, old.snapshot.aggs[0].estimate);
+        assert_eq!(new.variance, old.snapshot.aggs[0].variance);
+    }
+
+    #[test]
+    fn sql_group_by_becomes_a_grouped_snapshot() {
+        let engine = Engine::new(catalog(4000));
+        let r = engine
+            .session()
+            .query("SELECT k, SUM(v) AS s FROM t TABLESAMPLE (60 PERCENT) GROUP BY k")
+            .seed(3)
+            .run()
+            .unwrap();
+        let g = r.snapshot.as_grouped().expect("grouped variant");
+        assert_eq!(g.groups.len(), 10);
+        assert!(r.snapshot.as_scalar().is_none());
+        // And the scalar query comes back scalar.
+        let r = engine
+            .session()
+            .query("SELECT SUM(v) AS s FROM t TABLESAMPLE (60 PERCENT)")
+            .run()
+            .unwrap();
+        assert!(r.snapshot.as_scalar().is_some());
+    }
+
+    #[test]
+    fn sql_within_clause_sets_the_ci_target() {
+        let engine = Engine::new(catalog(50_000));
+        let r = engine
+            .session()
+            .query(
+                "SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT) \
+                 WITHIN 5 PERCENT CONFIDENCE 95",
+            )
+            .seed(4)
+            .chunk_rows(512)
+            .run()
+            .unwrap();
+        assert_eq!(r.reason, StopReason::CiConverged);
+        assert!(r.snapshot.rel_half_width().unwrap() <= 0.05);
+    }
+
+    #[test]
+    fn online_handle_streams_snapshots_and_waits() {
+        let engine = Engine::new(catalog(5000));
+        let handle = engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .seed(3)
+            .chunk_rows(256)
+            .online()
+            .unwrap();
+        let mut rows_seen = Vec::new();
+        for snap in handle.snapshots() {
+            rows_seen.push(snap.rows());
+        }
+        let r = handle.wait().unwrap();
+        assert_eq!(r.reason, StopReason::Exhausted);
+        assert_eq!(r.chunks as usize, rows_seen.len());
+        assert!(rows_seen.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*rows_seen.last().unwrap(), r.snapshot.rows());
+    }
+
+    #[test]
+    fn cancellation_stops_with_a_valid_mid_stream_snapshot() {
+        let engine = Engine::new(catalog(200_000));
+        let handle = engine
+            .session()
+            .query_plan(&sum_plan(0.9))
+            .seed(1)
+            .chunk_rows(64)
+            .online()
+            .unwrap();
+        // Cancel as soon as the first snapshot proves the loop is running.
+        let first = handle.snapshots().next().expect("at least one snapshot");
+        handle.cancel();
+        let r = handle.wait().unwrap();
+        assert_eq!(r.reason, StopReason::Cancelled);
+        assert!(r.snapshot.rows() >= first.rows());
+        let (consumed, available) = r.snapshot.progress()[0];
+        assert!(consumed < available, "cancelled before exhaustion");
+        // The mid-stream estimate still targets the full population.
+        let est = r.snapshot.as_scalar().unwrap().aggs[0].estimate;
+        let truth = 200_000.0 * 4.0; // v cycles 1..=7, mean 4.0
+        assert!(
+            (est - truth).abs() < 0.5 * truth,
+            "estimate {est} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn admission_control_rejects_past_the_bound_and_recovers() {
+        let engine = Engine::builder(catalog(500_000)).max_concurrent(1).build();
+        let handle = engine
+            .session()
+            .query_plan(&sum_plan(0.9))
+            .chunk_rows(64)
+            .online()
+            .unwrap();
+        // The running query holds the only slot.
+        let err = engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Busy { active: 1, max: 1 }), "{err}");
+        assert_eq!(engine.active_queries(), 1);
+        handle.cancel();
+        handle.wait().unwrap();
+        // Slot released: the next query is admitted.
+        assert_eq!(engine.active_queries(), 0);
+        engine.session().query_plan(&sum_plan(0.5)).run().unwrap();
+    }
+
+    #[test]
+    fn batch_terminal_runs_the_one_shot_estimator() {
+        let engine = Engine::new(catalog(2000));
+        let out = engine
+            .session()
+            .query("SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)")
+            .seed(7)
+            .batch()
+            .unwrap();
+        let r = out.as_scalar().expect("scalar batch");
+        assert!((r.aggs[0].estimate - 8000.0).abs() < 1600.0);
+        let out = engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .group_by(vec![col("k")])
+            .batch()
+            .unwrap();
+        assert_eq!(out.as_grouped().expect("grouped batch").groups.len(), 10);
+    }
+
+    #[test]
+    fn group_by_on_sql_input_is_rejected() {
+        let engine = Engine::new(catalog(100));
+        let err = engine
+            .session()
+            .query("SELECT SUM(v) AS s FROM t")
+            .group_by(vec![col("k")])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidOptions(_)), "{err}");
+    }
+
+    #[test]
+    fn shared_scans_attach_queries_to_one_hub() {
+        let engine = Engine::builder(catalog(3000)).shared_scans(true).build();
+        let r1 = engine.session().query_plan(&sum_plan(0.5)).run().unwrap();
+        assert_eq!(r1.reason, StopReason::Exhausted);
+        let stats = engine.scan_stats("t").expect("hub created by the query");
+        assert_eq!(stats.rows_gathered, 3000, "one full scan");
+        assert_eq!(stats.attached, 0, "cursor released at exhaustion");
+        // A second query revolves the same hub once more.
+        engine.session().query_plan(&sum_plan(0.5)).run().unwrap();
+        assert_eq!(engine.scan_stats("t").unwrap().rows_gathered, 6000);
+        // Parallel queries keep private partitioned scans.
+        engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .jobs(2)
+            .run()
+            .unwrap();
+        assert_eq!(engine.scan_stats("t").unwrap().rows_gathered, 6000);
+    }
+
+    #[test]
+    fn dropping_a_handle_cancels_the_query() {
+        let engine = Engine::builder(catalog(500_000)).max_concurrent(1).build();
+        let handle = engine
+            .session()
+            .query_plan(&sum_plan(0.9))
+            .chunk_rows(64)
+            .online()
+            .unwrap();
+        handle.snapshots().next().expect("running");
+        drop(handle);
+        // The worker notices the cancel at its next tick and releases the
+        // admission slot.
+        for _ in 0..200 {
+            if engine.active_queries() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(engine.active_queries(), 0);
+        engine.session().query_plan(&sum_plan(0.5)).run().unwrap();
+    }
+}

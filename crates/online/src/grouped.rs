@@ -45,14 +45,23 @@ use sa_plan::{AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_grouped_sql;
 use sa_storage::{Catalog, ColumnVec, Value};
 
+use crate::api::QueryOptions;
+#[allow(deprecated)]
+use crate::driver::OnlineOptions;
 use crate::driver::{adapt_chunk_hint, ADAPTIVE_CHUNK_CAP_FACTOR};
 use crate::driver::{open_aggregate, scan_scaled_gus, worst_rel_half_width, OpenedAggregate};
-use crate::driver::{OnlineOptions, ProgressSnapshot};
-use crate::error::OnlineError;
+use crate::driver::{ProgressSnapshot, RunCtx};
+use crate::error::Error;
 use crate::parallel::run_worker_pool;
 use crate::Result;
 
-/// Options for [`run_online_grouped`].
+/// Options for the deprecated [`run_online_grouped`] free function.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `sa_online::QueryOptions` (which carries `ci_top_k` directly) with the \
+            `Engine`/`Session` builder API"
+)]
+#[allow(deprecated)]
 #[derive(Debug, Clone, Default)]
 pub struct GroupedOnlineOptions {
     /// The underlying loop options (seed, chunk size, stopping rule, scan
@@ -141,15 +150,40 @@ pub struct GroupedOnlineResult {
 /// aggregate input's schema (at least one — use [`crate::run_online`] for
 /// scalar queries). `on_snapshot` is called after every chunk (including
 /// the final one).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Engine::new(catalog).session().query_plan(&plan).group_by(...).run_with(...)`"
+)]
+#[allow(deprecated)]
 pub fn run_online_grouped(
     plan: &LogicalPlan,
     group_by: &[Expr],
     catalog: &Catalog,
     opts: &GroupedOnlineOptions,
+    on_snapshot: impl FnMut(&GroupedProgressSnapshot),
+) -> Result<GroupedOnlineResult> {
+    drive_grouped(
+        plan,
+        group_by,
+        catalog,
+        &QueryOptions::from(opts),
+        &RunCtx::default(),
+        on_snapshot,
+    )
+}
+
+/// The canonical grouped progressive loop; everything public (the builder
+/// API and the deprecated free functions) funnels into this.
+pub(crate) fn drive_grouped(
+    plan: &LogicalPlan,
+    group_by: &[Expr],
+    catalog: &Catalog,
+    opts: &QueryOptions,
+    ctx: &RunCtx,
     mut on_snapshot: impl FnMut(&GroupedProgressSnapshot),
 ) -> Result<GroupedOnlineResult> {
     if group_by.is_empty() {
-        return Err(OnlineError::Unsupported(
+        return Err(Error::Unsupported(
             "run_online_grouped requires at least one GROUP BY expression; use run_online \
              for scalar aggregates"
                 .into(),
@@ -160,7 +194,7 @@ pub fn run_online_grouped(
         aggs,
         mut streams,
         layout,
-    } = open_aggregate(plan, catalog, &opts.online, "run_online_grouped")?;
+    } = open_aggregate(plan, catalog, opts, ctx, "run_online_grouped")?;
     let key_kernels: Vec<CompiledExpr> = group_by
         .iter()
         .map(|e| compile(e, streams[0].schema()))
@@ -168,7 +202,7 @@ pub fn run_online_grouped(
         .map_err(ExecError::Expr)?;
     let group_exprs: Vec<String> = group_by.iter().map(|e| e.to_string()).collect();
     if streams.len() > 1 {
-        return run_online_grouped_parallel(
+        return drive_grouped_parallel(
             analysis,
             aggs,
             streams,
@@ -176,6 +210,7 @@ pub fn run_online_grouped(
             key_kernels,
             group_exprs,
             opts,
+            ctx,
             on_snapshot,
         );
     }
@@ -183,15 +218,12 @@ pub fn run_online_grouped(
     let dim_eval = layout.compile_batch(stream.schema())?;
     let mut acc: GroupedMomentAccumulator<Vec<Value>> =
         GroupedMomentAccumulator::new(analysis.schema.n(), layout.dims());
-    let rule = &opts.online.rule;
-    let confidence = rule.confidence_or(opts.online.confidence);
+    let rule = &opts.rule;
+    let confidence = rule.confidence_or(opts.confidence);
     let start = Instant::now();
     let mut chunks = 0u64;
-    let mut hint = opts.online.chunk_rows;
-    let cap = opts
-        .online
-        .chunk_rows
-        .saturating_mul(ADAPTIVE_CHUNK_CAP_FACTOR);
+    let mut hint = opts.chunk_rows;
+    let cap = opts.chunk_rows.saturating_mul(ADAPTIVE_CHUNK_CAP_FACTOR);
     let mut prev_rel: Option<f64> = None;
     loop {
         let chunk = stream.next_batch(hint)?;
@@ -213,6 +245,7 @@ pub fn run_online_grouped(
             new_groups,
             &group_exprs,
             exhausted,
+            ctx.cancelled(),
             &start,
         )?;
         on_snapshot(&snapshot);
@@ -224,7 +257,7 @@ pub fn run_online_grouped(
                 analysis,
             });
         }
-        if opts.online.adaptive_chunks {
+        if opts.adaptive_chunks {
             hint = adapt_chunk_hint(hint, cap, &mut prev_rel, snapshot.rel_half_width);
         }
     }
@@ -261,7 +294,7 @@ pub(crate) fn push_grouped_chunk(
         .iter()
         .map(|k| k.eval_column(&chunk.batch))
         .collect::<std::result::Result<_, _>>()
-        .map_err(|e| OnlineError::Exec(ExecError::Expr(e)))?;
+        .map_err(|e| Error::Exec(ExecError::Expr(e)))?;
     let f_cols = dim_eval.eval(&chunk.batch)?;
     let rows = chunk.rows();
     // Partition row indices by key fingerprint, in first-seen order (the
@@ -338,16 +371,17 @@ fn grouped_tick(
     plan_gus: &GusParams,
     relations: &[String],
     progress: Vec<(u64, u64)>,
-    opts: &GroupedOnlineOptions,
+    opts: &QueryOptions,
     confidence: f64,
     chunk: u64,
     new_groups: u64,
     group_exprs: &[String],
     exhausted: bool,
+    cancelled: bool,
     start: &Instant,
 ) -> Result<(GroupedProgressSnapshot, Option<StopReason>)> {
-    let rule = &opts.online.rule;
-    let gus = if opts.online.scale_to_population {
+    let rule = &opts.rule;
+    let gus = if opts.scale_to_population {
         scan_scaled_gus(plan_gus, relations, &progress)?
     } else {
         plan_gus.clone()
@@ -368,6 +402,10 @@ fn grouped_tick(
     };
     let reason = if exhausted {
         Some(StopReason::Exhausted)
+    } else if cancelled {
+        // A cancelled loop still emits this snapshot: the accumulated
+        // prefix is a valid mid-stream estimate for every group.
+        Some(StopReason::Cancelled)
     } else {
         rule.should_stop(rel_half_width, snapshot.rows, snapshot.elapsed)
     };
@@ -377,6 +415,11 @@ fn grouped_tick(
 /// Parse, bind and progressively run a `GROUP BY` aggregate SQL query. A
 /// `WITHIN ε PERCENT CONFIDENCE γ` clause in the query overrides the CI
 /// target of `opts.online.rule` (row/time budgets are kept — they compose).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Engine::new(catalog).session().query(sql).run_with(...)`"
+)]
+#[allow(deprecated)]
 pub fn run_online_grouped_sql(
     sql: &str,
     catalog: &Catalog,
@@ -385,15 +428,22 @@ pub fn run_online_grouped_sql(
 ) -> Result<GroupedOnlineResult> {
     let (plan, group_by, rule) = plan_online_grouped_sql(sql, catalog)?;
     if group_by.is_empty() {
-        return Err(OnlineError::Unsupported(
+        return Err(Error::Unsupported(
             "query has no GROUP BY; use run_online_sql for scalar aggregates".into(),
         ));
     }
-    let mut opts = opts.clone();
+    let mut opts = QueryOptions::from(opts);
     if let Some(rule) = rule {
-        opts.online.rule.ci_target = rule.ci_target;
+        opts.rule.ci_target = rule.ci_target;
     }
-    run_online_grouped(&plan, &group_by, catalog, &opts, on_snapshot)
+    drive_grouped(
+        &plan,
+        &group_by,
+        catalog,
+        &opts,
+        &RunCtx::default(),
+        on_snapshot,
+    )
 }
 
 /// Read every discovered group out of `acc` under `gus`, in deterministic
@@ -441,22 +491,23 @@ fn group_progress_table(
 /// per-group rule exactly as the sequential loop does (see
 /// [`crate::parallel`]).
 #[allow(clippy::too_many_arguments)]
-fn run_online_grouped_parallel(
+fn drive_grouped_parallel(
     analysis: SoaAnalysis,
     aggs: &[AggSpec],
     streams: Vec<ChunkStream>,
     layout: DimLayout,
     key_kernels: Vec<CompiledExpr>,
     group_exprs: Vec<String>,
-    opts: &GroupedOnlineOptions,
+    opts: &QueryOptions,
+    ctx: &RunCtx,
     mut on_snapshot: impl FnMut(&GroupedProgressSnapshot),
 ) -> Result<GroupedOnlineResult> {
     let n = analysis.schema.n();
     let dims = layout.dims();
     let relations: Vec<String> = streams[0].relations().to_vec();
     let dim_eval = layout.compile_batch(streams[0].schema())?;
-    let rule = &opts.online.rule;
-    let confidence = rule.confidence_or(opts.online.confidence);
+    let rule = &opts.rule;
+    let confidence = rule.confidence_or(opts.confidence);
     let start = Instant::now();
     let mut chunks = 0u64;
     let mut known_groups = 0usize;
@@ -466,7 +517,7 @@ fn run_online_grouped_parallel(
     let key_kernels = &key_kernels;
     let (_, reason) = run_worker_pool(
         streams,
-        opts.online.chunk_rows,
+        opts.chunk_rows,
         || GroupedMomentAccumulator::<Vec<Value>>::new(n, dims),
         |acc: &mut GroupedMomentAccumulator<Vec<Value>>, chunk: &ColumnarChunk| {
             push_grouped_chunk(acc, key_kernels, dim_eval, chunk)
@@ -490,6 +541,7 @@ fn run_online_grouped_parallel(
                 new_groups,
                 &group_exprs,
                 exhausted,
+                ctx.cancelled(),
                 &start,
             )?;
             on_snapshot(&snapshot);
@@ -567,6 +619,7 @@ pub fn group_snapshot(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sa_exec::{f_vector, layout_dims, open_stream, ExecOptions};
@@ -863,7 +916,7 @@ mod tests {
             ci_top_k: None,
         };
         let err = run_online_grouped(&sum_plan(0.5), &[col("g")], &c, &bad, |_| {}).unwrap_err();
-        assert!(matches!(err, OnlineError::InvalidOptions(_)), "{err}");
+        assert!(matches!(err, Error::InvalidOptions(_)), "{err}");
         assert!(err.to_string().contains("chunk_rows"), "{err}");
     }
 
@@ -878,7 +931,7 @@ mod tests {
             |_| {},
         )
         .unwrap_err();
-        assert!(matches!(err, OnlineError::Unsupported(_)));
+        assert!(matches!(err, Error::Unsupported(_)));
         let union = LogicalPlan::scan("t")
             .sample(SamplingMethod::Bernoulli { p: 0.4 })
             .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }))

@@ -1,43 +1,49 @@
-//! # sa-online — online aggregation with stopping rules
+//! # sa-online — online aggregation: engine, sessions, stopping rules
 //!
 //! The paper's estimator was built to power *online aggregation*: Section
 //! 6.2's lineage-carrying plans exist precisely so the SBox can be fed
 //! incrementally, with unbiased estimates and confidence intervals that
-//! tighten as sample tuples arrive. This crate closes that loop:
+//! tighten as sample tuples arrive. This crate closes that loop behind one
+//! serving-shaped API:
 //!
-//! * a **progressive query driver** ([`run_online`] / [`run_online_sql`])
-//!   that pulls the sampled plan's result in chunks (via
-//!   [`sa_exec::open_stream`]), maintains an incremental
-//!   [`sa_core::MomentAccumulator`] — estimate, variance and CI are O(1) to
-//!   read out at any time, never recomputed from scratch — and emits a
-//!   [`ProgressSnapshot`] after every chunk;
-//! * **stopping rules** ([`sa_plan::StoppingRule`], re-exported here):
-//!   relative CI half-width ≤ ε at confidence 1−δ (the SQL
-//!   `WITHIN ε PERCENT CONFIDENCE γ` clause), a row budget, a wall-clock
-//!   budget, or run-to-exhaustion — first one to fire wins;
-//! * a **grouped progressive driver** ([`run_online_grouped`] /
-//!   [`run_online_grouped_sql`]) that routes each sampled tuple to its
-//!   `GROUP BY` group's own incremental accumulator and judges the CI
-//!   target **per group** — stop when every discovered group (or the top-K
-//!   by estimate, [`GroupedOnlineOptions::ci_top_k`]) is tight enough,
-//!   while row/time budgets stay global;
-//! * **shard parallelism** ([`OnlineOptions::parallelism`], `--jobs N` in
-//!   the CLI): both drivers can fan the sampled plan out over N worker
-//!   threads via `sa_exec::open_stream_partitioned` — each worker owns a
-//!   disjoint slice and a thread-local accumulator, and the coordinator
-//!   merges per-shard deltas into the global estimate at every snapshot
-//!   tick (estimates compose exactly under the accumulators' shard merge).
-//!   `parallelism = 1` (the default) is the classic sequential loop,
-//!   byte-identical for a fixed seed.
+//! * an **[`Engine`]** owns the catalog and the serving policy (default
+//!   [`QueryOptions`], stable per-session seeds, admission control, shared
+//!   scan hubs) and hands out [`Session`]s;
+//! * `session.query(sql).within(eps, gamma).seed(s)` builds a query with
+//!   one fluent surface ([`QueryBuilder`]); `GROUP BY` decides scalar vs.
+//!   grouped — the result is a [`Snapshot`] variant, not a separate entry
+//!   point;
+//! * `.run()` / `.run_with(cb)` execute synchronously; `.online()` returns
+//!   a [`QueryHandle`] with a snapshot iterator, cancellation
+//!   ([`StopReason::Cancelled`]) and a final [`QueryResult`]; `.batch()`
+//!   runs the paper's one-shot estimator;
+//! * **stopping rules** ([`sa_plan::StoppingRule`], re-exported): relative
+//!   CI half-width ≤ ε at confidence 1−δ (the SQL `WITHIN ε PERCENT
+//!   CONFIDENCE γ` clause), a row budget, a wall-clock budget, or
+//!   run-to-exhaustion — first one to fire wins, judged per group for
+//!   grouped queries;
+//! * **shared scans**: engines built with `shared_scans(true)` attach
+//!   concurrent sequential queries over one table to a single circular
+//!   columnar scan — N queries cost ~1 scan, and a query attaching
+//!   mid-scan is just a scan-prefix *origin shift* in the Proposition-8
+//!   scaling (its exhaustion readout still equals the batch estimator);
+//! * **shard parallelism** ([`QueryOptions::parallelism`], `--jobs N` in
+//!   the CLI): both loops can fan the sampled plan out over N worker
+//!   threads via `sa_exec::open_stream_partitioned`.
 //!
 //! For any fixed prefix of consumed tuples the incremental estimate and
 //! variance equal the batch estimator's output on that prefix (up to float
 //! associativity): same moments, same Theorem 1 machinery.
 //!
+//! The six pre-engine free functions ([`run_online`], [`run_online_sql`],
+//! [`run_online_grouped`], [`run_online_grouped_sql`], and sa-exec's
+//! `approx_query` / `approx_group_query`) remain as deprecated thin
+//! wrappers over the same internals.
+//!
 //! ## Quick start
 //!
 //! ```
-//! use sa_online::{run_online_sql, OnlineOptions};
+//! use sa_online::Engine;
 //! use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
 //!
 //! let mut catalog = Catalog::new();
@@ -46,31 +52,40 @@
 //! for i in 0..20_000 { b.push_row(&[Value::Float(1.0 + (i % 5) as f64)]).unwrap(); }
 //! catalog.register(b.finish().unwrap()).unwrap();
 //!
-//! let result = run_online_sql(
-//!     "SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT) \
-//!      WITHIN 5 PERCENT CONFIDENCE 95",
-//!     &catalog,
-//!     &OnlineOptions { seed: 7, chunk_rows: 512, ..Default::default() },
-//!     |snap| eprintln!("rows={} estimate={:.1}", snap.rows, snap.aggs[0].estimate),
-//! ).unwrap();
-//! assert!(result.snapshot.rel_half_width.unwrap() <= 0.05);
+//! let engine = Engine::new(catalog);
+//! let result = engine
+//!     .session()
+//!     .query("SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT) \
+//!             WITHIN 5 PERCENT CONFIDENCE 95")
+//!     .seed(7)
+//!     .chunk_rows(512)
+//!     .run_with(|snap| eprintln!("rows={} half-width={:?}", snap.rows(), snap.rel_half_width()))
+//!     .unwrap();
+//! assert!(result.snapshot.rel_half_width().unwrap() <= 0.05);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod driver;
+pub mod engine;
 pub mod error;
 pub mod grouped;
 pub(crate) mod parallel;
 
-pub use driver::{run_online, run_online_sql, OnlineOptions, OnlineResult, ProgressSnapshot};
+pub use api::{BatchOutput, QueryOptions, QueryResult, Snapshot};
+#[allow(deprecated)]
+pub use driver::{run_online, run_online_sql, OnlineOptions};
+pub use driver::{OnlineResult, ProgressSnapshot};
+pub use engine::{Engine, EngineBuilder, QueryBuilder, QueryHandle, Session};
+pub use error::Error;
+#[allow(deprecated)]
 pub use error::OnlineError;
-pub use grouped::{
-    group_snapshot, run_online_grouped, run_online_grouped_sql, GroupProgress,
-    GroupedOnlineOptions, GroupedOnlineResult, GroupedProgressSnapshot,
-};
+pub use grouped::{group_snapshot, GroupProgress, GroupedOnlineResult, GroupedProgressSnapshot};
+#[allow(deprecated)]
+pub use grouped::{run_online_grouped, run_online_grouped_sql, GroupedOnlineOptions};
 // The vocabulary types callers need alongside the driver.
 pub use sa_plan::{CiTarget, StopReason, StoppingRule};
 
 /// Crate-wide result alias.
-pub type Result<T, E = OnlineError> = std::result::Result<T, E>;
+pub type Result<T, E = Error> = std::result::Result<T, E>;

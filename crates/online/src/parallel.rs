@@ -37,7 +37,7 @@ use std::sync::{mpsc, Condvar, Mutex};
 use sa_exec::{ChunkStream, ColumnarChunk};
 use sa_storage::Value;
 
-use crate::error::OnlineError;
+use crate::error::Error;
 use crate::Result;
 
 /// An accumulator that can absorb a shard built over the same lineage
@@ -54,7 +54,7 @@ pub(crate) trait ShardAccumulator: Send {
 
 impl ShardAccumulator for sa_core::MomentAccumulator {
     fn absorb(&mut self, other: &Self) -> Result<()> {
-        self.merge(other).map_err(OnlineError::Core)
+        self.merge(other).map_err(Error::Core)
     }
     fn rows(&self) -> u64 {
         self.count()
@@ -63,7 +63,7 @@ impl ShardAccumulator for sa_core::MomentAccumulator {
 
 impl ShardAccumulator for sa_core::GroupedMomentAccumulator<Vec<Value>> {
     fn absorb(&mut self, other: &Self) -> Result<()> {
-        self.merge(other).map_err(OnlineError::Core)
+        self.merge(other).map_err(Error::Core)
     }
     fn rows(&self) -> u64 {
         self.count()
@@ -82,7 +82,7 @@ struct ShardState<A> {
     pending_rows: u64,
     progress: Vec<(u64, u64)>,
     exhausted: bool,
-    error: Option<OnlineError>,
+    error: Option<Error>,
 }
 
 /// One worker's slot: its state plus the condvar the coordinator signals
@@ -174,9 +174,10 @@ where
                     // merge outside it — the worker accumulates its next
                     // chunk meanwhile.
                     let deltas = {
-                        let mut s = shard.state.lock().map_err(|_| {
-                            OnlineError::Unsupported("a worker thread panicked".into())
-                        })?;
+                        let mut s = shard
+                            .state
+                            .lock()
+                            .map_err(|_| Error::Unsupported("a worker thread panicked".into()))?;
                         if let Some(e) = &s.error {
                             return Err(e.clone());
                         }
@@ -239,7 +240,7 @@ fn worker_loop<A, P>(
     A: ShardAccumulator,
     P: Fn(&mut A, &ColumnarChunk) -> Result<()> + Sync,
 {
-    let fail = |e: OnlineError| {
+    let fail = |e: Error| {
         if let Ok(mut s) = shard.state.lock() {
             s.error = Some(e);
         }

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Acceptance tests for the online loop on a TPC-H-style workload: the
 //! ε/δ stopping rule fires, and the final progressive estimate equals the
 //! batch estimator evaluated on exactly the consumed prefix.

@@ -53,6 +53,9 @@ pub enum StopReason {
     /// The sampled result stream drained — the estimate is now the batch
     /// estimate over the full sample.
     Exhausted,
+    /// The caller cancelled the query (e.g. via a `QueryHandle`); the last
+    /// snapshot is still a valid mid-stream estimate.
+    Cancelled,
 }
 
 impl fmt::Display for StopReason {
@@ -62,6 +65,7 @@ impl fmt::Display for StopReason {
             StopReason::RowBudget => "row-budget",
             StopReason::TimeBudget => "time-budget",
             StopReason::Exhausted => "exhausted",
+            StopReason::Cancelled => "cancelled",
         })
     }
 }

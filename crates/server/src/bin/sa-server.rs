@@ -1,0 +1,88 @@
+//! `sa-server` — serve online-aggregation queries over TCP.
+//!
+//! ```sh
+//! sa-server --tpch 0.01 --addr 127.0.0.1:5433 --seed 42
+//! ```
+//!
+//! Generates TPC-H-style data, builds an [`sa_server::Server`] with shared
+//! scans enabled, prints `READY <addr>` on stdout once listening, and
+//! serves until killed. Drive it with the `sa` client:
+//!
+//! ```sh
+//! sa --connect 127.0.0.1:5433 --query \
+//!    "SELECT SUM(l_quantity) FROM lineitem TABLESAMPLE (25 PERCENT) \
+//!     WITHIN 5 PERCENT CONFIDENCE 95"
+//! ```
+
+use std::io::Write;
+
+use sa_server::{Server, ServerConfig};
+use sa_tpch::{generate, TpchConfig};
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.005f64;
+    let mut seed = 42u64;
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:5433".into(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tpch" => {
+                scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tpch needs a scale factor"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--addr" => {
+                config.addr = it
+                    .next()
+                    .unwrap_or_else(|| die("--addr needs HOST:PORT"))
+                    .clone();
+            }
+            "--workers" => {
+                config.workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| die("--workers needs a positive count"));
+            }
+            "--max-concurrent" => {
+                config.max_concurrent = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--max-concurrent needs a number"));
+            }
+            "-h" | "--help" => {
+                eprintln!(
+                    "usage: sa-server [--tpch SCALE] [--seed N] [--addr HOST:PORT] \
+                     [--workers N] [--max-concurrent N]"
+                );
+                return;
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    config.defaults.seed = seed;
+    eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
+    let catalog = generate(&TpchConfig::scale(scale).with_seed(seed));
+    let server =
+        Server::bind(catalog, &config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
+    println!("READY {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.join();
+}

@@ -1,0 +1,392 @@
+//! # sa-server — a concurrent online-aggregation query service
+//!
+//! A std-only TCP front-end over [`sa_online::Engine`]: clients speak the
+//! one-line-per-message protocol in [`protocol`], each connection gets its
+//! own engine [`sa_online::Session`] (stable per-session seed), a fixed
+//! thread pool bounds the connections served at once, and the engine's
+//! admission control ([`sa_online::EngineBuilder::max_concurrent`]) sheds
+//! query load past the configured bound with `ERR engine busy …` instead
+//! of queueing.
+//!
+//! The serving win is **shared scans**: the engine is built with
+//! `shared_scans(true)`, so N concurrent sequential queries over the same
+//! table attach to one circular columnar scan and cost ~1 table scan
+//! between them — the mid-scan attach is an origin shift the estimator is
+//! invariant to (see `docs/estimation-notes.md`).
+//!
+//! ```no_run
+//! use sa_server::{Server, ServerConfig};
+//! use sa_storage::Catalog;
+//!
+//! let catalog = Catalog::new(); // register tables first
+//! let server = Server::bind(catalog, &ServerConfig::default()).unwrap();
+//! eprintln!("listening on {}", server.local_addr());
+//! server.join(); // serve until shutdown() is called from another thread
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+
+use sa_online::{Engine, QueryOptions, Session};
+use sa_storage::Catalog;
+
+use protocol::{err_line, final_lines, parse, snap_line, Request};
+
+/// Serving policy for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port — read it back
+    /// with [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection-handling threads: at most this many clients are served
+    /// simultaneously; further connections wait in the accept queue.
+    pub workers: usize,
+    /// Engine admission bound: queries past this many in flight are
+    /// rejected with `ERR engine busy …`.
+    pub max_concurrent: usize,
+    /// Default [`QueryOptions`] (seed, chunk size, …) each query starts
+    /// from; the per-connection `SEED` request overrides the seed.
+    pub defaults: QueryOptions,
+    /// Emit every k-th `SNAP` progress line (the `FINAL` line is always
+    /// sent). 0 silences progress entirely.
+    pub snapshot_every: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            max_concurrent: 64,
+            defaults: QueryOptions::default(),
+            snapshot_every: 8,
+        }
+    }
+}
+
+/// A running query service: an accept loop plus a fixed worker pool, all
+/// plain std threads. Dropping the handle does **not** stop the server —
+/// call [`Server::shutdown`] (or let the process exit).
+pub struct Server {
+    engine: Engine,
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `config.addr`, build the engine (shared scans on, admission
+    /// bound from the config) over `catalog`, and start serving.
+    pub fn bind(catalog: Catalog, config: &ServerConfig) -> std::io::Result<Server> {
+        let engine = Engine::builder(catalog)
+            .defaults(config.defaults.clone())
+            .max_concurrent(config.max_concurrent)
+            .shared_scans(true)
+            .build();
+        Server::serve(engine, config)
+    }
+
+    /// Like [`Server::bind`] but over a fully configured engine (tests use
+    /// this to control shared-scan windows or disable sharing).
+    pub fn serve(engine: Engine, config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let snapshot_every = config.snapshot_every;
+
+        // Fixed worker pool: the accept loop feeds connections through a
+        // rendezvous channel, so at most `workers` clients are in service
+        // and the rest queue in the listener backlog.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(0);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let engine = engine.clone();
+                thread::Builder::new()
+                    .name(format!("sa-serve-{i}"))
+                    .spawn(move || loop {
+                        let conn = match rx.lock().unwrap().recv() {
+                            Ok(conn) => conn,
+                            Err(_) => return, // accept loop gone
+                        };
+                        let session = engine.session();
+                        let _ = handle_connection(conn, session, snapshot_every);
+                    })
+                    .expect("spawn server worker")
+            })
+            .collect();
+
+        let accept = {
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("sa-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            return; // drops tx → workers drain and exit
+                        }
+                        if let Ok(conn) = conn {
+                            if tx.send(conn).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(Server {
+            engine,
+            local_addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the picked port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The engine behind the service (tests inspect scan stats here).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Stop accepting, wake the accept loop, and join every thread.
+    /// Connections already in service finish their current exchange.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server stops (never, unless another thread calls
+    /// [`Server::shutdown`] — use from `main` to serve forever).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve one client connection until `QUIT`, EOF, or an I/O error.
+fn handle_connection(
+    conn: TcpStream,
+    session: Session,
+    snapshot_every: u64,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(conn.try_clone()?);
+    let mut out = BufWriter::new(conn);
+    let mut seed: Option<u64> = None;
+    for line in reader.lines() {
+        match parse(&line?) {
+            Ok(Request::Ping) => writeln!(out, "OK")?,
+            Ok(Request::Seed(s)) => {
+                seed = Some(s);
+                writeln!(out, "OK")?;
+            }
+            Ok(Request::Quit) => break,
+            Ok(Request::Query(sql)) => {
+                run_query(&mut out, &session, &sql, seed, snapshot_every)?;
+                writeln!(out, "DONE")?;
+            }
+            Err(msg) => writeln!(out, "{}", err_line(&msg))?,
+        }
+        out.flush()?;
+    }
+    Ok(())
+}
+
+/// Run one query, streaming throttled `SNAP` lines and the `FINAL` readout.
+fn run_query(
+    out: &mut impl Write,
+    session: &Session,
+    sql: &str,
+    seed: Option<u64>,
+    snapshot_every: u64,
+) -> std::io::Result<()> {
+    let mut builder = session.query(sql);
+    if let Some(s) = seed {
+        builder = builder.seed(s);
+    }
+    // Progress lines go straight to the socket as the query runs; any I/O
+    // error is remembered and re-raised after the run.
+    let mut io_err = None;
+    let result = builder.run_with(|snap| {
+        if io_err.is_some() || snapshot_every == 0 || snap.chunk() % snapshot_every != 0 {
+            return;
+        }
+        if let Err(e) = writeln!(out, "{}", snap_line(&snap)).and_then(|_| out.flush()) {
+            io_err = Some(e);
+        }
+    });
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    match result {
+        Ok(r) => {
+            for line in final_lines(&r) {
+                writeln!(out, "{line}")?;
+            }
+        }
+        Err(e) => writeln!(out, "{}", err_line(&e.to_string()))?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn catalog(rows: i64) -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            b.push_row(&[Value::Int(i % 10), Value::Float(1.0 + (i % 7) as f64)])
+                .unwrap();
+        }
+        c.register(b.finish().unwrap()).unwrap();
+        c
+    }
+
+    fn start(rows: i64) -> Server {
+        Server::bind(
+            catalog(rows),
+            &ServerConfig {
+                snapshot_every: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    }
+
+    fn exchange(addr: SocketAddr, requests: &[&str]) -> Vec<String> {
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut tx = conn.try_clone().unwrap();
+        for r in requests {
+            writeln!(tx, "{r}").unwrap();
+        }
+        writeln!(tx, "QUIT").unwrap();
+        tx.flush().unwrap();
+        BufReader::new(conn).lines().map(|l| l.unwrap()).collect()
+    }
+
+    #[test]
+    fn ping_seed_and_bad_requests() {
+        let server = start(100);
+        let lines = exchange(server.local_addr(), &["PING", "SEED 9", "EXPLAIN"]);
+        assert_eq!(lines[0], "OK");
+        assert_eq!(lines[1], "OK");
+        assert!(lines[2].starts_with("ERR unknown request"), "{}", lines[2]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn scalar_query_streams_snaps_then_final_then_done() {
+        let server = start(4000);
+        let lines = exchange(
+            server.local_addr(),
+            &[
+                "SEED 7",
+                "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)",
+            ],
+        );
+        assert_eq!(lines[0], "OK");
+        assert!(lines[1].starts_with("SNAP rows="), "{}", lines[1]);
+        let final_line = lines.iter().find(|l| l.starts_with("FINAL ")).unwrap();
+        assert!(final_line.contains("reason=exhausted"), "{final_line}");
+        assert_eq!(lines.last().unwrap(), "DONE");
+        server.shutdown();
+    }
+
+    #[test]
+    fn grouped_query_reports_groups() {
+        let server = start(4000);
+        let lines = exchange(
+            server.local_addr(),
+            &["QUERY SELECT k, SUM(v) AS s FROM t TABLESAMPLE (60 PERCENT) GROUP BY k"],
+        );
+        assert_eq!(
+            lines.iter().filter(|l| l.starts_with("GROUP key=")).count(),
+            10
+        );
+        let final_line = lines.iter().find(|l| l.starts_with("FINAL ")).unwrap();
+        assert!(final_line.contains("groups=10"), "{final_line}");
+        assert_eq!(lines.last().unwrap(), "DONE");
+        server.shutdown();
+    }
+
+    #[test]
+    fn planning_errors_come_back_as_err_done() {
+        let server = start(100);
+        let lines = exchange(server.local_addr(), &["QUERY SELECT FROM nowhere"]);
+        assert!(lines[0].starts_with("ERR "), "{}", lines[0]);
+        assert_eq!(lines[1], "DONE");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_converge() {
+        let server = start(60_000);
+        let addr = server.local_addr();
+        let sql = "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT) \
+                   WITHIN 5 PERCENT CONFIDENCE 95";
+        let results: Vec<Vec<String>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| scope.spawn(move || exchange(addr, &[&format!("SEED {i}"), sql])))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for lines in &results {
+            let final_line = lines.iter().find(|l| l.starts_with("FINAL ")).unwrap();
+            assert!(final_line.contains("reason=ci-converged"), "{final_line}");
+            assert_eq!(lines.last().unwrap(), "DONE");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_bound_sheds_load_with_err_busy() {
+        let server = Server::bind(
+            catalog(100),
+            &ServerConfig {
+                max_concurrent: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let lines = exchange(
+            server.local_addr(),
+            &["QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)"],
+        );
+        assert!(lines[0].starts_with("ERR engine busy"), "{}", lines[0]);
+        assert_eq!(lines[1], "DONE");
+        server.shutdown();
+    }
+}

@@ -17,24 +17,26 @@ fn main() {
     let ord = catalog.get("orders").unwrap().row_count();
     println!("data: lineitem = {li} rows, orders = {ord} rows\n");
 
+    // The engine owns the catalog; every query goes through a session.
+    let engine = Engine::new(catalog);
+
     // 2. The paper's Query 1 (Section 1), verbatim.
     let sql = "SELECT SUM(l_discount*(1.0-l_tax)) AS revenue_discount \
                FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) \
                WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0";
     println!("query:\n  {sql}\n");
-    let plan = plan_sql(sql, &catalog).expect("valid SQL");
+    let plan = plan_sql(sql, engine.catalog()).expect("valid SQL");
 
-    // 3. Approximate answer with confidence intervals.
-    let result = approx_query(
-        &plan,
-        &catalog,
-        &ApproxOptions {
-            seed: 7,
-            confidence: 0.95,
-            subsample_target: None,
-        },
-    )
-    .expect("estimable plan");
+    // 3. Approximate answer with confidence intervals (the paper's one-shot
+    //    estimator, via the session's `.batch()` terminal).
+    let result = engine
+        .session()
+        .query_plan(&plan)
+        .seed(7)
+        .confidence(0.95)
+        .batch()
+        .expect("estimable plan");
+    let result = result.as_scalar().expect("scalar query");
     let agg = &result.aggs[0];
     println!(
         "result tuples from the sampled plan : {}",
@@ -61,10 +63,11 @@ fn main() {
                 QUANTILE(SUM(l_discount*(1.0-l_tax)), 0.95) \
          FROM lineitem TABLESAMPLE (10 PERCENT), orders TABLESAMPLE (1000 ROWS) \
          WHERE l_orderkey = o_orderkey AND l_extendedprice > 100.0",
-        &catalog,
+        engine.catalog(),
     )
     .unwrap();
-    let v = approx_query(&view, &catalog, &ApproxOptions::default()).unwrap();
+    let v = engine.session().query_plan(&view).batch().unwrap();
+    let v = v.as_scalar().unwrap();
     println!(
         "APPROX view (lo, hi)                 : ({:.2}, {:.2})",
         v.aggs[0].quantile_bound.unwrap(),
@@ -72,7 +75,7 @@ fn main() {
     );
 
     // 5. Ground truth (runs the sampling-free plan).
-    let exact = exact_query(&plan, &catalog).unwrap()[0];
+    let exact = exact_query(&plan, engine.catalog()).unwrap()[0];
     println!("exact answer                         : {exact:.2}");
     let err = (agg.estimate - exact).abs() / exact * 100.0;
     println!("relative error of the estimate       : {err:.2}%");

@@ -11,6 +11,11 @@
 //! cargo run --release --example sampling_design
 //! ```
 
+// This example deliberately drives the low-level batch entry point: the
+// Section 7 sub-sampled variance estimator (`subsample_target`) is
+// exec-layer plumbing the Engine API does not surface.
+#![allow(deprecated)]
+
 use sampling_algebra::prelude::*;
 use std::time::Instant;
 

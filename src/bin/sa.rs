@@ -9,6 +9,7 @@
 //! sa --tpch 0.01 --query "SELECT …"     # one-shot, non-interactive
 //! sa --online --query "SELECT … WITHIN 5 PERCENT CONFIDENCE 95"
 //!                                       # one-shot online aggregation
+//! sa --connect HOST:PORT --query "…"    # run against a remote sa-server
 //! ```
 //!
 //! `--seed` seeds both the data generator and the sampling operators, so a
@@ -16,6 +17,11 @@
 //! chunk size; `--jobs N` drives the online loop with N shard-parallel
 //! worker threads (merged per snapshot; `--jobs 1`, the default, is the
 //! classic deterministic single-threaded loop).
+//!
+//! `--connect ADDR` turns the binary into a thin client for `sa-server`:
+//! the query is sent over the line protocol, progress (`SNAP`/`GROUP`) and
+//! final (`FINAL`) lines are relayed to stdout, and the process exits 0 on
+//! `DONE` and 1 on `ERR`.
 //!
 //! Inside the shell:
 //!
@@ -34,18 +40,18 @@
 //! \quit
 //! ```
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 
-use sampling_algebra::exec::{approx_group_query, exact_group_query, GroupedApproxResult};
-use sampling_algebra::online::{
-    run_online_grouped, GroupedOnlineOptions, GroupedOnlineResult, GroupedProgressSnapshot,
-    OnlineResult as OnlineRunResult, ProgressSnapshot,
-};
+#[allow(deprecated)]
+use sampling_algebra::exec::approx_group_query;
+use sampling_algebra::exec::{exact_group_query, GroupedApproxResult};
 use sampling_algebra::prelude::*;
-use sampling_algebra::sql::{plan_grouped_sql, plan_online_grouped_sql};
+use sampling_algebra::sql::plan_grouped_sql;
 
-struct Session {
-    catalog: Catalog,
+/// Shell state: the engine plus the knobs the `\…` commands adjust.
+struct Shell {
+    engine: Engine,
     seed: u64,
     subsample: Option<u64>,
     confidence: f64,
@@ -63,6 +69,7 @@ fn main() {
     let mut adaptive_chunks = false;
     let mut online = false;
     let mut one_shot: Option<String> = None;
+    let mut connect: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -101,10 +108,17 @@ fn main() {
                         .clone(),
                 );
             }
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--connect needs HOST:PORT"))
+                        .clone(),
+                );
+            }
             "-h" | "--help" => {
                 eprintln!(
                     "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--jobs N] \
-                     [--adaptive-chunks] [--online] [--query SQL]"
+                     [--adaptive-chunks] [--online] [--connect HOST:PORT] [--query SQL]"
                 );
                 return;
             }
@@ -112,12 +126,17 @@ fn main() {
         }
     }
 
+    if let Some(addr) = connect {
+        let sql = one_shot.unwrap_or_else(|| die("--connect needs --query SQL"));
+        run_client(&addr, seed, &sql);
+    }
+
     eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
     let catalog = generate(&TpchConfig::scale(scale).with_seed(seed));
     // The same seed drives the sampling operators: one `--seed` makes the
     // whole run — data, samples, online loop — reproducible.
-    let mut session = Session {
-        catalog,
+    let mut shell = Shell {
+        engine: Engine::new(catalog),
         seed,
         subsample: None,
         confidence: 0.95,
@@ -128,9 +147,9 @@ fn main() {
 
     if let Some(sql) = one_shot {
         if online {
-            run_online_mode(&mut session, &sql);
+            run_online_mode(&mut shell, &sql);
         } else {
-            run_line(&mut session, &sql);
+            run_line(&mut shell, &sql);
         }
         return;
     }
@@ -159,7 +178,7 @@ fn main() {
         if line == "\\quit" || line == "\\q" {
             break;
         }
-        run_line(&mut session, line);
+        run_line(&mut shell, line);
     }
 }
 
@@ -168,12 +187,44 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-fn run_line(session: &mut Session, line: &str) {
+/// Thin client for `sa-server`: send `SEED` + `QUERY`, relay response lines
+/// to stdout until the terminator, exit 0 on `DONE` / 1 on `ERR`.
+fn run_client(addr: &str, seed: u64, sql: &str) -> ! {
+    let stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect {addr}: {e}")));
+    let mut tx = stream
+        .try_clone()
+        .unwrap_or_else(|e| die(&format!("cannot clone socket: {e}")));
+    let sql = sql.replace('\n', " ");
+    writeln!(tx, "SEED {seed}")
+        .and_then(|_| writeln!(tx, "QUERY {sql}"))
+        .unwrap_or_else(|e| {
+            die(&format!("cannot send query: {e}"));
+        });
+    let _ = tx.flush();
+    let mut failed = false;
+    for line in BufReader::new(stream).lines() {
+        let line = line.unwrap_or_else(|e| die(&format!("connection lost: {e}")));
+        match line.as_str() {
+            "OK" => continue, // SEED acknowledgement
+            "DONE" => std::process::exit(if failed { 1 } else { 0 }),
+            other => {
+                println!("{other}");
+                if other.starts_with("ERR ") {
+                    failed = true;
+                }
+            }
+        }
+    }
+    die("server closed the connection before DONE");
+}
+
+fn run_line(shell: &mut Shell, line: &str) {
     if let Some(rest) = line.strip_prefix('\\') {
         let (cmd, arg) = rest.split_once(' ').unwrap_or((rest, ""));
         match cmd {
             "tables" => {
-                for (name, table) in session.catalog.iter() {
+                for (name, table) in shell.engine.catalog().iter() {
                     println!(
                         "{name:<12} {:>10} rows   {}",
                         table.row_count(),
@@ -183,59 +234,63 @@ fn run_line(session: &mut Session, line: &str) {
             }
             "seed" => match arg.trim().parse() {
                 Ok(s) => {
-                    session.seed = s;
+                    shell.seed = s;
                     println!("seed = {s}");
                 }
                 Err(_) => println!("\\seed needs a number"),
             },
             "subsample" => match arg.trim().parse::<u64>() {
                 Ok(0) => {
-                    session.subsample = None;
+                    shell.subsample = None;
                     println!("sub-sampling off");
                 }
                 Ok(n) => {
-                    session.subsample = Some(n);
+                    shell.subsample = Some(n);
                     println!("variance from ~{n} tuples (§7)");
                 }
                 Err(_) => println!("\\subsample needs a number (0 = off)"),
             },
             "chunk" => match arg.trim().parse::<usize>() {
                 Ok(n) if n > 0 => {
-                    session.chunk_rows = n;
+                    shell.chunk_rows = n;
                     println!("chunk = {n} rows");
                 }
                 _ => println!("\\chunk needs a positive row count"),
             },
             "jobs" => match arg.trim().parse::<usize>() {
                 Ok(n) if n > 0 => {
-                    session.jobs = n;
+                    shell.jobs = n;
                     println!("jobs = {n} worker{}", if n == 1 { "" } else { "s" });
                 }
                 _ => println!("\\jobs needs a positive worker count"),
             },
             "adaptive" => match arg.trim() {
                 "on" => {
-                    session.adaptive_chunks = true;
+                    shell.adaptive_chunks = true;
                     println!("adaptive chunks on (grow up to 64× once the CI stalls)");
                 }
                 "off" => {
-                    session.adaptive_chunks = false;
+                    shell.adaptive_chunks = false;
                     println!("adaptive chunks off");
                 }
                 _ => println!("\\adaptive needs `on` or `off`"),
             },
-            "online" => run_online_mode(session, arg),
-            "exact" => run_exact(session, arg),
-            "trace" => run_trace(session, arg),
+            "online" => run_online_mode(shell, arg),
+            "exact" => run_exact(shell, arg),
+            "trace" => run_trace(shell, arg),
             _ => println!("unknown command \\{cmd}"),
         }
         return;
     }
-    run_estimate(session, line);
+    run_estimate(shell, line);
 }
 
-fn run_estimate(session: &mut Session, sql: &str) {
-    let (plan, group_by) = match plan_grouped_sql(sql, &session.catalog) {
+// The batch path stays on the low-level exec entry points: the `\subsample`
+// knob (§7 sub-sampled variance) is exec-layer plumbing the Engine API does
+// not surface.
+#[allow(deprecated)]
+fn run_estimate(shell: &mut Shell, sql: &str) {
+    let (plan, group_by) = match plan_grouped_sql(sql, shell.engine.catalog()) {
         Ok(p) => p,
         Err(e) => {
             println!("error: {e}");
@@ -243,22 +298,22 @@ fn run_estimate(session: &mut Session, sql: &str) {
         }
     };
     let opts = ApproxOptions {
-        seed: session.seed,
-        confidence: session.confidence,
-        subsample_target: session.subsample,
+        seed: shell.seed,
+        confidence: shell.confidence,
+        subsample_target: shell.subsample,
     };
     if group_by.is_empty() {
-        match approx_query(&plan, &session.catalog, &opts) {
+        match approx_query(&plan, shell.engine.catalog(), &opts) {
             Ok(r) => print_scalar(&r),
             Err(e) => println!("error: {e}"),
         }
     } else {
-        match approx_group_query(&plan, &group_by, &session.catalog, &opts) {
+        match approx_group_query(&plan, &group_by, shell.engine.catalog(), &opts) {
             Ok(r) => print_grouped(&r),
             Err(e) => println!("error: {e}"),
         }
     }
-    session.seed = session.seed.wrapping_add(1); // fresh sample next time
+    shell.seed = shell.seed.wrapping_add(1); // fresh sample next time
 }
 
 fn print_scalar(r: &ApproxResult) {
@@ -319,55 +374,41 @@ fn print_grouped(r: &GroupedApproxResult) {
     );
 }
 
-/// Progressive estimation: print one line (scalar) or one table (grouped)
-/// per snapshot, then the final estimates and why the loop stopped.
-fn run_online_mode(session: &mut Session, sql: &str) {
-    let (plan, group_by, rule) = match plan_online_grouped_sql(sql, &session.catalog) {
-        Ok(p) => p,
-        Err(e) => {
-            println!("error: {e}");
-            return;
-        }
-    };
-    let mut opts = OnlineOptions {
-        seed: session.seed,
-        chunk_rows: session.chunk_rows,
-        confidence: session.confidence,
-        rule: StoppingRule::exhaustive(),
-        scale_to_population: true,
-        parallelism: session.jobs,
-        adaptive_chunks: session.adaptive_chunks,
-    };
-    if let Some(rule) = rule {
-        opts.rule.ci_target = rule.ci_target;
+/// Progressive estimation through the engine: print one line (scalar) or one
+/// table (grouped) per snapshot, then the final estimates and why the query
+/// stopped. A `WITHIN … CONFIDENCE …` clause in the SQL sets the stopping
+/// rule; scalar vs. grouped is decided by `GROUP BY`.
+fn run_online_mode(shell: &mut Shell, sql: &str) {
+    let result = shell
+        .engine
+        .session()
+        .query(sql)
+        .seed(shell.seed)
+        .chunk_rows(shell.chunk_rows)
+        .confidence(shell.confidence)
+        .jobs(shell.jobs)
+        .adaptive_chunks(shell.adaptive_chunks)
+        .run_with({
+            let mut header = false;
+            move |snap| match &snap {
+                Snapshot::Scalar(s) => {
+                    if !header {
+                        header = true;
+                        println!(
+                            "{:>10} {:>9} {:>16} {:>14} {:>8} {:>9}",
+                            "rows", "scanned", "estimate", "±half-width", "rel", "elapsed"
+                        );
+                    }
+                    print_snapshot_line(s);
+                }
+                Snapshot::Grouped(s) => print_grouped_snapshot(s),
+            }
+        });
+    match result {
+        Ok(r) => print_online_summary(&r),
+        Err(e) => println!("error: {e}"),
     }
-    if group_by.is_empty() {
-        println!(
-            "{:>10} {:>9} {:>16} {:>14} {:>8} {:>9}",
-            "rows", "scanned", "estimate", "±half-width", "rel", "elapsed"
-        );
-        match run_online(&plan, &session.catalog, &opts, print_snapshot_line) {
-            Ok(r) => print_online_summary(&r),
-            Err(e) => println!("error: {e}"),
-        }
-    } else {
-        let opts = GroupedOnlineOptions {
-            online: opts,
-            ci_top_k: None,
-        };
-        let result = run_online_grouped(
-            &plan,
-            &group_by,
-            &session.catalog,
-            &opts,
-            print_grouped_snapshot,
-        );
-        match result {
-            Ok(r) => print_grouped_online_summary(&r),
-            Err(e) => println!("error: {e}"),
-        }
-    }
-    session.seed = session.seed.wrapping_add(1); // fresh sample next time
+    shell.seed = shell.seed.wrapping_add(1); // fresh sample next time
 }
 
 /// Smallest per-relation scan fraction — the pessimistic "scanned" column.
@@ -446,67 +487,71 @@ fn print_grouped_snapshot(s: &GroupedProgressSnapshot) {
     }
 }
 
-fn print_grouped_online_summary(r: &GroupedOnlineResult) {
-    println!(
-        "stopped: {} after {} rows in {} chunks ({} ms)",
-        r.reason,
-        r.snapshot.rows,
-        r.chunks,
-        r.snapshot.elapsed.as_millis()
-    );
-    println!(
-        "{:<20} {:<12} {:>16} {:>14} {:>34} {:>8}",
-        r.snapshot.group_exprs.join(", "),
-        "aggregate",
-        "estimate",
-        "std err",
-        "final normal CI",
-        "tuples"
-    );
-    for g in &r.snapshot.groups {
-        let key: Vec<String> = g.key.iter().map(|v| v.to_string()).collect();
-        for a in &g.aggs {
-            let (se, ci) = match (&a.variance, &a.ci_normal) {
-                (Some(v), Some(ci)) => (format!("{:.4}", v.sqrt()), format!("{ci}")),
-                _ => ("—".into(), "(not estimable)".into()),
-            };
+/// The final estimates, rendered per result shape.
+fn print_online_summary(r: &QueryResult) {
+    match &r.snapshot {
+        Snapshot::Scalar(s) => {
             println!(
-                "{:<20} {:<12} {:>16.4} {:>14} {:>34} {:>8}",
-                key.join(","),
-                a.name,
-                a.estimate,
-                se,
-                ci,
-                g.sample_rows
+                "stopped: {} after {} rows in {} chunks ({} ms)",
+                r.reason,
+                s.rows,
+                r.chunks,
+                s.elapsed.as_millis()
             );
+            println!(
+                "{:<16} {:>16} {:>14} {:>34}",
+                "aggregate", "estimate", "std err", "final normal CI"
+            );
+            for a in &s.aggs {
+                let (se, ci) = match (&a.variance, &a.ci_normal) {
+                    (Some(v), Some(ci)) => (format!("{:.4}", v.sqrt()), format!("{ci}")),
+                    _ => ("—".into(), "(not estimable)".into()),
+                };
+                println!("{:<16} {:>16.4} {:>14} {:>34}", a.name, a.estimate, se, ci);
+            }
+        }
+        Snapshot::Grouped(s) => {
+            println!(
+                "stopped: {} after {} rows in {} chunks ({} ms)",
+                r.reason,
+                s.rows,
+                r.chunks,
+                s.elapsed.as_millis()
+            );
+            println!(
+                "{:<20} {:<12} {:>16} {:>14} {:>34} {:>8}",
+                s.group_exprs.join(", "),
+                "aggregate",
+                "estimate",
+                "std err",
+                "final normal CI",
+                "tuples"
+            );
+            for g in &s.groups {
+                let key: Vec<String> = g.key.iter().map(|v| v.to_string()).collect();
+                for a in &g.aggs {
+                    let (se, ci) = match (&a.variance, &a.ci_normal) {
+                        (Some(v), Some(ci)) => (format!("{:.4}", v.sqrt()), format!("{ci}")),
+                        _ => ("—".into(), "(not estimable)".into()),
+                    };
+                    println!(
+                        "{:<20} {:<12} {:>16.4} {:>14} {:>34} {:>8}",
+                        key.join(","),
+                        a.name,
+                        a.estimate,
+                        se,
+                        ci,
+                        g.sample_rows
+                    );
+                }
+            }
+            println!("({} observed groups)", s.groups.len());
         }
     }
-    println!("({} observed groups)", r.snapshot.groups.len());
 }
 
-fn print_online_summary(r: &OnlineRunResult) {
-    println!(
-        "stopped: {} after {} rows in {} chunks ({} ms)",
-        r.reason,
-        r.snapshot.rows,
-        r.chunks,
-        r.snapshot.elapsed.as_millis()
-    );
-    println!(
-        "{:<16} {:>16} {:>14} {:>34}",
-        "aggregate", "estimate", "std err", "final normal CI"
-    );
-    for a in &r.snapshot.aggs {
-        let (se, ci) = match (&a.variance, &a.ci_normal) {
-            (Some(v), Some(ci)) => (format!("{:.4}", v.sqrt()), format!("{ci}")),
-            _ => ("—".into(), "(not estimable)".into()),
-        };
-        println!("{:<16} {:>16.4} {:>14} {:>34}", a.name, a.estimate, se, ci);
-    }
-}
-
-fn run_exact(session: &Session, sql: &str) {
-    let (plan, group_by) = match plan_grouped_sql(sql, &session.catalog) {
+fn run_exact(shell: &Shell, sql: &str) {
+    let (plan, group_by) = match plan_grouped_sql(sql, shell.engine.catalog()) {
         Ok(p) => p,
         Err(e) => {
             println!("error: {e}");
@@ -514,12 +559,12 @@ fn run_exact(session: &Session, sql: &str) {
         }
     };
     if group_by.is_empty() {
-        match exact_query(&plan, &session.catalog) {
+        match exact_query(&plan, shell.engine.catalog()) {
             Ok(vals) => println!("exact: {vals:?}"),
             Err(e) => println!("error: {e}"),
         }
     } else {
-        match exact_group_query(&plan, &group_by, &session.catalog) {
+        match exact_group_query(&plan, &group_by, shell.engine.catalog()) {
             Ok(groups) => {
                 for (key, vals) in groups {
                     let key: Vec<String> = key.iter().map(|v| v.to_string()).collect();
@@ -531,8 +576,8 @@ fn run_exact(session: &Session, sql: &str) {
     }
 }
 
-fn run_trace(session: &Session, sql: &str) {
-    let (plan, _) = match plan_grouped_sql(sql, &session.catalog) {
+fn run_trace(shell: &Shell, sql: &str) {
+    let (plan, _) = match plan_grouped_sql(sql, shell.engine.catalog()) {
         Ok(p) => p,
         Err(e) => {
             println!("error: {e}");
@@ -540,7 +585,7 @@ fn run_trace(session: &Session, sql: &str) {
         }
     };
     println!("plan:\n{}", plan.display_tree());
-    match rewrite(&plan, &session.catalog) {
+    match rewrite(&plan, shell.engine.catalog()) {
         Ok(analysis) => {
             println!("rewrite steps:\n{}", analysis.trace.render());
             println!("top GUS:\n{}", analysis.gus_table());

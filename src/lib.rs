@@ -38,13 +38,17 @@
 //! for i in 0..1000 { b.push_row(&[Value::Int(i), Value::Float(1.0)]).unwrap(); }
 //! catalog.register(b.finish().unwrap()).unwrap();
 //!
+//! // An Engine owns the catalog; sessions build queries fluently.
+//! let engine = Engine::new(catalog);
+//!
 //! // The paper's interface: SQL with TABLESAMPLE and QUANTILE bounds.
 //! let plan = plan_sql(
 //!     "SELECT QUANTILE(SUM(v), 0.05) AS lo, QUANTILE(SUM(v), 0.95) AS hi \
 //!      FROM t TABLESAMPLE (20 PERCENT)",
-//!     &catalog,
+//!     engine.catalog(),
 //! ).unwrap();
-//! let result = approx_query(&plan, &catalog, &ApproxOptions::default()).unwrap();
+//! let out = engine.session().query_plan(&plan).batch().unwrap();
+//! let result = out.as_scalar().unwrap();
 //! let (lo, hi) = (
 //!     result.aggs[0].quantile_bound.unwrap(),
 //!     result.aggs[1].quantile_bound.unwrap(),
@@ -63,6 +67,7 @@ pub use sa_expr as expr;
 pub use sa_online as online;
 pub use sa_plan as plan;
 pub use sa_sampling as sampling;
+pub use sa_server as server;
 pub use sa_sql as sql;
 pub use sa_storage as storage;
 pub use sa_tpch as tpch;
@@ -75,15 +80,22 @@ pub mod prelude {
         GroupedMomentAccumulator, GusParams, LineageBernoulli, LineageSchema, MomentAccumulator,
         RelSet, SBox,
     };
+    #[allow(deprecated)]
+    pub use sa_exec::approx_query;
     pub use sa_exec::{
-        approx_query, exact_query, execute, open_stream, open_stream_partitioned, ApproxOptions,
-        ApproxResult, ChunkStream, ExecOptions,
+        exact_query, execute, open_stream, open_stream_partitioned, ApproxOptions, ApproxResult,
+        ChunkStream, ExecOptions,
     };
     pub use sa_expr::{col, lit, Expr};
+    #[allow(deprecated)]
     pub use sa_online::{
         run_online, run_online_grouped, run_online_grouped_sql, run_online_sql,
-        GroupedOnlineOptions, GroupedOnlineResult, GroupedProgressSnapshot, OnlineOptions,
-        OnlineResult, ProgressSnapshot,
+        GroupedOnlineOptions, OnlineOptions,
+    };
+    pub use sa_online::{
+        BatchOutput, Engine, EngineBuilder, Error as OnlineError, GroupedOnlineResult,
+        GroupedProgressSnapshot, OnlineResult, ProgressSnapshot, QueryBuilder, QueryHandle,
+        QueryOptions, QueryResult, Session, Snapshot,
     };
     pub use sa_plan::{
         render_gus_table, rewrite, AggFunc, AggSpec, LogicalPlan, SoaAnalysis, StopReason,

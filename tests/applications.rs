@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! The Section 8 applications of the paper, as integration tests:
 //!
 //! 1. **Database as a sample** — robustness analysis by viewing the stored

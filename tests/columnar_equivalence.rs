@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Row-vs-columnar equivalence: the columnar batch engine must be
 //! observationally identical to row-at-a-time execution.
 //!

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Statistical validation of the estimator across repeated sampled
 //! executions: unbiasedness of the point estimate (Theorem 1), unbiasedness
 //! of the variance estimate (the Section 6.3 `Ŷ_S` recursion), empirical

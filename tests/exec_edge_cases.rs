@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Executor and estimator edge cases: empty inputs, extreme values,
 //! operator interleavings, and plan shapes at the boundaries of what the
 //! engine supports.

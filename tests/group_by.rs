@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! GROUP BY estimation end to end: SQL with `GROUP BY` → per-group
 //! estimates with per-group confidence intervals, validated against exact
 //! per-group answers on TPC-H data.

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Grouped online aggregation end to end: statistical coverage of the
 //! per-group confidence intervals under skew, and the acceptance pin for
 //! `GROUP BY … WITHIN ε PERCENT CONFIDENCE γ` — early stopping once every

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Shard-parallel online aggregation end to end: option validation, exact
 //! agreement with the batch estimator at forced exhaustion, graceful
 //! oversubscription, cross-parallelism agreement on shared-realization

@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Property-based tests (proptest) on the invariants DESIGN.md §5 lists:
 //! algebra laws of GUS parameters, Möbius transform identities, estimator
 //! invariances, and a differential test of the rewriter against direct

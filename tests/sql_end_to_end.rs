@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! End-to-end tests over TPC-H-style data: the paper's introduction query
 //! and APPROX view, AQUA-style correlated FK sampling, SYSTEM sampling, and
 //! multi-aggregate queries — all through SQL text.

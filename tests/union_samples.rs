@@ -1,3 +1,5 @@
+#![allow(deprecated)] // exercises the pre-Engine API on purpose
+
 //! Proposition 7 end to end: the `UnionSamples` plan operator — combining
 //! two independent samples of the same expression, deduplicated by lineage,
 //! analyzed with the union formula
