@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use sa_bench::workloads;
 use sa_core::{GroupedMoments, GusParams, MomentAccumulator};
 use sa_exec::{execute, open_stream, ExecOptions};
-use sa_online::{run_online, OnlineOptions, StoppingRule};
+use sa_online::{run_online, Engine, OnlineOptions, StoppingRule};
 use sa_plan::{AggSpec, LogicalPlan};
 use sa_sampling::SamplingMethod;
 use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
@@ -190,6 +190,34 @@ fn bench_tpch_scan_filter(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability hot-path contract: an exhaustion run through the
+/// engine with metrics on must sit within noise of the same run with
+/// metrics off. Instrumentation is per-chunk and lock-free, never per-row;
+/// `bench_report --check-overhead` turns this comparison into a CI gate.
+fn bench_metrics_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_metrics");
+    group.throughput(Throughput::Elements(100_000));
+    let plan = LogicalPlan::scan("t")
+        .sample(SamplingMethod::Bernoulli { p: 0.5 })
+        .aggregate(vec![AggSpec::sum(sa_expr::col("v"), "s")]);
+    for (name, metrics) in [("metrics_off", false), ("metrics_on", true)] {
+        let engine = Engine::builder(catalog()).metrics(metrics).build();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let r = engine
+                    .session()
+                    .query_plan(black_box(&plan))
+                    .seed(3)
+                    .chunk_rows(4096)
+                    .run()
+                    .unwrap();
+                black_box(r.snapshot.rows())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_accumulate,
@@ -197,6 +225,7 @@ criterion_group!(
     bench_merge,
     bench_stream_vs_materialize,
     bench_progressive_loop,
-    bench_tpch_scan_filter
+    bench_tpch_scan_filter,
+    bench_metrics_overhead
 );
 criterion_main!(benches);

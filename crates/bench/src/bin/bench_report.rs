@@ -11,7 +11,13 @@
 //! ```sh
 //! cargo run --release -p sa-bench --bin bench_report -- --json out.json
 //! cargo run --release -p sa-bench --bin bench_report -- --scale 0.02 --reps 5
+//! cargo run --release -p sa-bench --bin bench_report -- --check-overhead 5
 //! ```
+//!
+//! `--check-overhead PCT` compares the `metrics_on` / `metrics_off`
+//! workload pair and exits non-zero when instrumentation costs more than
+//! PCT percent of exhaustion throughput — the observability layer's
+//! hot-path contract, enforceable in CI.
 
 use std::time::Instant;
 
@@ -149,6 +155,63 @@ fn measure_shared(engine: &Engine, clients: usize, reps: usize) -> Cell {
     }
 }
 
+/// Best-of-`reps` exhaustion runs of the scan workload through two engines
+/// that differ only in the metrics toggle. Reps interleave off/on so slow
+/// drift (thermal, page cache) hits both modes alike.
+fn measure_metrics_pair(catalog: &Catalog, reps: usize) -> [Cell; 2] {
+    let plan = columnar::scan_plan();
+    let engines = [
+        Engine::builder(catalog.clone()).build(),
+        Engine::builder(catalog.clone()).metrics(true).build(),
+    ];
+    let mut best = [f64::INFINITY; 2];
+    let mut rows = [0u64; 2];
+    for _ in 0..reps {
+        for (i, engine) in engines.iter().enumerate() {
+            let t = Instant::now();
+            let r = engine
+                .session()
+                .query_plan(&plan)
+                .seed(1)
+                .chunk_rows(4096)
+                .run()
+                .expect("metrics workload runs");
+            let secs = t.elapsed().as_secs_f64();
+            rows[i] = r.snapshot.rows();
+            best[i] = best[i].min(secs);
+        }
+    }
+    let cell = |workload, i: usize| Cell {
+        workload,
+        jobs: 1,
+        rows: rows[i],
+        secs: best[i],
+    };
+    [cell("metrics_off", 0), cell("metrics_on", 1)]
+}
+
+/// The hot-path gate: metrics on may cost at most `pct` percent over off.
+fn check_overhead(cells: &[Cell], pct: f64) {
+    let secs = |name: &str| {
+        cells
+            .iter()
+            .find(|c| c.workload == name)
+            .expect("metrics workload measured")
+            .secs
+    };
+    let (off, on) = (secs("metrics_off"), secs("metrics_on"));
+    let overhead = (on - off) / off * 100.0;
+    eprintln!(
+        "metrics overhead: off {:.1} ms, on {:.1} ms → {overhead:+.2}% (budget {pct}%)",
+        off * 1e3,
+        on * 1e3
+    );
+    if overhead > pct {
+        eprintln!("metrics overhead exceeds the {pct}% budget");
+        std::process::exit(1);
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -182,14 +245,26 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut scale = 0.02f64;
     let mut reps = 3usize;
+    let mut overhead_budget: Option<f64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
             "--scale" => scale = it.next().expect("--scale needs a value").parse().unwrap(),
             "--reps" => reps = it.next().expect("--reps needs a value").parse().unwrap(),
+            "--check-overhead" => {
+                overhead_budget = Some(
+                    it.next()
+                        .expect("--check-overhead needs a percentage")
+                        .parse()
+                        .unwrap(),
+                );
+            }
             other => {
-                eprintln!("usage: bench_report [--json PATH] [--scale S] [--reps N] (got {other})");
+                eprintln!(
+                    "usage: bench_report [--json PATH] [--scale S] [--reps N] \
+                     [--check-overhead PCT] (got {other})"
+                );
                 std::process::exit(2);
             }
         }
@@ -245,6 +320,19 @@ fn main() {
         );
         cells.push(c);
     }
+    // Metrics overhead pair: the same exhaustion scan with and without the
+    // observability layer recording.
+    for c in measure_metrics_pair(&catalog, reps) {
+        eprintln!(
+            "{:>16} jobs={} rows={:>8} {:>8.1} ms {:>12.0} rows/s",
+            c.workload,
+            c.jobs,
+            c.rows,
+            c.secs * 1e3,
+            c.rows_per_sec()
+        );
+        cells.push(c);
+    }
     println!("workload,jobs,rows,secs,rows_per_sec");
     for c in &cells {
         println!(
@@ -258,5 +346,8 @@ fn main() {
     }
     if let Some(path) = json_path {
         write_json(&path, scale, reps, &cells);
+    }
+    if let Some(pct) = overhead_budget {
+        check_overhead(&cells, pct);
     }
 }

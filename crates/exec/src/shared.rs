@@ -38,6 +38,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
+use sa_obs::{Counter, EventKind, Registry};
 use sa_storage::Table;
 
 use crate::columnar::ColumnarChunk;
@@ -59,6 +60,20 @@ pub struct SharedTableScan {
     max_lag_rows: u64,
     state: Mutex<HubState>,
     turned: Condvar,
+    obs: HubObs,
+}
+
+/// The hub's observability handles. Counter names are engine-global (same
+/// name → same cell across hubs), so totals aggregate naturally; the
+/// default (disabled) handles make every update a single untaken branch.
+#[derive(Debug, Default)]
+struct HubObs {
+    registry: Registry,
+    rows_gathered: Counter,
+    rows_served: Counter,
+    attaches: Counter,
+    detaches: Counter,
+    lag_stalls: Counter,
 }
 
 #[derive(Debug)]
@@ -75,6 +90,9 @@ struct HubState {
     readers: Vec<Option<u64>>,
     /// Total rows gathered from storage — the "N queries ≈ 1 scan" counter.
     rows_gathered: u64,
+    /// Total rows served to cursors (every cursor's consumption summed).
+    /// `rows_served / rows_gathered` is the sharing amplification ratio.
+    rows_served: u64,
 }
 
 #[derive(Debug)]
@@ -90,6 +108,9 @@ struct BusChunk {
 pub struct SharedScanStats {
     /// Total rows gathered from storage since the hub was created.
     pub rows_gathered: u64,
+    /// Total rows served to cursors; `rows_served / rows_gathered` is the
+    /// hub's sharing amplification (≈ concurrent cursors per scan).
+    pub rows_served: u64,
     /// Rows in the underlying table.
     pub table_rows: u64,
     /// Currently attached cursors.
@@ -112,8 +133,10 @@ impl SharedTableScan {
                 window: VecDeque::new(),
                 readers: Vec::new(),
                 rows_gathered: 0,
+                rows_served: 0,
             }),
             turned: Condvar::new(),
+            obs: HubObs::default(),
         }
     }
 
@@ -121,6 +144,22 @@ impl SharedTableScan {
     /// (clamped to at least one bus chunk).
     pub fn with_max_lag_rows(mut self, rows: u64) -> SharedTableScan {
         self.max_lag_rows = rows.max(self.bus_rows as u64);
+        self
+    }
+
+    /// Report this hub's activity to `registry`: engine-global
+    /// `sa_shared_scan_*` counters (shared across hubs by name) plus
+    /// `CursorAttached` journal events. A disabled registry leaves the hub
+    /// uninstrumented (the default).
+    pub fn with_observer(mut self, registry: &Registry) -> SharedTableScan {
+        self.obs = HubObs {
+            registry: registry.clone(),
+            rows_gathered: registry.counter("sa_shared_scan_rows_gathered_total"),
+            rows_served: registry.counter("sa_shared_scan_rows_served_total"),
+            attaches: registry.counter("sa_shared_scan_attach_total"),
+            detaches: registry.counter("sa_shared_scan_detach_total"),
+            lag_stalls: registry.counter("sa_shared_scan_lag_stalls_total"),
+        };
         self
     }
 
@@ -134,6 +173,7 @@ impl SharedTableScan {
         let st = self.state.lock().expect("scan hub poisoned");
         SharedScanStats {
             rows_gathered: st.rows_gathered,
+            rows_served: st.rows_served,
             table_rows: self.table.row_count(),
             attached: st.readers.iter().flatten().count(),
             head: st.head,
@@ -161,6 +201,11 @@ impl SharedTableScan {
             }
         };
         st.readers[slot] = Some(st.head);
+        self.obs.attaches.inc();
+        self.obs.registry.record(EventKind::CursorAttached {
+            head: st.head,
+            attached: st.readers.iter().flatten().count() as u64,
+        });
         SharedScanCursor {
             origin: st.head,
             consumed: 0,
@@ -190,6 +235,7 @@ impl SharedTableScan {
     fn detach(&self, slot: usize) {
         let mut st = self.state.lock().expect("scan hub poisoned");
         st.readers[slot] = None;
+        self.obs.detaches.inc();
         self.evict(&mut st);
         self.turned.notify_all();
     }
@@ -243,6 +289,7 @@ impl SharedScanCursor {
         }
         let hub = self.hub.clone();
         let mut st = hub.state.lock().expect("scan hub poisoned");
+        let mut stall_counted = false;
         loop {
             let pos = self.origin + self.consumed;
             if pos < st.head {
@@ -259,12 +306,15 @@ impl SharedScanCursor {
                     .min((self.total - self.consumed) as usize);
                 let out = bus.chunk.slice(offset, take);
                 self.consumed += take as u64;
+                st.rows_served += take as u64;
+                hub.obs.rows_served.add(take as u64);
                 if self.consumed >= self.total {
                     // Exhausted: release the slot NOW so this cursor can
                     // never become the laggard that stalls the hub while
                     // the owning query finishes up.
                     st.readers[self.slot] = None;
                     self.detached = true;
+                    hub.obs.detaches.inc();
                 } else {
                     st.readers[self.slot] = Some(pos + take as u64);
                 }
@@ -277,6 +327,11 @@ impl SharedScanCursor {
             // consume (or detach).
             let min = st.readers.iter().flatten().copied().min().unwrap_or(pos);
             if st.head.saturating_sub(min) >= hub.max_lag_rows {
+                if !stall_counted {
+                    // One stall event per episode, not per spurious wake.
+                    hub.obs.lag_stalls.inc();
+                    stall_counted = true;
+                }
                 st = hub.turned.wait(st).expect("scan hub poisoned");
                 continue;
             }
@@ -297,6 +352,7 @@ impl SharedScanCursor {
             });
             st.head += produced;
             st.rows_gathered += produced;
+            hub.obs.rows_gathered.add(produced);
             hub.turned.notify_all();
             // Loop: pos is now behind the head and gets served above.
         }
@@ -503,6 +559,41 @@ mod tests {
             "empty chunk keeps the layout"
         );
         assert_eq!(hub.rows_gathered(), 0);
+    }
+
+    #[test]
+    fn observed_hub_reports_amplification_and_attach_lifecycle() {
+        let reg = Registry::new();
+        let hub = Arc::new(SharedTableScan::new(table(1000), 128).with_observer(&reg));
+        let mut a = hub.attach();
+        let mut b = hub.attach();
+        assert_eq!(drain_ids(&mut a, 256).len(), 1000);
+        assert_eq!(drain_ids(&mut b, 256).len(), 1000);
+        let stats = hub.stats();
+        assert_eq!(stats.rows_gathered, 1000, "two cursors, one scan");
+        assert_eq!(stats.rows_served, 2000, "amplification = 2x");
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counter("sa_shared_scan_rows_gathered_total"),
+            Some(1000)
+        );
+        assert_eq!(snap.counter("sa_shared_scan_rows_served_total"), Some(2000));
+        assert_eq!(snap.counter("sa_shared_scan_attach_total"), Some(2));
+        assert_eq!(snap.counter("sa_shared_scan_detach_total"), Some(2));
+        let (events, _) = reg.events();
+        let attaches = events
+            .iter()
+            .filter(|e| matches!(e.kind, sa_obs::EventKind::CursorAttached { .. }))
+            .count();
+        assert_eq!(attaches, 2);
+    }
+
+    #[test]
+    fn uninstrumented_hub_still_tracks_rows_served() {
+        let hub = Arc::new(SharedTableScan::new(table(100), 32));
+        let mut c = hub.attach();
+        drain_ids(&mut c, 50);
+        assert_eq!(hub.stats().rows_served, 100);
     }
 
     #[test]

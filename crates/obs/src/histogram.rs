@@ -1,0 +1,205 @@
+//! A log-scaled histogram over `u64` observations.
+//!
+//! Bucket layout: values 0–3 get their own bucket (indexes 0–3); from 4
+//! up, each power-of-two octave is split into 4 sub-buckets, so the
+//! relative quantile error is bounded by ~25% while the whole `u64` range
+//! fits in [`BUCKETS`] fixed slots. For a value `v ≥ 4` with
+//! `h = floor(log2 v)`, the index is `4*(h-1) + ((v >> (h-2)) & 3)` —
+//! the two bits below the leading bit select the sub-bucket.
+//!
+//! Recording is one relaxed `fetch_add` on the bucket plus relaxed
+//! updates of count/sum/max — no locks, safe from any thread. Reads
+//! (quantiles) walk the bucket array and are approximate in the usual
+//! log-histogram way: a quantile lands in a bucket and reports the
+//! bucket's representative (lower-bound) value.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// 4 singleton buckets + 4 sub-buckets for each octave `2^2..2^63`.
+pub(crate) const BUCKETS: usize = 4 + 4 * 62;
+
+/// The quantiles every snapshot and render reports.
+pub const QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
+fn bucket_index(v: u64) -> usize {
+    if v < 4 {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros() as usize; // floor(log2 v) >= 2
+    4 * (h - 1) + ((v >> (h - 2)) & 3) as usize
+}
+
+/// The lower bound of bucket `i` — the value the quantile readout reports
+/// for observations that landed there.
+fn bucket_floor(i: usize) -> u64 {
+    if i < 4 {
+        return i as u64;
+    }
+    let h = i / 4 + 1;
+    let sub = (i % 4) as u64;
+    (1u64 << h) + (sub << (h - 2))
+}
+
+pub(crate) struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCell {
+    #[inline]
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn snapshot(&self, name: &'static str) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Concurrent recorders may land between the bucket reads and the
+        // count read; derive the count from the buckets we actually saw so
+        // the quantile walk is self-consistent.
+        let count: u64 = buckets.iter().sum();
+        let quantiles = QUANTILES.map(|q| quantile_from(&buckets, count, q));
+        HistogramSnapshot {
+            name,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            quantiles,
+        }
+    }
+}
+
+/// Walk the bucket counts to the first bucket whose cumulative count
+/// reaches `q * count`, and report that bucket's floor.
+fn quantile_from(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0u64;
+    for (i, &b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= rank {
+            return bucket_floor(i);
+        }
+    }
+    bucket_floor(BUCKETS - 1)
+}
+
+/// A point-in-time readout of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered metric name (unit-suffixed, e.g. `sa_query_duration_us`).
+    pub name: &'static str,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Values at [`QUANTILES`] (p50/p95/p99), as bucket lower bounds.
+    pub quantiles: [u64; 3],
+}
+
+impl HistogramSnapshot {
+    /// The p50/p95/p99 readout.
+    pub fn p50(&self) -> u64 {
+        self.quantiles[0]
+    }
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantiles[1]
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantiles[2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn floors_invert_indexes() {
+        // Every bucket's floor maps back to that bucket, and indexes are
+        // monotone in the value.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(i)), i, "bucket {i}");
+        }
+        let mut last = 0;
+        for v in [0u64, 1, 3, 4, 5, 7, 8, 100, 1000, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            assert!(bucket_floor(i) <= v);
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // The bucket floor is within 25% below the true value for v >= 4.
+        for v in [4u64, 9, 17, 100, 999, 4096, 123_456, 1 << 40] {
+            let floor = bucket_floor(bucket_index(v));
+            assert!(floor <= v);
+            assert!((v - floor) as f64 / v as f64 <= 0.25, "v={v} floor={floor}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let cell = HistogramCell::default();
+        // 100 observations: 1..=100 microseconds.
+        for v in 1..=100u64 {
+            cell.record(v);
+        }
+        let snap = cell.snapshot("t_us");
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.sum, 5050);
+        assert_eq!(snap.max, 100);
+        // p50 of 1..=100 is 50; the bucket holding 50 spans [48, 56).
+        assert!(snap.p50() >= 38 && snap.p50() <= 50, "p50={}", snap.p50());
+        assert!(snap.p95() >= 72 && snap.p95() <= 95, "p95={}", snap.p95());
+        assert!(snap.p99() >= 75 && snap.p99() <= 99, "p99={}", snap.p99());
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let cell = HistogramCell::default();
+        let snap = cell.snapshot("t_us");
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p99(), 0);
+    }
+}

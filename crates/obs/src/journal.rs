@@ -1,0 +1,140 @@
+//! A bounded ring journal of structured engine events.
+//!
+//! The journal is a diagnostic trace, not a metric: it answers "what did
+//! query 3 do, in order?" rather than "how many queries ran?". It is
+//! intentionally off the hot path — events fire at query/session/cursor
+//! granularity (never per chunk except `SnapshotEmitted`, never per row),
+//! so one short mutexed push per event is cheap relative to the work the
+//! event marks. When the ring fills, the oldest event is dropped and a
+//! counter records the loss.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub(crate) const DEFAULT_CAPACITY: usize = 1024;
+
+/// What happened. Fields are small copies (ids, counts, static strings) —
+/// an event never borrows engine state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A query began executing (after admission).
+    QueryStarted {
+        /// Owning session id.
+        session: u64,
+        /// Engine-wide query ordinal.
+        query: u64,
+    },
+    /// A progress snapshot was delivered to the caller.
+    SnapshotEmitted {
+        /// Engine-wide query ordinal.
+        query: u64,
+        /// Rows consumed at the snapshot.
+        rows: u64,
+    },
+    /// A stopping rule fired (or the stream drained / the caller
+    /// cancelled) — the query is over.
+    RuleFired {
+        /// Engine-wide query ordinal.
+        query: u64,
+        /// The stop reason's display form (`"ci-converged"`, …).
+        reason: &'static str,
+        /// Scan fraction at stop, in permille of the driving relation.
+        scan_permille: u64,
+    },
+    /// A cursor attached to a shared scan hub.
+    CursorAttached {
+        /// Hub head position (rows) at attach.
+        head: u64,
+        /// Cursors attached after this one.
+        attached: u64,
+    },
+    /// The engine rejected a query at admission (`Error::Busy`).
+    SessionRejected {
+        /// Owning session id.
+        session: u64,
+        /// Queries active at rejection.
+        active: u64,
+    },
+}
+
+/// One journal entry: a kind plus a monotonic timestamp (microseconds
+/// since the registry's epoch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since [`crate::Registry`] creation.
+    pub at_micros: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+pub(crate) struct Journal {
+    ring: Mutex<VecDeque<Event>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    pub(crate) fn new(capacity: usize) -> Journal {
+        Journal {
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn push(&self, event: Event) {
+        let mut ring = self.ring.lock().expect("event journal poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Copy out the ring, oldest first, with the drop count. The ring is
+    /// left intact (reads are cheap and repeatable).
+    pub(crate) fn drain_copy(&self) -> (Vec<Event>, u64) {
+        let ring = self.ring.lock().expect("event journal poisoned");
+        (
+            ring.iter().copied().collect(),
+            self.dropped.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(query: u64) -> Event {
+        Event {
+            at_micros: query,
+            kind: EventKind::SnapshotEmitted { query, rows: 0 },
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_past_capacity() {
+        let j = Journal::new(3);
+        for q in 0..5 {
+            j.push(ev(q));
+        }
+        let (events, dropped) = j.drain_copy();
+        assert_eq!(dropped, 2);
+        let qs: Vec<u64> = events.iter().map(|e| e.at_micros).collect();
+        assert_eq!(qs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn reads_do_not_consume() {
+        let j = Journal::new(8);
+        j.push(ev(1));
+        assert_eq!(j.drain_copy().0.len(), 1);
+        assert_eq!(j.drain_copy().0.len(), 1);
+    }
+}

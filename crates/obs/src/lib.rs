@@ -1,0 +1,438 @@
+//! Std-only observability layer: atomic counters and gauges, log-scaled
+//! latency histograms with quantile readout, and a ring-buffered
+//! structured-event journal.
+//!
+//! The design contract is that **metrics must never perturb the measured
+//! system**:
+//!
+//! - A *disabled* [`Registry`] (the default for a bare `Engine`) hands out
+//!   handles whose every operation is a single branch on a `None` — no
+//!   allocation, no atomics, no locks.
+//! - An *enabled* registry's hot-path operations are single relaxed atomic
+//!   RMWs on pre-registered cells. Registration (the only locking path)
+//!   happens at construction time, never per row or per chunk.
+//! - Nothing in this crate touches the sampling stream: instrumented runs
+//!   must produce byte-identical realized samples and estimates
+//!   (pinned by `tests/observability.rs` in the workspace root).
+//!
+//! Handles are cheap `Arc` clones deduplicated by name: registering
+//! `sa_rows_consumed_total` twice (e.g. from two shared-scan hubs) yields
+//! two handles on the *same* cell, so totals aggregate naturally and every
+//! series exists from construction (a scrape never misses a series just
+//! because nothing incremented it yet).
+
+mod histogram;
+mod journal;
+mod render;
+
+pub use histogram::{HistogramSnapshot, QUANTILES};
+pub use journal::{Event, EventKind};
+pub use render::{CounterSnapshot, GaugeSnapshot, MetricsSnapshot};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use histogram::HistogramCell;
+use journal::Journal;
+
+/// The shared state behind an enabled registry: name-keyed metric cells
+/// plus the event journal. `BTreeMap` keeps snapshots and renders in a
+/// stable, sorted order without a sort at read time.
+struct Inner {
+    epoch: Instant,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<HistogramCell>>>,
+    journal: Journal,
+}
+
+/// A handle to a metrics registry. Cloning is cheap (an `Arc` bump); all
+/// clones observe and feed the same cells. A [`Registry::disabled`]
+/// registry is a `None` inside — every handle it creates is a no-op.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::disabled()
+    }
+}
+
+impl Registry {
+    /// An enabled registry with an empty metric set and event journal.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                journal: Journal::new(journal::DEFAULT_CAPACITY),
+            })),
+        }
+    }
+
+    /// A registry whose handles are all no-ops. This is the default: an
+    /// uninstrumented engine pays one untaken branch per would-be metric
+    /// update.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Microseconds since the registry was created (the journal's
+    /// timestamp base). 0 when disabled.
+    pub fn now_micros(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// Register (or look up) a monotonic counter. Same name → same cell.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter {
+            cell: self.inner.as_ref().map(|inner| {
+                let mut map = inner.counters.lock().expect("counter registry poisoned");
+                Arc::clone(map.entry(name).or_default())
+            }),
+        }
+    }
+
+    /// Register (or look up) a gauge — a signed instantaneous value.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        Gauge {
+            cell: self.inner.as_ref().map(|inner| {
+                let mut map = inner.gauges.lock().expect("gauge registry poisoned");
+                Arc::clone(map.entry(name).or_default())
+            }),
+        }
+    }
+
+    /// Register (or look up) a log-scaled histogram. Use unit-suffixed
+    /// names (`_us`, `_permille`) — the histogram stores integers.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        Histogram {
+            cell: self.inner.as_ref().map(|inner| {
+                let mut map = inner
+                    .histograms
+                    .lock()
+                    .expect("histogram registry poisoned");
+                Arc::clone(map.entry(name).or_default())
+            }),
+        }
+    }
+
+    /// Append a structured event to the ring journal (dropping the oldest
+    /// event once the ring is full). No-op when disabled.
+    pub fn record(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            inner.journal.push(Event {
+                at_micros: inner.epoch.elapsed().as_micros() as u64,
+                kind,
+            });
+        }
+    }
+
+    /// The journal contents, oldest first, plus how many events the ring
+    /// dropped. Empty when disabled.
+    pub fn events(&self) -> (Vec<Event>, u64) {
+        match &self.inner {
+            Some(inner) => inner.journal.drain_copy(),
+            None => (Vec::new(), 0),
+        }
+    }
+
+    /// A point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let Some(inner) = &self.inner else {
+            return MetricsSnapshot::default();
+        };
+        let counters = inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(name, cell)| CounterSnapshot {
+                name,
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        let gauges = inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(name, cell)| GaugeSnapshot {
+                name,
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect();
+        let histograms = inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(name, cell)| cell.snapshot(name))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+            events_dropped: inner.journal.dropped(),
+        }
+    }
+
+    /// Render the current metrics in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// A monotonic counter handle. All operations are relaxed atomics (or
+/// no-ops on a disabled registry).
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1)
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Whether this handle records anywhere (false for handles from a
+    /// disabled registry).
+    pub fn enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// A signed gauge handle for instantaneous quantities (active queries,
+/// attached cursors).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+impl Gauge {
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// A log-scaled histogram handle: 4 buckets per power-of-two octave
+/// (≤ 25% relative error). Records are relaxed atomic adds on fixed-size
+/// bucket arrays.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    cell: Option<Arc<HistogramCell>>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram(count={})", self.count())
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record(value);
+        }
+    }
+
+    /// Number of observations so far (0 when disabled).
+    pub fn count(&self) -> u64 {
+        self.cell.as_ref().map(|c| c.count()).unwrap_or(0)
+    }
+
+    /// Whether this handle records anywhere. Guard `Instant::now()` calls
+    /// that exist only to feed this histogram behind it.
+    pub fn enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+}
+
+/// Time a closure and record its wall duration in microseconds into
+/// `hist`. On a disabled registry the only overhead is the untaken
+/// branch inside [`Histogram::record`] — `Instant::now` is still called,
+/// so do not use this inside per-row loops (per-chunk and coarser only).
+pub fn time_us<T>(hist: &Histogram, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let out = f();
+    hist.record(start.elapsed().as_micros() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        assert!(!reg.enabled());
+        let c = reg.counter("sa_test_total");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let g = reg.gauge("sa_test_gauge");
+        g.add(5);
+        g.set(-3);
+        assert_eq!(g.get(), 0);
+        let h = reg.histogram("sa_test_us");
+        h.record(123);
+        assert_eq!(h.count(), 0);
+        reg.record(EventKind::QueryStarted {
+            session: 1,
+            query: 1,
+        });
+        assert!(reg.events().0.is_empty());
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(reg.render_prometheus(), "");
+    }
+
+    #[test]
+    fn counters_dedupe_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("sa_shared_total");
+        let b = reg.counter("sa_shared_total");
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counters[0].value, 5);
+    }
+
+    #[test]
+    fn gauges_go_up_and_down() {
+        let reg = Registry::new();
+        let g = reg.gauge("sa_active");
+        g.add(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn registry_clones_share_cells() {
+        let reg = Registry::new();
+        let c1 = reg.counter("sa_x_total");
+        let reg2 = reg.clone();
+        let c2 = reg2.counter("sa_x_total");
+        c1.inc();
+        c2.inc();
+        assert_eq!(reg.snapshot().counters[0].value, 2);
+    }
+
+    #[test]
+    fn time_us_records_once() {
+        let reg = Registry::new();
+        let h = reg.histogram("sa_t_us");
+        let v = time_us(&h, || 42);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn events_carry_monotonic_timestamps() {
+        let reg = Registry::new();
+        reg.record(EventKind::QueryStarted {
+            session: 1,
+            query: 1,
+        });
+        reg.record(EventKind::SnapshotEmitted { query: 1, rows: 64 });
+        reg.record(EventKind::RuleFired {
+            query: 1,
+            reason: "exhausted",
+            scan_permille: 1000,
+        });
+        let (events, dropped) = reg.events();
+        assert_eq!(dropped, 0);
+        assert_eq!(events.len(), 3);
+        for pair in events.windows(2) {
+            assert!(pair[0].at_micros <= pair[1].at_micros);
+        }
+        assert!(matches!(
+            events[2].kind,
+            EventKind::RuleFired {
+                reason: "exhausted",
+                ..
+            }
+        ));
+    }
+}

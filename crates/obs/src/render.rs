@@ -1,0 +1,199 @@
+//! Point-in-time metric snapshots and their text renderings
+//! (Prometheus exposition format and JSON).
+//!
+//! Metric names may carry inline Prometheus labels
+//! (`sa_queries_finished_total{reason="exhausted"}`); the renderer groups
+//! `# TYPE` comments by the base name before the `{`, so labeled variants
+//! of one family share a single type declaration.
+
+use crate::histogram::HistogramSnapshot;
+
+/// One counter's point-in-time value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Registered name, possibly with inline labels.
+    pub name: &'static str,
+    /// Value at the snapshot.
+    pub value: u64,
+}
+
+/// One gauge's point-in-time value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    /// Registered name, possibly with inline labels.
+    pub name: &'static str,
+    /// Value at the snapshot.
+    pub value: i64,
+}
+
+/// A full point-in-time copy of a [`crate::Registry`]'s metrics, sorted
+/// by name within each kind. A disabled registry snapshots to the empty
+/// default.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All registered counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All registered gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All registered histograms, with quantile readouts.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Events the ring journal had to drop.
+    pub events_dropped: u64,
+}
+
+/// The metric family name before any `{label}` suffix.
+fn base_name(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by exact registered name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Look up a gauge by exact registered name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Look up a histogram by exact registered name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Render in Prometheus text exposition format: counters and gauges
+    /// as single samples, histograms as summaries with p50/p95/p99
+    /// quantile samples plus `_sum`/`_count`. An empty snapshot renders
+    /// to the empty string.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_base = "";
+        for c in &self.counters {
+            let base = base_name(c.name);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} counter\n"));
+                last_base = base;
+            }
+            out.push_str(&format!("{} {}\n", c.name, c.value));
+        }
+        for g in &self.gauges {
+            let base = base_name(g.name);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} gauge\n"));
+                last_base = base;
+            }
+            out.push_str(&format!("{} {}\n", g.name, g.value));
+        }
+        for h in &self.histograms {
+            out.push_str(&format!("# TYPE {} summary\n", h.name));
+            for (q, v) in crate::QUANTILES.iter().zip(h.quantiles) {
+                out.push_str(&format!("{}{{quantile=\"{q}\"}} {v}\n", h.name));
+            }
+            out.push_str(&format!("{}_sum {}\n", h.name, h.sum));
+            out.push_str(&format!("{}_count {}\n", h.name, h.count));
+        }
+        out
+    }
+
+    /// Render as one JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {name:
+    /// {count, sum, max, p50, p95, p99}}, "events_dropped": n}`.
+    /// Hand-rolled (metric names are static identifiers, so no escaping
+    /// beyond quotes is needed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{:?}:{}", c.name, c.value));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{:?}:{}", g.name, g.value));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{:?}:{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                h.name,
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99(),
+            ));
+        }
+        out.push_str(&format!("}},\"events_dropped\":{}}}", self.events_dropped));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_groups_labeled_counters_under_one_type() {
+        let reg = Registry::new();
+        reg.counter("sa_queries_finished_total{reason=\"exhausted\"}")
+            .add(3);
+        reg.counter("sa_queries_finished_total{reason=\"ci-converged\"}")
+            .add(2);
+        reg.gauge("sa_active_queries").set(1);
+        reg.histogram("sa_query_duration_us").record(100);
+        let text = reg.render_prometheus();
+        assert_eq!(
+            text.matches("# TYPE sa_queries_finished_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("sa_queries_finished_total{reason=\"ci-converged\"} 2"));
+        assert!(text.contains("sa_queries_finished_total{reason=\"exhausted\"} 3"));
+        assert!(text.contains("# TYPE sa_active_queries gauge"));
+        assert!(text.contains("sa_active_queries 1"));
+        assert!(text.contains("# TYPE sa_query_duration_us summary"));
+        assert!(text.contains("sa_query_duration_us{quantile=\"0.5\"}"));
+        assert!(text.contains("sa_query_duration_us{quantile=\"0.99\"}"));
+        assert!(text.contains("sa_query_duration_us_sum 100"));
+        assert!(text.contains("sa_query_duration_us_count 1"));
+    }
+
+    #[test]
+    fn json_round_trips_the_shape() {
+        let reg = Registry::new();
+        reg.counter("sa_a_total").add(7);
+        reg.gauge("sa_g").set(-2);
+        reg.histogram("sa_h_us").record(50);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"sa_a_total\":7"));
+        assert!(json.contains("\"sa_g\":-2"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"events_dropped\":0"));
+    }
+
+    #[test]
+    fn snapshot_lookups_find_metrics() {
+        let reg = Registry::new();
+        reg.counter("sa_a_total").add(4);
+        reg.gauge("sa_g").set(9);
+        reg.histogram("sa_h_us").record(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("sa_a_total"), Some(4));
+        assert_eq!(snap.gauge("sa_g"), Some(9));
+        assert_eq!(snap.histogram("sa_h_us").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+}

@@ -51,7 +51,7 @@ use sa_storage::Catalog;
 
 use crate::api::QueryOptions;
 use crate::error::Error;
-use crate::parallel::run_worker_pool;
+use crate::parallel::{run_worker_pool, PoolObs};
 use crate::Result;
 
 /// Options for the deprecated [`run_online`] free function.
@@ -148,6 +148,10 @@ pub(crate) struct RunCtx {
     /// attach origin becomes a scan-prefix origin shift in the Prop-8
     /// scaling. Ignored for `parallelism > 1`.
     pub(crate) shared: Option<Arc<SharedTableScan>>,
+    /// Worker-pool observability handles (disabled by default — the
+    /// deprecated free functions and uninstrumented engines record
+    /// nothing).
+    pub(crate) pool: PoolObs,
 }
 
 impl RunCtx {
@@ -379,6 +383,7 @@ fn drive_scalar_parallel(
     let (_, reason) = run_worker_pool(
         streams,
         opts.chunk_rows,
+        &ctx.pool,
         || MomentAccumulator::new(n, dims),
         |acc: &mut MomentAccumulator, chunk: &ColumnarChunk| {
             push_scalar_chunk(acc, dim_eval, chunk)

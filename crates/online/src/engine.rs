@@ -43,13 +43,14 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use sa_core::hash::splitmix64;
 use sa_exec::shared::{DEFAULT_BUS_ROWS, DEFAULT_MAX_LAG_ROWS};
 use sa_exec::{shared_scan_table, ApproxOptions, SharedScanStats, SharedTableScan};
 use sa_expr::Expr;
-use sa_plan::LogicalPlan;
+use sa_obs::{Counter, EventKind, Gauge, Histogram, MetricsSnapshot, Registry};
+use sa_plan::{LogicalPlan, StopReason};
 use sa_sql::plan_online_grouped_sql;
 use sa_storage::Catalog;
 
@@ -57,6 +58,7 @@ use crate::api::{BatchOutput, QueryOptions, QueryResult, Snapshot};
 use crate::driver::{drive_scalar, RunCtx};
 use crate::error::Error;
 use crate::grouped::drive_grouped;
+use crate::parallel::PoolObs;
 use crate::Result;
 
 /// Everything sessions share, behind one allocation.
@@ -73,6 +75,119 @@ struct EngineInner {
     active: AtomicUsize,
     /// Session ordinal counter (seed derivation).
     sessions: AtomicU64,
+    /// Query ordinal counter (event correlation ids).
+    queries: AtomicU64,
+    /// Metrics and event handles ([`EngineObs::disabled`] unless the
+    /// engine was built with [`EngineBuilder::metrics`]).
+    obs: EngineObs,
+}
+
+/// The engine's observability handles, pre-registered at build time so
+/// every series exists from the first scrape (a counter that has never
+/// fired still renders as `0`). Disabled handles (the default) turn every
+/// update into one untaken branch — see the `sa-obs` crate docs for the
+/// hot-path contract.
+struct EngineObs {
+    registry: Registry,
+    sessions_opened: Counter,
+    queries_started: Counter,
+    /// Indexed by [`reason_ix`]: one labeled counter per stop reason.
+    queries_finished: [Counter; 5],
+    queries_rejected: Counter,
+    query_errors: Counter,
+    batch_queries: Counter,
+    snapshots: Counter,
+    rows_consumed: Counter,
+    active_queries: Gauge,
+    query_duration_us: Histogram,
+    first_snapshot_us: Histogram,
+    stop_scan_permille: Histogram,
+    /// Handles the worker pool updates (cloned into each query's
+    /// [`RunCtx`]).
+    pool: PoolObs,
+}
+
+/// The fixed index of each stop reason in `queries_finished` (and the
+/// `reason=` label value it was registered under).
+fn reason_ix(reason: StopReason) -> usize {
+    match reason {
+        StopReason::CiConverged => 0,
+        StopReason::RowBudget => 1,
+        StopReason::TimeBudget => 2,
+        StopReason::Exhausted => 3,
+        StopReason::Cancelled => 4,
+    }
+}
+
+/// [`StopReason`]'s display form as a static string (journal events store
+/// no allocations).
+fn reason_str(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::CiConverged => "ci-converged",
+        StopReason::RowBudget => "row-budget",
+        StopReason::TimeBudget => "time-budget",
+        StopReason::Exhausted => "exhausted",
+        StopReason::Cancelled => "cancelled",
+    }
+}
+
+impl EngineObs {
+    fn new(registry: Registry) -> EngineObs {
+        // Shared-scan counters are owned by the hubs (`with_observer`), but
+        // registering the names here makes the series visible before the
+        // first hub exists.
+        registry.counter("sa_shared_scan_rows_gathered_total");
+        registry.counter("sa_shared_scan_rows_served_total");
+        registry.counter("sa_shared_scan_attach_total");
+        registry.counter("sa_shared_scan_detach_total");
+        registry.counter("sa_shared_scan_lag_stalls_total");
+        EngineObs {
+            sessions_opened: registry.counter("sa_sessions_opened_total"),
+            queries_started: registry.counter("sa_queries_started_total"),
+            queries_finished: [
+                registry.counter("sa_queries_finished_total{reason=\"ci-converged\"}"),
+                registry.counter("sa_queries_finished_total{reason=\"row-budget\"}"),
+                registry.counter("sa_queries_finished_total{reason=\"time-budget\"}"),
+                registry.counter("sa_queries_finished_total{reason=\"exhausted\"}"),
+                registry.counter("sa_queries_finished_total{reason=\"cancelled\"}"),
+            ],
+            queries_rejected: registry.counter("sa_queries_rejected_total"),
+            query_errors: registry.counter("sa_query_errors_total"),
+            batch_queries: registry.counter("sa_batch_queries_total"),
+            snapshots: registry.counter("sa_snapshots_emitted_total"),
+            rows_consumed: registry.counter("sa_rows_consumed_total"),
+            active_queries: registry.gauge("sa_active_queries"),
+            query_duration_us: registry.histogram("sa_query_duration_us"),
+            first_snapshot_us: registry.histogram("sa_time_to_first_snapshot_us"),
+            stop_scan_permille: registry.histogram("sa_stop_scan_permille"),
+            pool: PoolObs {
+                chunks: registry.counter("sa_worker_chunks_total"),
+                rows: registry.counter("sa_worker_rows_total"),
+                stalls: registry.counter("sa_worker_backpressure_stalls_total"),
+                merge_us: registry.histogram("sa_coordinator_merge_us"),
+            },
+            registry,
+        }
+    }
+
+    fn disabled() -> EngineObs {
+        EngineObs {
+            registry: Registry::disabled(),
+            sessions_opened: Counter::default(),
+            queries_started: Counter::default(),
+            queries_finished: Default::default(),
+            queries_rejected: Counter::default(),
+            query_errors: Counter::default(),
+            batch_queries: Counter::default(),
+            snapshots: Counter::default(),
+            rows_consumed: Counter::default(),
+            active_queries: Gauge::default(),
+            query_duration_us: Histogram::default(),
+            first_snapshot_us: Histogram::default(),
+            stop_scan_permille: Histogram::default(),
+            pool: PoolObs::default(),
+        }
+    }
 }
 
 /// The owned query engine: a catalog plus the serving policy (default
@@ -113,6 +228,7 @@ pub struct EngineBuilder {
     shared_scans: bool,
     bus_rows: usize,
     max_lag_rows: u64,
+    metrics: bool,
 }
 
 impl EngineBuilder {
@@ -148,6 +264,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Record metrics and structured events into an [`sa_obs::Registry`]
+    /// owned by the engine — read them back via [`Engine::metrics`],
+    /// [`Engine::registry`] or [`Engine::render_prometheus`]. Default off:
+    /// every would-be metric update is then a single untaken branch, and
+    /// instrumentation can never perturb the realized sample either way
+    /// (pinned by `tests/observability.rs`).
+    pub fn metrics(mut self, on: bool) -> EngineBuilder {
+        self.metrics = on;
+        self
+    }
+
     /// Build the engine.
     pub fn build(self) -> Engine {
         Engine {
@@ -161,6 +288,12 @@ impl EngineBuilder {
                 scans: Mutex::new(HashMap::new()),
                 active: AtomicUsize::new(0),
                 sessions: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+                obs: if self.metrics {
+                    EngineObs::new(Registry::new())
+                } else {
+                    EngineObs::disabled()
+                },
             }),
         }
     }
@@ -182,6 +315,7 @@ impl Engine {
             shared_scans: false,
             bus_rows: DEFAULT_BUS_ROWS,
             max_lag_rows: DEFAULT_MAX_LAG_ROWS,
+            metrics: false,
         }
     }
 
@@ -196,6 +330,7 @@ impl Engine {
     /// [`QueryBuilder::seed`]).
     pub fn session(&self) -> Session {
         let ordinal = self.inner.sessions.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.obs.sessions_opened.inc();
         Session {
             engine: self.clone(),
             id: ordinal,
@@ -206,6 +341,53 @@ impl Engine {
     /// Queries currently in flight (admitted, not yet finished).
     pub fn active_queries(&self) -> usize {
         self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// The engine's metrics registry — disabled (every read empty, every
+    /// write a no-op) unless the engine was built with
+    /// [`EngineBuilder::metrics`]. Hand it to custom components (extra
+    /// [`SharedTableScan::with_observer`] hubs, a server front-end) so
+    /// their series land in the same scrape.
+    pub fn registry(&self) -> &Registry {
+        &self.inner.obs.registry
+    }
+
+    /// A point-in-time snapshot of every engine metric (empty when metrics
+    /// are off).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.obs.registry.snapshot()
+    }
+
+    /// Render the engine's metrics in Prometheus text exposition format,
+    /// with live per-table shared-scan gauges appended (attached cursors
+    /// and hub head position per hub). Empty when metrics are off.
+    pub fn render_prometheus(&self) -> String {
+        if !self.inner.obs.registry.enabled() {
+            return String::new();
+        }
+        let mut out = self.inner.obs.registry.render_prometheus();
+        let scans = self.inner.scans.lock().expect("scan registry poisoned");
+        let mut tables: Vec<&String> = scans.keys().collect();
+        tables.sort();
+        if !tables.is_empty() {
+            out.push_str("# TYPE sa_shared_scan_attached gauge\n");
+            for t in &tables {
+                let stats = scans[t.as_str()].stats();
+                out.push_str(&format!(
+                    "sa_shared_scan_attached{{table=\"{t}\"}} {}\n",
+                    stats.attached
+                ));
+            }
+            out.push_str("# TYPE sa_shared_scan_head gauge\n");
+            for t in &tables {
+                let stats = scans[t.as_str()].stats();
+                out.push_str(&format!(
+                    "sa_shared_scan_head{{table=\"{t}\"}} {}\n",
+                    stats.head
+                ));
+            }
+        }
+        out
     }
 
     /// The shared scan hub for `table`, created on first use — public so
@@ -219,7 +401,9 @@ impl Engine {
         }
         let t = self.inner.catalog.get(table)?;
         let hub = Arc::new(
-            SharedTableScan::new(t, self.inner.bus_rows).with_max_lag_rows(self.inner.max_lag_rows),
+            SharedTableScan::new(t, self.inner.bus_rows)
+                .with_max_lag_rows(self.inner.max_lag_rows)
+                .with_observer(&self.inner.obs.registry),
         );
         scans.insert(table.to_string(), Arc::clone(&hub));
         Ok(hub)
@@ -231,12 +415,18 @@ impl Engine {
         scans.get(table).map(|h| h.stats())
     }
 
-    /// Admit one query or fail fast with [`Error::Busy`].
-    fn admit(&self) -> Result<AdmitGuard> {
+    /// Admit one query for `session` or fail fast with [`Error::Busy`]
+    /// (counted as an admission rejection).
+    fn admit(&self, session: u64) -> Result<AdmitGuard> {
         let max = self.inner.max_concurrent;
         let mut cur = self.inner.active.load(Ordering::Relaxed);
         loop {
             if cur >= max {
+                self.inner.obs.queries_rejected.inc();
+                self.inner.obs.registry.record(EventKind::SessionRejected {
+                    session,
+                    active: cur as u64,
+                });
                 return Err(Error::Busy { active: cur, max });
             }
             match self.inner.active.compare_exchange_weak(
@@ -245,7 +435,10 @@ impl Engine {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(AdmitGuard(self.clone())),
+                Ok(_) => {
+                    self.inner.obs.active_queries.add(1);
+                    return Ok(AdmitGuard(self.clone()));
+                }
                 Err(now) => cur = now,
             }
         }
@@ -282,6 +475,7 @@ struct AdmitGuard(Engine);
 impl Drop for AdmitGuard {
     fn drop(&mut self) {
         self.0.inner.active.fetch_sub(1, Ordering::AcqRel);
+        self.0.inner.obs.active_queries.add(-1);
     }
 }
 
@@ -328,6 +522,7 @@ impl Session {
         opts.seed = self.seed;
         QueryBuilder {
             engine: self.engine.clone(),
+            session: self.id,
             input,
             group_by: Vec::new(),
             opts,
@@ -344,6 +539,7 @@ enum QueryInput {
 /// of the six `run_online*`/`approx_*` free functions.
 pub struct QueryBuilder {
     engine: Engine,
+    session: u64,
     input: QueryInput,
     group_by: Vec<Expr>,
     opts: QueryOptions,
@@ -439,9 +635,10 @@ impl QueryBuilder {
     /// Run synchronously, invoking `on_snapshot` after every chunk
     /// (including the final one).
     pub fn run_with(self, on_snapshot: impl FnMut(Snapshot)) -> Result<QueryResult> {
-        let _guard = self.engine.admit()?;
+        let _guard = self.engine.admit(self.session)?;
         execute(
             &self.engine,
+            self.session,
             self.input,
             self.group_by,
             self.opts,
@@ -454,10 +651,11 @@ impl QueryBuilder {
     /// streams snapshots, supports cancellation, and yields the final
     /// result.
     pub fn online(self) -> Result<QueryHandle> {
-        let guard = self.engine.admit()?;
+        let guard = self.engine.admit(self.session)?;
         let cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel();
         let engine = self.engine;
+        let session = self.session;
         let input = self.input;
         let group_by = self.group_by;
         let opts = self.opts;
@@ -466,11 +664,19 @@ impl QueryBuilder {
             .name("sa-query".into())
             .spawn(move || {
                 let _guard = guard; // released when the query finishes
-                execute(&engine, input, group_by, opts, Some(cancel_in), |snap| {
-                    // A receiver that went away is cancellation by
-                    // disinterest, not an error.
-                    let _ = tx.send(snap);
-                })
+                execute(
+                    &engine,
+                    session,
+                    input,
+                    group_by,
+                    opts,
+                    Some(cancel_in),
+                    |snap| {
+                        // A receiver that went away is cancellation by
+                        // disinterest, not an error.
+                        let _ = tx.send(snap);
+                    },
+                )
             })
             .map_err(|e| Error::Unsupported(format!("cannot spawn query worker: {e}")))?;
         Ok(QueryHandle {
@@ -484,7 +690,8 @@ impl QueryBuilder {
     /// snapshots, no stopping rule, just the final estimates with
     /// intervals.
     pub fn batch(self) -> Result<BatchOutput> {
-        let _guard = self.engine.admit()?;
+        let _guard = self.engine.admit(self.session)?;
+        self.engine.inner.obs.batch_queries.inc();
         let (plan, group_by, opts) = resolve(&self.engine, self.input, self.group_by, self.opts)?;
         let approx = ApproxOptions {
             seed: opts.seed,
@@ -530,34 +737,95 @@ fn resolve(
     }
 }
 
+/// The scan fraction at stop, in permille: the *worst* (smallest)
+/// per-relation coverage of the final snapshot — 1000 means every relation
+/// was fully scanned.
+fn scan_permille(progress: &[(u64, u64)]) -> u64 {
+    progress
+        .iter()
+        .filter(|&&(_, available)| available > 0)
+        .map(|&(consumed, available)| consumed.min(available) * 1000 / available)
+        .min()
+        .unwrap_or(1000)
+}
+
 /// The one dispatch point every terminal funnels into: resolve the input,
 /// pick a shared scan hub if eligible, and run the scalar or grouped
 /// progressive loop.
+///
+/// All instrumentation lives here and in the components the run context
+/// carries — never inside the per-row paths — so an instrumented run
+/// consumes the byte-identical sample realization an uninstrumented run
+/// does (pinned by `tests/observability.rs`).
 fn execute(
     engine: &Engine,
+    session: u64,
     input: QueryInput,
     group_by: Vec<Expr>,
     opts: QueryOptions,
     cancel: Option<Arc<AtomicBool>>,
     mut on_snapshot: impl FnMut(Snapshot),
 ) -> Result<QueryResult> {
+    let obs = &engine.inner.obs;
+    let query = engine.inner.queries.fetch_add(1, Ordering::Relaxed) + 1;
     let (plan, group_by, opts) = resolve(engine, input, group_by, opts)?;
     let ctx = RunCtx {
         cancel,
         shared: engine.shared_hub(&plan, &opts)?,
+        pool: obs.pool.clone(),
+    };
+    obs.queries_started.inc();
+    obs.registry
+        .record(EventKind::QueryStarted { session, query });
+    let start = Instant::now();
+    let mut first = true;
+    let mut prev_rows = 0u64;
+    let mut tick = |rows: u64| {
+        if first {
+            first = false;
+            if obs.first_snapshot_us.enabled() {
+                obs.first_snapshot_us
+                    .record(start.elapsed().as_micros() as u64);
+            }
+        }
+        obs.snapshots.inc();
+        obs.rows_consumed.add(rows.saturating_sub(prev_rows));
+        obs.registry
+            .record(EventKind::SnapshotEmitted { query, rows });
+        prev_rows = rows;
     };
     let catalog = engine.catalog();
-    if group_by.is_empty() {
+    let result = if group_by.is_empty() {
         drive_scalar(&plan, catalog, &opts, &ctx, |s| {
+            tick(s.rows);
             on_snapshot(Snapshot::Scalar(s.clone()))
         })
         .map(QueryResult::from)
     } else {
         drive_grouped(&plan, &group_by, catalog, &opts, &ctx, |s| {
+            tick(s.rows);
             on_snapshot(Snapshot::Grouped(s.clone()))
         })
         .map(QueryResult::from)
+    };
+    match &result {
+        Ok(r) => {
+            if obs.query_duration_us.enabled() {
+                obs.query_duration_us
+                    .record(start.elapsed().as_micros() as u64);
+            }
+            obs.queries_finished[reason_ix(r.reason)].inc();
+            let permille = scan_permille(r.snapshot.progress());
+            obs.stop_scan_permille.record(permille);
+            obs.registry.record(EventKind::RuleFired {
+                query,
+                reason: reason_str(r.reason),
+                scan_permille: permille,
+            });
+        }
+        Err(_) => obs.query_errors.inc(),
     }
+    result
 }
 
 /// A running online query: snapshots stream out as they are produced;
@@ -848,6 +1116,145 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(engine.scan_stats("t").unwrap().rows_gathered, 6000);
+    }
+
+    #[test]
+    fn wait_after_cancel_returns_cancelled_with_the_terminal_snapshot() {
+        // Regression: wait() directly after cancel() — without pumping the
+        // snapshot channel — must join cleanly and report the unambiguous
+        // terminal reason, with the final snapshot equal to the last one
+        // the channel delivered.
+        let engine = Engine::new(catalog(500_000));
+        let handle = engine
+            .session()
+            .query_plan(&sum_plan(0.9))
+            .seed(5)
+            .chunk_rows(64)
+            .online()
+            .unwrap();
+        handle.snapshots().next().expect("running");
+        handle.cancel();
+        let r = handle.wait().unwrap();
+        assert_eq!(r.reason, StopReason::Cancelled);
+        assert!(
+            r.snapshot.rows() > 0,
+            "terminal snapshot is a real estimate"
+        );
+    }
+
+    #[test]
+    fn double_cancel_is_idempotent_and_unambiguous() {
+        let engine = Engine::new(catalog(500_000));
+        let handle = engine
+            .session()
+            .query_plan(&sum_plan(0.9))
+            .seed(6)
+            .chunk_rows(64)
+            .online()
+            .unwrap();
+        handle.cancel();
+        handle.cancel(); // second cancel must be a no-op, not a panic/race
+        let mut last_rows = 0;
+        for snap in handle.snapshots() {
+            last_rows = snap.rows();
+        }
+        let r = handle.wait().unwrap();
+        assert_eq!(r.reason, StopReason::Cancelled);
+        // The channel's last snapshot IS the terminal snapshot.
+        assert_eq!(r.snapshot.rows(), last_rows);
+        let (consumed, available) = r.snapshot.progress()[0];
+        assert!(consumed < available, "cancelled well before exhaustion");
+    }
+
+    #[test]
+    fn metrics_engine_counts_the_query_lifecycle() {
+        let engine = Engine::builder(catalog(4000)).metrics(true).build();
+        assert!(engine.registry().enabled());
+        let r = engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .seed(2)
+            .chunk_rows(256)
+            .run()
+            .unwrap();
+        let snap = engine.metrics();
+        assert_eq!(snap.counter("sa_sessions_opened_total"), Some(1));
+        assert_eq!(snap.counter("sa_queries_started_total"), Some(1));
+        assert_eq!(
+            snap.counter("sa_queries_finished_total{reason=\"exhausted\"}"),
+            Some(1)
+        );
+        assert_eq!(snap.counter("sa_snapshots_emitted_total"), Some(r.chunks));
+        assert_eq!(
+            snap.counter("sa_rows_consumed_total"),
+            Some(r.snapshot.rows())
+        );
+        assert_eq!(snap.gauge("sa_active_queries"), Some(0));
+        let dur = snap.histogram("sa_query_duration_us").unwrap();
+        assert_eq!(dur.count, 1);
+        let scan = snap.histogram("sa_stop_scan_permille").unwrap();
+        assert_eq!((scan.count, scan.max), (1, 1000), "exhausted = full scan");
+        let ttfs = snap.histogram("sa_time_to_first_snapshot_us").unwrap();
+        assert_eq!(ttfs.count, 1);
+        // The journal tells the same story, in order.
+        let (events, _) = engine.registry().events();
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::QueryStarted { .. } => "started",
+                EventKind::SnapshotEmitted { .. } => "snap",
+                EventKind::RuleFired { .. } => "fired",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds.first(), Some(&"started"));
+        assert_eq!(kinds.last(), Some(&"fired"));
+        assert_eq!(
+            kinds.iter().filter(|k| **k == "snap").count() as u64,
+            r.chunks
+        );
+    }
+
+    #[test]
+    fn uninstrumented_engine_reads_empty_metrics() {
+        let engine = Engine::new(catalog(100));
+        engine.session().query_plan(&sum_plan(0.5)).run().unwrap();
+        assert!(!engine.registry().enabled());
+        assert_eq!(engine.metrics(), MetricsSnapshot::default());
+        assert_eq!(engine.render_prometheus(), "");
+    }
+
+    #[test]
+    fn rejected_queries_count_as_admission_rejections() {
+        let engine = Engine::builder(catalog(500_000))
+            .max_concurrent(1)
+            .metrics(true)
+            .build();
+        let handle = engine
+            .session()
+            .query_plan(&sum_plan(0.9))
+            .chunk_rows(64)
+            .online()
+            .unwrap();
+        handle.snapshots().next().expect("running");
+        let err = engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, Error::Busy { .. }));
+        handle.cancel();
+        handle.wait().unwrap();
+        let snap = engine.metrics();
+        assert_eq!(snap.counter("sa_queries_rejected_total"), Some(1));
+        assert_eq!(
+            snap.counter("sa_queries_finished_total{reason=\"cancelled\"}"),
+            Some(1)
+        );
+        let (events, _) = engine.registry().events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SessionRejected { active: 1, .. })));
     }
 
     #[test]

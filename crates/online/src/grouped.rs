@@ -518,6 +518,7 @@ fn drive_grouped_parallel(
     let (_, reason) = run_worker_pool(
         streams,
         opts.chunk_rows,
+        &ctx.pool,
         || GroupedMomentAccumulator::<Vec<Value>>::new(n, dims),
         |acc: &mut GroupedMomentAccumulator<Vec<Value>>, chunk: &ColumnarChunk| {
             push_grouped_chunk(acc, key_kernels, dim_eval, chunk)

@@ -85,6 +85,7 @@ pub use grouped::{group_snapshot, GroupProgress, GroupedOnlineResult, GroupedPro
 #[allow(deprecated)]
 pub use grouped::{run_online_grouped, run_online_grouped_sql, GroupedOnlineOptions};
 // The vocabulary types callers need alongside the driver.
+pub use sa_obs::{Event, EventKind, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use sa_plan::{CiTarget, StopReason, StoppingRule};
 
 /// Crate-wide result alias.

@@ -33,12 +33,33 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Condvar, Mutex};
+use std::time::Instant;
 
 use sa_exec::{ChunkStream, ColumnarChunk};
+use sa_obs::{Counter, Histogram};
 use sa_storage::Value;
 
 use crate::error::Error;
 use crate::Result;
+
+/// The worker pool's observability handles, threaded in through
+/// [`crate::driver::RunCtx`]. The default (disabled) handles make every
+/// update a single untaken branch, so the deprecated free functions and
+/// uninstrumented engines pay nothing.
+#[derive(Clone, Default)]
+pub(crate) struct PoolObs {
+    /// Chunks accumulated by workers (`sa_worker_chunks_total`).
+    pub(crate) chunks: Counter,
+    /// Rows accumulated by workers (`sa_worker_rows_total`); together with
+    /// wall time this gives rows/s per worker.
+    pub(crate) rows: Counter,
+    /// Backpressure episodes: a worker parked because its un-drained
+    /// deltas hit the bound (`sa_worker_backpressure_stalls_total`).
+    pub(crate) stalls: Counter,
+    /// Wall time of one coordinator drain-and-merge tick
+    /// (`sa_coordinator_merge_us`).
+    pub(crate) merge_us: Histogram,
+}
 
 /// An accumulator that can absorb a shard built over the same lineage
 /// schema — the merge the coordinator folds worker state with. Deltas are
@@ -106,6 +127,7 @@ struct Shard<A> {
 pub(crate) fn run_worker_pool<A, P, J>(
     streams: Vec<ChunkStream>,
     chunk_rows: usize,
+    obs: &PoolObs,
     new_acc: impl Fn() -> A + Sync,
     push_chunk: P,
     mut judge: J,
@@ -149,6 +171,7 @@ where
                     chunk_rows,
                     backpressure,
                     shard,
+                    obs,
                     new_acc,
                     push_chunk,
                     cancel,
@@ -167,6 +190,9 @@ where
                 if rx.recv().is_ok() {
                     while rx.try_recv().is_ok() {}
                 }
+                // Instant::now only when a histogram is listening — the
+                // uninstrumented pool's tick stays syscall-free here.
+                let merge_start = obs.merge_us.enabled().then(Instant::now);
                 let mut progress = vec![(0u64, 0u64); nrels];
                 let mut exhausted = true;
                 for shard in &shards {
@@ -193,6 +219,9 @@ where
                     for delta in &deltas {
                         global.absorb(delta)?;
                     }
+                }
+                if let Some(t) = merge_start {
+                    obs.merge_us.record(t.elapsed().as_micros() as u64);
                 }
                 // A ping with no new rows (a worker's final empty pull, a
                 // backpressure re-ping) would replay the previous snapshot
@@ -232,6 +261,7 @@ fn worker_loop<A, P>(
     chunk_rows: usize,
     backpressure: u64,
     shard: &Shard<A>,
+    obs: &PoolObs,
     new_acc: &(impl Fn() -> A + Sync),
     push_chunk: &P,
     cancel: &AtomicBool,
@@ -269,6 +299,8 @@ fn worker_loop<A, P>(
         if let Some(local) = delta {
             s.deltas.push(local);
             s.pending_rows += chunk.rows() as u64;
+            obs.chunks.inc();
+            obs.rows.add(chunk.rows() as u64);
         }
         s.progress = stream.progress();
         s.exhausted = exhausted;
@@ -276,7 +308,13 @@ fn worker_loop<A, P>(
         // of rows, wait for the coordinator to drain them — running further
         // ahead only grows the overshoot past a stopping rule the
         // coordinator has not judged yet.
+        let mut stall_counted = false;
         while s.pending_rows >= backpressure && !cancel.load(Ordering::Relaxed) {
+            if !stall_counted {
+                // One stall per episode, not per spurious wake.
+                obs.stalls.inc();
+                stall_counted = true;
+            }
             // The ping must be in flight before parking, or the coordinator
             // may never wake to drain us.
             let _ = tx.send(());

@@ -34,10 +34,31 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 
+use sa_obs::Counter;
 use sa_online::{Engine, QueryOptions, Session};
 use sa_storage::Catalog;
 
 use protocol::{err_line, final_lines, parse, snap_line, Request};
+
+/// Server-side counters, registered on the engine's metrics registry so
+/// they ride along in `STATS` dumps and [`Engine::metrics`] snapshots.
+#[derive(Clone, Default)]
+struct ServerObs {
+    connections: Counter,
+    bad_requests: Counter,
+    disconnects: Counter,
+}
+
+impl ServerObs {
+    fn new(engine: &Engine) -> ServerObs {
+        let registry = engine.registry();
+        ServerObs {
+            connections: registry.counter("sa_server_connections_total"),
+            bad_requests: registry.counter("sa_server_bad_requests_total"),
+            disconnects: registry.counter("sa_server_disconnects_total"),
+        }
+    }
+}
 
 /// Serving policy for [`Server::bind`].
 #[derive(Debug, Clone)]
@@ -83,13 +104,14 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind `config.addr`, build the engine (shared scans on, admission
-    /// bound from the config) over `catalog`, and start serving.
+    /// Bind `config.addr`, build the engine (shared scans and metrics on,
+    /// admission bound from the config) over `catalog`, and start serving.
     pub fn bind(catalog: Catalog, config: &ServerConfig) -> std::io::Result<Server> {
         let engine = Engine::builder(catalog)
             .defaults(config.defaults.clone())
             .max_concurrent(config.max_concurrent)
             .shared_scans(true)
+            .metrics(true)
             .build();
         Server::serve(engine, config)
     }
@@ -107,10 +129,12 @@ impl Server {
         // and the rest queue in the listener backlog.
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(0);
         let rx = Arc::new(Mutex::new(rx));
+        let obs = ServerObs::new(&engine);
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let engine = engine.clone();
+                let obs = obs.clone();
                 thread::Builder::new()
                     .name(format!("sa-serve-{i}"))
                     .spawn(move || loop {
@@ -118,8 +142,14 @@ impl Server {
                             Ok(conn) => conn,
                             Err(_) => return, // accept loop gone
                         };
+                        obs.connections.inc();
                         let session = engine.session();
-                        let _ = handle_connection(conn, session, snapshot_every);
+                        if handle_connection(conn, session, snapshot_every, &obs).is_err() {
+                            // The client vanished mid-exchange (or the socket
+                            // died); the query path has already cancelled and
+                            // reaped any in-flight work.
+                            obs.disconnects.inc();
+                        }
                     })
                     .expect("spawn server worker")
             })
@@ -194,6 +224,7 @@ fn handle_connection(
     conn: TcpStream,
     session: Session,
     snapshot_every: u64,
+    obs: &ServerObs,
 ) -> std::io::Result<()> {
     let reader = BufReader::new(conn.try_clone()?);
     let mut out = BufWriter::new(conn);
@@ -206,11 +237,18 @@ fn handle_connection(
                 writeln!(out, "OK")?;
             }
             Ok(Request::Quit) => break,
+            Ok(Request::Stats) => {
+                out.write_all(session.engine().render_prometheus().as_bytes())?;
+                writeln!(out, "DONE")?;
+            }
             Ok(Request::Query(sql)) => {
                 run_query(&mut out, &session, &sql, seed, snapshot_every)?;
                 writeln!(out, "DONE")?;
             }
-            Err(msg) => writeln!(out, "{}", err_line(&msg))?,
+            Err(msg) => {
+                obs.bad_requests.inc();
+                writeln!(out, "{}", err_line(&msg))?;
+            }
         }
         out.flush()?;
     }
@@ -218,6 +256,13 @@ fn handle_connection(
 }
 
 /// Run one query, streaming throttled `SNAP` lines and the `FINAL` readout.
+///
+/// Runs through an online [`sa_online::QueryHandle`] so a client that
+/// disconnects mid-stream cancels the query instead of letting it run to
+/// completion holding an admission slot and (under shared scans) a hub
+/// cursor. The first failed `SNAP` write cancels; `wait()` then reaps the
+/// query thread — dropping its admission guard and detaching its cursor —
+/// before the I/O error propagates to the connection loop.
 fn run_query(
     out: &mut impl Write,
     session: &Session,
@@ -229,17 +274,27 @@ fn run_query(
     if let Some(s) = seed {
         builder = builder.seed(s);
     }
-    // Progress lines go straight to the socket as the query runs; any I/O
-    // error is remembered and re-raised after the run.
+    let handle = match builder.online() {
+        Ok(handle) => handle,
+        Err(e) => {
+            writeln!(out, "{}", err_line(&e.to_string()))?;
+            return Ok(());
+        }
+    };
     let mut io_err = None;
-    let result = builder.run_with(|snap| {
-        if io_err.is_some() || snapshot_every == 0 || snap.chunk() % snapshot_every != 0 {
-            return;
+    for snap in handle.snapshots() {
+        if snapshot_every == 0 || snap.chunk() % snapshot_every != 0 {
+            continue;
         }
         if let Err(e) = writeln!(out, "{}", snap_line(&snap)).and_then(|_| out.flush()) {
+            handle.cancel();
             io_err = Some(e);
+            break;
         }
-    });
+    }
+    // Always reap the query thread, even on the disconnect path: this is
+    // what releases the admission slot and the shared-scan cursor.
+    let result = handle.wait();
     if let Some(e) = io_err {
         return Err(e);
     }
@@ -304,6 +359,112 @@ mod tests {
         assert_eq!(lines[0], "OK");
         assert_eq!(lines[1], "OK");
         assert!(lines[2].starts_with("ERR unknown request"), "{}", lines[2]);
+        let metrics = server.engine().metrics();
+        assert_eq!(metrics.counter("sa_server_bad_requests_total"), Some(1));
+        assert_eq!(metrics.counter("sa_server_connections_total"), Some(1));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_query_lines_hold_no_admission_slot() {
+        let server = start(100);
+        let lines = exchange(server.local_addr(), &["QUERY", "QUERY   ", "PING"]);
+        assert!(lines[0].starts_with("ERR QUERY needs SQL"), "{}", lines[0]);
+        assert!(lines[1].starts_with("ERR QUERY needs SQL"), "{}", lines[1]);
+        assert_eq!(lines[2], "OK");
+        assert_eq!(server.engine().active_queries(), 0);
+        let metrics = server.engine().metrics();
+        assert_eq!(metrics.counter("sa_server_bad_requests_total"), Some(2));
+        assert_eq!(metrics.counter("sa_queries_started_total"), Some(0));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_reports_prometheus_metrics() {
+        let server = start(4000);
+        let lines = exchange(
+            server.local_addr(),
+            &[
+                "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)",
+                "STATS",
+            ],
+        );
+        assert_eq!(lines.last().unwrap(), "DONE");
+        let dump = lines.join("\n");
+        assert!(
+            dump.contains("# TYPE sa_queries_started_total counter"),
+            "{dump}"
+        );
+        assert!(dump.contains("sa_queries_started_total 1"), "{dump}");
+        assert!(
+            dump.contains("sa_queries_finished_total{reason=\"exhausted\"} 1"),
+            "{dump}"
+        );
+        assert!(
+            dump.contains("sa_query_duration_us{quantile=\"0.99\"}"),
+            "{dump}"
+        );
+        assert!(
+            dump.contains("sa_shared_scan_rows_gathered_total"),
+            "{dump}"
+        );
+        assert!(dump.contains("sa_server_connections_total 1"), "{dump}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn aborted_clients_release_slots_and_cursors() {
+        use std::time::Duration;
+
+        let server = start(400_000);
+        let addr = server.local_addr();
+        // Hammer: start an exhaustive query, read a couple of progress
+        // lines to make sure it is in flight, then slam the socket shut.
+        for _ in 0..6 {
+            let conn = TcpStream::connect(addr).unwrap();
+            let mut tx = conn.try_clone().unwrap();
+            writeln!(
+                tx,
+                "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)"
+            )
+            .unwrap();
+            tx.flush().unwrap();
+            let mut reader = BufReader::new(conn);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("SNAP "), "{line}");
+            // Dropping both halves aborts the connection mid-stream; the
+            // server's next SNAP write fails and cancels the query.
+        }
+        // The disconnect path must give back both the admission slot and
+        // the shared-scan cursor — poll briefly while the server reaps.
+        let mut tries = 0;
+        loop {
+            let attached = server.engine().scan_stats("t").map_or(0, |s| s.attached);
+            if server.engine().active_queries() == 0 && attached == 0 {
+                break;
+            }
+            tries += 1;
+            assert!(tries < 500, "query slots or cursors never released");
+            thread::sleep(Duration::from_millis(10));
+        }
+        let metrics = server.engine().metrics();
+        assert_eq!(metrics.counter("sa_queries_started_total"), Some(6));
+        let finished: u64 = [
+            "ci-converged",
+            "row-budget",
+            "time-budget",
+            "exhausted",
+            "cancelled",
+        ]
+        .iter()
+        .filter_map(|r| metrics.counter(&format!("sa_queries_finished_total{{reason=\"{r}\"}}")))
+        .sum();
+        assert_eq!(finished, 6, "every aborted query must still finish");
+        assert!(
+            metrics.counter("sa_server_disconnects_total").unwrap_or(0) >= 1,
+            "mid-stream aborts should register as disconnects"
+        );
         server.shutdown();
     }
 

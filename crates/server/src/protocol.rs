@@ -5,6 +5,7 @@
 //! ```text
 //! SEED <n>       use sampling seed n for subsequent queries   → OK
 //! QUERY <sql>    run a TABLESAMPLE aggregate query            → see below
+//! STATS          dump engine metrics                          → see below
 //! PING           liveness probe                               → OK
 //! QUIT           close the connection
 //! ```
@@ -21,6 +22,12 @@
 //! DONE
 //! ```
 //!
+//! `STATS` answers the engine's metrics in Prometheus text exposition
+//! format (`# TYPE` comments, one `name value` sample per line — counters,
+//! gauges, and latency summaries with p50/p95/p99 quantile samples),
+//! terminated by `DONE`. The engine behind [`crate::Server::bind`] always
+//! records metrics, so the dump is never empty.
+//!
 //! Failures (bad request, planning error, admission rejection) answer
 //! `ERR <message>` — still followed by `DONE` for `QUERY` so clients can
 //! treat `DONE` as the universal exchange terminator.
@@ -34,6 +41,8 @@ pub enum Request {
     Query(String),
     /// `SEED <n>`: pin the sampling seed for subsequent queries.
     Seed(u64),
+    /// `STATS`: dump engine metrics in Prometheus text format.
+    Stats,
     /// `PING`: liveness probe.
     Ping,
     /// `QUIT`: close the connection.
@@ -53,6 +62,7 @@ pub fn parse(line: &str) -> Result<Request, String> {
             .parse()
             .map(Request::Seed)
             .map_err(|_| "SEED needs a non-negative integer".into()),
+        "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
         other => Err(format!("unknown request `{other}`")),
@@ -147,6 +157,7 @@ mod tests {
             Ok(Request::Query("select sum(v) from t".into()))
         });
         assert_eq!(parse("SEED 42"), Ok(Request::Seed(42)));
+        assert_eq!(parse("stats"), Ok(Request::Stats));
         assert_eq!(parse(" PING "), Ok(Request::Ping));
         assert_eq!(parse("quit"), Ok(Request::Quit));
         assert!(parse("QUERY").is_err());

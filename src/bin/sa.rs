@@ -10,6 +10,9 @@
 //! sa --online --query "SELECT … WITHIN 5 PERCENT CONFIDENCE 95"
 //!                                       # one-shot online aggregation
 //! sa --connect HOST:PORT --query "…"    # run against a remote sa-server
+//! sa --connect HOST:PORT --stats        # dump a remote server's metrics
+//! sa --tpch 0.01 --online --query "…" --stats-json out.json
+//!                                       # write engine metrics as JSON on exit
 //! ```
 //!
 //! `--seed` seeds both the data generator and the sampling operators, so a
@@ -37,6 +40,7 @@
 //! \jobs N               set the online worker count (1 = sequential)
 //! \adaptive on|off      grow online chunks as the estimate stabilizes
 //! \subsample N          estimate variance from ~N tuples (§7); 0 = off
+//! \stats                dump engine metrics (Prometheus text format)
 //! \quit
 //! ```
 
@@ -70,6 +74,8 @@ fn main() {
     let mut online = false;
     let mut one_shot: Option<String> = None;
     let mut connect: Option<String> = None;
+    let mut stats = false;
+    let mut stats_json: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -115,10 +121,19 @@ fn main() {
                         .clone(),
                 );
             }
+            "--stats" => stats = true,
+            "--stats-json" => {
+                stats_json = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--stats-json needs a file path"))
+                        .clone(),
+                );
+            }
             "-h" | "--help" => {
                 eprintln!(
                     "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--jobs N] \
-                     [--adaptive-chunks] [--online] [--connect HOST:PORT] [--query SQL]"
+                     [--adaptive-chunks] [--online] [--connect HOST:PORT] [--query SQL] \
+                     [--stats] [--stats-json PATH]"
                 );
                 return;
             }
@@ -127,6 +142,9 @@ fn main() {
     }
 
     if let Some(addr) = connect {
+        if stats {
+            run_stats_client(&addr);
+        }
         let sql = one_shot.unwrap_or_else(|| die("--connect needs --query SQL"));
         run_client(&addr, seed, &sql);
     }
@@ -134,9 +152,10 @@ fn main() {
     eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
     let catalog = generate(&TpchConfig::scale(scale).with_seed(seed));
     // The same seed drives the sampling operators: one `--seed` makes the
-    // whole run — data, samples, online loop — reproducible.
+    // whole run — data, samples, online loop — reproducible. Metrics are
+    // always on in the shell so `\stats` / `--stats-json` have data.
     let mut shell = Shell {
-        engine: Engine::new(catalog),
+        engine: Engine::builder(catalog).metrics(true).build(),
         seed,
         subsample: None,
         confidence: 0.95,
@@ -151,6 +170,7 @@ fn main() {
         } else {
             run_line(&mut shell, &sql);
         }
+        write_stats_json(&shell, stats_json.as_deref());
         return;
     }
     if online {
@@ -179,6 +199,16 @@ fn main() {
             break;
         }
         run_line(&mut shell, line);
+    }
+    write_stats_json(&shell, stats_json.as_deref());
+}
+
+/// Dump the engine's metrics snapshot as JSON to `path` (no-op without one).
+fn write_stats_json(shell: &Shell, path: Option<&str>) {
+    let Some(path) = path else { return };
+    match std::fs::write(path, shell.engine.metrics().to_json()) {
+        Ok(()) => eprintln!("wrote engine metrics to {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
     }
 }
 
@@ -215,6 +245,29 @@ fn run_client(addr: &str, seed: u64, sql: &str) -> ! {
                 }
             }
         }
+    }
+    die("server closed the connection before DONE");
+}
+
+/// Thin client for the `STATS` request: relay the Prometheus dump to stdout.
+fn run_stats_client(addr: &str) -> ! {
+    let stream =
+        TcpStream::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect {addr}: {e}")));
+    let mut tx = stream
+        .try_clone()
+        .unwrap_or_else(|e| die(&format!("cannot clone socket: {e}")));
+    writeln!(tx, "STATS").unwrap_or_else(|e| die(&format!("cannot send request: {e}")));
+    let _ = tx.flush();
+    for line in BufReader::new(stream).lines() {
+        let line = line.unwrap_or_else(|e| die(&format!("connection lost: {e}")));
+        if line == "DONE" {
+            std::process::exit(0);
+        }
+        if let Some(msg) = line.strip_prefix("ERR ") {
+            // A server without STATS support replies ERR with no DONE.
+            die(&format!("server rejected STATS: {msg}"));
+        }
+        println!("{line}");
     }
     die("server closed the connection before DONE");
 }
@@ -278,6 +331,7 @@ fn run_line(shell: &mut Shell, line: &str) {
             "online" => run_online_mode(shell, arg),
             "exact" => run_exact(shell, arg),
             "trace" => run_trace(shell, arg),
+            "stats" => print!("{}", shell.engine.render_prometheus()),
             _ => println!("unknown command \\{cmd}"),
         }
         return;
