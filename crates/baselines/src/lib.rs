@@ -218,7 +218,14 @@ pub fn compare_estimators(
             "comparison requires an aggregate plan".into(),
         ));
     };
-    let rs = execute(input, catalog, &ExecOptions { seed })?;
+    let rs = execute(
+        input,
+        catalog,
+        &ExecOptions {
+            seed,
+            ..Default::default()
+        },
+    )?;
     let spec = &aggs[0];
     let bound = spec
         .expr

@@ -24,7 +24,15 @@ fn bench_sampled_join_execution(c: &mut Criterion) {
             &input,
             |b, input| {
                 b.iter(|| {
-                    let rs = execute(black_box(input), &catalog, &ExecOptions { seed: 1 }).unwrap();
+                    let rs = execute(
+                        black_box(input),
+                        &catalog,
+                        &ExecOptions {
+                            seed: 1,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
                     black_box(rs.rows.len())
                 })
             },

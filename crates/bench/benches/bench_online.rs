@@ -105,7 +105,15 @@ fn bench_stream_vs_materialize(c: &mut Criterion) {
     group.throughput(Throughput::Elements(100_000));
     group.bench_function("chunked_stream", |b| {
         b.iter(|| {
-            let mut s = open_stream(&plan, &cat, &ExecOptions { seed: 1 }).unwrap();
+            let mut s = open_stream(
+                &plan,
+                &cat,
+                &ExecOptions {
+                    seed: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             let mut rows = 0u64;
             loop {
                 let chunk = s.next_chunk(4096).unwrap();
@@ -120,10 +128,17 @@ fn bench_stream_vs_materialize(c: &mut Criterion) {
     group.bench_function("materialize", |b| {
         b.iter(|| {
             black_box(
-                execute(&plan, &cat, &ExecOptions { seed: 1 })
-                    .unwrap()
-                    .rows
-                    .len(),
+                execute(
+                    &plan,
+                    &cat,
+                    &ExecOptions {
+                        seed: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .rows
+                .len(),
             )
         })
     });

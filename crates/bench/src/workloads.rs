@@ -175,7 +175,15 @@ pub fn materialized_result(
     let LogicalPlan::Aggregate { input, aggs } = plan else {
         panic!("aggregate plan required")
     };
-    let rs = execute(input, catalog, &ExecOptions { seed }).expect("executes");
+    let rs = execute(
+        input,
+        catalog,
+        &ExecOptions {
+            seed,
+            ..Default::default()
+        },
+    )
+    .expect("executes");
     let expr = aggs[0].expr.as_ref().expect("sum agg");
     let bound = sa_expr::bind(expr, &rs.schema).expect("binds");
     let n = rs.relations.len();

@@ -269,7 +269,14 @@ pub fn approx_query(
     };
 
     // Execute the sampled relational part exactly as written.
-    let rs = execute(input, catalog, &ExecOptions { seed: opts.seed })?;
+    let rs = execute(
+        input,
+        catalog,
+        &ExecOptions {
+            seed: opts.seed,
+            ..Default::default()
+        },
+    )?;
     let layout = layout_dims(aggs, &rs.schema)?;
     let dims = layout.dim_exprs.len();
     let n = analysis.schema.n();

@@ -54,6 +54,14 @@ pub struct ExecOptions {
     /// Seed for all sampling operators in the plan (drawn in traversal
     /// order, so a given `(plan, seed)` pair is reproducible).
     pub seed: u64,
+    /// Visit each streaming scan's blocks in a seeded random order instead
+    /// of physical order (see [`crate::open_stream`]). This makes the
+    /// online driver's random-scan-order assumption true by construction
+    /// on sorted or clustered data. Off by default; the batch executor
+    /// ignores it (materialized results are order-insensitive). Turning it
+    /// on changes which realization a `(plan, seed)` pair produces, but the
+    /// shuffled realization is itself byte-reproducible per seed.
+    pub shuffle_scan: bool,
 }
 
 /// Execute a plan. The root may be an [`LogicalPlan::Aggregate`], in which
@@ -565,17 +573,41 @@ mod tests {
     #[test]
     fn bernoulli_sample_filters_rows() {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
-        let rs = execute(&plan, &catalog(), &ExecOptions { seed: 3 }).unwrap();
+        let rs = execute(
+            &plan,
+            &catalog(),
+            &ExecOptions {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(rs.rows.len() <= 6);
         // Reproducible.
-        let rs2 = execute(&plan, &catalog(), &ExecOptions { seed: 3 }).unwrap();
+        let rs2 = execute(
+            &plan,
+            &catalog(),
+            &ExecOptions {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(rs.rows.len(), rs2.rows.len());
     }
 
     #[test]
     fn wor_sample_exact_count_distinct_lineage() {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 4 });
-        let rs = execute(&plan, &catalog(), &ExecOptions { seed: 9 }).unwrap();
+        let rs = execute(
+            &plan,
+            &catalog(),
+            &ExecOptions {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(rs.rows.len(), 4);
         let mut ids: Vec<u64> = rs.rows.iter().map(|r| r.lineage[0]).collect();
         ids.sort_unstable();
@@ -597,7 +629,15 @@ mod tests {
     #[test]
     fn with_replacement_can_duplicate() {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::WithReplacement { size: 50 });
-        let rs = execute(&plan, &catalog(), &ExecOptions { seed: 1 }).unwrap();
+        let rs = execute(
+            &plan,
+            &catalog(),
+            &ExecOptions {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(rs.rows.len(), 50);
     }
 
@@ -629,10 +669,17 @@ mod tests {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
         let sizes: std::collections::HashSet<usize> = (0..20)
             .map(|s| {
-                execute(&plan, &catalog(), &ExecOptions { seed: s })
-                    .unwrap()
-                    .rows
-                    .len()
+                execute(
+                    &plan,
+                    &catalog(),
+                    &ExecOptions {
+                        seed: s,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .rows
+                .len()
             })
             .collect();
         assert!(sizes.len() > 1, "sampling ignored the seed");

@@ -78,7 +78,14 @@ pub fn approx_group_query(
             "approx_group_query requires an aggregate at the plan root".into(),
         ));
     };
-    let rs = execute(input, catalog, &ExecOptions { seed: opts.seed })?;
+    let rs = execute(
+        input,
+        catalog,
+        &ExecOptions {
+            seed: opts.seed,
+            ..Default::default()
+        },
+    )?;
     let bound_keys: Vec<Expr> = group_by
         .iter()
         .map(|e| bind(e, &rs.schema))

@@ -44,7 +44,7 @@
 //!
 //! // Streaming: the aggregate's *input*, pulled in chunks with lineage.
 //! let sampled = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
-//! let mut stream = open_stream(&sampled, &catalog, &ExecOptions { seed: 7 }).unwrap();
+//! let mut stream = open_stream(&sampled, &catalog, &ExecOptions { seed: 7, ..Default::default() }).unwrap();
 //! let chunk = stream.next_chunk(64).unwrap();
 //! assert!(!chunk.is_empty() && chunk[0].lineage.len() == 1);
 //! ```
@@ -74,6 +74,7 @@ pub use grouped::{exact_group_query, GroupEstimate, GroupedApproxResult};
 pub use shared::{SharedScanCursor, SharedScanStats, SharedTableScan};
 pub use stream::{
     open_shared_stream, open_stream, open_stream_partitioned, shared_scan_table, ChunkStream,
+    ProgressTree,
 };
 
 /// Crate-wide result alias.

@@ -127,6 +127,17 @@ impl ChunkStream {
         out
     }
 
+    /// The stream's coverage with its union structure intact (see
+    /// [`ProgressTree`]). Where [`ChunkStream::progress`] flattens a union
+    /// to the per-relation minimum across branches, this reports each
+    /// branch's coverage separately plus whether the second branch has
+    /// started — exactly what per-branch Prop-8 prefix composition needs.
+    /// Union-free plans yield a single [`ProgressTree::Leaf`] equal to
+    /// [`ChunkStream::progress`].
+    pub fn progress_tree(&self) -> ProgressTree {
+        self.root.progress_tree()
+    }
+
     /// Drain the stream into one vector (testing / fallback convenience).
     pub fn collect_rows(mut self, hint: usize) -> Result<Vec<Row>> {
         let mut out = Vec::new();
@@ -174,7 +185,14 @@ pub fn open_stream(
 ///   [`open_stream`] uses — so those realizations are *identical* to the
 ///   single-stream run and every worker probes the same build side;
 /// * `UnionSamples` cannot be partitioned (its lineage dedup is global
-///   state) and is rejected.
+///   state across both branches) and is rejected for `parts > 1` — run
+///   union plans at `parallelism = 1`, where they stream, report
+///   per-branch coverage through [`ChunkStream::progress_tree`], and
+///   support mid-stream population scaling.
+///
+/// With [`ExecOptions::shuffle_scan`] set, each worker visits its own
+/// block slice in a seeded random order (slices stay disjoint, coverage
+/// still sums); the permutation is fixed by `(seed, parts, worker)`.
 ///
 /// `parts == 1` IS the sequential stream ([`open_stream`] delegates here),
 /// so the two paths cannot drift: one full-range slice, base seeds used
@@ -197,7 +215,8 @@ pub fn open_stream_partitioned(
     }
     plan.validate(catalog)?;
     let mut master = StdRng::seed_from_u64(opts.seed);
-    let (roots, schema, relations) = build_partitioned(plan, catalog, &mut master, parts)?;
+    let (roots, schema, relations) =
+        build_partitioned(plan, catalog, &mut master, parts, opts.shuffle_scan)?;
     Ok(roots
         .into_iter()
         .map(|root| ChunkStream {
@@ -260,9 +279,19 @@ pub fn open_shared_stream(
             scan.table().name()
         )));
     }
+    if opts.shuffle_scan {
+        // A hub's circular gather order is shared by every cursor; one
+        // query cannot permute it. Callers (sa-online) bypass the hub for
+        // shuffled queries instead of hitting this.
+        return Err(ExecError::Unsupported(
+            "shuffle_scan cannot ride a shared scan cursor: the hub's gather order is \
+             shared state — open a private stream for shuffled queries"
+                .into(),
+        ));
+    }
     plan.validate(catalog)?;
     let mut master = StdRng::seed_from_u64(opts.seed);
-    let (mut roots, schema, relations) = build_partitioned(plan, catalog, &mut master, 1)?;
+    let (mut roots, schema, relations) = build_partitioned(plan, catalog, &mut master, 1, false)?;
     let mut root = roots.pop().expect("one partition yields one stream");
     let swapped = swap_in_shared_cursor(&mut root, scan);
     debug_assert!(swapped, "eligible plan must bottom out in a scan");
@@ -302,6 +331,52 @@ fn worker_seed(base: u64, worker: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A stream's scan coverage with the plan's union structure preserved.
+///
+/// [`ChunkStream::progress`] flattens a `UnionSamples` to the per-relation
+/// minimum across branches — safe for display, but useless for mid-stream
+/// population scaling, where each branch needs its *own* WOR prefix factor
+/// (the branches cover the relations independently and the executor drains
+/// the first branch fully before the second starts). This tree mirrors
+/// `sa_plan::GusTree`: maximal union-free regions collapse into flat
+/// leaves; unions — and joins above unions — stay structural.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgressTree {
+    /// A union-free subtree's per-relation `(consumed, available)`
+    /// coverage, in scan order (the [`ChunkStream::progress`] semantics).
+    Leaf(Vec<(u64, u64)>),
+    /// A Proposition-7 union. Both branches cover the same relations.
+    /// `second_started` is the executor's drain state: `false` means the
+    /// first branch is still streaming and no tuple of the second has had
+    /// a chance to appear; `true` means the first branch is complete.
+    Union {
+        /// Coverage of the first (drained-first) branch.
+        left: Box<ProgressTree>,
+        /// Coverage of the second branch.
+        right: Box<ProgressTree>,
+        /// Has the second branch started streaming (⇒ first is complete)?
+        second_started: bool,
+    },
+    /// A join above a union: the operands' coverages, concatenated in scan
+    /// order (left then right).
+    Concat(Box<ProgressTree>, Box<ProgressTree>),
+}
+
+impl ProgressTree {
+    /// Concatenate two subtree coverages, collapsing `Leaf ++ Leaf` into
+    /// one leaf so union-free regions stay flat (mirrors the plan side,
+    /// where compaction is associative).
+    fn concat(left: ProgressTree, right: ProgressTree) -> ProgressTree {
+        match (left, right) {
+            (ProgressTree::Leaf(mut a), ProgressTree::Leaf(b)) => {
+                a.extend(b);
+                ProgressTree::Leaf(a)
+            }
+            (l, r) => ProgressTree::Concat(Box::new(l), Box::new(r)),
+        }
+    }
+}
+
 /// One operator of the streaming pipeline. Every operator transforms whole
 /// [`ColumnarChunk`]s.
 #[derive(Debug)]
@@ -315,6 +390,26 @@ enum Node {
         start: u64,
         next: u64,
         end: u64,
+    },
+    /// A seeded block-permuted scan ([`ExecOptions::shuffle_scan`]): the
+    /// slice's blocks are visited in a seeded random order, rows inside a
+    /// block in physical order — so columnar gathers stay batched while the
+    /// consumed prefix becomes a uniform random set of blocks, making the
+    /// online driver's random-scan-order assumption true by construction.
+    /// Lineage stays physical row ids; downstream per-row samplers draw
+    /// their coins in emission (visit) order.
+    ShuffledScan {
+        table: Arc<Table>,
+        /// Block row-ranges `[start, end)` in visit order.
+        order: Vec<(u64, u64)>,
+        /// Index into `order` of the block currently draining.
+        block: usize,
+        /// Row offset within the current block.
+        offset: u64,
+        /// Rows emitted so far.
+        emitted: u64,
+        /// Total rows in the slice.
+        total: u64,
     },
     /// A cursor on a [`SharedTableScan`] hub in place of a private scan:
     /// the same chunks-with-row-id-lineage contract, but the rows arrive in
@@ -407,6 +502,7 @@ fn build_partitioned(
     catalog: &Catalog,
     master: &mut StdRng,
     parts: usize,
+    shuffle: bool,
 ) -> Result<(Vec<Node>, SchemaRef, Vec<String>)> {
     match plan {
         LogicalPlan::Scan { table, alias } => {
@@ -414,19 +510,56 @@ fn build_partitioned(
             let block_rows = t.block_rows() as u64;
             let rows = t.row_count();
             let blocks = t.block_count();
+            // One base seed per scan, drawn ONLY in shuffle mode so the
+            // master-RNG draw order — and therefore every realization every
+            // pinned test depends on — is untouched when the flag is off.
+            let shuffle_base = if shuffle {
+                Some(master.random::<u64>())
+            } else {
+                None
+            };
             // Contiguous block-aligned slices: worker w owns blocks
             // [blocks·w/parts, blocks·(w+1)/parts). Some slices are empty
             // when there are fewer blocks than workers — they just drain
             // immediately (oversubscription degrades gracefully).
             let nodes = (0..parts as u64)
                 .map(|w| {
-                    let start = (blocks * w / parts as u64 * block_rows).min(rows);
-                    let end = (blocks * (w + 1) / parts as u64 * block_rows).min(rows);
-                    Node::Scan {
+                    let lo = blocks * w / parts as u64;
+                    let hi = blocks * (w + 1) / parts as u64;
+                    let start = (lo * block_rows).min(rows);
+                    let end = (hi * block_rows).min(rows);
+                    let Some(base) = shuffle_base else {
+                        return Node::Scan {
+                            table: t.clone(),
+                            start,
+                            next: start,
+                            end,
+                        };
+                    };
+                    // Seeded Fisher–Yates over the worker's own block
+                    // slice: slices stay disjoint, progress still sums,
+                    // and the permutation is fixed by (seed, parts, w).
+                    let mut order: Vec<(u64, u64)> = (lo..hi)
+                        .map(|b| ((b * block_rows).min(rows), ((b + 1) * block_rows).min(rows)))
+                        .filter(|(s, e)| s < e)
+                        .collect();
+                    let seed = if parts == 1 {
+                        base
+                    } else {
+                        worker_seed(base, w)
+                    };
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for i in (1..order.len()).rev() {
+                        let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+                        order.swap(i, j);
+                    }
+                    Node::ShuffledScan {
                         table: t.clone(),
-                        start,
-                        next: start,
-                        end,
+                        order,
+                        block: 0,
+                        offset: 0,
+                        emitted: 0,
+                        total: end - start,
                     }
                 })
                 .collect();
@@ -438,7 +571,7 @@ fn build_partitioned(
                 SamplingMethod::Bernoulli { p } => {
                     let base = master.random::<u64>();
                     let (inputs, schema, relations) =
-                        build_partitioned(input, catalog, master, parts)?;
+                        build_partitioned(input, catalog, master, parts, shuffle)?;
                     let nodes = inputs
                         .into_iter()
                         .enumerate()
@@ -472,7 +605,7 @@ fn build_partitioned(
                         .map(|_| rng.random::<f64>() < *p)
                         .collect();
                     let (inputs, schema, relations) =
-                        build_partitioned(input, catalog, master, parts)?;
+                        build_partitioned(input, catalog, master, parts, shuffle)?;
                     let nodes = inputs
                         .into_iter()
                         .map(|node| {
@@ -516,7 +649,8 @@ fn build_partitioned(
             }
         }
         LogicalPlan::Filter { predicate, input } => {
-            let (inputs, schema, relations) = build_partitioned(input, catalog, master, parts)?;
+            let (inputs, schema, relations) =
+                build_partitioned(input, catalog, master, parts, shuffle)?;
             let compiled = compile(predicate, &schema)?;
             let nodes = inputs
                 .into_iter()
@@ -528,7 +662,8 @@ fn build_partitioned(
             Ok((nodes, schema, relations))
         }
         LogicalPlan::Project { exprs, input } => {
-            let (inputs, in_schema, relations) = build_partitioned(input, catalog, master, parts)?;
+            let (inputs, in_schema, relations) =
+                build_partitioned(input, catalog, master, parts, shuffle)?;
             let mut compiled = Vec::with_capacity(exprs.len());
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
@@ -583,7 +718,8 @@ fn build_partitioned(
             left,
             right,
         } => {
-            let (probes, l_schema, l_rels) = build_partitioned(left, catalog, master, parts)?;
+            let (probes, l_schema, l_rels) =
+                build_partitioned(left, catalog, master, parts, shuffle)?;
             // Build side: materialized ONCE (same master position as the
             // sequential build) and shared behind Arc by every worker —
             // re-drawing it per worker would join each probe slice against
@@ -616,8 +752,8 @@ fn build_partitioned(
                         .into(),
                 ));
             }
-            let (mut l, schema, relations) = build_partitioned(left, catalog, master, 1)?;
-            let (mut r, _, _) = build_partitioned(right, catalog, master, 1)?;
+            let (mut l, schema, relations) = build_partitioned(left, catalog, master, 1, shuffle)?;
+            let (mut r, _, _) = build_partitioned(right, catalog, master, 1, shuffle)?;
             Ok((
                 vec![Node::Dedup {
                     first: Box::new(l.pop().expect("one part")),
@@ -651,6 +787,36 @@ impl Node {
                 let lineage = vec![(*next..upto).collect()];
                 *next = upto;
                 Ok(ColumnarChunk { batch, lineage })
+            }
+            Node::ShuffledScan {
+                table,
+                order,
+                block,
+                offset,
+                emitted,
+                ..
+            } => {
+                while *block < order.len() {
+                    let (s, e) = order[*block];
+                    let from = s + *offset;
+                    if from >= e {
+                        *block += 1;
+                        *offset = 0;
+                        continue;
+                    }
+                    let upto = (from + hint as u64).min(e);
+                    let batch = table.batch_range(from, upto).map_err(ExecError::Storage)?;
+                    let lineage = vec![(from..upto).collect()];
+                    *offset += upto - from;
+                    *emitted += upto - from;
+                    return Ok(ColumnarChunk { batch, lineage });
+                }
+                // Exhausted: an empty chunk with the scan's column shape.
+                let batch = table.batch_range(0, 0).map_err(ExecError::Storage)?;
+                Ok(ColumnarChunk {
+                    batch,
+                    lineage: vec![Vec::new()],
+                })
             }
             Node::Shared { cursor } => cursor.next_batch(hint),
             Node::Materialized { chunk, next } => {
@@ -918,6 +1084,11 @@ impl Node {
             Node::Scan {
                 start, next, end, ..
             } => out.push((*next - *start, *end - *start)),
+            // A shuffled scan's consumed rows are a seeded-random set of
+            // blocks (plus at most one partial block) — a WOR(consumed,
+            // available) draw of the slice by construction, which is
+            // exactly the coverage contract.
+            Node::ShuffledScan { emitted, total, .. } => out.push((*emitted, *total)),
             // A shared cursor's consumed prefix is a circularly-shifted row
             // range — still WOR(consumed, N) coverage (the design is
             // invariant under a fixed rotation of the relation), so it
@@ -977,10 +1148,12 @@ impl Node {
                 // true coverage is NOT a simple function of the two scan
                 // prefixes (while the second branch streams, tuples unique
                 // to it are still arriving even though the first branch
-                // covered every position). Report the *minimum* — coverage
-                // is only complete once both branches drained — and leave
-                // per-branch prefix composition to the online driver's
-                // future union support (it refuses to scale union plans).
+                // covered every position). This flat view reports the
+                // *minimum* — complete only once both branches drained —
+                // which is honest for display; the online driver's union
+                // scaling reads [`Node::progress_tree`] instead, where each
+                // branch's coverage stays separate for per-branch Prop-8
+                // prefix composition.
                 let mut a = Vec::new();
                 let mut b = Vec::new();
                 first.progress(&mut a);
@@ -988,6 +1161,48 @@ impl Node {
                 for ((ca, na), (cb, _)) in a.into_iter().zip(b) {
                     out.push((ca.min(cb), na));
                 }
+            }
+        }
+    }
+
+    /// This subtree's coverage with union structure intact (see
+    /// [`ProgressTree`] and [`ChunkStream::progress_tree`]).
+    fn progress_tree(&self) -> ProgressTree {
+        match self {
+            // Pass-through operators: coverage lives below.
+            Node::Bernoulli { input, .. }
+            | Node::Filter { input, .. }
+            | Node::Project { input, .. }
+            | Node::FilterProject { input, .. } => input.progress_tree(),
+            Node::HashJoin { probe, build, .. } => ProgressTree::concat(
+                probe.progress_tree(),
+                ProgressTree::Leaf(vec![(1, 1); build.n_rels]),
+            ),
+            Node::NestedLoop { left, build, .. } => ProgressTree::concat(
+                left.progress_tree(),
+                ProgressTree::Leaf(vec![(1, 1); build.n_rels]),
+            ),
+            Node::Dedup {
+                first,
+                second,
+                on_second,
+                ..
+            } => ProgressTree::Union {
+                left: Box::new(first.progress_tree()),
+                right: Box::new(second.progress_tree()),
+                second_started: *on_second,
+            },
+            // Leaves (scans, cursors, materialized samplers) and SYSTEM —
+            // whose unit conversion `progress` already performs — have no
+            // union structure below them.
+            Node::Scan { .. }
+            | Node::ShuffledScan { .. }
+            | Node::Shared { .. }
+            | Node::Materialized { .. }
+            | Node::System { .. } => {
+                let mut out = Vec::new();
+                self.progress(&mut out);
+                ProgressTree::Leaf(out)
             }
         }
     }
@@ -1159,10 +1374,17 @@ mod tests {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.3 });
         let c = catalog();
         let collect = |hint: usize| {
-            open_stream(&plan, &c, &ExecOptions { seed: 11 })
-                .unwrap()
-                .collect_rows(hint)
-                .unwrap()
+            open_stream(
+                &plan,
+                &c,
+                &ExecOptions {
+                    seed: 11,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .collect_rows(hint)
+            .unwrap()
         };
         let small = collect(2);
         let big = collect(500);
@@ -1176,11 +1398,18 @@ mod tests {
         let c = catalog();
         let sizes: HashSet<usize> = (0..20)
             .map(|s| {
-                open_stream(&plan, &c, &ExecOptions { seed: s })
-                    .unwrap()
-                    .collect_rows(64)
-                    .unwrap()
-                    .len()
+                open_stream(
+                    &plan,
+                    &c,
+                    &ExecOptions {
+                        seed: s,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .collect_rows(64)
+                .unwrap()
+                .len()
             })
             .collect();
         assert!(sizes.len() > 1, "seed ignored");
@@ -1204,10 +1433,17 @@ mod tests {
     fn wor_sample_streams_exact_count() {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 40 });
         let c = catalog();
-        let rows = open_stream(&plan, &c, &ExecOptions { seed: 5 })
-            .unwrap()
-            .collect_rows(7)
-            .unwrap();
+        let rows = open_stream(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .collect_rows(7)
+        .unwrap();
         assert_eq!(rows.len(), 40);
         let distinct: HashSet<u64> = rows.iter().map(|r| r.lineage[0]).collect();
         assert_eq!(distinct.len(), 40);
@@ -1219,10 +1455,17 @@ mod tests {
             .sample(SamplingMethod::Bernoulli { p: 0.4 })
             .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }));
         let c = catalog();
-        let rows = open_stream(&plan, &c, &ExecOptions { seed: 3 })
-            .unwrap()
-            .collect_rows(16)
-            .unwrap();
+        let rows = open_stream(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+        .collect_rows(16)
+        .unwrap();
         let distinct: HashSet<&Vec<u64>> = rows.iter().map(|r| &r.lineage).collect();
         assert_eq!(distinct.len(), rows.len(), "duplicate lineage survived");
     }
@@ -1233,7 +1476,15 @@ mod tests {
             .sample(SamplingMethod::Bernoulli { p: 0.5 })
             .join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
         let c = catalog();
-        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 1 }).unwrap();
+        let mut s = open_stream(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Probe side untouched, build side already complete.
         assert_eq!(s.progress(), vec![(0, 200), (1, 1)]);
         let mut last = 0;
@@ -1264,7 +1515,15 @@ mod tests {
     fn progress_over_materialized_wor_counts_sample_rows() {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Wor { size: 40 });
         let c = catalog();
-        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 5 }).unwrap();
+        let mut s = open_stream(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(s.progress(), vec![(0, 40)]);
         s.next_chunk(15).unwrap();
         assert_eq!(s.progress(), vec![(15, 40)]);
@@ -1278,7 +1537,15 @@ mod tests {
             .sample(SamplingMethod::Bernoulli { p: 0.4 })
             .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }));
         let c = catalog();
-        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 3 }).unwrap();
+        let mut s = open_stream(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut complete_since = None;
         let mut chunks = 0;
         loop {
@@ -1313,7 +1580,15 @@ mod tests {
             .sample(SamplingMethod::Wor { size: 40 })
             .sample(SamplingMethod::System { p: 1.0 });
         let c = catalog();
-        let mut s = open_stream(&plan, &c, &ExecOptions { seed: 5 }).unwrap();
+        let mut s = open_stream(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         s.next_chunk(15).unwrap();
         assert_eq!(s.progress(), vec![(13, 13)]);
     }
@@ -1354,7 +1629,10 @@ mod tests {
             .sample(SamplingMethod::Bernoulli { p: 0.4 })
             .filter(col("v").gt_eq(lit(10.0)));
         let c = catalog();
-        let opts = ExecOptions { seed: 11 };
+        let opts = ExecOptions {
+            seed: 11,
+            ..Default::default()
+        };
         let seq = open_stream(&plan, &c, &opts)
             .unwrap()
             .collect_rows(64)
@@ -1379,7 +1657,10 @@ mod tests {
             LogicalPlan::scan("t").sample(SamplingMethod::System { p: 0.6 }),
             LogicalPlan::scan("t").join_on(LogicalPlan::scan("d"), col("k").eq(col("dk"))),
         ] {
-            let opts = ExecOptions { seed: 5 };
+            let opts = ExecOptions {
+                seed: 5,
+                ..Default::default()
+            };
             let seq = open_stream(&plan, &c, &opts)
                 .unwrap()
                 .collect_rows(32)
@@ -1397,7 +1678,10 @@ mod tests {
     fn partitioned_bernoulli_slices_are_disjoint_and_deterministic() {
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
         let c = catalog();
-        let opts = ExecOptions { seed: 9 };
+        let opts = ExecOptions {
+            seed: 9,
+            ..Default::default()
+        };
         let collect = || -> Vec<Vec<Row>> {
             open_stream_partitioned(&plan, &c, &opts, 4)
                 .unwrap()
@@ -1429,7 +1713,16 @@ mod tests {
             .sample(SamplingMethod::Bernoulli { p: 0.5 })
             .join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
         let c = catalog();
-        let mut streams = open_stream_partitioned(&plan, &c, &ExecOptions { seed: 1 }, 3).unwrap();
+        let mut streams = open_stream_partitioned(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 1,
+                ..Default::default()
+            },
+            3,
+        )
+        .unwrap();
         assert_eq!(summed_progress(&streams), vec![(0, 200), (3, 3)]);
         let mut last = 0u64;
         loop {
@@ -1558,7 +1851,10 @@ mod tests {
             .sample(SamplingMethod::Bernoulli { p: 0.6 })
             .filter(col("v").gt_eq(lit(10.0)));
         let c = catalog();
-        let opts = ExecOptions { seed: 4 };
+        let opts = ExecOptions {
+            seed: 4,
+            ..Default::default()
+        };
         let mut via_batch = open_stream(&plan, &c, &opts).unwrap();
         let mut via_rows = open_stream(&plan, &c, &opts).unwrap();
         loop {
@@ -1618,7 +1914,10 @@ mod tests {
             .filter(col("v").gt_eq(lit(10.0)))
             .project(vec![(col("v").mul(lit(2.0)), "vv".into())]);
         let c = catalog();
-        let opts = ExecOptions { seed: 11 };
+        let opts = ExecOptions {
+            seed: 11,
+            ..Default::default()
+        };
         let private = open_stream(&plan, &c, &opts)
             .unwrap()
             .collect_rows(64)
@@ -1641,7 +1940,16 @@ mod tests {
         let mut warm = hub.attach();
         warm.next_batch(64).unwrap();
         drop(warm);
-        let mut s = open_shared_stream(&plan, &c, &ExecOptions { seed: 3 }, &hub).unwrap();
+        let mut s = open_shared_stream(
+            &plan,
+            &c,
+            &ExecOptions {
+                seed: 3,
+                ..Default::default()
+            },
+            &hub,
+        )
+        .unwrap();
         assert_eq!(s.progress(), vec![(0, 200)]);
         let mut last = 0;
         while !s.next_chunk(32).unwrap().is_empty() {
@@ -1696,5 +2004,174 @@ mod tests {
             .unwrap();
         assert_eq!(rows, batch.rows);
         assert_eq!(rows.len(), 200, "every t row matches exactly one f row");
+    }
+
+    fn shuffled(seed: u64) -> ExecOptions {
+        ExecOptions {
+            seed,
+            shuffle_scan: true,
+        }
+    }
+
+    #[test]
+    fn shuffled_scan_permutes_blocks_and_covers_every_row() {
+        // An unsampled shuffled scan emits every row exactly once, in a
+        // non-physical order (13 blocks of 16 rows — the identity
+        // permutation would be astronomically unlucky across seeds).
+        let c = catalog();
+        let plan = LogicalPlan::scan("t");
+        let mut permuted = false;
+        for seed in 0..4 {
+            let rows = open_stream(&plan, &c, &shuffled(seed))
+                .unwrap()
+                .collect_rows(64)
+                .unwrap();
+            assert_eq!(rows.len(), 200);
+            let mut ids: Vec<u64> = rows.iter().map(|r| r.lineage[0]).collect();
+            if ids.windows(2).any(|w| w[0] > w[1]) {
+                permuted = true;
+            }
+            ids.sort_unstable();
+            assert_eq!(ids, (0..200).collect::<Vec<u64>>(), "seed={seed}");
+        }
+        assert!(permuted, "no seed permuted the block order");
+    }
+
+    #[test]
+    fn shuffled_scan_is_byte_reproducible_and_chunk_independent() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 });
+        let collect = |hint: usize| {
+            open_stream(&plan, &c, &shuffled(9))
+                .unwrap()
+                .collect_rows(hint)
+                .unwrap()
+        };
+        let a = collect(3);
+        let b = collect(512);
+        assert_eq!(a, b, "same seed, same realization, any chunk hint");
+        let other = open_stream(&plan, &c, &shuffled(10))
+            .unwrap()
+            .collect_rows(64)
+            .unwrap();
+        assert_ne!(a, other, "the shuffle seed must matter");
+    }
+
+    #[test]
+    fn shuffled_scan_keeps_physical_lineage_and_progress() {
+        // Lineage ids stay physical row positions (the estimator keys on
+        // them); progress counts emitted rows against the full table.
+        let c = catalog();
+        let plan = LogicalPlan::scan("t");
+        let mut stream = open_stream(&plan, &c, &shuffled(5)).unwrap();
+        // A shuffled scan under-fills the hint at block boundaries (one
+        // permuted block per gather keeps the columnar copy contiguous).
+        let chunk = stream.next_batch(48).unwrap();
+        assert_eq!(chunk.rows(), 16, "one 16-row block per gather");
+        for ids in &chunk.lineage {
+            assert!(ids.iter().all(|&i| i < 200));
+        }
+        assert_eq!(stream.progress(), vec![(16, 200)]);
+    }
+
+    #[test]
+    fn shuffled_scan_partitions_stay_disjoint_and_exhaustive() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("t");
+        let streams = open_stream_partitioned(&plan, &c, &shuffled(21), 3).unwrap();
+        let mut all: Vec<u64> = Vec::new();
+        for s in streams {
+            let rows = s.collect_rows(32).unwrap();
+            all.extend(rows.iter().map(|r| r.lineage[0]));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..200).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn shuffle_off_keeps_the_physical_scan_order() {
+        // The shuffle seed is drawn from the master RNG only when the flag
+        // is on, so off-mode streams are untouched: physical order, same
+        // realization as before the flag existed.
+        let c = catalog();
+        let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 });
+        let off = ExecOptions {
+            seed: 3,
+            shuffle_scan: false,
+        };
+        let rows = open_stream(&plan, &c, &off)
+            .unwrap()
+            .collect_rows(64)
+            .unwrap();
+        let ids: Vec<u64> = rows.iter().map(|r| r.lineage[0]).collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "off-mode lineage must stay monotone (physical scan order)"
+        );
+    }
+
+    #[test]
+    fn shuffled_scan_refuses_shared_hubs() {
+        let c = catalog();
+        let hub = Arc::new(SharedTableScan::new(c.get("t").unwrap(), 64));
+        let err = open_shared_stream(&LogicalPlan::scan("t"), &c, &shuffled(1), &hub).unwrap_err();
+        assert!(err.to_string().contains("shared"), "{err}");
+    }
+
+    #[test]
+    fn progress_tree_tracks_union_branches() {
+        // Branch 1 drains fully before branch 2 starts; the tree exposes
+        // per-branch coverage plus the second_started flip the online
+        // driver's per-branch scaling keys on.
+        let c = catalog();
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.5 }));
+        let mut stream = open_stream(&plan, &c, &ExecOptions::default()).unwrap();
+        let mut saw_first_only = false;
+        let mut saw_second = false;
+        loop {
+            let chunk = stream.next_batch(16).unwrap();
+            match stream.progress_tree() {
+                ProgressTree::Union {
+                    left,
+                    right,
+                    second_started,
+                } => {
+                    let (ProgressTree::Leaf(l), ProgressTree::Leaf(r)) = (*left, *right) else {
+                        panic!("union branches over one scan each must be leaves");
+                    };
+                    assert_eq!(l.len(), 1);
+                    assert_eq!(r.len(), 1);
+                    if second_started {
+                        saw_second = true;
+                        assert_eq!(l[0], (200, 200), "branch 1 drains before branch 2");
+                    } else {
+                        saw_first_only = true;
+                        assert_eq!(r[0].0, 0, "branch 2 untouched while branch 1 streams");
+                    }
+                }
+                other => panic!("union plan must report a union progress tree, got {other:?}"),
+            }
+            if chunk.is_empty() {
+                break;
+            }
+        }
+        assert!(saw_first_only && saw_second);
+        // Flat progress still reports the conservative min view.
+        assert_eq!(stream.progress(), vec![(200, 200)]);
+    }
+
+    #[test]
+    fn progress_tree_flattens_union_free_joins() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("t").join_on(LogicalPlan::scan("d"), col("k").eq(col("dk")));
+        let mut stream = open_stream(&plan, &c, &ExecOptions::default()).unwrap();
+        stream.next_batch(32).unwrap();
+        let ProgressTree::Leaf(cov) = stream.progress_tree() else {
+            panic!("a union-free join must flatten to one leaf");
+        };
+        assert_eq!(cov.len(), 2, "probe relation first, build relation after");
+        assert_eq!(cov[1], (1, 1), "materialized build side is fully covered");
     }
 }

@@ -55,6 +55,18 @@ pub struct QueryOptions {
     /// Grow the pull hint as the estimate stabilizes (see the driver
     /// module docs). Default `false`.
     pub adaptive_chunks: bool,
+    /// Visit the base table's blocks in a seeded random permutation
+    /// instead of physical order (`--shuffle-scan` in the CLI). The
+    /// scan-progress scaling assumes the scanned prefix is a uniform random
+    /// subset of the sampling units; on physically ordered (e.g.
+    /// value-sorted) tables that assumption fails and mid-stream intervals
+    /// undercover. Shuffling restores it at the block level. The
+    /// permutation is fully determined by `(seed, parallelism, worker)`, so
+    /// runs stay byte-reproducible; shuffled queries always open a private
+    /// scan (they cannot attach to a shared hub, whose gather order is
+    /// shared state). Default `false` — physical scan order, which keeps
+    /// columnar gathers perfectly sequential.
+    pub shuffle_scan: bool,
     /// Grouped queries only: judge the CI stopping target on the `K`
     /// groups with the largest absolute (first-aggregate) estimates — the
     /// long-tail policy. Tail groups are still estimated and reported;
@@ -73,6 +85,7 @@ impl Default for QueryOptions {
             scale_to_population: true,
             parallelism: 1,
             adaptive_chunks: false,
+            shuffle_scan: false,
             ci_top_k: None,
         }
     }
@@ -89,6 +102,7 @@ impl From<&OnlineOptions> for QueryOptions {
             scale_to_population: o.scale_to_population,
             parallelism: o.parallelism,
             adaptive_chunks: o.adaptive_chunks,
+            shuffle_scan: false,
             ci_top_k: None,
         }
     }

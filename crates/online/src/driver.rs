@@ -32,6 +32,17 @@
 //! incrementally). Set [`OnlineOptions::scale_to_population`]` = false` to
 //! read raw prefix estimates under the plan GUS instead.
 //!
+//! `UnionSamples` plans need more care than one plan-wide compaction:
+//! compaction does not distribute over Proposition 7 unions, and the
+//! streamed union drains branch 1 completely before branch 2 starts, so a
+//! *flat* per-relation coverage would misstate which branch's sample is
+//! partial. The scaling walk (`scale_gus_tree`) therefore walks the plan's
+//! [`sa_plan::GusTree`] against the stream's [`ProgressTree`]: each
+//! union-free region gets its own WOR prefix factors, and the scaled branch
+//! designs are re-unioned — `union(G₁ ⊙ WOR(k₁, N), G₂ ⊙ WOR(k₂, N))`,
+//! with the second branch excluded entirely until its first tuple can
+//! arrive.
+//!
 //! Online mode is meaningful when the plan actually samples: the interval
 //! then tightens as the sample streams in. An unsampled plan still gets the
 //! scan-progress factor (estimating the full scan from the prefix), but no
@@ -42,10 +53,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sa_core::{GusParams, MomentAccumulator};
+use sa_exec::ProgressTree;
 use sa_exec::{agg_results_from_report, layout_dims, open_stream_partitioned, AggResult};
 use sa_exec::{open_shared_stream, SharedTableScan};
 use sa_exec::{BatchDimEval, ChunkStream, ColumnarChunk, DimLayout, ExecError, ExecOptions};
-use sa_plan::{rewrite, AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
+use sa_plan::{rewrite, AggSpec, GusTree, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_sql;
 use sa_storage::Catalog;
 
@@ -265,8 +277,9 @@ pub(crate) fn drive_scalar(
             aggs,
             &layout,
             &analysis.gus,
-            stream.relations(),
+            &analysis.gus_tree,
             stream.progress(),
+            &stream.progress_tree(),
             opts,
             confidence,
             chunks,
@@ -317,8 +330,9 @@ fn scalar_tick(
     aggs: &[AggSpec],
     layout: &DimLayout,
     plan_gus: &GusParams,
-    relations: &[String],
+    gus_tree: &GusTree,
     progress: Vec<(u64, u64)>,
+    prog_tree: &ProgressTree,
     opts: &QueryOptions,
     confidence: f64,
     chunk: u64,
@@ -327,7 +341,7 @@ fn scalar_tick(
     start: &Instant,
 ) -> Result<(ProgressSnapshot, Option<StopReason>)> {
     let gus = if opts.scale_to_population {
-        scan_scaled_gus(plan_gus, relations, &progress)?
+        scale_gus_tree(gus_tree, prog_tree)?
     } else {
         plan_gus.clone()
     };
@@ -372,7 +386,6 @@ fn drive_scalar_parallel(
 ) -> Result<OnlineResult> {
     let n = analysis.schema.n();
     let dims = layout.dims();
-    let relations: Vec<String> = streams[0].relations().to_vec();
     let dim_eval = layout.compile_batch(streams[0].schema())?;
     let confidence = opts.rule.confidence_or(opts.confidence);
     let start = Instant::now();
@@ -390,13 +403,18 @@ fn drive_scalar_parallel(
         },
         |merged, progress, exhausted| {
             chunks += 1;
+            // Workers see disjoint slices of one scan, so the element-wise
+            // summed coverage is a flat per-relation prefix; union plans
+            // never reach this loop (partitioned opens refuse them).
+            let prog_tree = ProgressTree::Leaf(progress.to_vec());
             let (snapshot, reason) = scalar_tick(
                 merged,
                 aggs,
                 layout,
                 &analysis.gus,
-                &relations,
+                &analysis.gus_tree,
                 progress.to_vec(),
+                &prog_tree,
                 opts,
                 confidence,
                 chunks,
@@ -480,26 +498,20 @@ pub(crate) fn open_aggregate<'p>(
             "{caller} requires an aggregate at the plan root"
         )));
     };
-    if opts.scale_to_population && contains_union(input) {
-        // A union's mid-stream coverage is not a per-relation scan prefix
-        // (tuples unique to the second branch keep arriving after the first
-        // branch covered every position), so compacting WOR factors onto the
-        // plan GUS would misstate it; correct support needs per-branch
-        // prefix composition.
-        return Err(Error::Unsupported(
-            "population scaling over a UNION of samples is not supported yet; set \
-             QueryOptions::scale_to_population = false (raw prefix estimates) or use the \
-             batch driver"
-                .into(),
-        ));
-    }
-    let exec_opts = ExecOptions { seed: opts.seed };
+    let exec_opts = ExecOptions {
+        seed: opts.seed,
+        shuffle_scan: opts.shuffle_scan,
+    };
     let streams = match (&ctx.shared, opts.parallelism) {
         // Attach the sequential loop to the engine's shared circular scan:
         // same sample realization semantics (one Bernoulli coin per consumed
         // row), but the scan origin is wherever the hub's head currently is
         // — a scan-prefix origin shift the Prop-8 scaling is invariant to.
-        (Some(hub), 1) => vec![open_shared_stream(input, catalog, &exec_opts, hub)?],
+        // A shuffled scan cannot ride the hub (its gather order is shared
+        // state), so it always opens a private stream.
+        (Some(hub), 1) if !opts.shuffle_scan => {
+            vec![open_shared_stream(input, catalog, &exec_opts, hub)?]
+        }
         _ => open_stream_partitioned(input, catalog, &exec_opts, opts.parallelism)?,
     };
     let layout = layout_dims(aggs, streams[0].schema())?;
@@ -511,43 +523,123 @@ pub(crate) fn open_aggregate<'p>(
     })
 }
 
-/// Does the plan contain a `UnionSamples` node anywhere?
-pub(crate) fn contains_union(plan: &LogicalPlan) -> bool {
-    match plan {
-        LogicalPlan::UnionSamples { .. } => true,
-        LogicalPlan::Scan { .. } => false,
-        LogicalPlan::Sample { input, .. }
-        | LogicalPlan::Filter { input, .. }
-        | LogicalPlan::Project { input, .. }
-        | LogicalPlan::Aggregate { input, .. } => contains_union(input),
-        LogicalPlan::Join { left, right, .. } => contains_union(left) || contains_union(right),
-    }
-}
-
-/// The plan GUS compacted with one WOR(consumed, available) factor per
-/// partially scanned relation — the random-scan-order prefix model
-/// (Proposition 8). Fully covered relations contribute the identity;
+/// A union-free region's GUS compacted with one WOR(consumed, available)
+/// factor per partially scanned relation — the random-scan-order prefix
+/// model (Proposition 8). Fully covered relations contribute the identity;
 /// relations with nothing consumed yet are skipped too (the estimate is 0
 /// there and a 0-draw WOR would be the degenerate null sampler). `progress`
 /// may be a single stream's report or the element-wise sum over partitioned
 /// workers — slice-relative coverage sums to the true per-relation prefix.
 pub(crate) fn scan_scaled_gus(
-    plan_gus: &GusParams,
+    region_gus: &GusParams,
     relations: &[String],
     progress: &[(u64, u64)],
 ) -> Result<GusParams> {
-    let mut gus = plan_gus.clone();
+    let mut gus = region_gus.clone();
     for (name, &(consumed, available)) in relations.iter().zip(progress) {
         if consumed == 0 || consumed >= available {
             continue;
         }
         let prefix = GusParams::wor(name, consumed, available)
-            .and_then(|g| g.embed_by_name(plan_gus.schema().clone()))
+            .and_then(|g| g.embed_by_name(region_gus.schema().clone()))
             .and_then(|g| gus.compact(&g))
             .map_err(ExecError::Core)?;
         gus = prefix;
     }
     Ok(gus)
+}
+
+/// The internal invariant error for [`scale_gus_tree`]: the stream's
+/// progress report and the plan's GUS structure disagree. The executor is
+/// built from the same plan the analysis walked, so any mismatch is a
+/// driver bug, not a user error.
+fn progress_shape_mismatch(tree: &GusTree, prog: &ProgressTree) -> Error {
+    Error::Unsupported(format!(
+        "internal: the stream's scan-progress shape does not match the plan's GUS \
+         structure (plan node: {}, progress node: {}); please report this as a bug",
+        match tree {
+            GusTree::Leaf { rels, .. } => format!("union-free region over {rels:?}"),
+            GusTree::Union { .. } => "union".into(),
+            GusTree::Join { .. } => "join".into(),
+        },
+        match prog {
+            ProgressTree::Leaf(cov) => format!("flat coverage of {} relations", cov.len()),
+            ProgressTree::Union { .. } => "union".into(),
+            ProgressTree::Concat(..) => "join".into(),
+        }
+    ))
+}
+
+/// Scale the plan's GUS to the scanned population by walking its union/join
+/// structure ([`GusTree`]) against the stream's per-branch coverage
+/// ([`ProgressTree`]) — per-branch prefix composition:
+///
+/// * a union-free region gets its own Prop-8 WOR factors
+///   ([`scan_scaled_gus`]);
+/// * a union whose second branch has not started is read as the **first
+///   branch alone** (no tuple unique to branch 2 can have arrived, so the
+///   consumed prefix *is* a branch-1 sample — unioning an untouched G₂
+///   would claim coverage the stream does not have);
+/// * once branch 2 starts, branch 1 is complete (the streamed union drains
+///   it fully first) and the snapshot reads
+///   `union(G₁, G₂ ⊙ WOR(k₂, N))` — Prop 7 over the re-scaled branch
+///   designs;
+/// * joins compact their scaled sides (Prop 6/8). A flat coverage report
+///   under a union/join node means the executor materialized that region
+///   (e.g. a join build side): every unit is consumed, so the same flat
+///   report recurses into both sides.
+///
+/// The executor's progress tree can only *lose* structure relative to the
+/// plan's (materialization flattens); any other pairing is an internal
+/// invariant violation.
+pub(crate) fn scale_gus_tree(tree: &GusTree, prog: &ProgressTree) -> Result<GusParams> {
+    match (tree, prog) {
+        (GusTree::Leaf { gus, rels }, ProgressTree::Leaf(cov)) => {
+            if cov.len() != rels.len() {
+                return Err(progress_shape_mismatch(tree, prog));
+            }
+            scan_scaled_gus(gus, rels, cov)
+        }
+        (
+            GusTree::Union { left, right },
+            ProgressTree::Union {
+                left: pl,
+                right: pr,
+                second_started,
+            },
+        ) => {
+            let l = scale_gus_tree(left, pl)?;
+            if !*second_started {
+                return Ok(l);
+            }
+            let r = scale_gus_tree(right, pr)?;
+            l.union(&r).map_err(|e| Error::Exec(ExecError::Core(e)))
+        }
+        (GusTree::Union { left, right }, ProgressTree::Leaf(_)) => {
+            // Materialized union: one flat, fully-consumed report stands
+            // for both branches.
+            let l = scale_gus_tree(left, prog)?;
+            let r = scale_gus_tree(right, prog)?;
+            l.union(&r).map_err(|e| Error::Exec(ExecError::Core(e)))
+        }
+        (GusTree::Join { left, right }, ProgressTree::Concat(pl, pr)) => {
+            let l = scale_gus_tree(left, pl)?;
+            let r = scale_gus_tree(right, pr)?;
+            l.compact(&r).map_err(|e| Error::Exec(ExecError::Core(e)))
+        }
+        (GusTree::Join { left, right }, ProgressTree::Leaf(cov)) => {
+            // Flattened join report: the probe side's relations come first
+            // (scan order), the build side's after.
+            let k = left.n_rels();
+            if cov.len() != tree.n_rels() {
+                return Err(progress_shape_mismatch(tree, prog));
+            }
+            let l = scale_gus_tree(left, &ProgressTree::Leaf(cov[..k].to_vec()))?;
+            let r = scale_gus_tree(right, &ProgressTree::Leaf(cov[k..].to_vec()))?;
+            l.compact(&r).map_err(|e| Error::Exec(ExecError::Core(e)))
+        }
+        (t, p) => Err(progress_shape_mismatch(t, p)),
+    }
 }
 
 /// The largest relative CI half-width across the aggregates, `None` when
@@ -625,7 +717,15 @@ mod tests {
         let LogicalPlan::Aggregate { aggs, input } = &plan else {
             unreachable!()
         };
-        let mut stream = open_stream(input, &c, &ExecOptions { seed: 9 }).unwrap();
+        let mut stream = open_stream(
+            input,
+            &c,
+            &ExecOptions {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let layout = layout_dims(aggs, stream.schema()).unwrap();
         let mut batch = sa_core::GroupedMoments::new(1, layout.dims());
         loop {
@@ -767,26 +867,102 @@ mod tests {
         assert!(err.to_string().contains("GROUP BY"), "{err}");
     }
 
+    fn union_plan(p: f64) -> LogicalPlan {
+        LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p })
+            .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p }))
+            .aggregate(vec![AggSpec::sum(col("v"), "s")])
+    }
+
     #[test]
-    fn union_plans_refuse_population_scaling_but_run_raw() {
+    fn union_scaling_runs_online_and_matches_batch_at_exhaustion() {
+        // Per-branch prefix composition: the union plan now scales to the
+        // population mid-stream, and at exhaustion every WOR factor is the
+        // identity, so the readout equals the batch union estimator on the
+        // same realized sample.
         let c = catalog(2000);
-        let plan = LogicalPlan::scan("t")
-            .sample(SamplingMethod::Bernoulli { p: 0.4 })
-            .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }))
-            .aggregate(vec![AggSpec::sum(col("v"), "s")]);
-        let err = run_online(&plan, &c, &OnlineOptions::default(), |_| {}).unwrap_err();
-        assert!(err.to_string().contains("UNION"), "{err}");
-        // Raw prefix mode still runs to exhaustion and matches the batch
-        // union estimate there.
+        let plan = union_plan(0.4);
         let opts = OnlineOptions {
             seed: 6,
             chunk_rows: 128,
-            scale_to_population: false,
             ..Default::default()
         };
-        let r = run_online(&plan, &c, &opts, |_| {}).unwrap();
-        assert_eq!(r.reason, StopReason::Exhausted);
-        assert!(r.snapshot.rows > 0);
+        let online = run_online(&plan, &c, &opts, |_| {}).unwrap();
+        assert_eq!(online.reason, StopReason::Exhausted);
+        assert!(online.snapshot.rows > 0);
+        let LogicalPlan::Aggregate { aggs, input } = &plan else {
+            unreachable!()
+        };
+        let exec_opts = ExecOptions {
+            seed: 6,
+            ..Default::default()
+        };
+        let mut stream = open_stream(input, &c, &exec_opts).unwrap();
+        let layout = layout_dims(aggs, stream.schema()).unwrap();
+        let mut batch = sa_core::GroupedMoments::new(online.analysis.schema.n(), layout.dims());
+        loop {
+            let chunk = stream.next_chunk(4096).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            for row in &chunk {
+                batch
+                    .push(&row.lineage, &f_vector(&layout, row).unwrap())
+                    .unwrap();
+            }
+        }
+        let report =
+            sa_core::estimate_from_sample_moments(&online.analysis.gus, &batch.finish()).unwrap();
+        let est = online.snapshot.aggs[0].estimate;
+        assert!(
+            (est - report.estimate[0]).abs() < 1e-9 * (1.0 + est.abs()),
+            "{est} vs {}",
+            report.estimate[0]
+        );
+        let (vo, vb) = (
+            online.snapshot.aggs[0].variance.unwrap(),
+            report.variance(0).unwrap(),
+        );
+        assert!((vo - vb).abs() < 1e-9 * (1.0 + vb.abs()), "{vo} vs {vb}");
+    }
+
+    #[test]
+    fn union_mid_scan_scaling_targets_the_population() {
+        // Stop the union run early (inside branch 1): the scaled estimate
+        // must target the full answer, not the scanned prefix of it.
+        let c = catalog(20_000);
+        let truth = 80_000.0; // v cycles 1..=7 (mean 4.0) over 20k rows
+        let opts = OnlineOptions {
+            seed: 11,
+            chunk_rows: 200,
+            rule: StoppingRule::rows(1500),
+            ..Default::default()
+        };
+        let r = run_online(&union_plan(0.5), &c, &opts, |_| {}).unwrap();
+        assert_eq!(r.reason, StopReason::RowBudget);
+        let (consumed, available) = r.snapshot.progress[0];
+        assert!(consumed < available, "stopped mid-scan");
+        let est = r.snapshot.aggs[0].estimate;
+        assert!(
+            (est - truth).abs() < 0.15 * truth,
+            "scaled union estimate {est} should be near {truth}"
+        );
+    }
+
+    #[test]
+    fn union_plans_still_refuse_partitioned_workers() {
+        // The parallel path does not partition union plans; the refusal
+        // names the workaround precisely.
+        let c = catalog(2000);
+        let opts = OnlineOptions {
+            parallelism: 2,
+            ..Default::default()
+        };
+        let err = run_online(&union_plan(0.4), &c, &opts, |_| {}).unwrap_err();
+        assert!(
+            err.to_string().contains("parallelism = 1"),
+            "the refusal must name the single-stream workaround: {err}"
+        );
     }
 
     #[test]

@@ -452,7 +452,9 @@ impl Engine {
         plan: &LogicalPlan,
         opts: &QueryOptions,
     ) -> Result<Option<Arc<SharedTableScan>>> {
-        if !self.inner.shared_scans || opts.parallelism != 1 {
+        if !self.inner.shared_scans || opts.parallelism != 1 || opts.shuffle_scan {
+            // A shuffled scan's gather order is per-query state; it cannot
+            // ride the hub's shared cursor, so it opens a private stream.
             return Ok(None);
         }
         let LogicalPlan::Aggregate { input, .. } = plan else {
@@ -595,6 +597,14 @@ impl QueryBuilder {
     /// Grow the pull hint as the estimate stabilizes.
     pub fn adaptive_chunks(mut self, on: bool) -> QueryBuilder {
         self.opts.adaptive_chunks = on;
+        self
+    }
+
+    /// Visit the base table's blocks in a seeded random permutation —
+    /// restores the random-scan-order assumption on physically ordered
+    /// tables (see [`QueryOptions::shuffle_scan`]).
+    pub fn shuffle_scan(mut self, on: bool) -> QueryBuilder {
+        self.opts.shuffle_scan = on;
         self
     }
 

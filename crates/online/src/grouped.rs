@@ -39,9 +39,9 @@ use std::time::Instant;
 use sa_core::hash::{FxHashMap, FxHasher};
 use sa_core::{GroupedMomentAccumulator, GusParams};
 use sa_exec::{agg_results_from_report, AggResult, ChunkStream, ColumnarChunk, DimLayout};
-use sa_exec::{BatchDimEval, ExecError};
+use sa_exec::{BatchDimEval, ExecError, ProgressTree};
 use sa_expr::{compile, CompiledExpr, Expr};
-use sa_plan::{AggSpec, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
+use sa_plan::{AggSpec, GusTree, LogicalPlan, SoaAnalysis, StopReason, StoppingRule};
 use sa_sql::plan_online_grouped_sql;
 use sa_storage::{Catalog, ColumnVec, Value};
 
@@ -49,7 +49,7 @@ use crate::api::QueryOptions;
 #[allow(deprecated)]
 use crate::driver::OnlineOptions;
 use crate::driver::{adapt_chunk_hint, ADAPTIVE_CHUNK_CAP_FACTOR};
-use crate::driver::{open_aggregate, scan_scaled_gus, worst_rel_half_width, OpenedAggregate};
+use crate::driver::{open_aggregate, scale_gus_tree, worst_rel_half_width, OpenedAggregate};
 use crate::driver::{ProgressSnapshot, RunCtx};
 use crate::error::Error;
 use crate::parallel::run_worker_pool;
@@ -237,8 +237,9 @@ pub(crate) fn drive_grouped(
             aggs,
             &layout,
             &analysis.gus,
-            stream.relations(),
+            &analysis.gus_tree,
             stream.progress(),
+            &stream.progress_tree(),
             opts,
             confidence,
             chunks,
@@ -369,8 +370,9 @@ fn grouped_tick(
     aggs: &[AggSpec],
     layout: &DimLayout,
     plan_gus: &GusParams,
-    relations: &[String],
+    gus_tree: &GusTree,
     progress: Vec<(u64, u64)>,
+    prog_tree: &ProgressTree,
     opts: &QueryOptions,
     confidence: f64,
     chunk: u64,
@@ -382,7 +384,7 @@ fn grouped_tick(
 ) -> Result<(GroupedProgressSnapshot, Option<StopReason>)> {
     let rule = &opts.rule;
     let gus = if opts.scale_to_population {
-        scan_scaled_gus(plan_gus, relations, &progress)?
+        scale_gus_tree(gus_tree, prog_tree)?
     } else {
         plan_gus.clone()
     };
@@ -504,7 +506,6 @@ fn drive_grouped_parallel(
 ) -> Result<GroupedOnlineResult> {
     let n = analysis.schema.n();
     let dims = layout.dims();
-    let relations: Vec<String> = streams[0].relations().to_vec();
     let dim_eval = layout.compile_batch(streams[0].schema())?;
     let rule = &opts.rule;
     let confidence = rule.confidence_or(opts.confidence);
@@ -529,13 +530,17 @@ fn drive_grouped_parallel(
             // found independently still counts as one discovery.
             let new_groups = merged.group_count().saturating_sub(known_groups) as u64;
             known_groups = merged.group_count();
+            // Flat summed worker coverage; union plans never reach this
+            // loop (partitioned opens refuse them).
+            let prog_tree = ProgressTree::Leaf(progress.to_vec());
             let (snapshot, reason) = grouped_tick(
                 merged,
                 aggs,
                 layout,
                 &analysis.gus,
-                &relations,
+                &analysis.gus_tree,
                 progress.to_vec(),
+                &prog_tree,
                 opts,
                 confidence,
                 chunks,
@@ -716,7 +721,15 @@ mod tests {
         let LogicalPlan::Aggregate { aggs, input } = &plan else {
             unreachable!()
         };
-        let mut stream = open_stream(input, &c, &ExecOptions { seed: 9 }).unwrap();
+        let mut stream = open_stream(
+            input,
+            &c,
+            &ExecOptions {
+                seed: 9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let layout = layout_dims(aggs, stream.schema()).unwrap();
         let key_expr = bind(&col("g"), stream.schema()).unwrap();
         let mut batch: std::collections::BTreeMap<Vec<Value>, sa_core::GroupedMoments> =
@@ -922,7 +935,7 @@ mod tests {
     }
 
     #[test]
-    fn non_aggregate_root_and_union_scaling_rejected() {
+    fn non_aggregate_root_rejected() {
         let c = catalog();
         let err = run_online_grouped(
             &LogicalPlan::scan("t"),
@@ -933,19 +946,63 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, Error::Unsupported(_)));
-        let union = LogicalPlan::scan("t")
+    }
+
+    #[test]
+    fn grouped_union_scaling_matches_batch_at_exhaustion() {
+        // Per-branch prefix composition works per group too: the union plan
+        // runs with population scaling on, and at exhaustion every group's
+        // readout equals the batch grouped estimator on the same realized
+        // union sample.
+        let c = catalog();
+        let plan = LogicalPlan::scan("t")
             .sample(SamplingMethod::Bernoulli { p: 0.4 })
             .union_samples(LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.4 }))
             .aggregate(vec![AggSpec::sum(col("v"), "s")]);
-        let err = run_online_grouped(
-            &union,
+        let r = run_online_grouped(
+            &plan,
             &[col("g")],
             &c,
-            &GroupedOnlineOptions::default(),
+            &opts(9, 128, StoppingRule::exhaustive()),
             |_| {},
         )
-        .unwrap_err();
-        assert!(err.to_string().contains("UNION"), "{err}");
+        .unwrap();
+        assert_eq!(r.reason, StopReason::Exhausted);
+        let LogicalPlan::Aggregate { aggs, input } = &plan else {
+            unreachable!()
+        };
+        let exec_opts = ExecOptions {
+            seed: 9,
+            ..Default::default()
+        };
+        let mut stream = open_stream(input, &c, &exec_opts).unwrap();
+        let layout = layout_dims(aggs, stream.schema()).unwrap();
+        let key_expr = bind(&col("g"), stream.schema()).unwrap();
+        let mut batch: std::collections::BTreeMap<Vec<Value>, sa_core::GroupedMoments> =
+            Default::default();
+        loop {
+            let chunk = stream.next_chunk(4096).unwrap();
+            if chunk.is_empty() {
+                break;
+            }
+            for row in &chunk {
+                let key = vec![eval(&key_expr, &row.values).unwrap()];
+                batch
+                    .entry(key)
+                    .or_insert_with(|| sa_core::GroupedMoments::new(1, layout.dims()))
+                    .push(&row.lineage, &f_vector(&layout, row).unwrap())
+                    .unwrap();
+            }
+        }
+        assert_eq!(batch.len(), r.snapshot.groups.len());
+        for g in &r.snapshot.groups {
+            let moments = batch.remove(&g.key).expect("group in both").finish();
+            let report = sa_core::estimate_from_sample_moments(&r.analysis.gus, &moments).unwrap();
+            let (eo, eb) = (g.aggs[0].estimate, report.estimate[0]);
+            assert!((eo - eb).abs() < 1e-9 * (1.0 + eb.abs()), "{eo} vs {eb}");
+            let (vo, vb) = (g.aggs[0].variance.unwrap(), report.variance(0).unwrap());
+            assert!((vo - vb).abs() < 1e-9 * (1.0 + vb.abs()), "{vo} vs {vb}");
+        }
     }
 
     #[test]

@@ -50,7 +50,15 @@ fn online_loop_converges_and_matches_batch_on_the_consumed_prefix() {
     let LogicalPlan::Aggregate { aggs, input } = &plan else {
         panic!("aggregate root expected")
     };
-    let mut stream = open_stream(input, &catalog, &ExecOptions { seed: SEED }).unwrap();
+    let mut stream = open_stream(
+        input,
+        &catalog,
+        &ExecOptions {
+            seed: SEED,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let layout = layout_dims(aggs, stream.schema()).unwrap();
     let n = online.analysis.schema.n();
     let mut batch = GroupedMoments::new(n, layout.dims());

@@ -452,7 +452,9 @@ impl LogicalPlan {
             LogicalPlan::UnionSamples { left, right } => {
                 if left.strip_samples() != right.strip_samples() {
                     return Err(PlanError::Malformed(
-                        "UnionSamples branches must be the same expression up to sampling                          operators (Proposition 7 unions independent samples of one                          expression)"
+                        "UnionSamples branches must be the same expression up to sampling \
+                         operators (Proposition 7 unions independent samples of one \
+                         expression)"
                             .into(),
                     ));
                 }
@@ -471,7 +473,9 @@ impl LogicalPlan {
                 };
                 if sys(left) != sys(right) {
                     return Err(PlanError::Malformed(
-                        "UnionSamples branches disagree on SYSTEM (block-level) sampling;                          lineage granularity must match across the union".into(),
+                        "UnionSamples branches disagree on SYSTEM (block-level) sampling; \
+                         lineage granularity must match across the union"
+                            .into(),
                     ));
                 }
                 left.validate_structure(false)?;
@@ -667,6 +671,29 @@ mod tests {
             p.validate(&catalog()),
             Err(PlanError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn union_validation_errors_render_without_embedded_indentation() {
+        // Mismatched branches: different base expressions under the union.
+        let mismatched = LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .union_samples(LogicalPlan::scan("orders").sample(SamplingMethod::Bernoulli { p: 0.5 }))
+            .aggregate(vec![AggSpec::count_star("c")]);
+        // Mismatched lineage granularity: SYSTEM in one branch only.
+        let mixed_system = LogicalPlan::scan("lineitem")
+            .sample(SamplingMethod::System { p: 0.5 })
+            .union_samples(
+                LogicalPlan::scan("lineitem").sample(SamplingMethod::Bernoulli { p: 0.5 }),
+            )
+            .aggregate(vec![AggSpec::count_star("c")]);
+        for plan in [mismatched, mixed_system] {
+            let msg = plan.validate(&catalog()).unwrap_err().to_string();
+            assert!(
+                !msg.contains("  "),
+                "plan error leaks source indentation: {msg:?}"
+            );
+        }
     }
 
     #[test]

@@ -229,11 +229,16 @@ fn handle_connection(
     let reader = BufReader::new(conn.try_clone()?);
     let mut out = BufWriter::new(conn);
     let mut seed: Option<u64> = None;
+    let mut shuffle = false;
     for line in reader.lines() {
         match parse(&line?) {
             Ok(Request::Ping) => writeln!(out, "OK")?,
             Ok(Request::Seed(s)) => {
                 seed = Some(s);
+                writeln!(out, "OK")?;
+            }
+            Ok(Request::Shuffle(on)) => {
+                shuffle = on;
                 writeln!(out, "OK")?;
             }
             Ok(Request::Quit) => break,
@@ -242,7 +247,7 @@ fn handle_connection(
                 writeln!(out, "DONE")?;
             }
             Ok(Request::Query(sql)) => {
-                run_query(&mut out, &session, &sql, seed, snapshot_every)?;
+                run_query(&mut out, &session, &sql, seed, shuffle, snapshot_every)?;
                 writeln!(out, "DONE")?;
             }
             Err(msg) => {
@@ -268,9 +273,10 @@ fn run_query(
     session: &Session,
     sql: &str,
     seed: Option<u64>,
+    shuffle: bool,
     snapshot_every: u64,
 ) -> std::io::Result<()> {
-    let mut builder = session.query(sql);
+    let mut builder = session.query(sql).shuffle_scan(shuffle);
     if let Some(s) = seed {
         builder = builder.seed(s);
     }

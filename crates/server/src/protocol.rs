@@ -3,11 +3,13 @@
 //! One UTF-8 line per message, newline-terminated, both ways. Requests:
 //!
 //! ```text
-//! SEED <n>       use sampling seed n for subsequent queries   → OK
-//! QUERY <sql>    run a TABLESAMPLE aggregate query            → see below
-//! STATS          dump engine metrics                          → see below
-//! PING           liveness probe                               → OK
-//! QUIT           close the connection
+//! SEED <n>         use sampling seed n for subsequent queries   → OK
+//! SHUFFLE on|off   seeded random block order for subsequent
+//!                  queries (scan-order robustness)              → OK
+//! QUERY <sql>      run a TABLESAMPLE aggregate query            → see below
+//! STATS            dump engine metrics                          → see below
+//! PING             liveness probe                               → OK
+//! QUIT             close the connection
 //! ```
 //!
 //! A `QUERY` answers with a stream of progress lines and always terminates
@@ -41,6 +43,10 @@ pub enum Request {
     Query(String),
     /// `SEED <n>`: pin the sampling seed for subsequent queries.
     Seed(u64),
+    /// `SHUFFLE on|off`: visit blocks in a seeded random order for
+    /// subsequent queries (restores the random-scan-order assumption on
+    /// physically sorted tables).
+    Shuffle(bool),
     /// `STATS`: dump engine metrics in Prometheus text format.
     Stats,
     /// `PING`: liveness probe.
@@ -62,6 +68,11 @@ pub fn parse(line: &str) -> Result<Request, String> {
             .parse()
             .map(Request::Seed)
             .map_err(|_| "SEED needs a non-negative integer".into()),
+        "SHUFFLE" => match rest.trim().to_ascii_lowercase().as_str() {
+            "on" => Ok(Request::Shuffle(true)),
+            "off" => Ok(Request::Shuffle(false)),
+            _ => Err("SHUFFLE needs `on` or `off`".into()),
+        },
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
@@ -157,6 +168,9 @@ mod tests {
             Ok(Request::Query("select sum(v) from t".into()))
         });
         assert_eq!(parse("SEED 42"), Ok(Request::Seed(42)));
+        assert_eq!(parse("SHUFFLE on"), Ok(Request::Shuffle(true)));
+        assert_eq!(parse("shuffle OFF"), Ok(Request::Shuffle(false)));
+        assert!(parse("SHUFFLE maybe").is_err());
         assert_eq!(parse("stats"), Ok(Request::Stats));
         assert_eq!(parse(" PING "), Ok(Request::Ping));
         assert_eq!(parse("quit"), Ok(Request::Quit));

@@ -40,6 +40,11 @@ pub struct TableRef {
     pub table: String,
     /// Optional sampling clause.
     pub sample: Option<SampleSpec>,
+    /// Additional sampling clauses unioned with the first (Proposition 7):
+    /// `TABLESAMPLE (40 PERCENT) UNION TABLESAMPLE (40 PERCENT)` draws
+    /// independent samples of the same table and combines them,
+    /// deduplicated by lineage. Empty unless `sample` is present.
+    pub union_samples: Vec<SampleSpec>,
     /// Optional alias (`FROM lineitem AS l`).
     pub alias: Option<String>,
 }
@@ -133,12 +138,14 @@ mod tests {
         let t = TableRef {
             table: "lineitem".into(),
             sample: None,
+            union_samples: vec![],
             alias: Some("l".into()),
         };
         assert_eq!(t.binding_name(), "l");
         let t = TableRef {
             table: "orders".into(),
             sample: None,
+            union_samples: vec![],
             alias: None,
         };
         assert_eq!(t.binding_name(), "orders");

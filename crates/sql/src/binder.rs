@@ -64,13 +64,23 @@ pub fn bind_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan> {
     // Build per-table subplans: scan → sample → filters.
     let mut subplans: Vec<LogicalPlan> = Vec::with_capacity(query.from.len());
     for (i, t) in query.from.iter().enumerate() {
-        let mut plan = if t.binding_name() == t.table {
-            LogicalPlan::scan(&t.table)
-        } else {
-            LogicalPlan::scan_as(&t.table, t.binding_name())
+        let scan = || {
+            if t.binding_name() == t.table {
+                LogicalPlan::scan(&t.table)
+            } else {
+                LogicalPlan::scan_as(&t.table, t.binding_name())
+            }
         };
+        let mut plan = scan();
         if let Some(spec) = &t.sample {
             plan = plan.sample(sample_method(spec)?);
+            // `TABLESAMPLE s1 UNION TABLESAMPLE s2 …`: independent draws of
+            // the same scan, combined by Proposition 7's union-of-samples
+            // (dedup by lineage). Filters go *above* the union so every
+            // branch stays a sample of the identical expression.
+            for spec in &t.union_samples {
+                plan = plan.union_samples(scan().sample(sample_method(spec)?));
+            }
         }
         if !table_filters[i].is_empty() {
             plan = plan.filter(Expr::conjoin(table_filters[i].clone()));
@@ -297,6 +307,37 @@ mod tests {
         assert!(matches!(left.as_ref(), LogicalPlan::Filter { .. }));
         assert!(matches!(right.as_ref(), LogicalPlan::Sample { .. }));
         assert_eq!(plan.base_relations(), vec!["lineitem", "orders"]);
+    }
+
+    #[test]
+    fn binds_union_of_samples_with_filter_above() {
+        let plan = plan_sql(
+            "SELECT SUM(l_extendedprice) AS s FROM lineitem \
+             TABLESAMPLE (40 PERCENT) UNION TABLESAMPLE (25 PERCENT) \
+             WHERE l_extendedprice > 100.0",
+            &catalog(),
+        )
+        .unwrap();
+        // Shape: Aggregate(Filter(Union(Sample, Sample))) — the filter sits
+        // above the union so both branches sample the identical expression.
+        let LogicalPlan::Aggregate { input, .. } = &plan else {
+            panic!("no aggregate root")
+        };
+        let LogicalPlan::Filter { input, .. } = input.as_ref() else {
+            panic!("filter must sit above the union: {input}")
+        };
+        let LogicalPlan::UnionSamples { left, right } = input.as_ref() else {
+            panic!("no union: {input}")
+        };
+        assert!(matches!(left.as_ref(), LogicalPlan::Sample { .. }));
+        assert!(matches!(right.as_ref(), LogicalPlan::Sample { .. }));
+        // Mixed SYSTEM/BERNOULLI branches parse but fail validation.
+        assert!(plan_sql(
+            "SELECT COUNT(*) FROM lineitem \
+             TABLESAMPLE (40 PERCENT) UNION TABLESAMPLE SYSTEM (25)",
+            &catalog(),
+        )
+        .is_err());
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! A lexer, recursive-descent parser and binder for the exact dialect the
 //! paper's interface needs: aggregate `SELECT` lists (`SUM`/`COUNT`/`AVG`
 //! and `QUANTILE(agg, q)` bounds), `FROM` lists with SQL-standard
-//! `TABLESAMPLE` clauses (`PERCENT`, `ROWS`, `SYSTEM`), conjunctive `WHERE`
-//! predicates, and the paper's `CREATE VIEW APPROX (lo, hi) AS …` syntax.
+//! `TABLESAMPLE` clauses (`PERCENT`, `ROWS`, `SYSTEM`) that may be unioned
+//! (`TABLESAMPLE (40 PERCENT) UNION TABLESAMPLE (40 PERCENT)` draws
+//! independent samples of the same table and combines them per
+//! Proposition 7), conjunctive `WHERE` predicates, and the paper's
+//! `CREATE VIEW APPROX (lo, hi) AS …` syntax.
 //!
 //! [`plan_sql`] goes from SQL text to a validated [`sa_plan::LogicalPlan`]
 //! ready for `sa_exec::approx_query`; [`plan_grouped_sql`] also returns the

@@ -307,11 +307,19 @@ impl Parser {
         )))
     }
 
-    // table_ref := ident [TABLESAMPLE spec] [[AS] ident]
+    // table_ref := ident [TABLESAMPLE spec (UNION TABLESAMPLE spec)*] [[AS] ident]
     fn table_ref(&mut self) -> Result<TableRef> {
         let table = self.ident("table name")?;
+        let mut union_samples = Vec::new();
         let sample = if self.eat_kw(Keyword::Tablesample) {
-            Some(self.sample_spec()?)
+            let first = self.sample_spec()?;
+            // Proposition 7: further independent samples of the same
+            // table, combined by the union-of-samples operator.
+            while self.eat_kw(Keyword::Union) {
+                self.expect_kw(Keyword::Tablesample)?;
+                union_samples.push(self.sample_spec()?);
+            }
+            Some(first)
         } else {
             None
         };
@@ -325,6 +333,7 @@ impl Parser {
         Ok(TableRef {
             table,
             sample,
+            union_samples,
             alias,
         })
     }
@@ -528,6 +537,24 @@ mod tests {
         assert_eq!(q.from[0].sample, Some(SampleSpec::SystemPercent(5.0)));
         let q = parse("SELECT COUNT(*) FROM t TABLESAMPLE SYSTEM (5 PERCENT)").unwrap();
         assert_eq!(q.from[0].sample, Some(SampleSpec::SystemPercent(5.0)));
+    }
+
+    #[test]
+    fn union_of_samples() {
+        let q = parse(
+            "SELECT SUM(v) FROM t TABLESAMPLE (40 PERCENT) \
+             UNION TABLESAMPLE (25 PERCENT) UNION TABLESAMPLE (30 PERCENT)",
+        )
+        .unwrap();
+        assert_eq!(q.from[0].sample, Some(SampleSpec::Percent(40.0)));
+        assert_eq!(
+            q.from[0].union_samples,
+            vec![SampleSpec::Percent(25.0), SampleSpec::Percent(30.0)]
+        );
+        // UNION must be followed by a TABLESAMPLE clause…
+        assert!(parse("SELECT SUM(v) FROM t TABLESAMPLE (40 PERCENT) UNION (5 ROWS)").is_err());
+        // …and must follow one (UNION is a keyword, not an alias).
+        assert!(parse("SELECT SUM(v) FROM t UNION TABLESAMPLE (5 ROWS)").is_err());
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub enum Keyword {
     By,
     Within,
     Confidence,
+    Union,
 }
 
 fn keyword_of(s: &str) -> Option<Keyword> {
@@ -123,6 +124,7 @@ fn keyword_of(s: &str) -> Option<Keyword> {
         "BY" => Keyword::By,
         "WITHIN" => Keyword::Within,
         "CONFIDENCE" => Keyword::Confidence,
+        "UNION" => Keyword::Union,
         _ => return None,
     })
 }

@@ -39,6 +39,8 @@
 //! \chunk N              set the online chunk size (rows)
 //! \jobs N               set the online worker count (1 = sequential)
 //! \adaptive on|off      grow online chunks as the estimate stabilizes
+//! \shuffle on|off       visit blocks in a seeded random order (restores
+//!                       the random-scan-order assumption on sorted data)
 //! \subsample N          estimate variance from ~N tuples (§7); 0 = off
 //! \stats                dump engine metrics (Prometheus text format)
 //! \quit
@@ -62,6 +64,7 @@ struct Shell {
     chunk_rows: usize,
     jobs: usize,
     adaptive_chunks: bool,
+    shuffle_scan: bool,
 }
 
 fn main() {
@@ -71,6 +74,7 @@ fn main() {
     let mut chunk_rows = 1024usize;
     let mut jobs = 1usize;
     let mut adaptive_chunks = false;
+    let mut shuffle_scan = false;
     let mut online = false;
     let mut one_shot: Option<String> = None;
     let mut connect: Option<String> = None;
@@ -106,6 +110,7 @@ fn main() {
                     .unwrap_or_else(|| die("--jobs needs a positive worker count"));
             }
             "--adaptive-chunks" => adaptive_chunks = true,
+            "--shuffle-scan" => shuffle_scan = true,
             "--online" => online = true,
             "--query" => {
                 one_shot = Some(
@@ -132,8 +137,8 @@ fn main() {
             "-h" | "--help" => {
                 eprintln!(
                     "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--jobs N] \
-                     [--adaptive-chunks] [--online] [--connect HOST:PORT] [--query SQL] \
-                     [--stats] [--stats-json PATH]"
+                     [--adaptive-chunks] [--shuffle-scan] [--online] [--connect HOST:PORT] \
+                     [--query SQL] [--stats] [--stats-json PATH]"
                 );
                 return;
             }
@@ -146,7 +151,7 @@ fn main() {
             run_stats_client(&addr);
         }
         let sql = one_shot.unwrap_or_else(|| die("--connect needs --query SQL"));
-        run_client(&addr, seed, &sql);
+        run_client(&addr, seed, shuffle_scan, &sql);
     }
 
     eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
@@ -162,6 +167,7 @@ fn main() {
         chunk_rows,
         jobs,
         adaptive_chunks,
+        shuffle_scan,
     };
 
     if let Some(sql) = one_shot {
@@ -217,9 +223,10 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Thin client for `sa-server`: send `SEED` + `QUERY`, relay response lines
-/// to stdout until the terminator, exit 0 on `DONE` / 1 on `ERR`.
-fn run_client(addr: &str, seed: u64, sql: &str) -> ! {
+/// Thin client for `sa-server`: send `SEED` (and `SHUFFLE on` when asked)
+/// then `QUERY`, relay response lines to stdout until the terminator, exit
+/// 0 on `DONE` / 1 on `ERR`.
+fn run_client(addr: &str, seed: u64, shuffle: bool, sql: &str) -> ! {
     let stream =
         TcpStream::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect {addr}: {e}")));
     let mut tx = stream
@@ -227,6 +234,13 @@ fn run_client(addr: &str, seed: u64, sql: &str) -> ! {
         .unwrap_or_else(|e| die(&format!("cannot clone socket: {e}")));
     let sql = sql.replace('\n', " ");
     writeln!(tx, "SEED {seed}")
+        .and_then(|_| {
+            if shuffle {
+                writeln!(tx, "SHUFFLE on")
+            } else {
+                Ok(())
+            }
+        })
         .and_then(|_| writeln!(tx, "QUERY {sql}"))
         .unwrap_or_else(|e| {
             die(&format!("cannot send query: {e}"));
@@ -327,6 +341,17 @@ fn run_line(shell: &mut Shell, line: &str) {
                     println!("adaptive chunks off");
                 }
                 _ => println!("\\adaptive needs `on` or `off`"),
+            },
+            "shuffle" => match arg.trim() {
+                "on" => {
+                    shell.shuffle_scan = true;
+                    println!("shuffled scan on (seeded random block order)");
+                }
+                "off" => {
+                    shell.shuffle_scan = false;
+                    println!("shuffled scan off (physical block order)");
+                }
+                _ => println!("\\shuffle needs `on` or `off`"),
             },
             "online" => run_online_mode(shell, arg),
             "exact" => run_exact(shell, arg),
@@ -442,6 +467,7 @@ fn run_online_mode(shell: &mut Shell, sql: &str) {
         .confidence(shell.confidence)
         .jobs(shell.jobs)
         .adaptive_chunks(shell.adaptive_chunks)
+        .shuffle_scan(shell.shuffle_scan)
         .run_with({
             let mut header = false;
             move |snap| match &snap {

@@ -122,7 +122,7 @@ proptest! {
     ) {
         let c = catalog();
         let (input, agg_col) = build_plan(sampler, p, wor, pred, proj, join);
-        let opts = ExecOptions { seed };
+        let opts = ExecOptions { seed, ..Default::default() };
 
         // 1. Tuple equality: columnar batches vs the row adapter, under
         //    independent chunk splits (realization is chunk-independent).

@@ -173,7 +173,10 @@ fn acceptance_query_matches_batch_grouped_estimator_at_exhaustion() {
     let mut stream = sampling_algebra::exec::open_stream(
         input,
         &catalog,
-        &sampling_algebra::exec::ExecOptions { seed: 9 },
+        &sampling_algebra::exec::ExecOptions {
+            seed: 9,
+            ..Default::default()
+        },
     )
     .unwrap();
     let layout = sampling_algebra::exec::layout_dims(aggs, stream.schema()).unwrap();

@@ -79,7 +79,16 @@ fn parallel_exhaustion_equals_batch_estimator() {
     let LogicalPlan::Aggregate { aggs, input } = &plan else {
         unreachable!()
     };
-    let streams = open_stream_partitioned(input, &c, &ExecOptions { seed: 9 }, 4).unwrap();
+    let streams = open_stream_partitioned(
+        input,
+        &c,
+        &ExecOptions {
+            seed: 9,
+            ..Default::default()
+        },
+        4,
+    )
+    .unwrap();
     let layout = layout_dims(aggs, streams[0].schema()).unwrap();
     let mut batch = GroupedMoments::new(online.analysis.schema.n(), layout.dims());
     for mut s in streams {
@@ -133,7 +142,16 @@ fn parallel_grouped_exhaustion_equals_batch_estimator() {
     let LogicalPlan::Aggregate { aggs, input } = &plan else {
         unreachable!()
     };
-    let streams = open_stream_partitioned(input, &c, &ExecOptions { seed: 7 }, 4).unwrap();
+    let streams = open_stream_partitioned(
+        input,
+        &c,
+        &ExecOptions {
+            seed: 7,
+            ..Default::default()
+        },
+        4,
+    )
+    .unwrap();
     let layout = layout_dims(aggs, streams[0].schema()).unwrap();
     let key_expr = sampling_algebra::expr::bind(&col("k"), streams[0].schema()).unwrap();
     let mut batch: std::collections::BTreeMap<Vec<Value>, GroupedMoments> = Default::default();

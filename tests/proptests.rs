@@ -309,7 +309,7 @@ proptest! {
         c.register(b.finish().unwrap()).unwrap();
         let plan = LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p });
         let streams = sampling_algebra::exec::open_stream_partitioned(
-            &plan, &c, &ExecOptions { seed }, parts,
+            &plan, &c, &ExecOptions { seed, ..Default::default() }, parts,
         ).unwrap();
         let mut merged = MomentAccumulator::new(1, 1);
         let mut all_rows = Vec::new();
@@ -383,7 +383,7 @@ proptest! {
         // …and the SAME realized sample as raw rows (approx_group_query
         // executes the aggregate input with this very seed).
         let LogicalPlan::Aggregate { aggs, input } = &plan else { unreachable!() };
-        let rs = execute(input, &catalog, &ExecOptions { seed }).unwrap();
+        let rs = execute(input, &catalog, &ExecOptions { seed, ..Default::default() }).unwrap();
         let layout = layout_dims(aggs, &rs.schema).unwrap();
         let key_expr = bind(&col("g"), &rs.schema).unwrap();
         let keyed: Vec<(Vec<sa_storage::Value>, &sa_exec::Row)> = rs

@@ -86,8 +86,16 @@ fn mid_attach_exhaustion_equals_batch_estimator() {
         let LogicalPlan::Aggregate { aggs, input } = &plan else {
             unreachable!()
         };
-        let mut stream =
-            open_shared_stream(input, engine.catalog(), &ExecOptions { seed: 9 }, &hub).unwrap();
+        let mut stream = open_shared_stream(
+            input,
+            engine.catalog(),
+            &ExecOptions {
+                seed: 9,
+                ..Default::default()
+            },
+            &hub,
+        )
+        .unwrap();
         let layout = layout_dims(aggs, stream.schema()).unwrap();
         let mut batch = GroupedMoments::new(r.analysis.schema.n(), layout.dims());
         loop {

@@ -1,0 +1,218 @@
+//! Scan-order robustness: the opt-in seeded shuffled scan.
+//!
+//! Online aggregation's population scaling treats the scanned prefix as a
+//! without-replacement draw from the table — an assumption a physically
+//! *sorted* table violates as badly as possible. These tests pin both
+//! sides of the trade: on a value-sorted table, mid-scan intervals keep
+//! missing the truth until `shuffle_scan` restores the random-order
+//! assumption, and the shuffled scan itself stays byte-reproducible per
+//! seed, composes with union plans and partitioned workers, and bypasses
+//! shared-scan hubs instead of corrupting them.
+
+use sa_storage::{Catalog, DataType, Field, Schema, TableBuilder, Value};
+use sampling_algebra::prelude::*;
+
+/// A worst-case table for prefix scaling: 20 000 rows whose values grow
+/// with physical position (`v = i`), in 64-row blocks so the shuffle has
+/// enough blocks to permute. `SUM(v)` truth is 19 999·20 000/2.
+fn sorted_catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new("t", schema).with_block_rows(64);
+    for i in 0..20_000 {
+        b.push_row(&[Value::Int(i % 10), Value::Float(i as f64)])
+            .unwrap();
+    }
+    c.register(b.finish().unwrap()).unwrap();
+    c
+}
+
+const TRUTH: f64 = 19_999.0 * 20_000.0 / 2.0;
+
+fn sum_plan(p: f64) -> LogicalPlan {
+    LogicalPlan::scan("t")
+        .sample(SamplingMethod::Bernoulli { p })
+        .aggregate(vec![AggSpec::sum(col("v"), "s")])
+}
+
+fn mid_scan_covers(engine: &Engine, seed: u64, shuffle: bool) -> bool {
+    let r = engine
+        .session()
+        .query_plan(&sum_plan(0.5))
+        .seed(seed)
+        .chunk_rows(256)
+        .confidence(0.99)
+        .rows(1000)
+        .shuffle_scan(shuffle)
+        .run()
+        .unwrap();
+    assert_eq!(r.reason, StopReason::RowBudget, "seed {seed} ran dry");
+    let Snapshot::Scalar(s) = r.snapshot else {
+        panic!()
+    };
+    assert!(
+        s.progress.iter().any(|&(c, a)| c < a),
+        "seed {seed} exhausted the scan"
+    );
+    s.aggs[0]
+        .ci_chebyshev
+        .as_ref()
+        .is_some_and(|ci| ci.contains(TRUTH))
+}
+
+/// The adversarial case the shuffle exists for: on a value-sorted table a
+/// mid-scan 99% Chebyshev interval almost never contains the truth under
+/// the physical scan order (the prefix only saw the smallest values), and
+/// almost always does once the block order is shuffled.
+#[test]
+fn sorted_table_mid_scan_needs_the_shuffle() {
+    let engine = Engine::new(sorted_catalog());
+    let physical: u32 = (0..10)
+        .filter(|&s| mid_scan_covers(&engine, s, false))
+        .count() as u32;
+    let shuffled: u32 = (0..10)
+        .filter(|&s| mid_scan_covers(&engine, s, true))
+        .count() as u32;
+    assert!(
+        physical <= 2,
+        "physical order covered {physical}/10 on a sorted table — the \
+         adversarial setup lost its teeth"
+    );
+    assert!(shuffled >= 8, "shuffled order covered only {shuffled}/10");
+}
+
+/// `(seed, shuffle_scan)` fully determines the run: two identical
+/// invocations produce bit-identical snapshot sequences, and a different
+/// seed produces a different one.
+#[test]
+fn shuffled_replays_are_byte_identical() {
+    let engine = Engine::new(sorted_catalog());
+    let trace = |seed: u64| {
+        let mut snaps: Vec<(u64, u64)> = Vec::new();
+        engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .seed(seed)
+            .chunk_rows(256)
+            .rows(1500)
+            .shuffle_scan(true)
+            .run_with(|s| {
+                if let Snapshot::Scalar(p) = s {
+                    snaps.push((p.rows, p.aggs[0].estimate.to_bits()));
+                }
+            })
+            .unwrap();
+        snaps
+    };
+    let a = trace(7);
+    let b = trace(7);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must replay byte-identically");
+    assert_ne!(a, trace(8), "different seeds must shuffle differently");
+}
+
+/// The shuffle composes with a `UnionSamples` plan: every branch scans the
+/// same permuted block order, dedup still works on physical lineage, and
+/// the mid-scan interval covers the truth on the sorted table.
+#[test]
+fn shuffle_composes_with_union_plans() {
+    let engine = Engine::new(sorted_catalog());
+    let branch = || LogicalPlan::scan("t").sample(SamplingMethod::Bernoulli { p: 0.3 });
+    let plan = branch()
+        .union_samples(branch())
+        .aggregate(vec![AggSpec::sum(col("v"), "s")]);
+    let mut covered = 0u32;
+    for seed in 0..10u64 {
+        let r = engine
+            .session()
+            .query_plan(&plan)
+            .seed(seed)
+            .chunk_rows(256)
+            .confidence(0.99)
+            .rows(1200)
+            .shuffle_scan(true)
+            .run()
+            .unwrap();
+        assert_eq!(r.reason, StopReason::RowBudget);
+        let Snapshot::Scalar(s) = r.snapshot else {
+            panic!()
+        };
+        if s.aggs[0]
+            .ci_chebyshev
+            .as_ref()
+            .is_some_and(|ci| ci.contains(TRUTH))
+        {
+            covered += 1;
+        }
+    }
+    assert!(covered >= 8, "union+shuffle covered only {covered}/10");
+}
+
+/// `--jobs N` slices the shuffled block permutation across workers: the
+/// run completes, stays deterministic per seed, and the exhaustive
+/// estimate lands on the truth's scale (it is a plain Bernoulli sample of
+/// the whole table, just gathered in a different order).
+#[test]
+fn shuffle_composes_with_partitioned_workers() {
+    let engine = Engine::new(sorted_catalog());
+    let run = || {
+        let r = engine
+            .session()
+            .query_plan(&sum_plan(0.5))
+            .seed(13)
+            .chunk_rows(512)
+            .jobs(3)
+            .shuffle_scan(true)
+            .run()
+            .unwrap();
+        assert_eq!(r.reason, StopReason::Exhausted);
+        let Snapshot::Scalar(s) = r.snapshot else {
+            panic!()
+        };
+        s.aggs[0].estimate
+    };
+    let e1 = run();
+    assert_eq!(
+        e1.to_bits(),
+        run().to_bits(),
+        "parallel shuffle must replay"
+    );
+    assert!(
+        (e1 - TRUTH).abs() < 0.05 * TRUTH,
+        "exhaustive estimate {e1} vs truth {TRUTH}"
+    );
+}
+
+/// A shuffled query on a shared-scan engine silently takes a private
+/// stream instead of the sequential broadcast hub — the hub is never even
+/// created — so co-running physical-order queries keep their bus.
+#[test]
+fn shuffle_bypasses_shared_scan_hubs() {
+    let engine = Engine::builder(sorted_catalog()).shared_scans(true).build();
+    let r = engine
+        .session()
+        .query_plan(&sum_plan(0.5))
+        .seed(3)
+        .rows(1000)
+        .shuffle_scan(true)
+        .run()
+        .unwrap();
+    assert_eq!(r.reason, StopReason::RowBudget);
+    assert!(
+        engine.scan_stats("t").is_none(),
+        "shuffled query must not open a shared-scan hub"
+    );
+    // A physical-order query on the same engine still rides the hub.
+    engine
+        .session()
+        .query_plan(&sum_plan(0.5))
+        .seed(3)
+        .rows(1000)
+        .run()
+        .unwrap();
+    assert!(engine.scan_stats("t").is_some());
+}

@@ -66,7 +66,15 @@ fn union_execution_deduplicates_by_lineage() {
     let LogicalPlan::Aggregate { input, .. } = union_plan(0.6, 0.6) else {
         panic!()
     };
-    let rs = execute(&input, &cat, &ExecOptions { seed: 5 }).unwrap();
+    let rs = execute(
+        &input,
+        &cat,
+        &ExecOptions {
+            seed: 5,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     // No duplicate lineage.
     let mut ids: Vec<u64> = rs.rows.iter().map(|r| r.lineage[0]).collect();
     let before = ids.len();
@@ -257,4 +265,49 @@ fn union_same_sampling_twice_matches_single_equivalent_bernoulli() {
         (vu - vs).abs() < 0.25 * vs.max(1.0),
         "union {vu} vs single-equivalent {vs}"
     );
+}
+
+#[test]
+fn union_mid_scan_chebyshev_coverage_at_99() {
+    // Stopping a union plan mid-scan must still target the *population*:
+    // each branch's GUS is composed with its own WOR(scanned, total) prefix
+    // factor before the union formula combines them. 100 seeds at two row
+    // budgets — 300 stops inside the first branch, 700 inside the second
+    // (after dedup has drained branch one) — so both composition paths are
+    // exercised. 99% Chebyshev intervals are conservative, so ≥99/100
+    // should cover; we gate at 96/100 to keep the test stable.
+    let cat = catalog();
+    let plan = union_plan(0.4, 0.4);
+    let truth = exact_query(&plan, &cat).unwrap()[0];
+    assert!((truth - 4500.0).abs() < 1e-9, "catalog drifted: {truth}");
+    let mut covered = 0u32;
+    for trial in 0..100u64 {
+        let budget = if trial % 2 == 0 { 300 } else { 700 };
+        let r = run_online(
+            &plan,
+            &cat,
+            &OnlineOptions {
+                seed: trial,
+                chunk_rows: 64,
+                confidence: 0.99,
+                rule: StoppingRule::rows(budget),
+                ..Default::default()
+            },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(r.reason, StopReason::RowBudget, "trial {trial} ran dry");
+        assert!(
+            r.snapshot.progress.iter().any(|&(c, a)| c < a),
+            "trial {trial} exhausted the scan"
+        );
+        if r.snapshot.aggs[0]
+            .ci_chebyshev
+            .as_ref()
+            .is_some_and(|ci| ci.contains(truth))
+        {
+            covered += 1;
+        }
+    }
+    assert!(covered >= 96, "coverage {covered}/100 at 99% Chebyshev");
 }
