@@ -4,9 +4,14 @@
 //!
 //! Runs the four canonical TPC-H online workloads — scan, filter+project,
 //! grouped, join — to exhaustion at 1 and 4 worker threads, and reports
-//! result-tuple throughput (rows/s). Unlike the criterion benches this tool
-//! emits a stable JSON summary, so perf trajectories can be committed next
-//! to the code that changed them (see `BENCH_PR5.json`).
+//! result-tuple throughput (rows/s). A second block measures the out-of-core
+//! backend and the scan pushdown: the TPC-H scan over a persisted,
+//! memory-mapped catalog with pushdown off/on (`scan_mapped`,
+//! `scan_mapped_pushdown`), and a 16-column synthetic filter workload where
+//! the fused predicate prunes columns, rows, and whole pages
+//! (`wide_filter*`). Unlike the criterion benches this tool emits a stable
+//! JSON summary, so perf trajectories can be committed next to the code that
+//! changed them (see `BENCH_PR5.json`, `BENCH_PR9.json`).
 //!
 //! ```sh
 //! cargo run --release -p sa-bench --bin bench_report -- --json out.json
@@ -27,7 +32,7 @@ use sa_online::{
     run_online, run_online_grouped, Engine, GroupedOnlineOptions, OnlineOptions, StoppingRule,
 };
 use sa_plan::LogicalPlan;
-use sa_storage::Catalog;
+use sa_storage::{open_catalog_dir, persist_catalog, Catalog};
 
 /// One measured cell of the report.
 struct Cell {
@@ -190,6 +195,50 @@ fn measure_metrics_pair(catalog: &Catalog, reps: usize) -> [Cell; 2] {
     [cell("metrics_off", 0), cell("metrics_on", 1)]
 }
 
+/// Best-of-`reps` exhaustion run through an [`Engine`] session with the
+/// scan pushdown toggled — the only surface that exposes the toggle.
+/// Shared scans are off so the toggle governs the real per-query scan
+/// (attached cursors never fuse predicates).
+fn measure_pushdown(
+    workload: &'static str,
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    pushdown: bool,
+    reps: usize,
+) -> Cell {
+    let engine = Engine::builder(catalog.clone()).shared_scans(false).build();
+    let mut best = f64::INFINITY;
+    let mut rows = 0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let r = engine
+            .session()
+            .query_plan(plan)
+            .seed(1)
+            .chunk_rows(4096)
+            .pushdown(pushdown)
+            .run()
+            .expect("pushdown workload runs");
+        let secs = t.elapsed().as_secs_f64();
+        rows = r.snapshot.rows();
+        best = best.min(secs);
+    }
+    Cell {
+        workload,
+        jobs: 1,
+        rows,
+        secs: best,
+    }
+}
+
+/// Persist `catalog` as `.sac` files under a per-process temp dir and
+/// reopen it memory-mapped.
+fn mapped_copy(catalog: &Catalog, tag: &str) -> Catalog {
+    let dir = std::env::temp_dir().join(format!("sa-bench-{tag}-{}", std::process::id()));
+    persist_catalog(catalog, &dir).expect("persist catalog");
+    open_catalog_dir(&dir).expect("reopen mapped catalog")
+}
+
 /// The hot-path gate: metrics on may cost at most `pct` percent over off.
 fn check_overhead(cells: &[Cell], pct: f64) {
     let secs = |name: &str| {
@@ -333,6 +382,42 @@ fn main() {
         );
         cells.push(c);
     }
+    // Out-of-core backend + pushdown cells: the TPC-H scan over the
+    // persisted, memory-mapped catalog (pushdown off gathers all sixteen
+    // lineitem segments; on gathers one), then the wide-table filter
+    // workload where the fused predicate also prunes rows and pages —
+    // in-RAM and mapped. The `scan` cells above are the in-RAM baseline.
+    let mapped_tpch = mapped_copy(&catalog, "tpch");
+    let wide = workloads::wide_catalog(400_000);
+    let mapped_wide = mapped_copy(&wide, "wide");
+    let scan = columnar::scan_plan();
+    let wf = workloads::wide_filter_plan();
+    let pushdown_cells: [(&'static str, &LogicalPlan, &Catalog, bool); 6] = [
+        ("scan_mapped", &scan, &mapped_tpch, false),
+        ("scan_mapped_pushdown", &scan, &mapped_tpch, true),
+        ("wide_filter", &wf, &wide, false),
+        ("wide_filter_pushdown", &wf, &wide, true),
+        ("wide_filter_mapped", &wf, &mapped_wide, false),
+        ("wide_filter_mapped_pushdown", &wf, &mapped_wide, true),
+    ];
+    for (workload, plan, cat, on) in pushdown_cells {
+        let c = measure_pushdown(workload, plan, cat, on, reps);
+        eprintln!(
+            "{:>28} jobs={} rows={:>8} {:>8.1} ms {:>12.0} rows/s",
+            c.workload,
+            c.jobs,
+            c.rows,
+            c.secs * 1e3,
+            c.rows_per_sec()
+        );
+        cells.push(c);
+    }
+    let secs_of = |name: &str| cells.iter().find(|c| c.workload == name).unwrap().secs;
+    eprintln!(
+        "wide-table pushdown speedup: {:.2}x in-RAM, {:.2}x mapped",
+        secs_of("wide_filter") / secs_of("wide_filter_pushdown"),
+        secs_of("wide_filter_mapped") / secs_of("wide_filter_mapped_pushdown"),
+    );
     println!("workload,jobs,rows,secs,rows_per_sec");
     for c in &cells {
         println!(

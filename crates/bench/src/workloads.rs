@@ -134,6 +134,47 @@ pub mod columnar {
     }
 }
 
+/// A wide synthetic table for the pushdown benchmarks: `wide` has 16 Int
+/// columns over `rows` rows. `c3` is the block ordinal modulo 32 (constant
+/// within a block, so an equality predicate keeps 1/32 of the rows in whole
+/// blocks — pages skip), `c11` carries the aggregated payload, the other
+/// fourteen columns are dead weight a pruned scan never touches.
+pub fn wide_catalog(rows: u64) -> Catalog {
+    const BLOCK: u64 = 256;
+    let mut catalog = Catalog::new();
+    let schema = Schema::new(
+        (0..16)
+            .map(|i| Field::new(format!("c{i}"), DataType::Int))
+            .collect(),
+    )
+    .unwrap();
+    let mut b = TableBuilder::new("wide", schema);
+    b.reserve(rows as usize);
+    for i in 0..rows {
+        let row: Vec<Value> = (0..16i64)
+            .map(|col| match col {
+                3 => Value::Int(((i / BLOCK) % 32) as i64),
+                11 => Value::Int(i as i64),
+                _ => Value::Int(col * 1000 + (i % 7) as i64),
+            })
+            .collect();
+        b.push_row(&row).unwrap();
+    }
+    catalog.register(b.finish().unwrap()).unwrap();
+    catalog
+}
+
+/// The wide-table filter workload: a selective predicate directly on the
+/// scan (fuses into the gather when pushdown is on) feeding a SUM over one
+/// other column — 2 of 16 segments needed, ~3% of rows survive.
+pub fn wide_filter_plan() -> LogicalPlan {
+    use sa_expr::{col, lit};
+    use sa_plan::AggSpec;
+    LogicalPlan::scan("wide")
+        .filter(col("c3").eq(lit(0i64)))
+        .aggregate(vec![AggSpec::sum(col("c11"), "s")])
+}
+
 /// A synthetic catalog of `n` relations with `rows` rows each, for rewriter
 /// scaling experiments.
 pub fn synthetic_relations(n: usize, rows: u64) -> Catalog {

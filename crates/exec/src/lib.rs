@@ -67,14 +67,14 @@ pub use approx::{
 };
 pub use columnar::ColumnarChunk;
 pub use error::ExecError;
-pub use exec::{execute, ExecOptions, ResultSet, Row};
+pub use exec::{execute, ExecOptions, ResultSet, Row, ScanObs};
 #[allow(deprecated)]
 pub use grouped::approx_group_query;
 pub use grouped::{exact_group_query, GroupEstimate, GroupedApproxResult};
 pub use shared::{SharedScanCursor, SharedScanStats, SharedTableScan};
 pub use stream::{
-    open_shared_stream, open_stream, open_stream_partitioned, shared_scan_table, ChunkStream,
-    ProgressTree,
+    open_shared_stream, open_stream, open_stream_partitioned, shared_scan_ids, shared_scan_needs,
+    shared_scan_table, ChunkStream, ProgressTree,
 };
 
 /// Crate-wide result alias.

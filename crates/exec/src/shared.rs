@@ -56,6 +56,11 @@ pub const DEFAULT_MAX_LAG_ROWS: u64 = 1 << 17;
 #[derive(Debug)]
 pub struct SharedTableScan {
     table: Arc<Table>,
+    /// Columns the hub gathers into its bus chunks, as ascending table-
+    /// schema indices; `None` gathers every column. A cursor can select any
+    /// subset of the hub's set ([`SharedTableScan::attach_columns`]), so an
+    /// engine keys hub reuse by column-set coverage.
+    cols: Option<Vec<usize>>,
     bus_rows: usize,
     max_lag_rows: u64,
     state: Mutex<HubState>,
@@ -126,6 +131,7 @@ impl SharedTableScan {
     pub fn new(table: Arc<Table>, bus_rows: usize) -> SharedTableScan {
         SharedTableScan {
             table,
+            cols: None,
             bus_rows: bus_rows.max(1),
             max_lag_rows: DEFAULT_MAX_LAG_ROWS,
             state: Mutex::new(HubState {
@@ -145,6 +151,35 @@ impl SharedTableScan {
     pub fn with_max_lag_rows(mut self, rows: u64) -> SharedTableScan {
         self.max_lag_rows = rows.max(self.bus_rows as u64);
         self
+    }
+
+    /// Restrict the hub to gathering `cols` (table-schema indices; sorted
+    /// and deduplicated here). A full set collapses back to "all columns".
+    /// Only cursors whose needs are a subset of the hub's set can attach
+    /// ([`SharedTableScan::attach_columns`]).
+    pub fn with_columns(mut self, mut cols: Vec<usize>) -> SharedTableScan {
+        cols.sort_unstable();
+        cols.dedup();
+        self.cols = if cols.len() == self.table.column_count() {
+            None
+        } else {
+            Some(cols)
+        };
+        self
+    }
+
+    /// The hub's gathered column set (`None` = every column).
+    pub fn columns(&self) -> Option<&[usize]> {
+        self.cols.as_deref()
+    }
+
+    /// Does this hub gather every column in `needed` (`None` = all)?
+    pub fn covers(&self, needed: Option<&[usize]>) -> bool {
+        match (&self.cols, needed) {
+            (None, _) => true,
+            (Some(_), None) => false,
+            (Some(have), Some(need)) => need.iter().all(|c| have.contains(c)),
+        }
     }
 
     /// Report this hub's activity to `registry`: engine-global
@@ -187,11 +222,66 @@ impl SharedTableScan {
 
     /// Attach a cursor at the current head: it will see every table row
     /// exactly once, starting from the scan's current physical position.
+    /// The cursor carries the hub's full column set; use
+    /// [`SharedTableScan::attach_columns`] for a pruned view.
     ///
     /// An attached cursor holds a window slot: pull it to exhaustion or drop
     /// it, or it backpressures the other cursors once they run
     /// `max_lag_rows` ahead.
     pub fn attach(self: &Arc<Self>) -> SharedScanCursor {
+        self.attach_select(None, self.cols.clone())
+    }
+
+    /// Attach a cursor that sees only `needed` columns (ascending table-
+    /// schema indices; `None` = every table column). Fails when the hub
+    /// does not gather all of them — the hub's bus chunks are shared state
+    /// one query cannot widen.
+    pub fn attach_columns(self: &Arc<Self>, needed: Option<&[usize]>) -> Result<SharedScanCursor> {
+        if !self.covers(needed) {
+            return Err(ExecError::Unsupported(format!(
+                "shared scan hub over '{}' gathers columns {:?} but the query needs {:?} — \
+                 open a wider hub or a private stream",
+                self.table.name(),
+                self.cols,
+                needed
+            )));
+        }
+        let (sel, out_cols) = match (needed, &self.cols) {
+            // Everything the hub carries (which is everything, per covers).
+            (None, _) => (None, self.cols.clone()),
+            (Some(need), None) => {
+                // The hub gathers every column, so bus positions ARE table
+                // indices; a full `need` collapses to the identity view.
+                if need.len() == self.table.column_count() {
+                    (None, None)
+                } else {
+                    (Some(need.to_vec()), Some(need.to_vec()))
+                }
+            }
+            (Some(need), Some(have)) => {
+                let sel: Vec<usize> = need
+                    .iter()
+                    .map(|c| {
+                        have.iter()
+                            .position(|h| h == c)
+                            .expect("covers() admitted every needed column")
+                    })
+                    .collect();
+                if sel.len() == have.len() && sel.iter().enumerate().all(|(i, &p)| i == p) {
+                    (None, Some(need.to_vec()))
+                } else {
+                    (Some(sel), Some(need.to_vec()))
+                }
+            }
+        };
+        Ok(self.attach_select(sel, out_cols))
+    }
+
+    fn attach_select(
+        self: &Arc<Self>,
+        sel: Option<Vec<usize>>,
+        out_cols: Option<Vec<usize>>,
+    ) -> SharedScanCursor {
         let mut st = self.state.lock().expect("scan hub poisoned");
         let slot = match st.readers.iter().position(Option::is_none) {
             Some(free) => free,
@@ -212,6 +302,8 @@ impl SharedTableScan {
             total: self.table.row_count(),
             slot,
             detached: false,
+            sel,
+            out_cols,
             hub: self.clone(),
         }
     }
@@ -256,6 +348,12 @@ pub struct SharedScanCursor {
     total: u64,
     slot: usize,
     detached: bool,
+    /// Positions within the hub's bus-chunk columns this cursor emits
+    /// (`None` = every hub column, the common case).
+    sel: Option<Vec<usize>>,
+    /// The cursor's output columns as table-schema indices (`None` = all);
+    /// used to shape the zero-row exhaustion chunk.
+    out_cols: Option<Vec<usize>>,
     hub: Arc<SharedTableScan>,
 }
 
@@ -304,7 +402,10 @@ impl SharedScanCursor {
                 let take = (bus.chunk.rows() - offset)
                     .min(hint.max(1))
                     .min((self.total - self.consumed) as usize);
-                let out = bus.chunk.slice(offset, take);
+                let mut out = bus.chunk.slice(offset, take);
+                if let Some(sel) = &self.sel {
+                    out.batch = out.batch.select_columns(sel);
+                }
                 self.consumed += take as u64;
                 st.rows_served += take as u64;
                 hub.obs.rows_served.add(take as u64);
@@ -337,10 +438,11 @@ impl SharedScanCursor {
             }
             let phys = st.head % self.total;
             let upto = (phys + hub.bus_rows as u64).min(self.total);
-            let batch = hub
-                .table
-                .batch_range(phys, upto)
-                .map_err(ExecError::Storage)?;
+            let batch = match &hub.cols {
+                None => hub.table.batch_range(phys, upto),
+                Some(cols) => hub.table.batch_range_cols(phys, upto, cols),
+            }
+            .map_err(ExecError::Storage)?;
             let produced = upto - phys;
             let start = st.head;
             st.window.push_back(BusChunk {
@@ -358,14 +460,14 @@ impl SharedScanCursor {
         }
     }
 
-    /// A zero-row chunk with the table's column layout (the exhaustion
+    /// A zero-row chunk with this cursor's column layout (the exhaustion
     /// signal expected by the streaming operators above).
     fn empty_chunk(&self) -> Result<ColumnarChunk> {
-        let batch = self
-            .hub
-            .table
-            .batch_range(0, 0)
-            .map_err(ExecError::Storage)?;
+        let batch = match &self.out_cols {
+            None => self.hub.table.batch_range(0, 0),
+            Some(cols) => self.hub.table.batch_range_cols(0, 0, cols),
+        }
+        .map_err(ExecError::Storage)?;
         Ok(ColumnarChunk {
             batch,
             lineage: vec![Vec::new()],

@@ -53,13 +53,15 @@ use rand::{RngExt, SeedableRng};
 
 use sa_core::hash::{FxHashMap, FxHasher};
 use sa_expr::{bind, compile, CompiledExpr};
-use sa_plan::LogicalPlan;
+use sa_plan::{LogicalPlan, ScanColumnMap};
 use sa_sampling::SamplingMethod;
 use sa_storage::{Catalog, ColumnVec, ColumnarBatch, Schema, SchemaRef, Table};
 
 use crate::columnar::ColumnarChunk;
 use crate::error::ExecError;
-use crate::exec::{base_table, exec_node, scan_schema, split_join_condition, ExecOptions, Row};
+use crate::exec::{
+    base_table, exec_node, scan_schema, split_join_condition, ExecOptions, Row, ScanObs,
+};
 use crate::shared::{SharedScanCursor, SharedTableScan};
 use crate::Result;
 
@@ -215,8 +217,8 @@ pub fn open_stream_partitioned(
     }
     plan.validate(catalog)?;
     let mut master = StdRng::seed_from_u64(opts.seed);
-    let (roots, schema, relations) =
-        build_partitioned(plan, catalog, &mut master, parts, opts.shuffle_scan)?;
+    let ctx = BuildCtx::new(plan, catalog, opts, parts, true);
+    let (roots, schema, relations) = build_partitioned(plan, &ctx, &mut master)?;
     Ok(roots
         .into_iter()
         .map(|root| ChunkStream {
@@ -236,17 +238,43 @@ pub fn open_stream_partitioned(
 /// origin — and blocking samplers, which materialize privately anyway)
 /// falls back to a private stream.
 pub fn shared_scan_table(plan: &LogicalPlan) -> Option<&str> {
+    shared_scan_ids(plan).map(|(table, _)| table)
+}
+
+/// Like [`shared_scan_table`] but also returns the scan's lineage alias
+/// (the key needed-column analysis is indexed by).
+pub fn shared_scan_ids(plan: &LogicalPlan) -> Option<(&str, &str)> {
     match plan {
-        LogicalPlan::Scan { table, .. } => Some(table),
+        LogicalPlan::Scan { table, alias } => Some((table, alias)),
         LogicalPlan::Sample {
             method: SamplingMethod::Bernoulli { .. },
             input,
-        } => shared_scan_table(input),
+        } => shared_scan_ids(input),
         LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
-            shared_scan_table(input)
+            shared_scan_ids(input)
         }
         _ => None,
     }
+}
+
+/// The table-schema column indices the shared-eligible scan in `plan` must
+/// gather under `map`'s analysis (`None` = every column) — what a hub
+/// manager needs to pick or create a covering [`SharedTableScan`] before
+/// [`open_shared_stream`] attaches a cursor to it. Mirrors the pruning the
+/// stream build performs, so the attach can never be rejected for missing
+/// columns.
+pub fn shared_scan_needs(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    map: &ScanColumnMap,
+) -> Result<Option<Vec<usize>>> {
+    let Some((table, alias)) = shared_scan_ids(plan) else {
+        return Err(ExecError::Unsupported(
+            "plan is not shared-scan eligible".into(),
+        ));
+    };
+    let (_, schema) = scan_schema(catalog, table, alias)?;
+    Ok(map.project_indices(alias, &schema))
 }
 
 /// Compile `plan` into a [`ChunkStream`] whose leaf is a cursor on `scan`
@@ -291,9 +319,14 @@ pub fn open_shared_stream(
     }
     plan.validate(catalog)?;
     let mut master = StdRng::seed_from_u64(opts.seed);
-    let (mut roots, schema, relations) = build_partitioned(plan, catalog, &mut master, 1, false)?;
+    // Predicate fusion stays off on the shared path: the scan leaf is about
+    // to be swapped for a hub cursor, which serves pre-gathered bus chunks —
+    // a fused predicate would be lost in the swap. Projection pruning still
+    // applies (the cursor selects its columns from the hub's set).
+    let ctx = BuildCtx::new(plan, catalog, opts, 1, false);
+    let (mut roots, schema, relations) = build_partitioned(plan, &ctx, &mut master)?;
     let mut root = roots.pop().expect("one partition yields one stream");
-    let swapped = swap_in_shared_cursor(&mut root, scan);
+    let swapped = swap_in_shared_cursor(&mut root, scan)?;
     debug_assert!(swapped, "eligible plan must bottom out in a scan");
     Ok(ChunkStream {
         schema,
@@ -304,20 +337,26 @@ pub fn open_shared_stream(
 }
 
 /// Replace the scan leaf of an eligible operator tree with a cursor
-/// attached to `scan`; returns whether a leaf was swapped.
-fn swap_in_shared_cursor(node: &mut Node, scan: &Arc<SharedTableScan>) -> bool {
+/// attached to `scan`; returns whether a leaf was swapped. The cursor
+/// selects the leaf's (possibly pruned) column set out of the hub's bus
+/// chunks, so the stream's schema is unchanged by the swap; a hub that
+/// does not gather every needed column is rejected.
+fn swap_in_shared_cursor(node: &mut Node, scan: &Arc<SharedTableScan>) -> Result<bool> {
     match node {
-        Node::Scan { .. } => {
-            *node = Node::Shared {
-                cursor: scan.attach(),
-            };
-            true
+        Node::Scan { gather, .. } => {
+            debug_assert!(
+                gather.predicate.is_none(),
+                "shared builds never fuse predicates into the scan leaf"
+            );
+            let cursor = scan.attach_columns(gather.cols.as_ref().map(|c| c.as_slice()))?;
+            *node = Node::Shared { cursor };
+            Ok(true)
         }
         Node::Bernoulli { input, .. }
         | Node::Filter { input, .. }
         | Node::Project { input, .. }
         | Node::FilterProject { input, .. } => swap_in_shared_cursor(input, scan),
-        _ => false,
+        _ => Ok(false),
     }
 }
 
@@ -377,6 +416,214 @@ impl ProgressTree {
     }
 }
 
+/// Build-time context threaded through [`build_partitioned`]: the catalog,
+/// the partitioning shape, and the pushdown configuration derived from
+/// [`ExecOptions`] and the plan's needed-column analysis.
+struct BuildCtx<'a> {
+    catalog: &'a Catalog,
+    parts: usize,
+    shuffle: bool,
+    /// Fuse a `Filter`'s compiled predicate into a directly-underlying scan
+    /// node. Off under [`ExecOptions::disable_pushdown`] and on the shared
+    /// path (see [`open_shared_stream`]). Structure guarantees RNG safety:
+    /// plan validation only admits samplers over `Sample*/Scan` chains, so
+    /// a `Filter` sitting directly on a scan never has a sampler's
+    /// per-row coin stream between them.
+    fuse_predicates: bool,
+    /// Per-alias needed-column sets (empty — prune nothing — when pushdown
+    /// is disabled).
+    cols: ScanColumnMap,
+    obs: ScanObs,
+}
+
+impl<'a> BuildCtx<'a> {
+    fn new(
+        plan: &LogicalPlan,
+        catalog: &'a Catalog,
+        opts: &ExecOptions,
+        parts: usize,
+        fuse_predicates: bool,
+    ) -> BuildCtx<'a> {
+        let pushdown = !opts.disable_pushdown;
+        BuildCtx {
+            catalog,
+            parts,
+            shuffle: opts.shuffle_scan,
+            fuse_predicates: pushdown && fuse_predicates,
+            cols: if pushdown {
+                match &opts.scan_cols {
+                    Some(map) => map.clone(),
+                    None => ScanColumnMap::analyze(plan),
+                }
+            } else {
+                ScanColumnMap::default()
+            },
+            obs: opts.scan_obs.clone(),
+        }
+    }
+}
+
+/// What a streaming scan node gathers per chunk: the (possibly pruned)
+/// output column set, an optional scan-level predicate, and the scan
+/// observability handles. Shared by [`Node::Scan`] and
+/// [`Node::ShuffledScan`]; built in [`build_partitioned`]'s scan arm and
+/// extended with a predicate by its `Filter` arm.
+#[derive(Debug)]
+struct ScanGather {
+    /// Output columns as ascending indices into the table schema; `None`
+    /// gathers every column (the scan's output schema is pruned to match,
+    /// so downstream compiled expressions see consistent positions).
+    cols: Option<Arc<Vec<usize>>>,
+    /// A predicate pushed into the scan (a `Filter` that sat directly on
+    /// it): rows it drops never materialize into a batch.
+    predicate: Option<ScanPredicate>,
+    obs: ScanObs,
+}
+
+/// A scan-level predicate: the compiled mask expression remapped onto the
+/// gather order of its own columns.
+#[derive(Debug)]
+struct ScanPredicate {
+    /// Compiled mask; its column indices point into `table_cols` positions
+    /// (the predicate columns are gathered first, alone).
+    expr: CompiledExpr,
+    /// The predicate's columns as ascending table-schema indices.
+    table_cols: Vec<usize>,
+    /// For each scan output position, where to find the column after the
+    /// mask: `PredCol(i)` reuses already-gathered `table_cols[i]`,
+    /// `LateCol(j)` is the j-th late-gathered remaining column.
+    out_map: Vec<OutCol>,
+    /// The late-gathered columns (output columns not read by the
+    /// predicate), ascending table-schema indices.
+    late_cols: Vec<usize>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum OutCol {
+    /// Position within [`ScanPredicate::table_cols`].
+    PredCol(usize),
+    /// Position within [`ScanPredicate::late_cols`].
+    LateCol(usize),
+}
+
+impl ScanGather {
+    /// The scan's output columns as table-schema indices.
+    fn out_cols(&self, table: &Table) -> Vec<usize> {
+        match &self.cols {
+            Some(c) => c.as_ref().clone(),
+            None => (0..table.column_count()).collect(),
+        }
+    }
+
+    /// This gather extended with `compiled`, a predicate over the scan's
+    /// output schema: map its columns back to table indices, remap the
+    /// expression onto their gather positions, and precompute where each
+    /// output column comes from after masking.
+    fn with_predicate(&self, compiled: &CompiledExpr, table: &Table) -> ScanGather {
+        let out = self.out_cols(table);
+        let mut used = compiled.columns_used();
+        used.sort_unstable();
+        used.dedup();
+        let table_cols: Vec<usize> = used.iter().map(|&i| out[i]).collect();
+        let mut expr = compiled.clone();
+        expr.remap_columns(&|old| {
+            used.binary_search(&old)
+                .expect("columns_used covers every referenced column")
+        });
+        let late_cols: Vec<usize> = out
+            .iter()
+            .copied()
+            .filter(|c| !table_cols.contains(c))
+            .collect();
+        let out_map = out
+            .iter()
+            .map(|c| match table_cols.iter().position(|t| t == c) {
+                Some(i) => OutCol::PredCol(i),
+                None => {
+                    OutCol::LateCol(late_cols.iter().position(|l| l == c).expect("late column"))
+                }
+            })
+            .collect();
+        ScanGather {
+            cols: self.cols.clone(),
+            predicate: Some(ScanPredicate {
+                expr,
+                table_cols,
+                out_map,
+                late_cols,
+            }),
+            obs: self.obs.clone(),
+        }
+    }
+
+    /// Gather rows `[from, upto)` of `table` into a chunk with physical
+    /// row-id lineage. Without a predicate this is a straight (possibly
+    /// column-pruned) range gather. With one, the predicate's columns are
+    /// gathered alone, the mask is evaluated, and only surviving rows of
+    /// the remaining columns are materialized — a chunk may come back
+    /// empty without meaning exhaustion (callers loop).
+    fn gather(&self, table: &Table, from: u64, upto: u64) -> Result<ColumnarChunk> {
+        let n = upto.saturating_sub(from);
+        self.obs.rows_scanned.add(n);
+        let Some(pred) = &self.predicate else {
+            let batch = match &self.cols {
+                None => table.batch_range(from, upto),
+                Some(cols) => table.batch_range_cols(from, upto, cols),
+            }
+            .map_err(ExecError::Storage)?;
+            self.obs.rows_gathered.add(n);
+            return Ok(ColumnarChunk {
+                batch,
+                lineage: vec![(from..upto).collect()],
+            });
+        };
+        let pred_batch = table
+            .batch_range_cols(from, upto, &pred.table_cols)
+            .map_err(ExecError::Storage)?;
+        let mask = pred.expr.eval_mask(&pred_batch)?;
+        let selected: Vec<u32> = mask
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let ids: Vec<u64> = selected.iter().map(|&i| from + i as u64).collect();
+        // Page accounting: blocks of the range whose every row the mask
+        // dropped never have their non-predicate columns touched.
+        if n > 0 {
+            let br = table.block_rows() as u64;
+            let blocks_total = (upto - 1) / br - from / br + 1;
+            let mut covered = 0u64;
+            let mut prev = u64::MAX;
+            for &id in &ids {
+                let b = id / br;
+                if b != prev {
+                    covered += 1;
+                    prev = b;
+                }
+            }
+            self.obs.pages_skipped.add(blocks_total - covered);
+        }
+        self.obs.rows_gathered.add(ids.len() as u64);
+        let pred_taken = pred_batch.take(&selected);
+        let late_batch = table
+            .gather_rows_cols(&ids, &pred.late_cols)
+            .map_err(ExecError::Storage)?;
+        let columns = pred
+            .out_map
+            .iter()
+            .map(|&m| match m {
+                OutCol::PredCol(i) => pred_taken.column(i).clone(),
+                OutCol::LateCol(j) => late_batch.column(j).clone(),
+            })
+            .collect();
+        Ok(ColumnarChunk {
+            batch: ColumnarBatch::new(columns, ids.len()),
+            lineage: vec![ids],
+        })
+    }
+}
+
 /// One operator of the streaming pipeline. Every operator transforms whole
 /// [`ColumnarChunk`]s.
 #[derive(Debug)]
@@ -384,12 +631,14 @@ enum Node {
     /// Base-table scan over the row range `[start, end)`: gathers column
     /// slices straight from storage plus a lineage column of row ids. A
     /// full scan has `start = 0`, `end = row_count`; a partitioned worker
-    /// scans a block-aligned slice.
+    /// scans a block-aligned slice. What gets gathered — the pruned column
+    /// set and an optional pushed-down predicate — lives in [`ScanGather`].
     Scan {
         table: Arc<Table>,
         start: u64,
         next: u64,
         end: u64,
+        gather: ScanGather,
     },
     /// A seeded block-permuted scan ([`ExecOptions::shuffle_scan`]): the
     /// slice's blocks are visited in a seeded random order, rows inside a
@@ -410,6 +659,7 @@ enum Node {
         emitted: u64,
         /// Total rows in the slice.
         total: u64,
+        gather: ScanGather,
     },
     /// A cursor on a [`SharedTableScan`] hub in place of a private scan:
     /// the same chunks-with-row-id-lineage contract, but the rows arrive in
@@ -499,21 +749,36 @@ enum Node {
 /// per-worker seeds when `parts > 1`.
 fn build_partitioned(
     plan: &LogicalPlan,
-    catalog: &Catalog,
+    ctx: &BuildCtx<'_>,
     master: &mut StdRng,
-    parts: usize,
-    shuffle: bool,
 ) -> Result<(Vec<Node>, SchemaRef, Vec<String>)> {
+    let parts = ctx.parts;
     match plan {
         LogicalPlan::Scan { table, alias } => {
-            let (t, schema) = scan_schema(catalog, table, alias)?;
+            let (t, schema) = scan_schema(ctx.catalog, table, alias)?;
+            // Projection pushdown: prune the scan to the columns the rest
+            // of the plan can observe. The scan's output schema shrinks to
+            // match (same field order), so downstream name-based binding
+            // and compiled column positions stay consistent; lineage row
+            // ids ride beside the batch and need no column at all.
+            let (schema, cols) = match ctx.cols.project_indices(alias, &schema) {
+                None => (schema, None),
+                Some(idx) => {
+                    let fields: Vec<_> = idx.iter().map(|&i| schema.fields()[i].clone()).collect();
+                    let pruned = Arc::new(Schema::new(fields).map_err(ExecError::Storage)?);
+                    (pruned, Some(Arc::new(idx)))
+                }
+            };
+            ctx.obs
+                .cols_gathered
+                .add(cols.as_ref().map_or(t.column_count(), |c| c.len()) as u64);
             let block_rows = t.block_rows() as u64;
             let rows = t.row_count();
             let blocks = t.block_count();
             // One base seed per scan, drawn ONLY in shuffle mode so the
             // master-RNG draw order — and therefore every realization every
             // pinned test depends on — is untouched when the flag is off.
-            let shuffle_base = if shuffle {
+            let shuffle_base = if ctx.shuffle {
                 Some(master.random::<u64>())
             } else {
                 None
@@ -524,6 +789,11 @@ fn build_partitioned(
             // immediately (oversubscription degrades gracefully).
             let nodes = (0..parts as u64)
                 .map(|w| {
+                    let gather = ScanGather {
+                        cols: cols.clone(),
+                        predicate: None,
+                        obs: ctx.obs.clone(),
+                    };
                     let lo = blocks * w / parts as u64;
                     let hi = blocks * (w + 1) / parts as u64;
                     let start = (lo * block_rows).min(rows);
@@ -534,6 +804,7 @@ fn build_partitioned(
                             start,
                             next: start,
                             end,
+                            gather,
                         };
                     };
                     // Seeded Fisher–Yates over the worker's own block
@@ -560,6 +831,7 @@ fn build_partitioned(
                         offset: 0,
                         emitted: 0,
                         total: end - start,
+                        gather,
                     }
                 })
                 .collect();
@@ -570,8 +842,7 @@ fn build_partitioned(
             match method {
                 SamplingMethod::Bernoulli { p } => {
                     let base = master.random::<u64>();
-                    let (inputs, schema, relations) =
-                        build_partitioned(input, catalog, master, parts, shuffle)?;
+                    let (inputs, schema, relations) = build_partitioned(input, ctx, master)?;
                     let nodes = inputs
                         .into_iter()
                         .enumerate()
@@ -594,7 +865,7 @@ fn build_partitioned(
                     Ok((nodes, schema, relations))
                 }
                 SamplingMethod::System { p } => {
-                    let base = base_table(input, catalog)?;
+                    let base = base_table(input, ctx.catalog)?;
                     let mut rng = StdRng::seed_from_u64(master.random::<u64>());
                     // ONE keep vector for all workers: slices are
                     // block-aligned, so each block's keep decision is used
@@ -604,8 +875,7 @@ fn build_partitioned(
                     let keep: Vec<bool> = (0..base.block_count())
                         .map(|_| rng.random::<f64>() < *p)
                         .collect();
-                    let (inputs, schema, relations) =
-                        build_partitioned(input, catalog, master, parts, shuffle)?;
+                    let (inputs, schema, relations) = build_partitioned(input, ctx, master)?;
                     let nodes = inputs
                         .into_iter()
                         .map(|node| {
@@ -626,7 +896,7 @@ fn build_partitioned(
                     // (the same draw at any `parts`), sample rows sliced
                     // contiguously across workers.
                     let mut rng = StdRng::seed_from_u64(master.random::<u64>());
-                    let rs = exec_node(plan, catalog, &mut rng)?;
+                    let rs = exec_node(plan, ctx.catalog, &mut rng)?;
                     let n_rels = rs.relations.len();
                     let chunk = ColumnarChunk::from_rows(&rs.schema, n_rels, &rs.rows);
                     let len = chunk.rows();
@@ -649,21 +919,64 @@ fn build_partitioned(
             }
         }
         LogicalPlan::Filter { predicate, input } => {
-            let (inputs, schema, relations) =
-                build_partitioned(input, catalog, master, parts, shuffle)?;
+            let (inputs, schema, relations) = build_partitioned(input, ctx, master)?;
             let compiled = compile(predicate, &schema)?;
+            // Predicate pushdown: a Filter sitting directly on a scan node
+            // fuses into the scan's gather — its dropped rows never
+            // materialize. Plan validation keeps samplers on Sample*/Scan
+            // chains only, so no per-row coin stream can sit between this
+            // Filter and the scan; the realized sample is unchanged. A scan
+            // already carrying a predicate keeps the second Filter as an
+            // operator (compiled masks don't compose).
             let nodes = inputs
                 .into_iter()
-                .map(|node| Node::Filter {
-                    predicate: compiled.clone(),
-                    input: Box::new(node),
+                .map(|node| match node {
+                    Node::Scan {
+                        table,
+                        start,
+                        next,
+                        end,
+                        gather,
+                    } if ctx.fuse_predicates && gather.predicate.is_none() => {
+                        let gather = gather.with_predicate(&compiled, &table);
+                        Node::Scan {
+                            table,
+                            start,
+                            next,
+                            end,
+                            gather,
+                        }
+                    }
+                    Node::ShuffledScan {
+                        table,
+                        order,
+                        block,
+                        offset,
+                        emitted,
+                        total,
+                        gather,
+                    } if ctx.fuse_predicates && gather.predicate.is_none() => {
+                        let gather = gather.with_predicate(&compiled, &table);
+                        Node::ShuffledScan {
+                            table,
+                            order,
+                            block,
+                            offset,
+                            emitted,
+                            total,
+                            gather,
+                        }
+                    }
+                    node => Node::Filter {
+                        predicate: compiled.clone(),
+                        input: Box::new(node),
+                    },
                 })
                 .collect();
             Ok((nodes, schema, relations))
         }
         LogicalPlan::Project { exprs, input } => {
-            let (inputs, in_schema, relations) =
-                build_partitioned(input, catalog, master, parts, shuffle)?;
+            let (inputs, in_schema, relations) = build_partitioned(input, ctx, master)?;
             let mut compiled = Vec::with_capacity(exprs.len());
             let mut fields = Vec::with_capacity(exprs.len());
             for (e, name) in exprs {
@@ -718,14 +1031,13 @@ fn build_partitioned(
             left,
             right,
         } => {
-            let (probes, l_schema, l_rels) =
-                build_partitioned(left, catalog, master, parts, shuffle)?;
+            let (probes, l_schema, l_rels) = build_partitioned(left, ctx, master)?;
             // Build side: materialized ONCE (same master position as the
             // sequential build) and shared behind Arc by every worker —
             // re-drawing it per worker would join each probe slice against
             // a different sample of the right input.
             let mut rng = StdRng::seed_from_u64(master.random::<u64>());
-            let r = exec_node(right, catalog, &mut rng)?;
+            let r = exec_node(right, ctx.catalog, &mut rng)?;
             let schema = Arc::new(l_schema.join(&r.schema)?);
             let mut relations = l_rels;
             relations.extend(r.relations.iter().cloned());
@@ -752,8 +1064,8 @@ fn build_partitioned(
                         .into(),
                 ));
             }
-            let (mut l, schema, relations) = build_partitioned(left, catalog, master, 1, shuffle)?;
-            let (mut r, _, _) = build_partitioned(right, catalog, master, 1, shuffle)?;
+            let (mut l, schema, relations) = build_partitioned(left, ctx, master)?;
+            let (mut r, _, _) = build_partitioned(right, ctx, master)?;
             Ok((
                 vec![Node::Dedup {
                     first: Box::new(l.pop().expect("one part")),
@@ -780,20 +1092,29 @@ impl Node {
     fn next_batch(&mut self, hint: usize) -> Result<ColumnarChunk> {
         match self {
             Node::Scan {
-                table, next, end, ..
-            } => {
+                table,
+                next,
+                end,
+                gather,
+                ..
+            } => loop {
+                // A pushed-down predicate can empty a whole range; an empty
+                // chunk is the exhaustion signal upstream, so keep scanning
+                // until a row survives or the slice truly drains.
                 let upto = (*next + hint as u64).min(*end);
-                let batch = table.batch_range(*next, upto).map_err(ExecError::Storage)?;
-                let lineage = vec![(*next..upto).collect()];
+                let chunk = gather.gather(table, *next, upto)?;
                 *next = upto;
-                Ok(ColumnarChunk { batch, lineage })
-            }
+                if !chunk.is_empty() || *next >= *end {
+                    return Ok(chunk);
+                }
+            },
             Node::ShuffledScan {
                 table,
                 order,
                 block,
                 offset,
                 emitted,
+                gather,
                 ..
             } => {
                 while *block < order.len() {
@@ -805,18 +1126,19 @@ impl Node {
                         continue;
                     }
                     let upto = (from + hint as u64).min(e);
-                    let batch = table.batch_range(from, upto).map_err(ExecError::Storage)?;
-                    let lineage = vec![(from..upto).collect()];
+                    let chunk = gather.gather(table, from, upto)?;
+                    // `emitted` counts *consumed* rows — every row of the
+                    // visited range had its chance, whatever a pushed
+                    // predicate dropped — so Prop-8 coverage is unchanged.
                     *offset += upto - from;
                     *emitted += upto - from;
-                    return Ok(ColumnarChunk { batch, lineage });
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    return Ok(chunk);
                 }
                 // Exhausted: an empty chunk with the scan's column shape.
-                let batch = table.batch_range(0, 0).map_err(ExecError::Storage)?;
-                Ok(ColumnarChunk {
-                    batch,
-                    lineage: vec![Vec::new()],
-                })
+                gather.gather(table, 0, 0)
             }
             Node::Shared { cursor } => cursor.next_batch(hint),
             Node::Materialized { chunk, next } => {
@@ -1804,8 +2126,10 @@ mod tests {
 
     #[test]
     fn filter_under_project_fuses_and_matches_unfused() {
-        // Project(Filter(x)) builds the fused operator; Project(Sample(
-        // Filter(x))) cannot fuse. Both must produce identical rows.
+        // With pushdown on, a Filter directly on a Scan is eaten by the
+        // scan itself (masked before materialization); with pushdown off,
+        // Project(Filter(x)) falls back to the fused FilterProject
+        // operator. Both shapes must produce identical rows.
         let fused = LogicalPlan::scan("t")
             .filter(col("v").gt_eq(lit(25.0)).and(col("k").lt(lit(8i64))))
             .project(vec![
@@ -1814,9 +2138,21 @@ mod tests {
             ]);
         let c = catalog();
         let streams = open_stream_partitioned(&fused, &c, &ExecOptions::default(), 1).unwrap();
+        match &streams[0].root {
+            Node::Project { input, .. } => assert!(
+                matches!(&**input, Node::Scan { gather, .. } if gather.predicate.is_some()),
+                "filter directly on a scan must push into the scan"
+            ),
+            other => panic!("expected Project over predicated Scan, got {other:?}"),
+        }
+        let off = ExecOptions {
+            disable_pushdown: true,
+            ..Default::default()
+        };
+        let streams = open_stream_partitioned(&fused, &c, &off, 1).unwrap();
         assert!(
             matches!(streams[0].root, Node::FilterProject { .. }),
-            "filter directly under project must fuse"
+            "with pushdown off, filter under project must fuse into FilterProject"
         );
         for hint in [1, 9, 100] {
             assert_stream_matches_batch(&fused, hint);
@@ -2010,6 +2346,7 @@ mod tests {
         ExecOptions {
             seed,
             shuffle_scan: true,
+            ..Default::default()
         }
     }
 
@@ -2098,6 +2435,7 @@ mod tests {
         let off = ExecOptions {
             seed: 3,
             shuffle_scan: false,
+            ..Default::default()
         };
         let rows = open_stream(&plan, &c, &off)
             .unwrap()

@@ -73,6 +73,11 @@ pub struct QueryOptions {
     /// they just cannot postpone termination. Ignored by scalar queries.
     /// `None` (default): every discovered group must meet the target.
     pub ci_top_k: Option<usize>,
+    /// Disable projection/predicate pushdown into the streaming scans (see
+    /// [`sa_exec::ExecOptions::disable_pushdown`]). The realized sample
+    /// and every estimate are identical either way; this exists for
+    /// benchmark baselines and equivalence tests. Default `false`.
+    pub disable_pushdown: bool,
 }
 
 impl Default for QueryOptions {
@@ -87,6 +92,7 @@ impl Default for QueryOptions {
             adaptive_chunks: false,
             shuffle_scan: false,
             ci_top_k: None,
+            disable_pushdown: false,
         }
     }
 }
@@ -104,6 +110,7 @@ impl From<&OnlineOptions> for QueryOptions {
             adaptive_chunks: o.adaptive_chunks,
             shuffle_scan: false,
             ci_top_k: None,
+            disable_pushdown: false,
         }
     }
 }

@@ -164,6 +164,9 @@ pub(crate) struct RunCtx {
     /// deprecated free functions and uninstrumented engines record
     /// nothing).
     pub(crate) pool: PoolObs,
+    /// Streaming-scan observability handles threaded into
+    /// [`sa_exec::ExecOptions`] (disabled by default).
+    pub(crate) scan_obs: sa_exec::ScanObs,
 }
 
 impl RunCtx {
@@ -254,7 +257,7 @@ pub(crate) fn drive_scalar(
         aggs,
         mut streams,
         layout,
-    } = open_aggregate(plan, catalog, opts, ctx, "run_online")?;
+    } = open_aggregate(plan, catalog, opts, ctx, &[], "run_online")?;
     if streams.len() > 1 {
         return drive_scalar_parallel(analysis, aggs, streams, layout, opts, ctx, on_snapshot);
     }
@@ -476,6 +479,7 @@ pub(crate) fn open_aggregate<'p>(
     catalog: &Catalog,
     opts: &QueryOptions,
     ctx: &RunCtx,
+    observed: &[sa_expr::Expr],
     caller: &str,
 ) -> Result<OpenedAggregate<'p>> {
     if opts.chunk_rows == 0 {
@@ -501,6 +505,12 @@ pub(crate) fn open_aggregate<'p>(
     let exec_opts = ExecOptions {
         seed: opts.seed,
         shuffle_scan: opts.shuffle_scan,
+        disable_pushdown: opts.disable_pushdown,
+        scan_obs: ctx.scan_obs.clone(),
+        // The stream carries the aggregate's INPUT; analyze the full plan
+        // (plus the caller's GROUP BY keys) so the scans prune down to what
+        // the estimator actually reads, not the input's whole schema.
+        scan_cols: Some(sa_plan::ScanColumnMap::analyze_with(plan, observed)),
     };
     let streams = match (&ctx.shared, opts.parallelism) {
         // Attach the sequential loop to the engine's shared circular scan:

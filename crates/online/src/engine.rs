@@ -47,7 +47,9 @@ use std::time::{Duration, Instant};
 
 use sa_core::hash::splitmix64;
 use sa_exec::shared::{DEFAULT_BUS_ROWS, DEFAULT_MAX_LAG_ROWS};
-use sa_exec::{shared_scan_table, ApproxOptions, SharedScanStats, SharedTableScan};
+use sa_exec::{
+    shared_scan_needs, shared_scan_table, ApproxOptions, ScanObs, SharedScanStats, SharedTableScan,
+};
 use sa_expr::Expr;
 use sa_obs::{Counter, EventKind, Gauge, Histogram, MetricsSnapshot, Registry};
 use sa_plan::{LogicalPlan, StopReason};
@@ -69,8 +71,11 @@ struct EngineInner {
     shared_scans: bool,
     bus_rows: usize,
     max_lag_rows: u64,
-    /// One shared circular scan hub per table, created on first use.
-    scans: Mutex<HashMap<String, Arc<SharedTableScan>>>,
+    /// Shared circular scan hubs, per table, created on first use. A table
+    /// usually has one hub; projection pushdown can add column-pruned hubs
+    /// beside the full one (a query reuses any hub whose column set covers
+    /// its needs — see [`Engine::covering_hub`]).
+    scans: Mutex<HashMap<String, Vec<Arc<SharedTableScan>>>>,
     /// Queries in flight (admission control).
     active: AtomicUsize,
     /// Session ordinal counter (seed derivation).
@@ -105,6 +110,9 @@ struct EngineObs {
     /// Handles the worker pool updates (cloned into each query's
     /// [`RunCtx`]).
     pool: PoolObs,
+    /// Handles the scan layer updates (columns gathered, pages skipped by
+    /// pushed-down predicates) — cloned into each query's [`RunCtx`].
+    scan: ScanObs,
 }
 
 /// The fixed index of each stop reason in `queries_finished` (and the
@@ -166,6 +174,7 @@ impl EngineObs {
                 stalls: registry.counter("sa_worker_backpressure_stalls_total"),
                 merge_us: registry.histogram("sa_coordinator_merge_us"),
             },
+            scan: ScanObs::new(&registry),
             registry,
         }
     }
@@ -186,6 +195,7 @@ impl EngineObs {
             first_snapshot_us: Histogram::default(),
             stop_scan_permille: Histogram::default(),
             pool: PoolObs::default(),
+            scan: ScanObs::default(),
         }
     }
 }
@@ -369,22 +379,36 @@ impl Engine {
         let scans = self.inner.scans.lock().expect("scan registry poisoned");
         let mut tables: Vec<&String> = scans.keys().collect();
         tables.sort();
+        // One series per hub: the full-column hub keeps the bare
+        // `{table=...}` labels; pruned hubs add their column set so the
+        // series stay distinct.
+        let labels = |t: &str, hub: &SharedTableScan| match hub.columns() {
+            None => format!("{{table=\"{t}\"}}"),
+            Some(cols) => {
+                let cols: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+                format!("{{table=\"{t}\",cols=\"{}\"}}", cols.join(","))
+            }
+        };
         if !tables.is_empty() {
             out.push_str("# TYPE sa_shared_scan_attached gauge\n");
             for t in &tables {
-                let stats = scans[t.as_str()].stats();
-                out.push_str(&format!(
-                    "sa_shared_scan_attached{{table=\"{t}\"}} {}\n",
-                    stats.attached
-                ));
+                for hub in &scans[t.as_str()] {
+                    out.push_str(&format!(
+                        "sa_shared_scan_attached{} {}\n",
+                        labels(t, hub),
+                        hub.stats().attached
+                    ));
+                }
             }
             out.push_str("# TYPE sa_shared_scan_head gauge\n");
             for t in &tables {
-                let stats = scans[t.as_str()].stats();
-                out.push_str(&format!(
-                    "sa_shared_scan_head{{table=\"{t}\"}} {}\n",
-                    stats.head
-                ));
+                for hub in &scans[t.as_str()] {
+                    out.push_str(&format!(
+                        "sa_shared_scan_head{} {}\n",
+                        labels(t, hub),
+                        hub.stats().head
+                    ));
+                }
             }
         }
         out
@@ -395,24 +419,48 @@ impl Engine {
     /// gate cursor on it. Works regardless of the `shared_scans` toggle
     /// (which only controls whether *queries* attach automatically).
     pub fn shared_scan(&self, table: &str) -> Result<Arc<SharedTableScan>> {
+        self.covering_hub(table, None)
+    }
+
+    /// A hub over `table` whose column set covers `needed` (`None` = every
+    /// column), reusing any existing covering hub — the full hub serves
+    /// every pruned query that arrives after it — and creating a pruned
+    /// one keyed to exactly `needed` otherwise.
+    fn covering_hub(
+        &self,
+        table: &str,
+        needed: Option<Vec<usize>>,
+    ) -> Result<Arc<SharedTableScan>> {
         let mut scans = self.inner.scans.lock().expect("scan registry poisoned");
-        if let Some(hub) = scans.get(table) {
-            return Ok(Arc::clone(hub));
+        if let Some(hubs) = scans.get(table) {
+            if let Some(hub) = hubs.iter().find(|h| h.covers(needed.as_deref())) {
+                return Ok(Arc::clone(hub));
+            }
         }
         let t = self.inner.catalog.get(table)?;
-        let hub = Arc::new(
-            SharedTableScan::new(t, self.inner.bus_rows)
-                .with_max_lag_rows(self.inner.max_lag_rows)
-                .with_observer(&self.inner.obs.registry),
-        );
-        scans.insert(table.to_string(), Arc::clone(&hub));
+        let mut hub = SharedTableScan::new(t, self.inner.bus_rows)
+            .with_max_lag_rows(self.inner.max_lag_rows)
+            .with_observer(&self.inner.obs.registry);
+        if let Some(cols) = needed {
+            hub = hub.with_columns(cols);
+        }
+        let hub = Arc::new(hub);
+        scans
+            .entry(table.to_string())
+            .or_default()
+            .push(Arc::clone(&hub));
         Ok(hub)
     }
 
-    /// Live stats of `table`'s shared scan hub, if one exists.
+    /// Live stats of `table`'s shared scan hub, if one exists (the
+    /// full-column hub when both full and pruned hubs are live).
     pub fn scan_stats(&self, table: &str) -> Option<SharedScanStats> {
         let scans = self.inner.scans.lock().expect("scan registry poisoned");
-        scans.get(table).map(|h| h.stats())
+        let hubs = scans.get(table)?;
+        hubs.iter()
+            .find(|h| h.columns().is_none())
+            .or_else(|| hubs.first())
+            .map(|h| h.stats())
     }
 
     /// Admit one query for `session` or fail fast with [`Error::Busy`]
@@ -450,6 +498,7 @@ impl Engine {
     fn shared_hub(
         &self,
         plan: &LogicalPlan,
+        group_by: &[Expr],
         opts: &QueryOptions,
     ) -> Result<Option<Arc<SharedTableScan>>> {
         if !self.inner.shared_scans || opts.parallelism != 1 || opts.shuffle_scan {
@@ -463,7 +512,16 @@ impl Engine {
         match shared_scan_table(input) {
             Some(table) => {
                 let table = table.to_string();
-                Ok(Some(self.shared_scan(&table)?))
+                // Mirror the driver's pruning (full plan + GROUP BY keys)
+                // so the hub's column set covers what the cursor will ask
+                // for — the swap-in attach can then never be rejected.
+                let needed = if opts.disable_pushdown {
+                    None
+                } else {
+                    let map = sa_plan::ScanColumnMap::analyze_with(plan, group_by);
+                    shared_scan_needs(input, &self.inner.catalog, &map)?
+                };
+                Ok(Some(self.covering_hub(&table, needed)?))
             }
             None => Ok(None),
         }
@@ -605,6 +663,15 @@ impl QueryBuilder {
     /// tables (see [`QueryOptions::shuffle_scan`]).
     pub fn shuffle_scan(mut self, on: bool) -> QueryBuilder {
         self.opts.shuffle_scan = on;
+        self
+    }
+
+    /// Toggle projection/predicate pushdown into the scans (on by
+    /// default). The realized sample and every estimate are identical
+    /// either way (see [`QueryOptions::disable_pushdown`]); turning it off
+    /// exists for benchmark baselines and the differential tests.
+    pub fn pushdown(mut self, on: bool) -> QueryBuilder {
+        self.opts.disable_pushdown = !on;
         self
     }
 
@@ -781,8 +848,9 @@ fn execute(
     let (plan, group_by, opts) = resolve(engine, input, group_by, opts)?;
     let ctx = RunCtx {
         cancel,
-        shared: engine.shared_hub(&plan, &opts)?,
+        shared: engine.shared_hub(&plan, &group_by, &opts)?,
         pool: obs.pool.clone(),
+        scan_obs: obs.scan.clone(),
     };
     obs.queries_started.inc();
     obs.registry

@@ -194,7 +194,7 @@ pub(crate) fn drive_grouped(
         aggs,
         mut streams,
         layout,
-    } = open_aggregate(plan, catalog, opts, ctx, "run_online_grouped")?;
+    } = open_aggregate(plan, catalog, opts, ctx, group_by, "run_online_grouped")?;
     let key_kernels: Vec<CompiledExpr> = group_by
         .iter()
         .map(|e| compile(e, streams[0].schema()))

@@ -1,0 +1,265 @@
+//! Needed-column analysis for projection pushdown.
+//!
+//! A scan only has to gather the columns the rest of the plan can observe:
+//! the union of every projected expression, filter predicate, join condition
+//! and aggregate argument — plus *all* of its columns when the scan's own
+//! schema escapes to the plan's output (no `Project`/`Aggregate` above it).
+//! Lineage needs no column at all: row ids travel beside the batch.
+//!
+//! The analysis is deliberately conservative. Referenced names are collected
+//! globally (a bare name used against one relation may also select a
+//! same-named column of another) and any shape the walk does not understand
+//! keeps every column. Over-approximation only costs gather work; it can
+//! never change a result — and because pruning drops only columns nothing
+//! downstream can read, the realized sample and every estimate are identical
+//! with and without pushdown (pinned by `tests/storage_equivalence.rs`).
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use sa_storage::Schema;
+
+use crate::plan::LogicalPlan;
+
+/// What a scan must gather.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanCols {
+    /// The scan's schema escapes to the root: gather every column.
+    All,
+    /// Only columns matching one of these referenced names are observable.
+    Names(Arc<BTreeSet<String>>),
+}
+
+/// Per-scan-alias needed-column sets for one plan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanColumnMap {
+    per_alias: HashMap<String, ScanCols>,
+}
+
+impl ScanColumnMap {
+    /// Analyze `plan` top-down. The root's full output is assumed observed
+    /// (whoever opened the stream reads every output column).
+    pub fn analyze(plan: &LogicalPlan) -> ScanColumnMap {
+        Self::analyze_with(plan, &[])
+    }
+
+    /// [`Self::analyze`] plus `also_observed`: expressions the consumer
+    /// evaluates over the plan's output beyond what the plan itself
+    /// mentions — e.g. the online driver's GROUP BY keys, which are
+    /// compiled against the streamed input's schema, not planned as a
+    /// `Project`.
+    pub fn analyze_with(plan: &LogicalPlan, also_observed: &[sa_expr::Expr]) -> ScanColumnMap {
+        let mut refs: BTreeSet<String> = BTreeSet::new();
+        note_exprs(also_observed, &mut refs);
+        let mut exposed_by_alias: HashMap<String, bool> = HashMap::new();
+        walk(plan, true, &mut refs, &mut exposed_by_alias);
+        let refs = Arc::new(refs);
+        let per_alias = exposed_by_alias
+            .into_iter()
+            .map(|(alias, exposed)| {
+                let cols = if exposed {
+                    ScanCols::All
+                } else {
+                    ScanCols::Names(refs.clone())
+                };
+                (alias, cols)
+            })
+            .collect();
+        ScanColumnMap { per_alias }
+    }
+
+    /// The needs of scan `alias` (unknown aliases keep every column).
+    pub fn needs(&self, alias: &str) -> ScanCols {
+        self.per_alias.get(alias).cloned().unwrap_or(ScanCols::All)
+    }
+
+    /// Resolve the needs of `alias` against its (alias-qualified) scan
+    /// schema: `None` = gather all columns, `Some(indices)` = gather exactly
+    /// those (ascending schema order).
+    pub fn project_indices(&self, alias: &str, schema: &Schema) -> Option<Vec<usize>> {
+        let names = match self.needs(alias) {
+            ScanCols::All => return None,
+            ScanCols::Names(names) => names,
+        };
+        let indices: Vec<usize> = schema
+            .fields()
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| names.iter().any(|n| f.matches(n)))
+            .map(|(i, _)| i)
+            .collect();
+        if indices.len() == schema.fields().len() {
+            None
+        } else {
+            Some(indices)
+        }
+    }
+}
+
+fn note_exprs<'a>(exprs: impl IntoIterator<Item = &'a sa_expr::Expr>, refs: &mut BTreeSet<String>) {
+    for e in exprs {
+        for name in e.columns_used() {
+            refs.insert(name.to_string());
+        }
+    }
+}
+
+fn walk(
+    plan: &LogicalPlan,
+    exposed: bool,
+    refs: &mut BTreeSet<String>,
+    out: &mut HashMap<String, bool>,
+) {
+    match plan {
+        LogicalPlan::Scan { alias, .. } => {
+            // A relation scanned in several positions (union branches) keeps
+            // every column as soon as any position exposes its schema.
+            let e = out.entry(alias.clone()).or_insert(false);
+            *e = *e || exposed;
+        }
+        LogicalPlan::Sample { input, .. } => walk(input, exposed, refs, out),
+        LogicalPlan::Filter { predicate, input } => {
+            note_exprs([predicate], refs);
+            walk(input, exposed, refs, out);
+        }
+        LogicalPlan::Join {
+            condition,
+            left,
+            right,
+        } => {
+            note_exprs(condition.iter(), refs);
+            walk(left, exposed, refs, out);
+            walk(right, exposed, refs, out);
+        }
+        LogicalPlan::Project { exprs, input } => {
+            note_exprs(exprs.iter().map(|(e, _)| e), refs);
+            walk(input, false, refs, out);
+        }
+        LogicalPlan::Aggregate { aggs, input } => {
+            note_exprs(aggs.iter().filter_map(|a| a.expr.as_ref()), refs);
+            walk(input, false, refs, out);
+        }
+        LogicalPlan::UnionSamples { left, right } => {
+            walk(left, exposed, refs, out);
+            walk(right, exposed, refs, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::AggSpec;
+    use sa_expr::{col, lit};
+    use sa_sampling::SamplingMethod;
+    use sa_storage::{DataType, Field};
+
+    fn wide_schema(alias: &str, n: usize) -> Schema {
+        Schema::new(
+            (0..n)
+                .map(|i| Field::new(format!("c{i}"), DataType::Int))
+                .collect(),
+        )
+        .unwrap()
+        .qualify_all(alias)
+    }
+
+    #[test]
+    fn aggregate_prunes_to_referenced_columns() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .filter(col("c3").gt(lit(0i64)))
+            .aggregate(vec![AggSpec::sum(col("c1"), "s")]);
+        let map = ScanColumnMap::analyze(&plan);
+        let schema = wide_schema("t", 16);
+        let idx = map.project_indices("t", &schema).expect("pruned");
+        assert_eq!(idx, vec![1, 3]);
+    }
+
+    #[test]
+    fn bare_scan_root_keeps_all() {
+        let plan = LogicalPlan::scan("t").filter(col("c0").gt(lit(0i64)));
+        let map = ScanColumnMap::analyze(&plan);
+        assert_eq!(map.needs("t"), ScanCols::All);
+        assert_eq!(map.project_indices("t", &wide_schema("t", 4)), None);
+    }
+
+    #[test]
+    fn project_hides_unreferenced_columns() {
+        let plan = LogicalPlan::scan("t").project(vec![(col("c2"), "x".into())]);
+        let map = ScanColumnMap::analyze(&plan);
+        let idx = map.project_indices("t", &wide_schema("t", 5)).unwrap();
+        assert_eq!(idx, vec![2]);
+    }
+
+    #[test]
+    fn join_condition_counts_for_both_sides() {
+        let plan = LogicalPlan::scan("a")
+            .join_on(LogicalPlan::scan("b"), col("a.c0").eq(col("b.c1")))
+            .aggregate(vec![AggSpec::sum(col("a.c2"), "s")]);
+        let map = ScanColumnMap::analyze(&plan);
+        assert_eq!(
+            map.project_indices("a", &wide_schema("a", 8)).unwrap(),
+            vec![0, 2]
+        );
+        assert_eq!(
+            map.project_indices("b", &wide_schema("b", 8)).unwrap(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn qualified_names_do_not_leak_across_aliases() {
+        // `a.c0` must not select column c0 of alias b; the bare `c1` matches
+        // both sides (conservative).
+        let plan = LogicalPlan::scan("a")
+            .join_on(LogicalPlan::scan("b"), col("a.c0").eq(col("c1")))
+            .aggregate(vec![AggSpec::count_star("n")]);
+        let map = ScanColumnMap::analyze(&plan);
+        assert_eq!(
+            map.project_indices("b", &wide_schema("b", 4)).unwrap(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn count_star_needs_no_columns() {
+        let plan = LogicalPlan::scan("t")
+            .sample(SamplingMethod::Bernoulli { p: 0.5 })
+            .aggregate(vec![AggSpec::count_star("n")]);
+        let map = ScanColumnMap::analyze(&plan);
+        let idx = map.project_indices("t", &wide_schema("t", 3)).unwrap();
+        assert!(idx.is_empty(), "COUNT(*) observes no columns: {idx:?}");
+    }
+
+    #[test]
+    fn all_columns_referenced_means_no_pruning() {
+        let plan =
+            LogicalPlan::scan("t").project(vec![(col("c0"), "a".into()), (col("c1"), "b".into())]);
+        let map = ScanColumnMap::analyze(&plan);
+        assert_eq!(map.project_indices("t", &wide_schema("t", 2)), None);
+    }
+
+    #[test]
+    fn union_branches_share_alias_needs() {
+        let b = |p: f64| {
+            LogicalPlan::scan("t")
+                .sample(SamplingMethod::Bernoulli { p })
+                .filter(col("c1").gt(lit(0i64)))
+        };
+        let plan = b(0.5)
+            .union_samples(b(0.25))
+            .aggregate(vec![AggSpec::sum(col("c1"), "s")]);
+        let map = ScanColumnMap::analyze(&plan);
+        assert_eq!(
+            map.project_indices("t", &wide_schema("t", 6)).unwrap(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn unknown_alias_defaults_to_all() {
+        let map = ScanColumnMap::default();
+        assert_eq!(map.needs("nope"), ScanCols::All);
+    }
+}

@@ -9,11 +9,13 @@
 
 #![warn(missing_docs)]
 
+pub mod columns;
 pub mod error;
 pub mod plan;
 pub mod rewrite;
 pub mod stopping;
 
+pub use columns::{ScanCols, ScanColumnMap};
 pub use error::PlanError;
 pub use plan::{AggFunc, AggSpec, LogicalPlan};
 pub use rewrite::{

@@ -2,9 +2,11 @@
 //!
 //! ```sh
 //! sa-server --tpch 0.01 --addr 127.0.0.1:5433 --seed 42
+//! sa-server --data ./tpch1 --addr 127.0.0.1:5433   # memory-mapped .sac dir
 //! ```
 //!
-//! Generates TPC-H-style data, builds an [`sa_server::Server`] with shared
+//! Generates TPC-H-style data (or memory-maps a directory of `.sac` files
+//! written by `sa --persist`), builds an [`sa_server::Server`] with shared
 //! scans enabled, prints `READY <addr>` on stdout once listening, and
 //! serves until killed. Drive it with the `sa` client:
 //!
@@ -28,6 +30,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.005f64;
     let mut seed = 42u64;
+    let mut data_dir: Option<String> = None;
     let mut config = ServerConfig {
         addr: "127.0.0.1:5433".into(),
         ..ServerConfig::default()
@@ -46,6 +49,13 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
+            }
+            "--data" => {
+                data_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--data needs a directory of .sac files"))
+                        .clone(),
+                );
             }
             "--addr" => {
                 config.addr = it
@@ -68,8 +78,8 @@ fn main() {
             }
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: sa-server [--tpch SCALE] [--seed N] [--addr HOST:PORT] \
-                     [--workers N] [--max-concurrent N]"
+                    "usage: sa-server [--tpch SCALE | --data DIR] [--seed N] \
+                     [--addr HOST:PORT] [--workers N] [--max-concurrent N]"
                 );
                 return;
             }
@@ -78,8 +88,17 @@ fn main() {
     }
 
     config.defaults.seed = seed;
-    eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
-    let catalog = generate(&TpchConfig::scale(scale).with_seed(seed));
+    let catalog = match &data_dir {
+        Some(dir) => {
+            eprintln!("opening mapped catalog from {dir} …");
+            sa_storage::open_catalog_dir(std::path::Path::new(dir))
+                .unwrap_or_else(|e| die(&format!("cannot open --data {dir}: {e}")))
+        }
+        None => {
+            eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
+            generate(&TpchConfig::scale(scale).with_seed(seed))
+        }
+    };
     let server =
         Server::bind(catalog, &config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
     println!("READY {}", server.local_addr());

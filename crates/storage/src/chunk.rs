@@ -120,6 +120,26 @@ impl ColumnVec {
         ColumnVec { data, validity }
     }
 
+    /// Gather selected `rows` (ascending, in bounds) of a storage column.
+    /// Validity is `None` when every selected row is valid, matching
+    /// [`ColumnVec::from_column_range`]'s all-valid normalization — the
+    /// mapped backend's row gather mirrors this exactly.
+    pub fn from_column_rows(col: &Column, rows: &[usize]) -> ColumnVec {
+        let validity = col.validity_rows(rows);
+        let data = match col {
+            Column::Bool { data, .. } => ColumnData::Bool(rows.iter().map(|&i| data[i]).collect()),
+            Column::Int { data, .. } => ColumnData::Int(rows.iter().map(|&i| data[i]).collect()),
+            Column::Float { data, .. } => {
+                ColumnData::Float(rows.iter().map(|&i| data[i]).collect())
+            }
+            Column::Str { dict, codes, .. } => ColumnData::Str {
+                dict: dict.clone(),
+                codes: rows.iter().map(|&i| codes[i]).collect(),
+            },
+        };
+        ColumnVec { data, validity }
+    }
+
     /// Build a column of `data_type` from row-major values (the bridge for
     /// materialized row vectors). `Null` is accepted for any type; `Int`
     /// widens into a `Float` column. Panics on other mismatches — callers
@@ -442,6 +462,16 @@ impl ColumnarBatch {
         ColumnarBatch {
             columns: self.columns.iter().map(|c| c.slice(start, len)).collect(),
             rows: len,
+        }
+    }
+
+    /// The batch restricted to the columns at `positions`, in that order
+    /// (row count unchanged; a shared-scan cursor uses this to carve its
+    /// pruned column set out of a hub's wider bus chunks).
+    pub fn select_columns(&self, positions: &[usize]) -> ColumnarBatch {
+        ColumnarBatch {
+            columns: positions.iter().map(|&p| self.columns[p].clone()).collect(),
+            rows: self.rows,
         }
     }
 

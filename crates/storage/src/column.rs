@@ -140,6 +140,26 @@ impl Column {
         }
     }
 
+    /// The validity at selected rows in batch form: `None` when every
+    /// selected row is valid.
+    pub(crate) fn validity_rows(&self, rows: &[usize]) -> Option<Vec<bool>> {
+        let validity = match self {
+            Column::Bool { validity, .. }
+            | Column::Int { validity, .. }
+            | Column::Float { validity, .. }
+            | Column::Str { validity, .. } => validity,
+        };
+        if validity.is_empty() {
+            return None;
+        }
+        let v: Vec<bool> = rows.iter().map(|&i| validity[i]).collect();
+        if v.iter().all(|&b| b) {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
     /// Fast typed access for numeric columns: the value at `row` as `f64`
     /// (ints widen), or `None` for nulls and non-numeric columns.
     pub fn f64_at(&self, row: usize) -> Option<f64> {

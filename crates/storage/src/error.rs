@@ -43,6 +43,22 @@ pub enum StorageError {
         /// Table length.
         len: u64,
     },
+    /// An I/O failure on the persisted-table path (message keeps the
+    /// underlying `io::Error` text; the error itself stays `Clone`).
+    Io {
+        /// File or directory involved.
+        path: String,
+        /// Operation and OS error text.
+        message: String,
+    },
+    /// A table file failed structural validation (bad magic, truncated
+    /// segment, dangling directory offset, …).
+    BadFormat {
+        /// The offending file.
+        path: String,
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -65,6 +81,10 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
             StorageError::RowOutOfBounds { row, len } => {
                 write!(f, "row {row} out of bounds (table has {len} rows)")
+            }
+            StorageError::Io { path, message } => write!(f, "io error on `{path}`: {message}"),
+            StorageError::BadFormat { path, message } => {
+                write!(f, "bad table file `{path}`: {message}")
             }
         }
     }

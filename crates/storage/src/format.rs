@@ -1,0 +1,630 @@
+//! The `.sac` on-disk columnar table format and its memory-mapped reader.
+//!
+//! One page-aligned file per table:
+//!
+//! ```text
+//! page 0        header: magic, page size, row/block counts, directory pointer
+//! page 1..      per-column segments, each aligned to a page boundary:
+//!                 data     Int/Float = 8-byte LE per row, Str = 4-byte LE
+//!                          dictionary codes per row, Bool = bit-packed
+//!                 validity bit-packed, present only when the column has nulls
+//!                 dict     (Str only) u32-length-prefixed UTF-8 entries
+//! tail          directory: table name, then per column the unqualified
+//!               field name, data type and segment (offset, len) triples
+//! ```
+//!
+//! The reader ([`MappedTable`]) keeps the file mapped and gathers row ranges
+//! straight out of the map into [`ColumnVec`]s — the same representation the
+//! in-RAM backend produces — so the two backends are interchangeable above
+//! [`crate::Table::batch_range`]. String dictionaries are decoded once at
+//! open (they are small) and shared by every gathered batch.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::chunk::{ColumnData, ColumnVec, StrDict};
+use crate::column::Column;
+use crate::error::StorageError;
+use crate::mmap::Mmap;
+use crate::schema::{DataType, Field, Schema};
+use crate::table::Table;
+use crate::value::Value;
+use crate::Catalog;
+use crate::Result;
+
+/// Magic bytes opening every table file.
+pub const MAGIC: &[u8; 8] = b"SACTBL01";
+
+/// Segment alignment and header size: one 4 KiB page.
+pub const PAGE_SIZE: usize = 4096;
+
+/// File extension used by [`persist_catalog`] / [`open_catalog_dir`].
+pub const TABLE_EXT: &str = "sac";
+
+fn io_err(path: &Path, op: &str, e: impl std::fmt::Display) -> StorageError {
+    StorageError::Io {
+        path: path.display().to_string(),
+        message: format!("{op}: {e}"),
+    }
+}
+
+fn bad(path: &Path, message: impl Into<String>) -> StorageError {
+    StorageError::BadFormat {
+        path: path.display().to_string(),
+        message: message.into(),
+    }
+}
+
+fn dtype_code(dt: DataType) -> u8 {
+    match dt {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+    }
+}
+
+fn dtype_from_code(code: u8, path: &Path) -> Result<DataType> {
+    Ok(match code {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Str,
+        other => return Err(bad(path, format!("unknown dtype code {other}"))),
+    })
+}
+
+fn pack_bits(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+#[inline]
+fn bit_at(bytes: &[u8], i: usize) -> bool {
+    bytes[i / 8] & (1 << (i % 8)) != 0
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+struct SegmentWriter<W: Write> {
+    out: W,
+    pos: u64,
+}
+
+impl<W: Write> SegmentWriter<W> {
+    fn write(&mut self, bytes: &[u8], path: &Path) -> Result<()> {
+        self.out
+            .write_all(bytes)
+            .map_err(|e| io_err(path, "write", e))?;
+        self.pos += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Zero-pad to the next page boundary and return the aligned position.
+    fn align(&mut self, path: &Path) -> Result<u64> {
+        let rem = (self.pos % PAGE_SIZE as u64) as usize;
+        if rem != 0 {
+            let pad = vec![0u8; PAGE_SIZE - rem];
+            self.write(&pad, path)?;
+        }
+        Ok(self.pos)
+    }
+}
+
+struct ColumnDirEntry {
+    name: String,
+    dtype: DataType,
+    data: (u64, u64),
+    validity: (u64, u64),
+    dict: (u64, u64),
+    dict_entries: u64,
+}
+
+fn column_validity(col: &Column) -> &[bool] {
+    match col {
+        Column::Bool { validity, .. }
+        | Column::Int { validity, .. }
+        | Column::Float { validity, .. }
+        | Column::Str { validity, .. } => validity,
+    }
+}
+
+/// Write `table` to `path` in the `.sac` format. Returns the file length in
+/// bytes. Works from either backend (a mapped table is decoded as it is
+/// re-encoded).
+pub fn write_table_file(table: &Table, path: &Path) -> Result<u64> {
+    let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
+    let mut w = SegmentWriter {
+        out: BufWriter::new(file),
+        pos: 0,
+    };
+
+    // Header page (directory pointer patched at the end via a second pass
+    // would need seeks; instead the directory pointer is written last, so
+    // reserve the header and come back with positions known).
+    let columns = table.columns();
+    let mut entries: Vec<ColumnDirEntry> = Vec::with_capacity(columns.len());
+
+    // Reserve page 0 for the header.
+    w.write(&[0u8; PAGE_SIZE], path)?;
+
+    for (field, col) in table.schema().fields().iter().zip(columns.iter()) {
+        let data_off = w.align(path)?;
+        let data_bytes: Vec<u8> = match col {
+            Column::Bool { data, .. } => pack_bits(data),
+            Column::Int { data, .. } => data.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            Column::Float { data, .. } => data
+                .iter()
+                .flat_map(|v| v.to_bits().to_le_bytes())
+                .collect(),
+            Column::Str { codes, .. } => codes.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        };
+        w.write(&data_bytes, path)?;
+        let data = (data_off, data_bytes.len() as u64);
+
+        let validity_bits = column_validity(col);
+        let validity = if validity_bits.is_empty() {
+            (0, 0)
+        } else {
+            let off = w.align(path)?;
+            let bytes = pack_bits(validity_bits);
+            w.write(&bytes, path)?;
+            (off, bytes.len() as u64)
+        };
+
+        let (dict, dict_entries) = if let Column::Str { dict, .. } = col {
+            let off = w.align(path)?;
+            let mut bytes = Vec::new();
+            for entry in dict.iter() {
+                let s = entry.as_bytes();
+                bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                bytes.extend_from_slice(s);
+            }
+            w.write(&bytes, path)?;
+            ((off, bytes.len() as u64), dict.len() as u64)
+        } else {
+            ((0, 0), 0)
+        };
+
+        entries.push(ColumnDirEntry {
+            name: field.name.to_string(),
+            dtype: col.data_type(),
+            data,
+            validity,
+            dict,
+            dict_entries,
+        });
+    }
+
+    // Directory.
+    let dir_off = w.align(path)?;
+    let mut dir = Vec::new();
+    let name = table.name().as_bytes();
+    dir.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    dir.extend_from_slice(name);
+    for e in &entries {
+        let n = e.name.as_bytes();
+        dir.extend_from_slice(&(n.len() as u16).to_le_bytes());
+        dir.extend_from_slice(n);
+        dir.push(dtype_code(e.dtype));
+        for (off, len) in [e.data, e.validity, e.dict] {
+            dir.extend_from_slice(&off.to_le_bytes());
+            dir.extend_from_slice(&len.to_le_bytes());
+        }
+        dir.extend_from_slice(&e.dict_entries.to_le_bytes());
+    }
+    let dir_len = dir.len() as u64;
+    w.write(&dir, path)?;
+    let file_len = w.pos;
+    let mut out = w.out.into_inner().map_err(|e| io_err(path, "flush", e))?;
+
+    // Patch the header in place.
+    let mut header = Vec::with_capacity(64);
+    header.extend_from_slice(MAGIC);
+    for v in [
+        PAGE_SIZE as u64,
+        table.row_count(),
+        table.block_rows() as u64,
+        entries.len() as u64,
+        dir_off,
+        dir_len,
+    ] {
+        header.extend_from_slice(&v.to_le_bytes());
+    }
+    use std::io::Seek;
+    out.seek(std::io::SeekFrom::Start(0))
+        .map_err(|e| io_err(path, "seek", e))?;
+    out.write_all(&header)
+        .map_err(|e| io_err(path, "write", e))?;
+    out.flush().map_err(|e| io_err(path, "flush", e))?;
+    Ok(file_len)
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// One column's segment pointers inside the map, plus its decoded dictionary.
+#[derive(Debug, Clone)]
+struct MappedCol {
+    dtype: DataType,
+    /// (offset, len) of the data segment.
+    data: (usize, usize),
+    /// (offset, len) of the bit-packed validity segment; `None` = no nulls.
+    validity: Option<(usize, usize)>,
+    /// Decoded dictionary (Str columns; shared by every gathered batch).
+    dict: Option<StrDict>,
+}
+
+/// A table whose column data lives in a memory-mapped `.sac` file.
+///
+/// Gathers decode straight from the map into the same [`ColumnVec`] shapes
+/// the in-RAM backend produces: values, validity (`None` when the gathered
+/// range has no nulls) and dictionary codes are bit-identical across
+/// backends — `tests/storage_equivalence.rs` holds both backends to that.
+#[derive(Debug, Clone)]
+pub struct MappedTable {
+    map: Arc<Mmap>,
+    row_count: usize,
+    cols: Vec<MappedCol>,
+    /// Lazily decoded full columns backing the `&Column` accessors
+    /// ([`Table::columns`] and friends) for API parity with `InRam`; the
+    /// streaming scan path never touches this.
+    decoded: Arc<std::sync::OnceLock<Vec<Column>>>,
+}
+
+struct DirCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> DirCursor<'a> {
+    fn take(&mut self, n: usize, path: &Path) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(bad(path, "truncated directory"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, path: &Path) -> Result<u8> {
+        Ok(self.take(1, path)?[0])
+    }
+
+    fn u16(&mut self, path: &Path) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2, path)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, path: &Path) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, path)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, path: &Path) -> Result<String> {
+        let n = self.u16(path)? as usize;
+        let bytes = self.take(n, path)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad(path, "non-utf8 name in directory"))
+    }
+}
+
+fn segment<'m>(map: &'m Mmap, off: usize, len: usize, path: &Path) -> Result<&'m [u8]> {
+    map.get(off..off + len)
+        .ok_or_else(|| bad(path, format!("segment [{off}, {}) out of file", off + len)))
+}
+
+/// Expected byte length of a column's data segment.
+fn data_len_for(dtype: DataType, rows: usize) -> usize {
+    match dtype {
+        DataType::Bool => rows.div_ceil(8),
+        DataType::Int | DataType::Float => rows * 8,
+        DataType::Str => rows * 4,
+    }
+}
+
+impl MappedTable {
+    /// Open the `.sac` file at `path`, returning the rebuilt [`Table`]
+    /// metadata alongside the mapped store: `(name, schema fields, block
+    /// rows, row count, store)`.
+    fn open(path: &Path) -> Result<(String, Vec<Field>, usize, u64, MappedTable)> {
+        let map = Mmap::open(path)?;
+        if map.len() < 56 || &map[0..8] != MAGIC {
+            return Err(bad(path, "missing magic"));
+        }
+        let word = |i: usize| -> u64 {
+            u64::from_le_bytes(map[8 + 8 * i..16 + 8 * i].try_into().unwrap())
+        };
+        let page_size = word(0);
+        if page_size != PAGE_SIZE as u64 {
+            return Err(bad(path, format!("unsupported page size {page_size}")));
+        }
+        let row_count = word(1);
+        let block_rows = word(2) as usize;
+        let column_count = word(3) as usize;
+        let dir_off = word(4) as usize;
+        let dir_len = word(5) as usize;
+        if block_rows == 0 {
+            return Err(bad(path, "zero block size"));
+        }
+        let rows = usize::try_from(row_count).map_err(|_| bad(path, "row count overflow"))?;
+        let dir_bytes = segment(&map, dir_off, dir_len, path)?;
+        let mut cur = DirCursor {
+            bytes: dir_bytes,
+            pos: 0,
+        };
+        let name = cur.str(path)?;
+        let mut fields = Vec::with_capacity(column_count);
+        let mut cols = Vec::with_capacity(column_count);
+        for _ in 0..column_count {
+            let col_name = cur.str(path)?;
+            let dtype = dtype_from_code(cur.u8(path)?, path)?;
+            let mut spans = [(0usize, 0usize); 3];
+            for s in &mut spans {
+                let off = cur.u64(path)? as usize;
+                let len = cur.u64(path)? as usize;
+                *s = (off, len);
+            }
+            let dict_entries = cur.u64(path)? as usize;
+            let [data, validity, dict_span] = spans;
+            if data.1 != data_len_for(dtype, rows) {
+                return Err(bad(
+                    path,
+                    format!("column `{col_name}`: data segment length"),
+                ));
+            }
+            segment(&map, data.0, data.1, path)?;
+            let validity = if validity.1 == 0 {
+                None
+            } else {
+                if validity.1 != rows.div_ceil(8) {
+                    return Err(bad(path, format!("column `{col_name}`: validity length")));
+                }
+                segment(&map, validity.0, validity.1, path)?;
+                Some(validity)
+            };
+            let dict = if dtype == DataType::Str {
+                let bytes = segment(&map, dict_span.0, dict_span.1, path)?;
+                let mut entries: Vec<Arc<str>> = Vec::with_capacity(dict_entries);
+                let mut pos = 0usize;
+                for _ in 0..dict_entries {
+                    if pos + 4 > bytes.len() {
+                        return Err(bad(path, "truncated dictionary"));
+                    }
+                    let n = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+                    pos += 4;
+                    let s = bytes
+                        .get(pos..pos + n)
+                        .ok_or_else(|| bad(path, "truncated dictionary entry"))?;
+                    pos += n;
+                    entries.push(Arc::from(
+                        std::str::from_utf8(s).map_err(|_| bad(path, "non-utf8 dictionary"))?,
+                    ));
+                }
+                Some(Arc::new(entries))
+            } else {
+                None
+            };
+            fields.push(Field::new(col_name, dtype));
+            cols.push(MappedCol {
+                dtype,
+                data,
+                validity,
+                dict,
+            });
+        }
+        Ok((
+            name,
+            fields,
+            block_rows,
+            row_count,
+            MappedTable {
+                map: Arc::new(map),
+                row_count: rows,
+                cols,
+                decoded: Arc::new(std::sync::OnceLock::new()),
+            },
+        ))
+    }
+
+    fn dict(&self, col: usize) -> &StrDict {
+        self.cols[col].dict.as_ref().expect("str column has a dict")
+    }
+
+    /// Validity of `[start, end)` in batch form: `None` when all valid.
+    fn validity_range(&self, col: usize, start: usize, end: usize) -> Option<Vec<bool>> {
+        let (off, len) = self.cols[col].validity?;
+        let bytes = &self.map[off..off + len];
+        let v: Vec<bool> = (start..end).map(|i| bit_at(bytes, i)).collect();
+        if v.iter().all(|&b| b) {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Validity at selected `rows`: `None` when all selected rows are valid.
+    fn validity_rows(&self, col: usize, rows: &[usize]) -> Option<Vec<bool>> {
+        let (off, len) = self.cols[col].validity?;
+        let bytes = &self.map[off..off + len];
+        let v: Vec<bool> = rows.iter().map(|&i| bit_at(bytes, i)).collect();
+        if v.iter().all(|&b| b) {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    #[inline]
+    fn i64_at(bytes: &[u8], i: usize) -> i64 {
+        i64::from_le_bytes(bytes[8 * i..8 * i + 8].try_into().unwrap())
+    }
+
+    #[inline]
+    fn f64_at(bytes: &[u8], i: usize) -> f64 {
+        f64::from_bits(u64::from_le_bytes(
+            bytes[8 * i..8 * i + 8].try_into().unwrap(),
+        ))
+    }
+
+    #[inline]
+    fn u32_at(bytes: &[u8], i: usize) -> u32 {
+        u32::from_le_bytes(bytes[4 * i..4 * i + 4].try_into().unwrap())
+    }
+
+    fn data_bytes(&self, col: usize) -> &[u8] {
+        let (off, len) = self.cols[col].data;
+        &self.map[off..off + len]
+    }
+
+    /// Gather `[start, end)` of one column out of the map.
+    pub(crate) fn gather_range(&self, col: usize, start: usize, end: usize) -> ColumnVec {
+        let bytes = self.data_bytes(col);
+        let data = match self.cols[col].dtype {
+            DataType::Bool => ColumnData::Bool((start..end).map(|i| bit_at(bytes, i)).collect()),
+            DataType::Int => {
+                ColumnData::Int((start..end).map(|i| Self::i64_at(bytes, i)).collect())
+            }
+            DataType::Float => {
+                ColumnData::Float((start..end).map(|i| Self::f64_at(bytes, i)).collect())
+            }
+            DataType::Str => ColumnData::Str {
+                dict: self.dict(col).clone(),
+                codes: (start..end).map(|i| Self::u32_at(bytes, i)).collect(),
+            },
+        };
+        ColumnVec {
+            data,
+            validity: self.validity_range(col, start, end),
+        }
+    }
+
+    /// Gather one column at selected `rows` (ascending, in bounds).
+    pub(crate) fn gather_rows(&self, col: usize, rows: &[usize]) -> ColumnVec {
+        let bytes = self.data_bytes(col);
+        let data = match self.cols[col].dtype {
+            DataType::Bool => ColumnData::Bool(rows.iter().map(|&i| bit_at(bytes, i)).collect()),
+            DataType::Int => {
+                ColumnData::Int(rows.iter().map(|&i| Self::i64_at(bytes, i)).collect())
+            }
+            DataType::Float => {
+                ColumnData::Float(rows.iter().map(|&i| Self::f64_at(bytes, i)).collect())
+            }
+            DataType::Str => ColumnData::Str {
+                dict: self.dict(col).clone(),
+                codes: rows.iter().map(|&i| Self::u32_at(bytes, i)).collect(),
+            },
+        };
+        ColumnVec {
+            data,
+            validity: self.validity_rows(col, rows),
+        }
+    }
+
+    /// The value at (`row`, `col`), decoded directly from the map.
+    pub(crate) fn value(&self, row: usize, col: usize) -> Value {
+        if let Some((off, len)) = self.cols[col].validity {
+            if !bit_at(&self.map[off..off + len], row) {
+                return Value::Null;
+            }
+        }
+        let bytes = self.data_bytes(col);
+        match self.cols[col].dtype {
+            DataType::Bool => Value::Bool(bit_at(bytes, row)),
+            DataType::Int => Value::Int(Self::i64_at(bytes, row)),
+            DataType::Float => Value::Float(Self::f64_at(bytes, row)),
+            DataType::Str => Value::Str(self.dict(col)[Self::u32_at(bytes, row) as usize].clone()),
+        }
+    }
+
+    /// Full columns decoded out of the map, for the `&Column` accessor
+    /// surface. Decoded once per table (all columns) and cached.
+    pub(crate) fn decoded_columns(&self) -> &[Column] {
+        self.decoded.get_or_init(|| {
+            (0..self.cols.len())
+                .map(|c| self.decode_column(c))
+                .collect()
+        })
+    }
+
+    fn decode_column(&self, col: usize) -> Column {
+        let n = self.row_count;
+        let bytes = self.data_bytes(col);
+        let validity = match self.cols[col].validity {
+            None => vec![],
+            Some((off, len)) => {
+                let v = &self.map[off..off + len];
+                (0..n).map(|i| bit_at(v, i)).collect()
+            }
+        };
+        match self.cols[col].dtype {
+            DataType::Bool => Column::Bool {
+                data: (0..n).map(|i| bit_at(bytes, i)).collect(),
+                validity,
+            },
+            DataType::Int => Column::Int {
+                data: (0..n).map(|i| Self::i64_at(bytes, i)).collect(),
+                validity,
+            },
+            DataType::Float => Column::Float {
+                data: (0..n).map(|i| Self::f64_at(bytes, i)).collect(),
+                validity,
+            },
+            DataType::Str => Column::Str {
+                dict: self.dict(col).clone(),
+                codes: (0..n).map(|i| Self::u32_at(bytes, i)).collect(),
+                validity,
+            },
+        }
+    }
+
+    /// Number of columns.
+    pub(crate) fn column_count(&self) -> usize {
+        self.cols.len()
+    }
+}
+
+/// Open the `.sac` file at `path` as a memory-mapped [`Table`].
+pub fn open_table_file(path: &Path) -> Result<Table> {
+    let (name, fields, block_rows, row_count, mapped) = MappedTable::open(path)?;
+    let schema = Schema::new(fields)?.qualify_all(&name);
+    Ok(Table::from_mapped(
+        name, schema, block_rows, row_count, mapped,
+    ))
+}
+
+/// Persist every table of `catalog` into `dir` as `<table>.sac` files.
+/// Returns `(table name, file bytes)` per table, in catalog order.
+pub fn persist_catalog(catalog: &Catalog, dir: &Path) -> Result<Vec<(String, u64)>> {
+    std::fs::create_dir_all(dir).map_err(|e| io_err(dir, "create_dir_all", e))?;
+    let mut out = Vec::new();
+    for (name, table) in catalog.iter() {
+        let path = dir.join(format!("{name}.{TABLE_EXT}"));
+        let bytes = write_table_file(table, &path)?;
+        out.push((name.to_string(), bytes));
+    }
+    Ok(out)
+}
+
+/// Open every `*.sac` file under `dir` as a mapped table and register them
+/// in a fresh [`Catalog`].
+pub fn open_catalog_dir(dir: &Path) -> Result<Catalog> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| io_err(dir, "read_dir", e))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some(TABLE_EXT))
+        .collect();
+    paths.sort();
+    let mut catalog = Catalog::new();
+    for p in &paths {
+        catalog.register(open_table_file(p)?)?;
+    }
+    Ok(catalog)
+}

@@ -13,10 +13,13 @@
 //! * a [`Catalog`] mapping table names to shared table handles.
 //!
 //! Everything is deliberately simple: tables are immutable once built (via
-//! [`TableBuilder`]), reads are by column, and there is no buffer manager or
-//! persistence. The estimation theory only requires that result tuples carry
-//! base-relation lineage and an aggregate value; this layer supplies the
-//! former.
+//! [`TableBuilder`]) or persisted (one page-aligned `.sac` file per table,
+//! see [`mod@format`]), reads are by column, and there is no buffer manager —
+//! the mapped backend leans on the OS page cache instead. Both backends sit
+//! behind [`TableStore`] and gather bit-identical batches, so which one a
+//! table uses never changes the realized sample upstream. The estimation
+//! theory only requires that result tuples carry base-relation lineage and
+//! an aggregate value; this layer supplies the former.
 
 #![warn(missing_docs)]
 
@@ -25,6 +28,8 @@ pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod format;
+pub mod mmap;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -34,8 +39,9 @@ pub use chunk::{ColumnData, ColumnVec, ColumnarBatch, StrDict};
 pub use column::{Column, ColumnBuilder};
 pub use csv::{read_csv, write_csv, CsvOptions};
 pub use error::StorageError;
+pub use format::{open_catalog_dir, open_table_file, persist_catalog, write_table_file, TABLE_EXT};
 pub use schema::{DataType, Field, Schema, SchemaRef};
-pub use table::{BlockId, RowId, Table, TableBuilder, DEFAULT_BLOCK_ROWS};
+pub use table::{BlockId, RowId, Table, TableBuilder, TableStore, DEFAULT_BLOCK_ROWS};
 pub use value::Value;
 
 /// Crate-wide result alias.

@@ -1,0 +1,200 @@
+//! Read-only memory mapping of table files.
+//!
+//! The mapped read path must not drag in a platform crate, so on unix the
+//! mapping goes through a two-symbol `libc` FFI surface (`mmap`/`munmap` —
+//! std already links libc). Elsewhere the "mapping" is a plain in-memory
+//! copy of the file, which keeps the [`crate::table::TableStore::Mapped`]
+//! backend portable at the cost of residency.
+
+use std::fs::File;
+use std::ops::Deref;
+use std::path::Path;
+
+use crate::error::StorageError;
+use crate::Result;
+
+fn io_err(path: &Path, op: &str, message: impl std::fmt::Display) -> StorageError {
+    StorageError::Io {
+        path: path.display().to_string(),
+        message: format!("{op}: {message}"),
+    }
+}
+
+/// An immutable byte view of a whole file.
+///
+/// On unix this is a `PROT_READ`/`MAP_SHARED` mapping: pages are faulted in
+/// on access and the kernel may evict them again, so a mapped table larger
+/// than RAM (or than an rlimit on the heap) still scans. Dropping the value
+/// unmaps the region; every reader copies the bytes it needs out of the map
+/// before returning, so no gathered batch borrows from it.
+pub struct Mmap {
+    inner: MapInner,
+}
+
+impl Mmap {
+    /// Map the file at `path` read-only.
+    pub fn open(path: &Path) -> Result<Mmap> {
+        let file = File::open(path).map_err(|e| io_err(path, "open", e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_err(path, "metadata", e))?
+            .len();
+        if len == 0 {
+            return Err(StorageError::BadFormat {
+                path: path.display().to_string(),
+                message: "empty file".into(),
+            });
+        }
+        let len = usize::try_from(len).map_err(|_| io_err(path, "map", "file exceeds usize"))?;
+        Ok(Mmap {
+            inner: MapInner::map(file, len, path)?,
+        })
+    }
+
+    /// The mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.deref().len()
+    }
+
+    /// True when the mapping is empty (never the case for a table file).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.inner.bytes()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::*;
+    use std::os::unix::io::AsRawFd;
+
+    use core::ffi::c_void;
+
+    const PROT_READ: i32 = 1;
+    const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub struct MapInner {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is PROT_READ and owned for its whole lifetime; shared
+    // immutable access from any thread is sound.
+    unsafe impl Send for MapInner {}
+    unsafe impl Sync for MapInner {}
+
+    impl MapInner {
+        pub fn map(file: File, len: usize, path: &Path) -> Result<MapInner> {
+            // SAFETY: fd is valid for the duration of the call; the kernel
+            // keeps the mapping alive after the fd is closed.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                return Err(super::io_err(path, "mmap", "mapping failed"));
+            }
+            Ok(MapInner { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping we own.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for MapInner {
+        fn drop(&mut self) {
+            // SAFETY: exactly the region returned by mmap in `map`.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::*;
+    use std::io::Read;
+
+    pub struct MapInner {
+        buf: Vec<u8>,
+    }
+
+    impl MapInner {
+        pub fn map(mut file: File, len: usize, path: &Path) -> Result<MapInner> {
+            let mut buf = Vec::with_capacity(len);
+            file.read_to_end(&mut buf)
+                .map_err(|e| super::io_err(path, "read", e))?;
+            Ok(MapInner { buf })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            &self.buf
+        }
+    }
+}
+
+use sys::MapInner;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_bytes() {
+        let path = std::env::temp_dir().join(format!("sa-mmap-test-{}", std::process::id()));
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"hello mapped world").unwrap();
+        }
+        let m = Mmap::open(&path).unwrap();
+        assert_eq!(&m[..5], b"hello");
+        assert_eq!(m.len(), 18);
+        drop(m);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let path = std::env::temp_dir().join(format!("sa-mmap-empty-{}", std::process::id()));
+        File::create(&path).unwrap();
+        assert!(matches!(
+            Mmap::open(&path),
+            Err(StorageError::BadFormat { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use crate::column::{Column, ColumnBuilder};
 use crate::error::StorageError;
+use crate::format::MappedTable;
 use crate::schema::{Schema, SchemaRef};
 use crate::value::Value;
 use crate::Result;
@@ -22,12 +23,26 @@ pub type BlockId = u64;
 /// Default number of rows per block, mirroring a small disk page.
 pub const DEFAULT_BLOCK_ROWS: usize = 256;
 
+/// Where a table's column data lives.
+///
+/// Both backends expose the same gather surface through [`Table`] and emit
+/// bit-identical [`crate::chunk::ColumnVec`]s, so everything above
+/// `batch_range` — samplers, estimators, lineage — is backend-agnostic
+/// (enforced by `tests/storage_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub enum TableStore {
+    /// Columns resident in RAM (built via [`TableBuilder`]).
+    InRam(Vec<Column>),
+    /// Columns in a memory-mapped `.sac` file (see [`crate::format`]).
+    Mapped(MappedTable),
+}
+
 /// An immutable, named, columnar table.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: Arc<str>,
     schema: SchemaRef,
-    columns: Vec<Column>,
+    store: TableStore,
     row_count: u64,
     block_rows: usize,
 }
@@ -48,19 +63,53 @@ impl Table {
         self.row_count
     }
 
-    /// The columns, in schema order.
-    pub fn columns(&self) -> &[Column] {
-        &self.columns
+    /// True when the table is backed by a memory-mapped file.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, TableStore::Mapped(_))
     }
 
-    /// Column by index.
+    pub(crate) fn from_mapped(
+        name: String,
+        schema: Schema,
+        block_rows: usize,
+        row_count: u64,
+        mapped: MappedTable,
+    ) -> Table {
+        Table {
+            name: Arc::from(name.as_str()),
+            schema: Arc::new(schema),
+            store: TableStore::Mapped(mapped),
+            row_count,
+            block_rows,
+        }
+    }
+
+    /// The columns, in schema order. For a mapped table this decodes every
+    /// column into RAM once (and caches it) — it exists for API parity and
+    /// row-at-a-time callers; the scan path never uses it.
+    pub fn columns(&self) -> &[Column] {
+        match &self.store {
+            TableStore::InRam(cols) => cols,
+            TableStore::Mapped(m) => m.decoded_columns(),
+        }
+    }
+
+    /// Column by index (see [`Table::columns`] for the mapped-table cost).
     pub fn column(&self, idx: usize) -> &Column {
-        &self.columns[idx]
+        &self.columns()[idx]
     }
 
     /// Column by (possibly qualified) name.
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
-        Ok(&self.columns[self.schema.index_of(name)?])
+        Ok(&self.columns()[self.schema.index_of(name)?])
+    }
+
+    /// Number of columns (no decode on either backend).
+    pub fn column_count(&self) -> usize {
+        match &self.store {
+            TableStore::InRam(cols) => cols.len(),
+            TableStore::Mapped(m) => m.column_count(),
+        }
     }
 
     /// The value at (`row`, `col`).
@@ -71,7 +120,10 @@ impl Table {
                 len: self.row_count,
             });
         }
-        Ok(self.columns[col].value(row as usize))
+        Ok(match &self.store {
+            TableStore::InRam(cols) => cols[col].value(row as usize),
+            TableStore::Mapped(m) => m.value(row as usize, col),
+        })
     }
 
     /// Materialize an entire row.
@@ -82,7 +134,12 @@ impl Table {
                 len: self.row_count,
             });
         }
-        Ok(self.columns.iter().map(|c| c.value(row as usize)).collect())
+        Ok((0..self.column_count())
+            .map(|c| match &self.store {
+                TableStore::InRam(cols) => cols[c].value(row as usize),
+                TableStore::Mapped(m) => m.value(row as usize, c),
+            })
+            .collect())
     }
 
     /// Rows per block.
@@ -105,22 +162,100 @@ impl Table {
     }
 
     /// Gather the half-open row range `[start, end)` as a columnar batch —
-    /// a typed memcpy per column, no per-row [`Value`] materialization
-    /// (string columns share their dictionary with the batch).
+    /// a typed memcpy per column (in-RAM) or a decode out of the map, no
+    /// per-row [`Value`] materialization (string columns share their
+    /// dictionary with the batch).
+    ///
+    /// Empty and reversed ranges (`start >= end`) are a defined no-op: the
+    /// result is an empty batch with the full column shapes, never an error.
+    /// Only `start < end` ranges are bounds-checked against the row count.
     pub fn batch_range(&self, start: RowId, end: RowId) -> Result<crate::chunk::ColumnarBatch> {
-        if end > self.row_count || start > end {
+        let all: Vec<usize> = (0..self.column_count()).collect();
+        self.batch_range_cols(start, end, &all)
+    }
+
+    /// [`Table::batch_range`] restricted to the columns in `cols` (indices
+    /// into the table schema; the batch holds them in `cols` order). This is
+    /// the projection-pushdown entry point: unlisted columns are never
+    /// touched, which on the mapped backend means their pages are never
+    /// faulted in.
+    pub fn batch_range_cols(
+        &self,
+        start: RowId,
+        end: RowId,
+        cols: &[usize],
+    ) -> Result<crate::chunk::ColumnarBatch> {
+        if start >= end {
+            // Defined empty/reversed-range contract: an empty batch with the
+            // requested column shapes.
+            let columns = cols
+                .iter()
+                .map(|&c| self.gather_cell_range(c, 0, 0))
+                .collect();
+            return Ok(crate::chunk::ColumnarBatch::new(columns, 0));
+        }
+        if end > self.row_count {
             return Err(StorageError::RowOutOfBounds {
                 row: end,
                 len: self.row_count,
             });
         }
         let (s, e) = (start as usize, end as usize);
-        let columns = self
-            .columns
+        let columns = cols
             .iter()
-            .map(|c| crate::chunk::ColumnVec::from_column_range(c, s, e))
+            .map(|&c| self.gather_cell_range(c, s, e))
             .collect();
         Ok(crate::chunk::ColumnarBatch::new(columns, e - s))
+    }
+
+    fn gather_cell_range(&self, col: usize, start: usize, end: usize) -> crate::chunk::ColumnVec {
+        match &self.store {
+            TableStore::InRam(columns) => {
+                crate::chunk::ColumnVec::from_column_range(&columns[col], start, end)
+            }
+            TableStore::Mapped(m) => m.gather_range(col, start, end),
+        }
+    }
+
+    /// Gather selected `rows` (ascending, in bounds) of the columns in
+    /// `cols`. This is the predicate-pushdown gather: rows dropped by a
+    /// scan-level predicate are simply absent from `rows`, so they are never
+    /// materialized into a batch.
+    pub fn gather_rows_cols(
+        &self,
+        rows: &[RowId],
+        cols: &[usize],
+    ) -> Result<crate::chunk::ColumnarBatch> {
+        if let Some(&last) = rows.last() {
+            if last >= self.row_count {
+                return Err(StorageError::RowOutOfBounds {
+                    row: last,
+                    len: self.row_count,
+                });
+            }
+        }
+        let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
+        let columns = cols
+            .iter()
+            .map(|&c| match &self.store {
+                TableStore::InRam(columns) => {
+                    crate::chunk::ColumnVec::from_column_rows(&columns[c], &idx)
+                }
+                TableStore::Mapped(m) => m.gather_rows(c, &idx),
+            })
+            .collect();
+        Ok(crate::chunk::ColumnarBatch::new(columns, idx.len()))
+    }
+
+    /// Persist this table to `path` in the `.sac` format (see
+    /// [`crate::format`]). Returns the file length in bytes.
+    pub fn persist(&self, path: &std::path::Path) -> Result<u64> {
+        crate::format::write_table_file(self, path)
+    }
+
+    /// Open a `.sac` file as a memory-mapped table.
+    pub fn open_mapped(path: &std::path::Path) -> Result<Table> {
+        crate::format::open_table_file(path)
     }
 
     /// The half-open row range `[start, end)` of block `block`.
@@ -201,7 +336,7 @@ impl TableBuilder {
         Ok(Table {
             name: Arc::from(self.name.as_str()),
             schema: Arc::new(self.schema),
-            columns: self.builders.into_iter().map(|b| b.finish()).collect(),
+            store: TableStore::InRam(self.builders.into_iter().map(|b| b.finish()).collect()),
             row_count,
             block_rows: self.block_rows,
         })
@@ -277,5 +412,112 @@ mod tests {
         let schema = Schema::new(vec![Field::new("k", DataType::Int)]).unwrap();
         let mut b = TableBuilder::new("t", schema);
         let _ = b.push_row(&[Value::Int(1), Value::Int(2)]);
+    }
+
+    fn nullable_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+            Field::new("s", DataType::Str),
+            Field::new("b", DataType::Bool),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema).with_block_rows(3);
+        for i in 0..10i64 {
+            let s: Value = if i % 4 == 3 {
+                Value::Null
+            } else {
+                Value::str(format!("s{}", i % 3))
+            };
+            let v = if i % 5 == 4 {
+                Value::Null
+            } else {
+                Value::Float(i as f64 * 0.25)
+            };
+            b.push_row(&[Value::Int(i), v, s, Value::Bool(i % 2 == 0)])
+                .unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn mapped_copy(t: &Table, tag: &str) -> Table {
+        let path = std::env::temp_dir().join(format!(
+            "sa-table-{}-{}-{tag}.sac",
+            std::process::id(),
+            t.name()
+        ));
+        t.persist(&path).unwrap();
+        let m = Table::open_mapped(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        m
+    }
+
+    #[test]
+    fn mapped_round_trip_is_bit_identical() {
+        let t = nullable_table();
+        let m = mapped_copy(&t, "rt");
+        assert!(m.is_mapped() && !t.is_mapped());
+        assert_eq!(m.name(), t.name());
+        assert_eq!(m.schema(), t.schema());
+        assert_eq!(m.row_count(), t.row_count());
+        assert_eq!(m.block_rows(), t.block_rows());
+        // Whole-table and sub-range gathers are equal batch-for-batch.
+        assert_eq!(m.batch_range(0, 10).unwrap(), t.batch_range(0, 10).unwrap());
+        assert_eq!(m.batch_range(3, 8).unwrap(), t.batch_range(3, 8).unwrap());
+        // Selected-column and selected-row gathers too.
+        assert_eq!(
+            m.batch_range_cols(2, 9, &[0, 2]).unwrap(),
+            t.batch_range_cols(2, 9, &[0, 2]).unwrap()
+        );
+        assert_eq!(
+            m.gather_rows_cols(&[0, 4, 7, 9], &[1, 3]).unwrap(),
+            t.gather_rows_cols(&[0, 4, 7, 9], &[1, 3]).unwrap()
+        );
+        // Row-level access agrees (including nulls).
+        for r in 0..10 {
+            assert_eq!(m.row(r).unwrap(), t.row(r).unwrap());
+        }
+        // The &Column accessor surface decodes to the same values.
+        for c in 0..t.column_count() {
+            for r in 0..10usize {
+                assert_eq!(m.column(c).value(r), t.column(c).value(r));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_range_empty_and_reversed_are_defined() {
+        let t = nullable_table();
+        let m = mapped_copy(&t, "empty");
+        for tab in [&t, &m] {
+            // Empty range: defined empty batch with full column shapes.
+            let b = tab.batch_range(4, 4).unwrap();
+            assert_eq!(b.rows(), 0);
+            assert_eq!(b.columns().len(), 4);
+            // Reversed range: same contract, even past the end of the table.
+            let b = tab.batch_range(7, 2).unwrap();
+            assert_eq!(b.rows(), 0);
+            let b = tab.batch_range(99, 98).unwrap();
+            assert_eq!(b.rows(), 0);
+            assert_eq!(b.column(2).data_type(), DataType::Str);
+            // Non-empty out-of-bounds ranges still error.
+            assert!(matches!(
+                tab.batch_range(5, 11),
+                Err(StorageError::RowOutOfBounds { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn persisted_file_is_page_aligned() {
+        let t = nullable_table();
+        let path = std::env::temp_dir().join(format!("sa-table-align-{}.sac", std::process::id()));
+        let len = t.persist(&path).unwrap();
+        assert_eq!(len, std::fs::metadata(&path).unwrap().len());
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[0..8], crate::format::MAGIC);
+        // Header page + at least one aligned segment page.
+        assert!(len > crate::format::PAGE_SIZE as u64);
+        std::fs::remove_file(&path).unwrap();
     }
 }

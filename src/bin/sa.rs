@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! sa --tpch 0.01 [--seed 42]            # start with generated data
+//! sa --tpch 1.0 --persist ./tpch1       # generate once, write .sac files
+//! sa --data ./tpch1 --query "SELECT …"  # reopen memory-mapped (out of core)
 //! sa --tpch 0.01 --query "SELECT …"     # one-shot, non-interactive
 //! sa --online --query "SELECT … WITHIN 5 PERCENT CONFIDENCE 95"
 //!                                       # one-shot online aggregation
@@ -78,6 +80,8 @@ fn main() {
     let mut online = false;
     let mut one_shot: Option<String> = None;
     let mut connect: Option<String> = None;
+    let mut persist_dir: Option<String> = None;
+    let mut data_dir: Option<String> = None;
     let mut stats = false;
     let mut stats_json: Option<String> = None;
     let mut it = args.iter();
@@ -126,6 +130,20 @@ fn main() {
                         .clone(),
                 );
             }
+            "--persist" => {
+                persist_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--persist needs a directory"))
+                        .clone(),
+                );
+            }
+            "--data" => {
+                data_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--data needs a directory"))
+                        .clone(),
+                );
+            }
             "--stats" => stats = true,
             "--stats-json" => {
                 stats_json = Some(
@@ -136,9 +154,9 @@ fn main() {
             }
             "-h" | "--help" => {
                 eprintln!(
-                    "usage: sa [--tpch SCALE] [--seed N] [--chunk N] [--jobs N] \
-                     [--adaptive-chunks] [--shuffle-scan] [--online] [--connect HOST:PORT] \
-                     [--query SQL] [--stats] [--stats-json PATH]"
+                    "usage: sa [--tpch SCALE | --data DIR] [--persist DIR] [--seed N] \
+                     [--chunk N] [--jobs N] [--adaptive-chunks] [--shuffle-scan] [--online] \
+                     [--connect HOST:PORT] [--query SQL] [--stats] [--stats-json PATH]"
                 );
                 return;
             }
@@ -154,8 +172,29 @@ fn main() {
         run_client(&addr, seed, shuffle_scan, &sql);
     }
 
-    eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
-    let catalog = generate(&TpchConfig::scale(scale).with_seed(seed));
+    let catalog = match &data_dir {
+        Some(dir) => {
+            eprintln!("opening mapped catalog from {dir} …");
+            sampling_algebra::storage::open_catalog_dir(std::path::Path::new(dir))
+                .unwrap_or_else(|e| die(&format!("cannot open --data {dir}: {e}")))
+        }
+        None => {
+            eprintln!("generating TPC-H data at scale {scale} (seed {seed}) …");
+            generate(&TpchConfig::scale(scale).with_seed(seed))
+        }
+    };
+    if let Some(dir) = &persist_dir {
+        let written =
+            sampling_algebra::storage::persist_catalog(&catalog, std::path::Path::new(dir))
+                .unwrap_or_else(|e| die(&format!("cannot persist to {dir}: {e}")));
+        for (name, bytes) in &written {
+            eprintln!("wrote {dir}/{name}.sac ({bytes} bytes)");
+        }
+        if one_shot.is_none() {
+            // Persist-only invocation: the data is on disk, nothing to run.
+            return;
+        }
+    }
     // The same seed drives the sampling operators: one `--seed` makes the
     // whole run — data, samples, online loop — reproducible. Metrics are
     // always on in the shell so `\stats` / `--stats-json` have data.
