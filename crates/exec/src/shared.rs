@@ -63,6 +63,11 @@ pub struct SharedTableScan {
     cols: Option<Vec<usize>>,
     bus_rows: usize,
     max_lag_rows: u64,
+    /// Locked with explicit poison recovery everywhere: a reader thread
+    /// that panics mid-query (always contained upstream) must not wedge
+    /// every other query sharing the hub. Every mutation of `HubState`
+    /// under the lock is a complete, consistent update, so the recovered
+    /// view is always usable.
     state: Mutex<HubState>,
     turned: Condvar,
     obs: HubObs,
@@ -205,7 +210,7 @@ impl SharedTableScan {
 
     /// Current counters.
     pub fn stats(&self) -> SharedScanStats {
-        let st = self.state.lock().expect("scan hub poisoned");
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         SharedScanStats {
             rows_gathered: st.rows_gathered,
             rows_served: st.rows_served,
@@ -282,7 +287,7 @@ impl SharedTableScan {
         sel: Option<Vec<usize>>,
         out_cols: Option<Vec<usize>>,
     ) -> SharedScanCursor {
-        let mut st = self.state.lock().expect("scan hub poisoned");
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         let slot = match st.readers.iter().position(Option::is_none) {
             Some(free) => free,
             None => {
@@ -325,7 +330,7 @@ impl SharedTableScan {
 
     /// Release a cursor's slot (idempotent via the cursor's flag).
     fn detach(&self, slot: usize) {
-        let mut st = self.state.lock().expect("scan hub poisoned");
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         st.readers[slot] = None;
         self.obs.detaches.inc();
         self.evict(&mut st);
@@ -386,7 +391,7 @@ impl SharedScanCursor {
             return self.empty_chunk();
         }
         let hub = self.hub.clone();
-        let mut st = hub.state.lock().expect("scan hub poisoned");
+        let mut st = hub.state.lock().unwrap_or_else(|e| e.into_inner());
         let mut stall_counted = false;
         loop {
             let pos = self.origin + self.consumed;
@@ -433,7 +438,7 @@ impl SharedScanCursor {
                     hub.obs.lag_stalls.inc();
                     stall_counted = true;
                 }
-                st = hub.turned.wait(st).expect("scan hub poisoned");
+                st = hub.turned.wait(st).unwrap_or_else(|e| e.into_inner());
                 continue;
             }
             let phys = st.head % self.total;

@@ -1,0 +1,314 @@
+//! # sa-fault — seeded, deterministic fault injection
+//!
+//! A process-global failpoint registry for chaos-testing the serving stack.
+//! Production code paths name injection *sites* (plain `&'static str` keys
+//! such as `storage.page_read.io`) and ask [`hit`] whether the fault fires
+//! on this evaluation. With no faults installed the query is a single
+//! relaxed atomic load of a `false` flag — one untaken branch — so the
+//! hooks can live on hot paths (page gathers, chunk boundaries, socket
+//! writes) without measurable cost.
+//!
+//! Faults are installed from a spec string (the `--fault` flag on `sa` and
+//! `sa-server`):
+//!
+//! ```text
+//! site=spec[,site=spec…]
+//!   spec := <probability>   e.g. storage.page_read.io=0.05
+//!         | hit:<n>         e.g. worker.chunk.panic=hit:3   (fires on the
+//!                           n-th evaluation of that site, exactly once)
+//! ```
+//!
+//! Probability triggers draw from a per-site splitmix64 stream seeded by
+//! `(seed, site name)`, so a fault schedule is fully determined by
+//! `(spec, seed)` and the sequence of site evaluations — rerunning a
+//! deterministic workload replays the identical faults. The registry keeps
+//! per-site evaluation/fired counters (see [`snapshot`]) so the
+//! observability layer can report what was actually injected.
+//!
+//! What *happens* when a site fires is the caller's business: the storage
+//! layer maps `storage.page_read.io` to a synthetic I/O error,
+//! `storage.page_read.torn` to a checksum-failing page image,
+//! `worker.chunk.panic` to a real `panic!`, and so on. This crate only
+//! decides *whether* the fault fires.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Canonical site names. Using these constants (rather than ad-hoc string
+/// literals) keeps the spec grammar, the injection hooks, and the docs in
+/// agreement.
+pub mod sites {
+    /// Synthetic I/O error while gathering a `.sac` page (transient —
+    /// the storage layer retries with backoff).
+    pub const STORAGE_PAGE_IO: &str = "storage.page_read.io";
+    /// Torn / bit-flipped `.sac` page image (non-transient — surfaces as
+    /// `StorageError::CorruptPage`).
+    pub const STORAGE_PAGE_TORN: &str = "storage.page_read.torn";
+    /// Added latency on a `.sac` page gather.
+    pub const STORAGE_PAGE_LATENCY: &str = "storage.page_read.latency";
+    /// Panic at a worker chunk boundary (contained by the parallel pool;
+    /// the query finishes `reason=degraded`).
+    pub const WORKER_PANIC: &str = "worker.chunk.panic";
+    /// Stall at a worker chunk boundary.
+    pub const WORKER_STALL: &str = "worker.chunk.stall";
+    /// Drop a server connection mid-stream.
+    pub const SERVER_CONN_DROP: &str = "server.conn.drop";
+    /// Slow down a server response write.
+    pub const SERVER_CONN_SLOW: &str = "server.conn.slow_write";
+}
+
+/// All site names this build knows about (used to validate specs).
+const KNOWN_SITES: &[&str] = &[
+    sites::STORAGE_PAGE_IO,
+    sites::STORAGE_PAGE_TORN,
+    sites::STORAGE_PAGE_LATENCY,
+    sites::WORKER_PANIC,
+    sites::WORKER_STALL,
+    sites::SERVER_CONN_DROP,
+    sites::SERVER_CONN_SLOW,
+];
+
+/// Fast-path flag: `false` means the registry is empty and [`hit`] is one
+/// untaken branch.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static REGISTRY: Mutex<Vec<Site>> = Mutex::new(Vec::new());
+
+#[derive(Debug, Clone)]
+struct Site {
+    name: String,
+    trigger: Trigger,
+    /// splitmix64 state for probability triggers.
+    rng: u64,
+    evals: u64,
+    fired: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// Fire on each evaluation with this probability.
+    Probability(f64),
+    /// Fire on exactly the n-th evaluation (1-based), once.
+    Nth(u64),
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site name, to derive a per-site RNG stream from one seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<Site>> {
+    // The registry holds plain counters and RNG state; a panic while the
+    // lock is held (e.g. from a worker.chunk.panic site evaluated inside
+    // it — which cannot happen, but belt and braces) leaves it usable.
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Parse and install a fault spec, arming the registry. Replaces any
+/// previously installed spec. `seed` determines every probability trigger's
+/// draw sequence. Returns a human-readable message on a malformed spec.
+pub fn install(spec: &str, seed: u64) -> Result<(), String> {
+    let mut sites = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, val) = part
+            .split_once('=')
+            .ok_or_else(|| format!("fault spec `{part}`: expected site=spec"))?;
+        let name = name.trim();
+        let val = val.trim();
+        if !KNOWN_SITES.contains(&name) {
+            return Err(format!(
+                "fault spec: unknown site `{name}` (known: {})",
+                KNOWN_SITES.join(", ")
+            ));
+        }
+        let trigger = if let Some(n) = val.strip_prefix("hit:") {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("fault spec `{part}`: bad hit count `{n}`"))?;
+            if n == 0 {
+                return Err(format!("fault spec `{part}`: hit count must be >= 1"));
+            }
+            Trigger::Nth(n)
+        } else {
+            let p: f64 = val
+                .parse()
+                .map_err(|_| format!("fault spec `{part}`: bad probability `{val}`"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!(
+                    "fault spec `{part}`: probability must be in [0, 1]"
+                ));
+            }
+            Trigger::Probability(p)
+        };
+        sites.push(Site {
+            name: name.to_string(),
+            trigger,
+            rng: seed ^ fnv1a(name),
+            evals: 0,
+            fired: 0,
+        });
+    }
+    let armed = !sites.is_empty();
+    *registry() = sites;
+    ENABLED.store(armed, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Disarm and clear the registry: every subsequent [`hit`] is one untaken
+/// branch again, and [`snapshot`] is empty.
+pub fn reset() {
+    ENABLED.store(false, Ordering::SeqCst);
+    registry().clear();
+}
+
+/// Whether any failpoints are armed. A `false` answer is a single relaxed
+/// atomic load.
+#[inline(always)]
+pub fn armed() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Evaluate a failpoint site. Returns `true` when the installed fault
+/// fires on this evaluation. With nothing armed this is one untaken branch.
+#[inline]
+pub fn hit(site: &str) -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    hit_slow(site)
+}
+
+#[cold]
+fn hit_slow(site: &str) -> bool {
+    let mut reg = registry();
+    let Some(s) = reg.iter_mut().find(|s| s.name == site) else {
+        return false;
+    };
+    s.evals += 1;
+    let fires = match s.trigger {
+        Trigger::Probability(p) => {
+            // 53-bit uniform in [0, 1), same construction as vendor/rand.
+            let u = (splitmix64(&mut s.rng) >> 11) as f64 / (1u64 << 53) as f64;
+            u < p
+        }
+        Trigger::Nth(n) => s.evals == n,
+    };
+    if fires {
+        s.fired += 1;
+    }
+    fires
+}
+
+/// Per-site `(name, evaluations, fired)` counters for every installed site,
+/// in spec order.
+pub fn snapshot() -> Vec<(String, u64, u64)> {
+    registry()
+        .iter()
+        .map(|s| (s.name.clone(), s.evals, s.fired))
+        .collect()
+}
+
+/// Total faults fired across all sites since the last [`install`].
+pub fn total_fired() -> u64 {
+    registry().iter().map(|s| s.fired).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registry state is process-global; serialize the tests that touch it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_registry_never_fires() {
+        let _g = guard();
+        reset();
+        assert!(!armed());
+        for _ in 0..1000 {
+            assert!(!hit(sites::STORAGE_PAGE_IO));
+        }
+        assert_eq!(total_fired(), 0);
+    }
+
+    #[test]
+    fn nth_hit_fires_exactly_once_on_the_nth_evaluation() {
+        let _g = guard();
+        install("worker.chunk.panic=hit:3", 0).unwrap();
+        assert!(!hit(sites::WORKER_PANIC));
+        assert!(!hit(sites::WORKER_PANIC));
+        assert!(hit(sites::WORKER_PANIC));
+        for _ in 0..10 {
+            assert!(!hit(sites::WORKER_PANIC));
+        }
+        assert_eq!(total_fired(), 1);
+        reset();
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_in_the_seed() {
+        let _g = guard();
+        let run = |seed: u64| -> Vec<bool> {
+            install("storage.page_read.io=0.25", seed).unwrap();
+            (0..64).map(|_| hit(sites::STORAGE_PAGE_IO)).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        let c = run(43);
+        assert_eq!(a, b, "same seed must replay the same fault schedule");
+        assert_ne!(a, c, "different seeds should differ (for this spec)");
+        assert!(a.iter().any(|&f| f), "p=0.25 over 64 draws should fire");
+        assert!(!a.iter().all(|&f| f));
+        reset();
+    }
+
+    #[test]
+    fn unknown_sites_and_bad_specs_are_rejected() {
+        let _g = guard();
+        assert!(install("no.such.site=0.5", 0).is_err());
+        assert!(install("storage.page_read.io", 0).is_err());
+        assert!(install("storage.page_read.io=nan", 0).is_err());
+        assert!(install("storage.page_read.io=1.5", 0).is_err());
+        assert!(install("worker.chunk.panic=hit:0", 0).is_err());
+        // A rejected spec must not leave the registry armed.
+        assert!(!armed());
+        reset();
+    }
+
+    #[test]
+    fn probability_zero_and_one_are_exact() {
+        let _g = guard();
+        install("storage.page_read.io=0.0,storage.page_read.torn=1.0", 7).unwrap();
+        for _ in 0..100 {
+            assert!(!hit(sites::STORAGE_PAGE_IO));
+            assert!(hit(sites::STORAGE_PAGE_TORN));
+        }
+        let snap = snapshot();
+        assert_eq!(snap[0], ("storage.page_read.io".into(), 100, 0));
+        assert_eq!(snap[1], ("storage.page_read.torn".into(), 100, 100));
+        reset();
+    }
+}

@@ -84,7 +84,7 @@ impl Journal {
     }
 
     pub(crate) fn push(&self, event: Event) {
-        let mut ring = self.ring.lock().expect("event journal poisoned");
+        let mut ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         if ring.len() == self.capacity {
             ring.pop_front();
             self.dropped.fetch_add(1, Ordering::Relaxed);
@@ -95,7 +95,7 @@ impl Journal {
     /// Copy out the ring, oldest first, with the drop count. The ring is
     /// left intact (reads are cheap and repeatable).
     pub(crate) fn drain_copy(&self) -> (Vec<Event>, u64) {
-        let ring = self.ring.lock().expect("event journal poisoned");
+        let ring = self.ring.lock().unwrap_or_else(|e| e.into_inner());
         (
             ring.iter().copied().collect(),
             self.dropped.load(Ordering::Relaxed),

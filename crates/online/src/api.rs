@@ -78,6 +78,14 @@ pub struct QueryOptions {
     /// and every estimate are identical either way; this exists for
     /// benchmark baselines and equivalence tests. Default `false`.
     pub disable_pushdown: bool,
+    /// Hard wall-clock deadline for the whole query. When it expires the
+    /// loop cancels itself and reports the last valid snapshot with
+    /// [`StopReason::Deadline`] — still an unbiased scan-prefix estimate.
+    /// Unlike [`StoppingRule::with_time_budget`] (a soft stop criterion the
+    /// rule *wants*), the deadline is an upper bound the serving layer
+    /// *imposes*; both can be set and the deadline always wins. `None`
+    /// (default): no deadline.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for QueryOptions {
@@ -93,6 +101,7 @@ impl Default for QueryOptions {
             shuffle_scan: false,
             ci_top_k: None,
             disable_pushdown: false,
+            deadline: None,
         }
     }
 }
@@ -111,6 +120,7 @@ impl From<&OnlineOptions> for QueryOptions {
             shuffle_scan: false,
             ci_top_k: None,
             disable_pushdown: false,
+            deadline: None,
         }
     }
 }

@@ -288,6 +288,7 @@ pub(crate) fn drive_scalar(
             chunks,
             exhausted,
             ctx.cancelled(),
+            false,
             &start,
         )?;
         on_snapshot(&snapshot);
@@ -323,10 +324,10 @@ pub(crate) fn push_scalar_chunk(
 }
 
 /// Build the snapshot for one tick of the scalar loop and judge the
-/// stopping rule (exhaustion wins, then cancellation, then the rule) — the
-/// per-tick readout shared verbatim by the sequential loop and the parallel
-/// coordinator, so the two paths cannot diverge in snapshot semantics or
-/// stop precedence.
+/// stopping rule (degradation wins, then exhaustion, then cancellation,
+/// then the hard deadline, then the rule) — the per-tick readout shared
+/// verbatim by the sequential loop and the parallel coordinator, so the
+/// two paths cannot diverge in snapshot semantics or stop precedence.
 #[allow(clippy::too_many_arguments)]
 fn scalar_tick(
     acc: &MomentAccumulator,
@@ -341,6 +342,7 @@ fn scalar_tick(
     chunk: u64,
     exhausted: bool,
     cancelled: bool,
+    degraded: bool,
     start: &Instant,
 ) -> Result<(ProgressSnapshot, Option<StopReason>)> {
     let gus = if opts.scale_to_population {
@@ -361,12 +363,23 @@ fn scalar_tick(
         gus,
         elapsed: start.elapsed(),
     };
-    let reason = if exhausted {
+    let reason = if degraded {
+        // A fault was contained mid-run (a panicked worker shard): the
+        // absorbed prefix is still a valid — merely smaller — sample, and
+        // this snapshot reads exactly it. Degradation outranks even
+        // exhaustion: the realized sample is not the full one.
+        Some(StopReason::Degraded)
+    } else if exhausted {
         Some(StopReason::Exhausted)
     } else if cancelled {
         // A cancelled loop still emits this snapshot: the accumulated
         // prefix is a valid mid-stream estimate.
         Some(StopReason::Cancelled)
+    } else if opts.deadline.is_some_and(|d| snapshot.elapsed >= d) {
+        // The hard deadline cancels the run even when the caller's soft
+        // rule never fires — checked before the rule so a simultaneous
+        // soft time-budget stop reports the imposed bound.
+        Some(StopReason::Deadline)
     } else {
         opts.rule
             .should_stop(rel_half_width, snapshot.rows, snapshot.elapsed)
@@ -404,7 +417,7 @@ fn drive_scalar_parallel(
         |acc: &mut MomentAccumulator, chunk: &ColumnarChunk| {
             push_scalar_chunk(acc, dim_eval, chunk)
         },
-        |merged, progress, exhausted| {
+        |merged, progress, exhausted, degraded| {
             chunks += 1;
             // Workers see disjoint slices of one scan, so the element-wise
             // summed coverage is a flat per-relation prefix; union plans
@@ -423,6 +436,7 @@ fn drive_scalar_parallel(
                 chunks,
                 exhausted,
                 ctx.cancelled(),
+                degraded,
                 &start,
             )?;
             on_snapshot(&snapshot);

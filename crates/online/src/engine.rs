@@ -97,7 +97,7 @@ struct EngineObs {
     sessions_opened: Counter,
     queries_started: Counter,
     /// Indexed by [`reason_ix`]: one labeled counter per stop reason.
-    queries_finished: [Counter; 5],
+    queries_finished: [Counter; 7],
     queries_rejected: Counter,
     query_errors: Counter,
     batch_queries: Counter,
@@ -124,6 +124,8 @@ fn reason_ix(reason: StopReason) -> usize {
         StopReason::TimeBudget => 2,
         StopReason::Exhausted => 3,
         StopReason::Cancelled => 4,
+        StopReason::Deadline => 5,
+        StopReason::Degraded => 6,
     }
 }
 
@@ -136,6 +138,8 @@ fn reason_str(reason: StopReason) -> &'static str {
         StopReason::TimeBudget => "time-budget",
         StopReason::Exhausted => "exhausted",
         StopReason::Cancelled => "cancelled",
+        StopReason::Deadline => "deadline",
+        StopReason::Degraded => "degraded",
     }
 }
 
@@ -158,6 +162,8 @@ impl EngineObs {
                 registry.counter("sa_queries_finished_total{reason=\"time-budget\"}"),
                 registry.counter("sa_queries_finished_total{reason=\"exhausted\"}"),
                 registry.counter("sa_queries_finished_total{reason=\"cancelled\"}"),
+                registry.counter("sa_queries_finished_total{reason=\"deadline\"}"),
+                registry.counter("sa_queries_finished_total{reason=\"degraded\"}"),
             ],
             queries_rejected: registry.counter("sa_queries_rejected_total"),
             query_errors: registry.counter("sa_query_errors_total"),
@@ -173,6 +179,7 @@ impl EngineObs {
                 rows: registry.counter("sa_worker_rows_total"),
                 stalls: registry.counter("sa_worker_backpressure_stalls_total"),
                 merge_us: registry.histogram("sa_coordinator_merge_us"),
+                panics: registry.counter("sa_worker_panics_contained_total"),
             },
             scan: ScanObs::new(&registry),
             registry,
@@ -376,7 +383,7 @@ impl Engine {
             return String::new();
         }
         let mut out = self.inner.obs.registry.render_prometheus();
-        let scans = self.inner.scans.lock().expect("scan registry poisoned");
+        let scans = self.inner.scans.lock().unwrap_or_else(|e| e.into_inner());
         let mut tables: Vec<&String> = scans.keys().collect();
         tables.sort();
         // One series per hub: the full-column hub keeps the bare
@@ -411,6 +418,37 @@ impl Engine {
                 }
             }
         }
+        drop(scans);
+        // Process-global resilience counters: checksum verification and
+        // retry totals from the storage layer (which has no engine handle)
+        // and the deterministic fault-injection registry. A zero reads as
+        // "no faults seen"; the fault-site series only appear while a
+        // `--fault` spec is installed.
+        out.push_str("# TYPE sa_storage_read_retries_total counter\n");
+        out.push_str(&format!(
+            "sa_storage_read_retries_total {}\n",
+            sa_storage::retries_total()
+        ));
+        out.push_str("# TYPE sa_storage_corrupt_pages_total counter\n");
+        out.push_str(&format!(
+            "sa_storage_corrupt_pages_total {}\n",
+            sa_storage::corrupt_pages_total()
+        ));
+        let sites = sa_fault::snapshot();
+        if !sites.is_empty() {
+            out.push_str("# TYPE sa_fault_site_evals_total counter\n");
+            for (site, evals, _) in &sites {
+                out.push_str(&format!(
+                    "sa_fault_site_evals_total{{site=\"{site}\"}} {evals}\n"
+                ));
+            }
+            out.push_str("# TYPE sa_fault_site_fired_total counter\n");
+            for (site, _, fired) in &sites {
+                out.push_str(&format!(
+                    "sa_fault_site_fired_total{{site=\"{site}\"}} {fired}\n"
+                ));
+            }
+        }
         out
     }
 
@@ -431,7 +469,7 @@ impl Engine {
         table: &str,
         needed: Option<Vec<usize>>,
     ) -> Result<Arc<SharedTableScan>> {
-        let mut scans = self.inner.scans.lock().expect("scan registry poisoned");
+        let mut scans = self.inner.scans.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(hubs) = scans.get(table) {
             if let Some(hub) = hubs.iter().find(|h| h.covers(needed.as_deref())) {
                 return Ok(Arc::clone(hub));
@@ -455,7 +493,7 @@ impl Engine {
     /// Live stats of `table`'s shared scan hub, if one exists (the
     /// full-column hub when both full and pruned hubs are live).
     pub fn scan_stats(&self, table: &str) -> Option<SharedScanStats> {
-        let scans = self.inner.scans.lock().expect("scan registry poisoned");
+        let scans = self.inner.scans.lock().unwrap_or_else(|e| e.into_inner());
         let hubs = scans.get(table)?;
         hubs.iter()
             .find(|h| h.columns().is_none())
@@ -630,6 +668,18 @@ impl QueryBuilder {
     /// Stop after `budget` of wall-clock time.
     pub fn time(mut self, budget: Duration) -> QueryBuilder {
         self.opts.rule = self.opts.rule.with_time_budget(budget);
+        self
+    }
+
+    /// Hard wall-clock deadline: cancel the query once `deadline` has
+    /// elapsed and report the last valid snapshot with
+    /// [`sa_plan::StopReason::Deadline`]. Distinct from the soft
+    /// [`QueryBuilder::time`] budget (a stop *rule* the caller opted into):
+    /// the deadline is an imposed upper bound, checked on every tick even
+    /// when the rule never fires, and it wins over a simultaneous soft
+    /// time-budget stop.
+    pub fn deadline(mut self, deadline: Duration) -> QueryBuilder {
+        self.opts.deadline = Some(deadline);
         self
     }
 

@@ -247,6 +247,7 @@ pub(crate) fn drive_grouped(
             &group_exprs,
             exhausted,
             ctx.cancelled(),
+            false,
             &start,
         )?;
         on_snapshot(&snapshot);
@@ -361,9 +362,10 @@ pub(crate) fn push_grouped_chunk(
 }
 
 /// Build the snapshot for one tick of the grouped loop and judge the
-/// stopping rule (exhaustion wins) — the per-tick readout shared verbatim
-/// by the sequential loop and the parallel coordinator, so the two paths
-/// cannot diverge in snapshot semantics or stop precedence.
+/// stopping rule (degradation wins, then exhaustion, then cancellation,
+/// then the hard deadline, then the rule) — the per-tick readout shared
+/// verbatim by the sequential loop and the parallel coordinator, so the
+/// two paths cannot diverge in snapshot semantics or stop precedence.
 #[allow(clippy::too_many_arguments)]
 fn grouped_tick(
     acc: &GroupedMomentAccumulator<Vec<Value>>,
@@ -380,6 +382,7 @@ fn grouped_tick(
     group_exprs: &[String],
     exhausted: bool,
     cancelled: bool,
+    degraded: bool,
     start: &Instant,
 ) -> Result<(GroupedProgressSnapshot, Option<StopReason>)> {
     let rule = &opts.rule;
@@ -402,12 +405,21 @@ fn grouped_tick(
         gus,
         elapsed: start.elapsed(),
     };
-    let reason = if exhausted {
+    let reason = if degraded {
+        // A fault was contained mid-run (a panicked worker shard): every
+        // group's readout covers exactly the absorbed prefix — a valid,
+        // merely smaller, sample. Degradation outranks even exhaustion.
+        Some(StopReason::Degraded)
+    } else if exhausted {
         Some(StopReason::Exhausted)
     } else if cancelled {
         // A cancelled loop still emits this snapshot: the accumulated
         // prefix is a valid mid-stream estimate for every group.
         Some(StopReason::Cancelled)
+    } else if opts.deadline.is_some_and(|d| snapshot.elapsed >= d) {
+        // The hard deadline cancels the run even when the caller's soft
+        // rule never fires.
+        Some(StopReason::Deadline)
     } else {
         rule.should_stop(rel_half_width, snapshot.rows, snapshot.elapsed)
     };
@@ -524,7 +536,7 @@ fn drive_grouped_parallel(
         |acc: &mut GroupedMomentAccumulator<Vec<Value>>, chunk: &ColumnarChunk| {
             push_grouped_chunk(acc, key_kernels, dim_eval, chunk)
         },
-        |merged, progress, exhausted| {
+        |merged, progress, exhausted, degraded| {
             chunks += 1;
             // Discovery is judged on the merged view: a group two shards
             // found independently still counts as one discovery.
@@ -548,6 +560,7 @@ fn drive_grouped_parallel(
                 &group_exprs,
                 exhausted,
                 ctx.cancelled(),
+                degraded,
                 &start,
             )?;
             on_snapshot(&snapshot);

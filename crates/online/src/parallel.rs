@@ -30,9 +30,26 @@
 //! up to floating-point associativity of the merge order (the exhaustion
 //! readout equals the batch estimator on the realized union sample to
 //! 1e-9, pinned by `tests/parallel_online.rs`).
+//!
+//! ## Panic containment
+//!
+//! A worker that panics (a bug in an expression kernel, or an injected
+//! `worker.chunk.panic` fault) must not take the query down: the pull +
+//! accumulate step runs under [`std::panic::catch_unwind`], and on a panic
+//! the shard **discards its pending (never-absorbed) deltas and rolls its
+//! published scan progress back to the last coordinator drain** before
+//! marking itself done. Discarding the deltas without the progress
+//! rollback would desynchronize the sample from its claimed Prop-8
+//! coverage and bias the readout; with it, the surviving global state
+//! covers exactly the absorbed prefix — a valid, merely smaller, sample.
+//! The coordinator observes the `panicked` flag and judges one final tick
+//! with `degraded = true`, which the drivers report as
+//! [`sa_plan::StopReason::Degraded`]. Shard locks are acquired with
+//! explicit poison recovery everywhere, so even a panic at an unexpected
+//! point cannot wedge the pool.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use sa_exec::{ChunkStream, ColumnarChunk};
@@ -59,6 +76,9 @@ pub(crate) struct PoolObs {
     /// Wall time of one coordinator drain-and-merge tick
     /// (`sa_coordinator_merge_us`).
     pub(crate) merge_us: Histogram,
+    /// Worker panics contained by the pool — the query degraded instead of
+    /// dying (`sa_worker_panics_contained_total`).
+    pub(crate) panics: Counter,
 }
 
 /// An accumulator that can absorb a shard built over the same lineage
@@ -102,7 +122,16 @@ struct ShardState<A> {
     /// backpressure quantity.
     pending_rows: u64,
     progress: Vec<(u64, u64)>,
+    /// `progress` as of the coordinator's last drain — everything queued at
+    /// that instant was taken, so this is exactly the coverage of the
+    /// *absorbed* chunks. A contained panic rolls `progress` back to it,
+    /// keeping the discarded pending deltas out of the claimed coverage.
+    progress_at_drain: Vec<(u64, u64)>,
     exhausted: bool,
+    /// The worker panicked and was contained; the shard's published state
+    /// covers only its absorbed prefix. The coordinator turns this into a
+    /// `degraded` final tick.
+    panicked: bool,
     error: Option<Error>,
 }
 
@@ -113,15 +142,24 @@ struct Shard<A> {
     drained: Condvar,
 }
 
+/// Lock a shard with explicit poison recovery: a panic elsewhere (always
+/// contained by the pool) must never cascade into a poisoned-lock panic on
+/// a healthy thread. `ShardState` is plain data — every mutation below is
+/// a complete, consistent update, so the recovered view is always usable.
+fn lock_shard<A>(m: &Mutex<ShardState<A>>) -> MutexGuard<'_, ShardState<A>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Drive `streams.len()` worker threads over their disjoint slices and
 /// judge the stopping rule on the merged state after every tick.
 ///
 /// `push_chunk` accumulates one whole columnar chunk into a shard-local
 /// delta (the per-chunk batch path — workers never touch rows one at a
 /// time). `judge` is called on the coordinator thread with the merged
-/// accumulator, the summed per-relation progress, and whether *every*
-/// shard has drained; it emits the snapshot and returns `Some(reason)` to
-/// stop (it must return `Some` when `exhausted` is true — there will be no
+/// accumulator, the summed per-relation progress, whether *every* shard
+/// has drained, and whether any shard's worker panicked and was contained;
+/// it emits the snapshot and returns `Some(reason)` to stop (it must
+/// return `Some` when `exhausted` or `degraded` is true — there will be no
 /// further tick). The final merged accumulator and the stop reason are
 /// returned; workers are joined before this function returns.
 pub(crate) fn run_worker_pool<A, P, J>(
@@ -135,7 +173,7 @@ pub(crate) fn run_worker_pool<A, P, J>(
 where
     A: ShardAccumulator,
     P: Fn(&mut A, &ColumnarChunk) -> Result<()> + Sync,
-    J: FnMut(&A, &[(u64, u64)], bool) -> Result<Option<sa_plan::StopReason>>,
+    J: FnMut(&A, &[(u64, u64)], bool, bool) -> Result<Option<sa_plan::StopReason>>,
 {
     let nrels = streams.first().map(|s| s.relations().len()).unwrap_or(0);
     // Backpressure: a worker pauses once its un-drained deltas hold two
@@ -151,7 +189,9 @@ where
                 deltas: Vec::new(),
                 pending_rows: 0,
                 progress: s.progress(),
+                progress_at_drain: s.progress(),
                 exhausted: false,
+                panicked: false,
                 error: None,
             }),
             drained: Condvar::new(),
@@ -195,15 +235,13 @@ where
                 let merge_start = obs.merge_us.enabled().then(Instant::now);
                 let mut progress = vec![(0u64, 0u64); nrels];
                 let mut exhausted = true;
+                let mut degraded = false;
                 for shard in &shards {
                     // Take the queued deltas under the lock (an O(1) swap),
                     // merge outside it — the worker accumulates its next
                     // chunk meanwhile.
                     let deltas = {
-                        let mut s = shard
-                            .state
-                            .lock()
-                            .map_err(|_| Error::Unsupported("a worker thread panicked".into()))?;
+                        let mut s = lock_shard(&shard.state);
                         if let Some(e) = &s.error {
                             return Err(e.clone());
                         }
@@ -212,7 +250,9 @@ where
                             t.1 += n;
                         }
                         exhausted &= s.exhausted;
+                        degraded |= s.panicked;
                         s.pending_rows = 0;
+                        s.progress_at_drain = s.progress.clone();
                         std::mem::take(&mut s.deltas)
                     };
                     shard.drained.notify_all();
@@ -226,13 +266,14 @@ where
                 // A ping with no new rows (a worker's final empty pull, a
                 // backpressure re-ping) would replay the previous snapshot
                 // verbatim; skip it unless it is the first tick or carries
-                // the exhaustion verdict. Quiet gaps are bounded by one
-                // chunk, so a time budget still fires promptly.
-                if last_judged == Some(global.rows()) && !exhausted {
+                // the exhaustion or degradation verdict. Quiet gaps are
+                // bounded by one chunk, so a time budget still fires
+                // promptly.
+                if last_judged == Some(global.rows()) && !exhausted && !degraded {
                     continue;
                 }
                 last_judged = Some(global.rows());
-                if let Some(reason) = judge(&global, &progress, exhausted)? {
+                if let Some(reason) = judge(&global, &progress, exhausted, degraded)? {
                     return Ok(reason);
                 }
             }
@@ -242,7 +283,7 @@ where
         // the scope joins them before returning.
         cancel.store(true, Ordering::Relaxed);
         for shard in &shards {
-            let _guard = shard.state.lock();
+            let _guard = lock_shard(&shard.state);
             shard.drained.notify_all();
         }
         out.map(|reason| (global, reason))
@@ -271,36 +312,67 @@ fn worker_loop<A, P>(
     P: Fn(&mut A, &ColumnarChunk) -> Result<()> + Sync,
 {
     let fail = |e: Error| {
-        if let Ok(mut s) = shard.state.lock() {
-            s.error = Some(e);
-        }
+        let mut s = lock_shard(&shard.state);
+        s.error = Some(e);
+        drop(s);
         let _ = tx.send(());
     };
     loop {
         if cancel.load(Ordering::Relaxed) {
             return;
         }
-        let chunk = match stream.next_batch(chunk_rows) {
-            Ok(chunk) => chunk,
-            Err(e) => return fail(e.into()),
-        };
-        let exhausted = chunk.is_empty();
-        let mut delta = None;
-        if !exhausted {
-            let mut local = new_acc();
-            if let Err(e) = push_chunk(&mut local, &chunk) {
-                return fail(e);
+        // The pull + accumulate step is the only per-row code on this
+        // thread; contain any panic in it (a kernel bug, or an injected
+        // `worker.chunk.panic` fault) so the query degrades instead of
+        // dying. AssertUnwindSafe is sound because a panicking iteration
+        // abandons the shard: `stream` and the local delta are never
+        // observed again.
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> Result<(Option<A>, usize, bool)> {
+                if sa_fault::hit(sa_fault::sites::WORKER_STALL) {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                if sa_fault::hit(sa_fault::sites::WORKER_PANIC) {
+                    panic!("injected fault: worker panic at a chunk boundary");
+                }
+                let chunk = stream.next_batch(chunk_rows)?;
+                let exhausted = chunk.is_empty();
+                let mut delta = None;
+                if !exhausted {
+                    let mut local = new_acc();
+                    push_chunk(&mut local, &chunk)?;
+                    delta = Some(local);
+                }
+                Ok((delta, chunk.rows(), exhausted))
+            },
+        ));
+        let (delta, chunk_len, exhausted) = match step {
+            Ok(Ok(v)) => v,
+            Ok(Err(e)) => return fail(e),
+            Err(_panic) => {
+                // Contained: discard the pending (never-absorbed) deltas
+                // AND roll the published coverage back to the last drain —
+                // the surviving global state then covers exactly the
+                // absorbed prefix, so the degraded readout stays an
+                // unbiased (smaller) sample estimate.
+                let mut s = lock_shard(&shard.state);
+                s.deltas.clear();
+                s.pending_rows = 0;
+                s.progress = s.progress_at_drain.clone();
+                s.exhausted = true;
+                s.panicked = true;
+                drop(s);
+                obs.panics.inc();
+                let _ = tx.send(());
+                return;
             }
-            delta = Some(local);
-        }
-        let Ok(mut s) = shard.state.lock() else {
-            return;
         };
+        let mut s = lock_shard(&shard.state);
         if let Some(local) = delta {
             s.deltas.push(local);
-            s.pending_rows += chunk.rows() as u64;
+            s.pending_rows += chunk_len as u64;
             obs.chunks.inc();
-            obs.rows.add(chunk.rows() as u64);
+            obs.rows.add(chunk_len as u64);
         }
         s.progress = stream.progress();
         s.exhausted = exhausted;
@@ -318,10 +390,7 @@ fn worker_loop<A, P>(
             // The ping must be in flight before parking, or the coordinator
             // may never wake to drain us.
             let _ = tx.send(());
-            let Ok(next) = shard.drained.wait(s) else {
-                return;
-            };
-            s = next;
+            s = shard.drained.wait(s).unwrap_or_else(|e| e.into_inner());
         }
         drop(s);
         // The coordinator may already have stopped and dropped the

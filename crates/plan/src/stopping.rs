@@ -56,6 +56,20 @@ pub enum StopReason {
     /// The caller cancelled the query (e.g. via a `QueryHandle`); the last
     /// snapshot is still a valid mid-stream estimate.
     Cancelled,
+    /// A hard wall-clock deadline expired and the loop cancelled itself,
+    /// reporting the last valid snapshot. Distinct from [`TimeBudget`]
+    /// (a soft stop *rule* the caller opted into): a deadline is an upper
+    /// bound imposed on the whole query, checked even when the rule never
+    /// fires. The snapshot is still an unbiased scan-prefix estimate.
+    ///
+    /// [`TimeBudget`]: StopReason::TimeBudget
+    Deadline,
+    /// A fault was contained mid-run (e.g. a panicked worker shard whose
+    /// pending, never-absorbed deltas were discarded) and the loop stopped
+    /// with what it had. The reported snapshot covers exactly the absorbed
+    /// sample prefix, so it remains a valid — merely smaller — unbiased
+    /// estimate; "degraded" describes the sample size, not the statistics.
+    Degraded,
 }
 
 impl fmt::Display for StopReason {
@@ -66,6 +80,8 @@ impl fmt::Display for StopReason {
             StopReason::TimeBudget => "time-budget",
             StopReason::Exhausted => "exhausted",
             StopReason::Cancelled => "cancelled",
+            StopReason::Deadline => "deadline",
+            StopReason::Degraded => "degraded",
         })
     }
 }

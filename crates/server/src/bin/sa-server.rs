@@ -17,6 +17,7 @@
 //! ```
 
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use sa_server::{Server, ServerConfig};
 use sa_tpch::{generate, TpchConfig};
@@ -26,11 +27,38 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Set by the SIGTERM/SIGINT handler; polled by the shutdown monitor. A
+/// relaxed store on a static atomic is async-signal-safe.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+/// Route SIGTERM (15) and SIGINT (2) to [`on_term`] so `kill` and Ctrl-C
+/// drain the server gracefully instead of dropping in-flight queries.
+/// Uses libc's `signal(2)` directly — the std runtime links libc anyway —
+/// to stay dependency-free.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(15, on_term as *const () as usize); // SIGTERM
+        signal(2, on_term as *const () as usize); // SIGINT
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.005f64;
     let mut seed = 42u64;
     let mut data_dir: Option<String> = None;
+    let mut fault_spec: Option<String> = None;
     let mut config = ServerConfig {
         addr: "127.0.0.1:5433".into(),
         ..ServerConfig::default()
@@ -76,10 +104,25 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--max-concurrent needs a number"));
             }
+            "--drain-ms" => {
+                config.drain_deadline = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .map(std::time::Duration::from_millis)
+                    .unwrap_or_else(|| die("--drain-ms needs milliseconds"));
+            }
+            "--fault" => {
+                fault_spec = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--fault needs `site=spec,…`"))
+                        .clone(),
+                );
+            }
             "-h" | "--help" => {
                 eprintln!(
                     "usage: sa-server [--tpch SCALE | --data DIR] [--seed N] \
-                     [--addr HOST:PORT] [--workers N] [--max-concurrent N]"
+                     [--addr HOST:PORT] [--workers N] [--max-concurrent N] \
+                     [--drain-ms N] [--fault SPEC]"
                 );
                 return;
             }
@@ -88,6 +131,10 @@ fn main() {
     }
 
     config.defaults.seed = seed;
+    if let Some(spec) = &fault_spec {
+        sa_fault::install(spec, seed).unwrap_or_else(|e| die(&format!("bad --fault: {e}")));
+        eprintln!("fault injection armed: {spec} (seed {seed})");
+    }
     let catalog = match &data_dir {
         Some(dir) => {
             eprintln!("opening mapped catalog from {dir} …");
@@ -99,9 +146,31 @@ fn main() {
             generate(&TpchConfig::scale(scale).with_seed(seed))
         }
     };
+    install_signal_handlers();
     let server =
         Server::bind(catalog, &config).unwrap_or_else(|e| die(&format!("cannot bind: {e}")));
     println!("READY {}", server.local_addr());
     let _ = std::io::stdout().flush();
+
+    // Signal monitor: `signal(2)` handlers can't touch the server safely,
+    // so the handler just flips a flag and this thread turns it into a
+    // graceful drain.
+    let ctl = server.controller();
+    let engine = server.engine().clone();
+    std::thread::spawn(move || loop {
+        if TERM.load(Ordering::Relaxed) {
+            eprintln!("signal received: draining …");
+            ctl.begin_shutdown();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+
+    // Blocks until a SIGTERM/SIGINT, a client SHUTDOWN, or a controller
+    // drain completes; then emit the final metrics so an orchestrator's
+    // logs capture what the process did before exiting 0.
     server.join();
+    eprintln!("drained; final STATS follow");
+    print!("{}", engine.render_prometheus());
+    let _ = std::io::stdout().flush();
 }

@@ -31,8 +31,9 @@ pub mod protocol;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use sa_obs::Counter;
 use sa_online::{Engine, QueryOptions, Session};
@@ -47,6 +48,7 @@ struct ServerObs {
     connections: Counter,
     bad_requests: Counter,
     disconnects: Counter,
+    read_timeouts: Counter,
 }
 
 impl ServerObs {
@@ -56,7 +58,65 @@ impl ServerObs {
             connections: registry.counter("sa_server_connections_total"),
             bad_requests: registry.counter("sa_server_bad_requests_total"),
             disconnects: registry.counter("sa_server_disconnects_total"),
+            read_timeouts: registry.counter("sa_server_read_timeouts_total"),
         }
+    }
+}
+
+/// Shared shutdown state: `stop` stops the accept loop and tells idle
+/// connections to close after their current exchange; `hard` (set when the
+/// drain deadline passes) additionally cancels in-flight queries, which
+/// still answer a well-formed `FINAL reason=cancelled` before the
+/// connection closes.
+struct Ctl {
+    stop: AtomicBool,
+    hard: AtomicBool,
+    addr: OnceLock<SocketAddr>,
+}
+
+impl Ctl {
+    fn new() -> Ctl {
+        Ctl {
+            stop: AtomicBool::new(false),
+            hard: AtomicBool::new(false),
+            addr: OnceLock::new(),
+        }
+    }
+
+    /// Flip to draining and wake the blocking accept loop (idempotent).
+    fn begin_shutdown(&self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            if let Some(addr) = self.addr.get() {
+                // Wake the blocking accept with a throwaway connection.
+                let _ = TcpStream::connect(addr);
+            }
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A cloneable remote control for a running [`Server`]: lets another
+/// thread (a SIGTERM monitor, a test) start the graceful drain without
+/// owning the server handle.
+#[derive(Clone)]
+pub struct ServerController {
+    ctl: Arc<Ctl>,
+}
+
+impl ServerController {
+    /// Begin the graceful drain: stop accepting, let in-flight queries
+    /// finish (until the drain deadline), then close every connection.
+    /// [`Server::join`] returns once the drain completes.
+    pub fn begin_shutdown(&self) {
+        self.ctl.begin_shutdown();
+    }
+
+    /// Whether a drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.ctl.draining()
     }
 }
 
@@ -78,6 +138,13 @@ pub struct ServerConfig {
     /// Emit every k-th `SNAP` progress line (the `FINAL` line is always
     /// sent). 0 silences progress entirely.
     pub snapshot_every: u64,
+    /// Close a connection that sends no request for this long (the socket
+    /// is polled every ~250 ms, so drains are noticed promptly even by
+    /// idle clients).
+    pub read_timeout: Duration,
+    /// How long a graceful drain waits for in-flight queries before
+    /// cancelling them (they still answer `FINAL reason=cancelled`).
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +155,8 @@ impl Default for ServerConfig {
             max_concurrent: 64,
             defaults: QueryOptions::default(),
             snapshot_every: 8,
+            read_timeout: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
         }
     }
 }
@@ -98,7 +167,8 @@ impl Default for ServerConfig {
 pub struct Server {
     engine: Engine,
     local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    ctl: Arc<Ctl>,
+    drain_deadline: Duration,
     accept: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
 }
@@ -121,8 +191,10 @@ impl Server {
     pub fn serve(engine: Engine, config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let ctl = Arc::new(Ctl::new());
+        let _ = ctl.addr.set(local_addr);
         let snapshot_every = config.snapshot_every;
+        let read_timeout = config.read_timeout;
 
         // Fixed worker pool: the accept loop feeds connections through a
         // rendezvous channel, so at most `workers` clients are in service
@@ -135,16 +207,29 @@ impl Server {
                 let rx = Arc::clone(&rx);
                 let engine = engine.clone();
                 let obs = obs.clone();
+                let ctl = Arc::clone(&ctl);
                 thread::Builder::new()
                     .name(format!("sa-serve-{i}"))
                     .spawn(move || loop {
-                        let conn = match rx.lock().unwrap().recv() {
+                        // Poison recovery: a sibling worker that panicked
+                        // while holding the receiver must not wedge the
+                        // whole pool — the channel itself is still sound.
+                        let conn = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
                             Ok(conn) => conn,
                             Err(_) => return, // accept loop gone
                         };
                         obs.connections.inc();
                         let session = engine.session();
-                        if handle_connection(conn, session, snapshot_every, &obs).is_err() {
+                        if handle_connection(
+                            conn,
+                            session,
+                            snapshot_every,
+                            read_timeout,
+                            &obs,
+                            &ctl,
+                        )
+                        .is_err()
+                        {
                             // The client vanished mid-exchange (or the socket
                             // died); the query path has already cancelled and
                             // reaped any in-flight work.
@@ -156,12 +241,12 @@ impl Server {
             .collect();
 
         let accept = {
-            let stop = Arc::clone(&stop);
+            let ctl = Arc::clone(&ctl);
             thread::Builder::new()
                 .name("sa-accept".into())
                 .spawn(move || {
                     for conn in listener.incoming() {
-                        if stop.load(Ordering::Relaxed) {
+                        if ctl.draining() {
                             return; // drops tx → workers drain and exit
                         }
                         if let Ok(conn) = conn {
@@ -177,7 +262,8 @@ impl Server {
         Ok(Server {
             engine,
             local_addr,
-            stop,
+            ctl,
+            drain_deadline: config.drain_deadline,
             accept: Some(accept),
             workers,
         })
@@ -193,61 +279,145 @@ impl Server {
         &self.engine
     }
 
-    /// Stop accepting, wake the accept loop, and join every thread.
-    /// Connections already in service finish their current exchange.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
+    /// A remote control that can start the graceful drain from another
+    /// thread (e.g. a SIGTERM monitor) or a connection's `SHUTDOWN` verb.
+    pub fn controller(&self) -> ServerController {
+        ServerController {
+            ctl: Arc::clone(&self.ctl),
         }
     }
 
-    /// Block until the server stops (never, unless another thread calls
-    /// [`Server::shutdown`] — use from `main` to serve forever).
+    /// Begin the graceful drain and block until every thread has joined.
+    /// In-flight queries get [`ServerConfig::drain_deadline`] to finish
+    /// (and answer `FINAL`); past it they are cancelled — they still
+    /// answer `FINAL reason=cancelled` before their connections close.
+    pub fn shutdown(mut self) {
+        self.ctl.begin_shutdown();
+        self.drain();
+    }
+
+    /// Block until the server drains (after [`ServerController::begin_shutdown`],
+    /// a client `SHUTDOWN`, or a signal monitor flips the drain on — use
+    /// from `main` to serve until told to stop).
     pub fn join(mut self) {
+        self.drain();
+    }
+
+    /// Join the accept loop, give in-flight work the drain deadline, then
+    /// hard-cancel whatever is left and join the workers.
+    fn drain(&mut self) {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
+        // Accept thread gone ⇒ the channel sender is dropped; each worker
+        // exits once its current connection closes. Idle connections poll
+        // the drain flag every ~250 ms; busy ones finish their query.
+        let deadline = Instant::now() + self.drain_deadline;
+        while Instant::now() < deadline && self.workers.iter().any(|h| !h.is_finished()) {
+            thread::sleep(Duration::from_millis(10));
+        }
+        // Past the drain deadline: cancel in-flight queries. They still
+        // produce a FINAL line (a cancelled run is a valid prefix
+        // estimate) and then their connections close.
+        self.ctl.hard.store(true, Ordering::SeqCst);
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-/// Serve one client connection until `QUIT`, EOF, or an I/O error.
+/// How often an idle connection re-checks the drain flag. The socket read
+/// timeout is the min of this and the configured read timeout, so drains
+/// are noticed within a poll tick even by clients that send nothing.
+const IDLE_POLL: Duration = Duration::from_millis(250);
+
+/// Per-connection query settings the `SEED`/`SHUFFLE`/`DEADLINE` verbs
+/// accumulate between `QUERY` requests.
+#[derive(Default)]
+struct ConnState {
+    seed: Option<u64>,
+    shuffle: bool,
+    deadline: Option<Duration>,
+}
+
+/// Serve one client connection until `QUIT`, EOF, a read timeout, a
+/// server drain, or an I/O error.
 fn handle_connection(
     conn: TcpStream,
     session: Session,
     snapshot_every: u64,
+    read_timeout: Duration,
     obs: &ServerObs,
+    ctl: &Ctl,
 ) -> std::io::Result<()> {
-    let reader = BufReader::new(conn.try_clone()?);
+    if sa_fault::hit(sa_fault::sites::SERVER_CONN_DROP) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "injected fault: connection dropped",
+        ));
+    }
+    // A short socket timeout turns the blocking read into a poll loop so
+    // idle connections notice drains and enforce the read timeout.
+    conn.set_read_timeout(Some(IDLE_POLL.min(read_timeout)))?;
+    conn.set_write_timeout(Some(read_timeout))?;
+    let probe = conn.try_clone()?;
+    let mut reader = BufReader::new(conn.try_clone()?);
     let mut out = BufWriter::new(conn);
-    let mut seed: Option<u64> = None;
-    let mut shuffle = false;
-    for line in reader.lines() {
-        match parse(&line?) {
+    let mut st = ConnState::default();
+    let mut line = String::new();
+    let mut idle_since = Instant::now();
+    loop {
+        line.clear();
+        // Poll for a full request line; `read_line` buffers partial reads
+        // across timeouts, so a slow sender is reassembled correctly.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()), // EOF: client closed cleanly
+                Ok(_) if line.ends_with('\n') => break,
+                Ok(_) => continue, // partial line, keep reading
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if ctl.draining() && line.is_empty() {
+                        return Ok(()); // server drain: close the idle connection
+                    }
+                    if idle_since.elapsed() >= read_timeout {
+                        obs.read_timeouts.inc();
+                        return Ok(()); // idle too long: reclaim the worker
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        idle_since = Instant::now();
+        match parse(&line) {
             Ok(Request::Ping) => writeln!(out, "OK")?,
             Ok(Request::Seed(s)) => {
-                seed = Some(s);
+                st.seed = Some(s);
                 writeln!(out, "OK")?;
             }
             Ok(Request::Shuffle(on)) => {
-                shuffle = on;
+                st.shuffle = on;
                 writeln!(out, "OK")?;
             }
-            Ok(Request::Quit) => break,
+            Ok(Request::Deadline(ms)) => {
+                st.deadline = ms.map(Duration::from_millis);
+                writeln!(out, "OK")?;
+            }
+            Ok(Request::Shutdown) => {
+                writeln!(out, "OK")?;
+                out.flush()?;
+                ctl.begin_shutdown();
+                return Ok(());
+            }
+            Ok(Request::Quit) => return Ok(()),
             Ok(Request::Stats) => {
                 out.write_all(session.engine().render_prometheus().as_bytes())?;
                 writeln!(out, "DONE")?;
             }
             Ok(Request::Query(sql)) => {
-                run_query(&mut out, &session, &sql, seed, shuffle, snapshot_every)?;
+                run_query(&mut out, &probe, &session, &sql, &st, snapshot_every, ctl)?;
                 writeln!(out, "DONE")?;
             }
             Err(msg) => {
@@ -256,8 +426,28 @@ fn handle_connection(
             }
         }
         out.flush()?;
+        if ctl.draining() {
+            return Ok(()); // drain: close after completing the exchange
+        }
     }
-    Ok(())
+}
+
+/// Has the client hung up? A non-blocking `peek` distinguishes "no data
+/// yet" (`WouldBlock`) from an orderly EOF or a reset — this is what lets
+/// a throttled query notice a disconnect even when it never writes.
+fn client_gone(conn: &TcpStream) -> bool {
+    let mut buf = [0u8; 1];
+    if conn.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let gone = match conn.peek(&mut buf) {
+        Ok(0) => true,  // orderly shutdown
+        Ok(_) => false, // a pipelined request is waiting — still alive
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true, // reset / aborted
+    };
+    let _ = conn.set_nonblocking(false);
+    gone
 }
 
 /// Run one query, streaming throttled `SNAP` lines and the `FINAL` readout.
@@ -265,20 +455,28 @@ fn handle_connection(
 /// Runs through an online [`sa_online::QueryHandle`] so a client that
 /// disconnects mid-stream cancels the query instead of letting it run to
 /// completion holding an admission slot and (under shared scans) a hub
-/// cursor. The first failed `SNAP` write cancels; `wait()` then reaps the
-/// query thread — dropping its admission guard and detaching its cursor —
-/// before the I/O error propagates to the connection loop.
+/// cursor. The first failed `SNAP` write cancels; on throttled ticks that
+/// write nothing, the socket is probed directly (`client_gone`) so a
+/// client that vanishes between `QUERY` and the first emitted `SNAP` —
+/// or under `snapshot_every = 0`, which never writes — still cancels
+/// instead of running to completion holding its slot. Either way,
+/// `wait()` then reaps the query thread — dropping its admission guard
+/// and detaching its cursor — before the I/O error propagates.
 fn run_query(
     out: &mut impl Write,
+    probe: &TcpStream,
     session: &Session,
     sql: &str,
-    seed: Option<u64>,
-    shuffle: bool,
+    st: &ConnState,
     snapshot_every: u64,
+    ctl: &Ctl,
 ) -> std::io::Result<()> {
-    let mut builder = session.query(sql).shuffle_scan(shuffle);
-    if let Some(s) = seed {
+    let mut builder = session.query(sql).shuffle_scan(st.shuffle);
+    if let Some(s) = st.seed {
         builder = builder.seed(s);
+    }
+    if let Some(d) = st.deadline {
+        builder = builder.deadline(d);
     }
     let handle = match builder.online() {
         Ok(handle) => handle,
@@ -288,9 +486,29 @@ fn run_query(
         }
     };
     let mut io_err = None;
+    let mut hard_cancelled = false;
     for snap in handle.snapshots() {
+        if ctl.hard.load(Ordering::SeqCst) && !hard_cancelled {
+            // Drain deadline passed: stop the query but keep draining its
+            // snapshot channel so `wait()` returns a FINAL to report.
+            handle.cancel();
+            hard_cancelled = true;
+        }
         if snapshot_every == 0 || snap.chunk() % snapshot_every != 0 {
+            // Throttled tick: nothing is written, so a vanished client
+            // would go unnoticed — probe the socket instead.
+            if client_gone(probe) {
+                handle.cancel();
+                io_err = Some(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "client disconnected mid-query",
+                ));
+                break;
+            }
             continue;
+        }
+        if sa_fault::hit(sa_fault::sites::SERVER_CONN_SLOW) {
+            thread::sleep(Duration::from_millis(1));
         }
         if let Err(e) = writeln!(out, "{}", snap_line(&snap)).and_then(|_| out.flush()) {
             handle.cancel();
@@ -462,6 +680,8 @@ mod tests {
             "time-budget",
             "exhausted",
             "cancelled",
+            "deadline",
+            "degraded",
         ]
         .iter()
         .filter_map(|r| metrics.counter(&format!("sa_queries_finished_total{{reason=\"{r}\"}}")))
@@ -472,6 +692,149 @@ mod tests {
             "mid-stream aborts should register as disconnects"
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn deadline_verb_cuts_a_query_short_with_a_valid_final() {
+        let server = start(800_000);
+        let lines = exchange(
+            server.local_addr(),
+            &[
+                "DEADLINE 1",
+                "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)",
+            ],
+        );
+        assert_eq!(lines[0], "OK");
+        let final_line = lines.iter().find(|l| l.starts_with("FINAL ")).unwrap();
+        assert!(final_line.contains("reason=deadline"), "{final_line}");
+        assert!(final_line.contains("estimate="), "{final_line}");
+        assert_eq!(lines.last().unwrap(), "DONE");
+        // Clearing the deadline restores run-to-exhaustion behaviour.
+        let lines = exchange(
+            server.local_addr(),
+            &[
+                "DEADLINE 1",
+                "DEADLINE off",
+                "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (1 PERCENT)",
+            ],
+        );
+        let final_line = lines.iter().find(|l| l.starts_with("FINAL ")).unwrap();
+        assert!(final_line.contains("reason=exhausted"), "{final_line}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnect_before_first_snap_releases_the_slot() {
+        use std::time::Duration;
+
+        // snapshot_every = 0 never writes SNAP lines, so only the socket
+        // probe can notice the client is gone: this is the regression
+        // test for the throttled-tick slot leak.
+        let server = Server::bind(
+            catalog(800_000),
+            &ServerConfig {
+                snapshot_every: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        {
+            let conn = TcpStream::connect(server.local_addr()).unwrap();
+            let mut tx = conn.try_clone().unwrap();
+            writeln!(
+                tx,
+                "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)"
+            )
+            .unwrap();
+            tx.flush().unwrap();
+            // Give the server a moment to start the query, then vanish
+            // without ever reading a byte.
+            thread::sleep(Duration::from_millis(30));
+        }
+        let mut tries = 0;
+        while server.engine().active_queries() != 0 {
+            tries += 1;
+            assert!(tries < 500, "silent query leaked its admission slot");
+            thread::sleep(Duration::from_millis(10));
+        }
+        let metrics = server.engine().metrics();
+        assert_eq!(metrics.counter("sa_queries_started_total"), Some(1));
+        assert_eq!(
+            metrics.counter("sa_queries_finished_total{reason=\"cancelled\"}"),
+            Some(1),
+            "the probed disconnect must cancel, not run to completion"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_verb_drains_the_whole_server() {
+        let server = start(4000);
+        let addr = server.local_addr();
+        let ctl = server.controller();
+        assert!(!ctl.is_draining());
+        let lines = exchange(addr, &["SHUTDOWN"]);
+        assert_eq!(lines[0], "OK");
+        assert!(ctl.is_draining());
+        // join() must return now that the drain is underway.
+        server.join();
+        // New connections are either refused outright or (if the kernel
+        // backlog takes them) never served: a PING gets no reply.
+        let unserved = match TcpStream::connect(addr) {
+            Err(_) => true,
+            Ok(c) => {
+                let mut tx = c.try_clone().unwrap();
+                let _ = writeln!(tx, "PING");
+                let _ = tx.flush();
+                let _ = c.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+                let mut line = String::new();
+                !matches!(BufReader::new(c).read_line(&mut line), Ok(n) if n > 0)
+            }
+        };
+        assert!(unserved, "a drained server must not serve new connections");
+    }
+
+    #[test]
+    fn mid_query_drain_still_answers_final_then_done() {
+        use std::time::Duration;
+
+        // Short drain deadline: the in-flight query is hard-cancelled and
+        // must still produce a FINAL line and DONE before the close.
+        let server = Server::bind(
+            catalog(800_000),
+            &ServerConfig {
+                snapshot_every: 1,
+                drain_deadline: Duration::from_millis(50),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut tx = conn.try_clone().unwrap();
+        writeln!(
+            tx,
+            "QUERY SELECT SUM(v) AS s FROM t TABLESAMPLE (50 PERCENT)"
+        )
+        .unwrap();
+        tx.flush().unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut first = String::new();
+        reader.read_line(&mut first).unwrap();
+        assert!(first.starts_with("SNAP "), "{first}");
+        let ctl = server.controller();
+        let drainer = thread::spawn(move || server.shutdown());
+        let lines: Vec<String> = reader.lines().map_while(|l| l.ok()).collect();
+        drainer.join().unwrap();
+        assert!(ctl.is_draining());
+        let final_line = lines.iter().find(|l| l.starts_with("FINAL ")).unwrap();
+        assert!(
+            final_line.contains("reason=cancelled")
+                || final_line.contains("reason=exhausted")
+                || final_line.contains("reason=ci-converged"),
+            "{final_line}"
+        );
+        assert!(lines.iter().any(|l| l == "DONE"), "{lines:?}");
     }
 
     #[test]

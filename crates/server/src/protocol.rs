@@ -6,11 +6,24 @@
 //! SEED <n>         use sampling seed n for subsequent queries   → OK
 //! SHUFFLE on|off   seeded random block order for subsequent
 //!                  queries (scan-order robustness)              → OK
+//! DEADLINE <ms>    hard wall-clock deadline for subsequent
+//!                  queries (0 or `off` clears)                  → OK
 //! QUERY <sql>      run a TABLESAMPLE aggregate query            → see below
 //! STATS            dump engine metrics                          → see below
 //! PING             liveness probe                               → OK
+//! SHUTDOWN         drain the whole server gracefully            → OK
 //! QUIT             close the connection
 //! ```
+//!
+//! A query cut short by its `DEADLINE` still answers a well-formed
+//! `FINAL reason=deadline …` line: the estimate over the prefix absorbed so
+//! far is itself unbiased (a deadline run is a WOR(consumed, N) sample —
+//! see `docs/estimation-notes.md` §9), so clients can use it.
+//!
+//! `SHUTDOWN` acknowledges with `OK` and then stops the server accepting
+//! new connections; in-flight queries drain under the server's drain
+//! deadline (past it they are cancelled and still answer `FINAL
+//! reason=cancelled`), after which every connection closes.
 //!
 //! A `QUERY` answers with a stream of progress lines and always terminates
 //! with `DONE`:
@@ -47,6 +60,11 @@ pub enum Request {
     /// subsequent queries (restores the random-scan-order assumption on
     /// physically sorted tables).
     Shuffle(bool),
+    /// `DEADLINE <ms>`: hard wall-clock deadline (milliseconds) for
+    /// subsequent queries on this connection; `None` (0 or `off`) clears.
+    Deadline(Option<u64>),
+    /// `SHUTDOWN`: begin a graceful server-wide drain.
+    Shutdown,
     /// `STATS`: dump engine metrics in Prometheus text format.
     Stats,
     /// `PING`: liveness probe.
@@ -73,8 +91,16 @@ pub fn parse(line: &str) -> Result<Request, String> {
             "off" => Ok(Request::Shuffle(false)),
             _ => Err("SHUFFLE needs `on` or `off`".into()),
         },
+        "DEADLINE" => match rest.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" => Ok(Request::Deadline(None)),
+            ms => ms
+                .parse()
+                .map(|n| Request::Deadline(Some(n)))
+                .map_err(|_| "DEADLINE needs milliseconds (0 or `off` clears)".into()),
+        },
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
+        "SHUTDOWN" => Ok(Request::Shutdown),
         "QUIT" => Ok(Request::Quit),
         other => Err(format!("unknown request `{other}`")),
     }
@@ -171,6 +197,11 @@ mod tests {
         assert_eq!(parse("SHUFFLE on"), Ok(Request::Shuffle(true)));
         assert_eq!(parse("shuffle OFF"), Ok(Request::Shuffle(false)));
         assert!(parse("SHUFFLE maybe").is_err());
+        assert_eq!(parse("DEADLINE 250"), Ok(Request::Deadline(Some(250))));
+        assert_eq!(parse("deadline off"), Ok(Request::Deadline(None)));
+        assert_eq!(parse("DEADLINE 0"), Ok(Request::Deadline(None)));
+        assert!(parse("DEADLINE soon").is_err());
+        assert_eq!(parse("SHUTDOWN"), Ok(Request::Shutdown));
         assert_eq!(parse("stats"), Ok(Request::Stats));
         assert_eq!(parse(" PING "), Ok(Request::Ping));
         assert_eq!(parse("quit"), Ok(Request::Quit));

@@ -103,8 +103,11 @@ pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> std::io::Result<()>
         write_field(writer, &f.name)?;
     }
     writer.write_all(b"\n")?;
+    let columns = table
+        .columns()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     for rid in 0..table.row_count() {
-        for (i, col) in table.columns().iter().enumerate() {
+        for (i, col) in columns.iter().enumerate() {
             if i > 0 {
                 writer.write_all(b",")?;
             }

@@ -59,6 +59,20 @@ pub enum StorageError {
         /// What was wrong.
         message: String,
     },
+    /// A data page failed its checksum at gather time (bit rot, torn
+    /// write, or an injected fault). The file opened clean — header and
+    /// directory self-verify at open — but this page's bytes cannot be
+    /// trusted, so the gather refuses to return them.
+    CorruptPage {
+        /// The offending file (or table name, for an injected fault on the
+        /// in-RAM backend).
+        path: String,
+        /// File page index (0 when the fault was injected rather than
+        /// detected by a real checksum).
+        page: u64,
+        /// What was wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -85,6 +99,13 @@ impl fmt::Display for StorageError {
             StorageError::Io { path, message } => write!(f, "io error on `{path}`: {message}"),
             StorageError::BadFormat { path, message } => {
                 write!(f, "bad table file `{path}`: {message}")
+            }
+            StorageError::CorruptPage {
+                path,
+                page,
+                message,
+            } => {
+                write!(f, "corrupt page {page} in `{path}`: {message}")
             }
         }
     }

@@ -3,12 +3,17 @@
 //! One page-aligned file per table:
 //!
 //! ```text
-//! page 0        header: magic, page size, row/block counts, directory pointer
+//! page 0        header: magic, page size, row/block counts, directory and
+//!               checksum-segment pointers, directory checksum, and a header
+//!               self-checksum (format version 2, magic `SACTBL02`)
 //! page 1..      per-column segments, each aligned to a page boundary:
 //!                 data     Int/Float = 8-byte LE per row, Str = 4-byte LE
 //!                          dictionary codes per row, Bool = bit-packed
 //!                 validity bit-packed, present only when the column has nulls
 //!                 dict     (Str only) u32-length-prefixed UTF-8 entries
+//! sums          one u64 checksum per data page (file pages 1..sums), page
+//!               aligned; every column segment must lie inside the
+//!               checksummed region
 //! tail          directory: table name, then per column the unqualified
 //!               field name, data type and segment (offset, len) triples
 //! ```
@@ -18,10 +23,25 @@
 //! in-RAM backend produces — so the two backends are interchangeable above
 //! [`crate::Table::batch_range`]. String dictionaries are decoded once at
 //! open (they are small) and shared by every gathered batch.
+//!
+//! ## Corruption detection
+//!
+//! Structural damage (bad magic, truncated segments, dangling offsets, a
+//! flipped header or directory byte) fails at **open** with
+//! [`StorageError::BadFormat`] — the header and directory carry their own
+//! checksums, so a file either opens with a trustworthy layout or not at
+//! all. Damage to *data* pages is detected lazily at **gather**: the first
+//! time a gather touches a page its stored checksum is verified (and the
+//! verdict cached in a per-open atomic bitmap, so steady-state scans pay
+//! one extra pass per page, not per chunk). A mismatch surfaces as the
+//! typed [`StorageError::CorruptPage`] — a gather never returns wrong
+//! bytes. Dictionary pages are verified eagerly at open, since dictionaries
+//! are decoded there.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::chunk::{ColumnData, ColumnVec, StrDict};
@@ -34,14 +54,77 @@ use crate::value::Value;
 use crate::Catalog;
 use crate::Result;
 
-/// Magic bytes opening every table file.
-pub const MAGIC: &[u8; 8] = b"SACTBL01";
+/// Magic bytes opening every table file (format version 2: per-page
+/// checksums, header/directory self-checksums).
+pub const MAGIC: &[u8; 8] = b"SACTBL02";
+
+/// The magic of the checksum-less v1 format, recognized only to reject it
+/// with a clear message.
+const MAGIC_V1: &[u8; 8] = b"SACTBL01";
 
 /// Segment alignment and header size: one 4 KiB page.
 pub const PAGE_SIZE: usize = 4096;
 
+/// Header layout: magic + 10 LE u64 words (page size, row count, block
+/// rows, column count, dir off/len, checksum-segment off/page count,
+/// directory checksum, header self-checksum).
+const HEADER_WORDS: usize = 10;
+/// Byte length of the v2 header (the rest of page 0 is zero padding).
+pub const HEADER_LEN: usize = 8 + 8 * HEADER_WORDS;
+
 /// File extension used by [`persist_catalog`] / [`open_catalog_dir`].
 pub const TABLE_EXT: &str = "sac";
+
+/// Word-at-a-time mixing checksum (xor-multiply-shift over 8-byte words,
+/// with a length-tweaked tail). Not cryptographic — it exists to catch
+/// torn writes and bit rot, and any single flipped bit changes the sum.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
+    const MULT: u64 = 0x2545_f491_4f6c_dd1d;
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(MULT);
+        h ^= h >> 32;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(w)).wrapping_mul(MULT);
+        h ^= h >> 32;
+        h ^= rem.len() as u64;
+    }
+    h
+}
+
+/// Process-wide count of transient page-read faults that were retried
+/// (injected via `sa-fault`; real mapped reads cannot report transient
+/// failure, they SIGBUS — so in production this stays 0).
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+/// Process-wide count of corrupt pages detected (checksum mismatches and
+/// injected torn pages).
+static CORRUPT_PAGES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn note_retry() {
+    RETRIES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_corrupt_page() {
+    CORRUPT_PAGES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total transient page-read faults retried by this process (see
+/// [`StorageError::Io`] for the give-up shape). Polled by the
+/// observability layer.
+pub fn retries_total() -> u64 {
+    RETRIES.load(Ordering::Relaxed)
+}
+
+/// Total corrupt pages this process has detected (checksum mismatches and
+/// injected torn pages). Polled by the observability layer.
+pub fn corrupt_pages_total() -> u64 {
+    CORRUPT_PAGES.load(Ordering::Relaxed)
+}
 
 fn io_err(path: &Path, op: &str, e: impl std::fmt::Display) -> StorageError {
     StorageError::Io {
@@ -95,29 +178,13 @@ fn bit_at(bytes: &[u8], i: usize) -> bool {
 // Writer
 // ---------------------------------------------------------------------------
 
-struct SegmentWriter<W: Write> {
-    out: W,
-    pos: u64,
-}
-
-impl<W: Write> SegmentWriter<W> {
-    fn write(&mut self, bytes: &[u8], path: &Path) -> Result<()> {
-        self.out
-            .write_all(bytes)
-            .map_err(|e| io_err(path, "write", e))?;
-        self.pos += bytes.len() as u64;
-        Ok(())
+/// Zero-pad `buf` to the next page boundary and return the aligned length.
+fn align(buf: &mut Vec<u8>) -> u64 {
+    let rem = buf.len() % PAGE_SIZE;
+    if rem != 0 {
+        buf.resize(buf.len() + PAGE_SIZE - rem, 0);
     }
-
-    /// Zero-pad to the next page boundary and return the aligned position.
-    fn align(&mut self, path: &Path) -> Result<u64> {
-        let rem = (self.pos % PAGE_SIZE as u64) as usize;
-        if rem != 0 {
-            let pad = vec![0u8; PAGE_SIZE - rem];
-            self.write(&pad, path)?;
-        }
-        Ok(self.pos)
-    }
+    buf.len() as u64
 }
 
 struct ColumnDirEntry {
@@ -140,25 +207,19 @@ fn column_validity(col: &Column) -> &[bool] {
 
 /// Write `table` to `path` in the `.sac` format. Returns the file length in
 /// bytes. Works from either backend (a mapped table is decoded as it is
-/// re-encoded).
+/// re-encoded). The file is assembled in memory so every data page's
+/// checksum, the directory checksum and the header self-checksum can be
+/// computed before a byte reaches disk — a torn or partial write therefore
+/// cannot produce a file that both opens and gathers clean.
 pub fn write_table_file(table: &Table, path: &Path) -> Result<u64> {
-    let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
-    let mut w = SegmentWriter {
-        out: BufWriter::new(file),
-        pos: 0,
-    };
-
-    // Header page (directory pointer patched at the end via a second pass
-    // would need seeks; instead the directory pointer is written last, so
-    // reserve the header and come back with positions known).
-    let columns = table.columns();
+    let columns = table.columns()?;
     let mut entries: Vec<ColumnDirEntry> = Vec::with_capacity(columns.len());
 
     // Reserve page 0 for the header.
-    w.write(&[0u8; PAGE_SIZE], path)?;
+    let mut buf = vec![0u8; PAGE_SIZE];
 
     for (field, col) in table.schema().fields().iter().zip(columns.iter()) {
-        let data_off = w.align(path)?;
+        let data_off = align(&mut buf);
         let data_bytes: Vec<u8> = match col {
             Column::Bool { data, .. } => pack_bits(data),
             Column::Int { data, .. } => data.iter().flat_map(|v| v.to_le_bytes()).collect(),
@@ -168,28 +229,28 @@ pub fn write_table_file(table: &Table, path: &Path) -> Result<u64> {
                 .collect(),
             Column::Str { codes, .. } => codes.iter().flat_map(|v| v.to_le_bytes()).collect(),
         };
-        w.write(&data_bytes, path)?;
+        buf.extend_from_slice(&data_bytes);
         let data = (data_off, data_bytes.len() as u64);
 
         let validity_bits = column_validity(col);
         let validity = if validity_bits.is_empty() {
             (0, 0)
         } else {
-            let off = w.align(path)?;
+            let off = align(&mut buf);
             let bytes = pack_bits(validity_bits);
-            w.write(&bytes, path)?;
+            buf.extend_from_slice(&bytes);
             (off, bytes.len() as u64)
         };
 
         let (dict, dict_entries) = if let Column::Str { dict, .. } = col {
-            let off = w.align(path)?;
+            let off = align(&mut buf);
             let mut bytes = Vec::new();
             for entry in dict.iter() {
                 let s = entry.as_bytes();
                 bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
                 bytes.extend_from_slice(s);
             }
-            w.write(&bytes, path)?;
+            buf.extend_from_slice(&bytes);
             ((off, bytes.len() as u64), dict.len() as u64)
         } else {
             ((0, 0), 0)
@@ -205,8 +266,16 @@ pub fn write_table_file(table: &Table, path: &Path) -> Result<u64> {
         });
     }
 
+    // Checksum segment: one u64 per data page (file pages 1..sums).
+    let sum_off = align(&mut buf);
+    let sum_count = (sum_off as usize / PAGE_SIZE - 1) as u64;
+    for page in 1..=sum_count as usize {
+        let sum = checksum(&buf[page * PAGE_SIZE..(page + 1) * PAGE_SIZE]);
+        buf.extend_from_slice(&sum.to_le_bytes());
+    }
+
     // Directory.
-    let dir_off = w.align(path)?;
+    let dir_off = align(&mut buf);
     let mut dir = Vec::new();
     let name = table.name().as_bytes();
     dir.extend_from_slice(&(name.len() as u16).to_le_bytes());
@@ -223,12 +292,11 @@ pub fn write_table_file(table: &Table, path: &Path) -> Result<u64> {
         dir.extend_from_slice(&e.dict_entries.to_le_bytes());
     }
     let dir_len = dir.len() as u64;
-    w.write(&dir, path)?;
-    let file_len = w.pos;
-    let mut out = w.out.into_inner().map_err(|e| io_err(path, "flush", e))?;
+    let dir_sum = checksum(&dir);
+    buf.extend_from_slice(&dir);
 
-    // Patch the header in place.
-    let mut header = Vec::with_capacity(64);
+    // Header, self-checksummed over everything before the final word.
+    let mut header = Vec::with_capacity(HEADER_LEN);
     header.extend_from_slice(MAGIC);
     for v in [
         PAGE_SIZE as u64,
@@ -237,16 +305,22 @@ pub fn write_table_file(table: &Table, path: &Path) -> Result<u64> {
         entries.len() as u64,
         dir_off,
         dir_len,
+        sum_off,
+        sum_count,
+        dir_sum,
     ] {
         header.extend_from_slice(&v.to_le_bytes());
     }
-    use std::io::Seek;
-    out.seek(std::io::SeekFrom::Start(0))
-        .map_err(|e| io_err(path, "seek", e))?;
-    out.write_all(&header)
-        .map_err(|e| io_err(path, "write", e))?;
+    let head_sum = checksum(&header);
+    header.extend_from_slice(&head_sum.to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_LEN);
+    buf[..HEADER_LEN].copy_from_slice(&header);
+
+    let file = File::create(path).map_err(|e| io_err(path, "create", e))?;
+    let mut out = BufWriter::new(file);
+    out.write_all(&buf).map_err(|e| io_err(path, "write", e))?;
     out.flush().map_err(|e| io_err(path, "flush", e))?;
-    Ok(file_len)
+    Ok(buf.len() as u64)
 }
 
 // ---------------------------------------------------------------------------
@@ -274,8 +348,18 @@ struct MappedCol {
 #[derive(Debug, Clone)]
 pub struct MappedTable {
     map: Arc<Mmap>,
+    /// The backing file, kept for error reporting.
+    path: Arc<str>,
     row_count: usize,
     cols: Vec<MappedCol>,
+    /// Offset of the per-page checksum segment and the number of
+    /// checksummed data pages (file pages `1..=sum_count`).
+    sums: (usize, usize),
+    /// One bit per data page, set once its checksum has verified against
+    /// this map. Verification is per-open and lock-free: a page is
+    /// re-summed at most a handful of times under racing gathers, then
+    /// every later gather sees the cached bit.
+    verified: Arc<Vec<AtomicU64>>,
     /// Lazily decoded full columns backing the `&Column` accessors
     /// ([`Table::columns`] and friends) for API parity with `InRam`; the
     /// streaming scan path never touches this.
@@ -317,8 +401,26 @@ impl<'a> DirCursor<'a> {
 }
 
 fn segment<'m>(map: &'m Mmap, off: usize, len: usize, path: &Path) -> Result<&'m [u8]> {
-    map.get(off..off + len)
-        .ok_or_else(|| bad(path, format!("segment [{off}, {}) out of file", off + len)))
+    off.checked_add(len)
+        .and_then(|end| map.get(off..end))
+        .ok_or_else(|| bad(path, format!("segment [{off}, +{len}) out of file")))
+}
+
+/// Check one data page (1-based file page index) against its stored
+/// checksum at `sum_off + 8 * (page - 1)`.
+fn verify_page_against(map: &Mmap, sum_off: usize, page: usize, path: &Path) -> Result<()> {
+    let at = sum_off + 8 * (page - 1);
+    let stored = u64::from_le_bytes(map[at..at + 8].try_into().unwrap());
+    let got = checksum(&map[page * PAGE_SIZE..(page + 1) * PAGE_SIZE]);
+    if got != stored {
+        note_corrupt_page();
+        return Err(StorageError::CorruptPage {
+            path: path.display().to_string(),
+            page: page as u64,
+            message: format!("checksum mismatch (stored {stored:#018x}, computed {got:#018x})"),
+        });
+    }
+    Ok(())
 }
 
 /// Expected byte length of a column's data segment.
@@ -336,12 +438,24 @@ impl MappedTable {
     /// rows, row count, store)`.
     fn open(path: &Path) -> Result<(String, Vec<Field>, usize, u64, MappedTable)> {
         let map = Mmap::open(path)?;
-        if map.len() < 56 || &map[0..8] != MAGIC {
+        if map.len() >= 8 && &map[0..8] == MAGIC_V1 {
+            return Err(bad(
+                path,
+                "unsupported format version SACTBL01 (re-persist with this build)",
+            ));
+        }
+        if map.len() < HEADER_LEN || &map[0..8] != MAGIC {
             return Err(bad(path, "missing magic"));
         }
         let word = |i: usize| -> u64 {
             u64::from_le_bytes(map[8 + 8 * i..16 + 8 * i].try_into().unwrap())
         };
+        // The header carries its own checksum in the final word; a file
+        // whose header does not self-verify is rejected before any of its
+        // offsets are trusted.
+        if checksum(&map[0..HEADER_LEN - 8]) != word(HEADER_WORDS - 1) {
+            return Err(bad(path, "header checksum mismatch"));
+        }
         let page_size = word(0);
         if page_size != PAGE_SIZE as u64 {
             return Err(bad(path, format!("unsupported page size {page_size}")));
@@ -351,11 +465,27 @@ impl MappedTable {
         let column_count = word(3) as usize;
         let dir_off = word(4) as usize;
         let dir_len = word(5) as usize;
+        let sum_off = word(6) as usize;
+        let sum_count = word(7) as usize;
+        let dir_sum = word(8);
         if block_rows == 0 {
             return Err(bad(path, "zero block size"));
         }
         let rows = usize::try_from(row_count).map_err(|_| bad(path, "row count overflow"))?;
+        if !sum_off.is_multiple_of(PAGE_SIZE) || sum_off / PAGE_SIZE != sum_count + 1 {
+            return Err(bad(path, "checksum segment not covering the data region"));
+        }
+        let sums_len = sum_count
+            .checked_mul(8)
+            .ok_or_else(|| bad(path, "checksum segment overflow"))?;
+        segment(&map, sum_off, sums_len, path)?;
         let dir_bytes = segment(&map, dir_off, dir_len, path)?;
+        if dir_off < sum_off + sums_len {
+            return Err(bad(path, "directory overlaps the checksummed region"));
+        }
+        if checksum(dir_bytes) != dir_sum {
+            return Err(bad(path, "directory checksum mismatch"));
+        }
         let mut cur = DirCursor {
             bytes: dir_bytes,
             pos: 0,
@@ -374,6 +504,20 @@ impl MappedTable {
             }
             let dict_entries = cur.u64(path)? as usize;
             let [data, validity, dict_span] = spans;
+            // Every column segment must lie inside the checksummed data
+            // region `[PAGE_SIZE, sum_off)` — anything else is a forged
+            // directory (the directory checksum already verified, so this
+            // only trips on a corrupted writer).
+            let in_data_region = |(off, len): (usize, usize)| {
+                len == 0
+                    || (off >= PAGE_SIZE && off.checked_add(len).is_some_and(|end| end <= sum_off))
+            };
+            if !in_data_region(data) || !in_data_region(validity) || !in_data_region(dict_span) {
+                return Err(bad(
+                    path,
+                    format!("column `{col_name}`: segment outside the checksummed region"),
+                ));
+            }
             if data.1 != data_len_for(dtype, rows) {
                 return Err(bad(
                     path,
@@ -391,6 +535,16 @@ impl MappedTable {
                 Some(validity)
             };
             let dict = if dtype == DataType::Str {
+                // Dictionaries are decoded here at open, so their pages are
+                // verified eagerly (data/validity pages verify lazily at
+                // first gather).
+                if dict_span.1 > 0 {
+                    let first = dict_span.0 / PAGE_SIZE;
+                    let last = (dict_span.0 + dict_span.1 - 1) / PAGE_SIZE;
+                    for page in first..=last {
+                        verify_page_against(&map, sum_off, page, path)?;
+                    }
+                }
                 let bytes = segment(&map, dict_span.0, dict_span.1, path)?;
                 let mut entries: Vec<Arc<str>> = Vec::with_capacity(dict_entries);
                 let mut pos = 0usize;
@@ -420,6 +574,7 @@ impl MappedTable {
                 dict,
             });
         }
+        let words = sum_count.div_ceil(64);
         Ok((
             name,
             fields,
@@ -427,11 +582,60 @@ impl MappedTable {
             row_count,
             MappedTable {
                 map: Arc::new(map),
+                path: Arc::from(path.display().to_string().as_str()),
                 row_count: rows,
                 cols,
+                sums: (sum_off, sum_count),
+                verified: Arc::new((0..words).map(|_| AtomicU64::new(0)).collect()),
                 decoded: Arc::new(std::sync::OnceLock::new()),
             },
         ))
+    }
+
+    /// Verify the checksum of one data page (1-based file page index),
+    /// consulting and updating the per-open verified bitmap.
+    fn verify_page(&self, page: usize) -> Result<()> {
+        let idx = page - 1;
+        let word = &self.verified[idx / 64];
+        let bit = 1u64 << (idx % 64);
+        if word.load(Ordering::Acquire) & bit != 0 {
+            return Ok(());
+        }
+        verify_page_against(&self.map, self.sums.0, page, Path::new(&*self.path))?;
+        word.fetch_or(bit, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Verify every data page overlapping the byte span `[off, off+len)`.
+    /// Open-time validation pinned all column segments inside the
+    /// checksummed region, so the page indices are always in range.
+    fn verify_span(&self, off: usize, len: usize) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        for page in off / PAGE_SIZE..=(off + len - 1) / PAGE_SIZE {
+            self.verify_page(page)?;
+        }
+        Ok(())
+    }
+
+    /// Byte span of rows `[start, end)` within column `col`'s data segment,
+    /// then every covering page verified. Also covers the validity bytes.
+    fn verify_cell_range(&self, col: usize, start: usize, end: usize) -> Result<()> {
+        if start >= end {
+            return Ok(());
+        }
+        let c = &self.cols[col];
+        let (b0, b1) = match c.dtype {
+            DataType::Bool => (start / 8, end.div_ceil(8)),
+            DataType::Int | DataType::Float => (8 * start, 8 * end),
+            DataType::Str => (4 * start, 4 * end),
+        };
+        self.verify_span(c.data.0 + b0, b1 - b0)?;
+        if let Some((voff, _)) = c.validity {
+            self.verify_span(voff + start / 8, end.div_ceil(8) - start / 8)?;
+        }
+        Ok(())
     }
 
     fn dict(&self, col: usize) -> &StrDict {
@@ -484,8 +688,10 @@ impl MappedTable {
         &self.map[off..off + len]
     }
 
-    /// Gather `[start, end)` of one column out of the map.
-    pub(crate) fn gather_range(&self, col: usize, start: usize, end: usize) -> ColumnVec {
+    /// Gather `[start, end)` of one column out of the map. Pages touched
+    /// for the first time are verified against their stored checksums.
+    pub(crate) fn gather_range(&self, col: usize, start: usize, end: usize) -> Result<ColumnVec> {
+        self.verify_cell_range(col, start, end)?;
         let bytes = self.data_bytes(col);
         let data = match self.cols[col].dtype {
             DataType::Bool => ColumnData::Bool((start..end).map(|i| bit_at(bytes, i)).collect()),
@@ -500,14 +706,20 @@ impl MappedTable {
                 codes: (start..end).map(|i| Self::u32_at(bytes, i)).collect(),
             },
         };
-        ColumnVec {
+        Ok(ColumnVec {
             data,
             validity: self.validity_range(col, start, end),
-        }
+        })
     }
 
-    /// Gather one column at selected `rows` (ascending, in bounds).
-    pub(crate) fn gather_rows(&self, col: usize, rows: &[usize]) -> ColumnVec {
+    /// Gather one column at selected `rows` (ascending, in bounds). The
+    /// page span from the first to the last selected row is verified —
+    /// selected rows always come from one bounded chunk, so the span is
+    /// small.
+    pub(crate) fn gather_rows(&self, col: usize, rows: &[usize]) -> Result<ColumnVec> {
+        if let (Some(&first), Some(&last)) = (rows.first(), rows.last()) {
+            self.verify_cell_range(col, first, last + 1)?;
+        }
         let bytes = self.data_bytes(col);
         let data = match self.cols[col].dtype {
             DataType::Bool => ColumnData::Bool(rows.iter().map(|&i| bit_at(bytes, i)).collect()),
@@ -522,40 +734,46 @@ impl MappedTable {
                 codes: rows.iter().map(|&i| Self::u32_at(bytes, i)).collect(),
             },
         };
-        ColumnVec {
+        Ok(ColumnVec {
             data,
             validity: self.validity_rows(col, rows),
-        }
+        })
     }
 
-    /// The value at (`row`, `col`), decoded directly from the map.
-    pub(crate) fn value(&self, row: usize, col: usize) -> Value {
+    /// The value at (`row`, `col`), decoded directly from the map (its page
+    /// checksum verified first).
+    pub(crate) fn value(&self, row: usize, col: usize) -> Result<Value> {
+        self.verify_cell_range(col, row, row + 1)?;
         if let Some((off, len)) = self.cols[col].validity {
             if !bit_at(&self.map[off..off + len], row) {
-                return Value::Null;
+                return Ok(Value::Null);
             }
         }
         let bytes = self.data_bytes(col);
-        match self.cols[col].dtype {
+        Ok(match self.cols[col].dtype {
             DataType::Bool => Value::Bool(bit_at(bytes, row)),
             DataType::Int => Value::Int(Self::i64_at(bytes, row)),
             DataType::Float => Value::Float(Self::f64_at(bytes, row)),
             DataType::Str => Value::Str(self.dict(col)[Self::u32_at(bytes, row) as usize].clone()),
-        }
-    }
-
-    /// Full columns decoded out of the map, for the `&Column` accessor
-    /// surface. Decoded once per table (all columns) and cached.
-    pub(crate) fn decoded_columns(&self) -> &[Column] {
-        self.decoded.get_or_init(|| {
-            (0..self.cols.len())
-                .map(|c| self.decode_column(c))
-                .collect()
         })
     }
 
-    fn decode_column(&self, col: usize) -> Column {
+    /// Full columns decoded out of the map, for the `&Column` accessor
+    /// surface. Decoded once per table (all columns) and cached; every
+    /// column's pages are verified before the cache is populated.
+    pub(crate) fn decoded_columns(&self) -> Result<&[Column]> {
+        if let Some(cols) = self.decoded.get() {
+            return Ok(cols);
+        }
+        let cols: Vec<Column> = (0..self.cols.len())
+            .map(|c| self.decode_column(c))
+            .collect::<Result<_>>()?;
+        Ok(self.decoded.get_or_init(|| cols))
+    }
+
+    fn decode_column(&self, col: usize) -> Result<Column> {
         let n = self.row_count;
+        self.verify_cell_range(col, 0, n)?;
         let bytes = self.data_bytes(col);
         let validity = match self.cols[col].validity {
             None => vec![],
@@ -564,7 +782,7 @@ impl MappedTable {
                 (0..n).map(|i| bit_at(v, i)).collect()
             }
         };
-        match self.cols[col].dtype {
+        Ok(match self.cols[col].dtype {
             DataType::Bool => Column::Bool {
                 data: (0..n).map(|i| bit_at(bytes, i)).collect(),
                 validity,
@@ -582,7 +800,7 @@ impl MappedTable {
                 codes: (0..n).map(|i| Self::u32_at(bytes, i)).collect(),
                 validity,
             },
-        }
+        })
     }
 
     /// Number of columns.

@@ -39,7 +39,10 @@ pub use chunk::{ColumnData, ColumnVec, ColumnarBatch, StrDict};
 pub use column::{Column, ColumnBuilder};
 pub use csv::{read_csv, write_csv, CsvOptions};
 pub use error::StorageError;
-pub use format::{open_catalog_dir, open_table_file, persist_catalog, write_table_file, TABLE_EXT};
+pub use format::{
+    corrupt_pages_total, open_catalog_dir, open_table_file, persist_catalog, retries_total,
+    write_table_file, TABLE_EXT,
+};
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use table::{BlockId, RowId, Table, TableBuilder, TableStore, DEFAULT_BLOCK_ROWS};
 pub use value::Value;

@@ -85,23 +85,64 @@ impl Table {
     }
 
     /// The columns, in schema order. For a mapped table this decodes every
-    /// column into RAM once (and caches it) — it exists for API parity and
-    /// row-at-a-time callers; the scan path never uses it.
-    pub fn columns(&self) -> &[Column] {
+    /// column into RAM once (verifying page checksums, and caching the
+    /// result) — it exists for API parity and row-at-a-time callers; the
+    /// scan path never uses it. Errs with
+    /// [`StorageError::CorruptPage`] when a mapped page fails its checksum.
+    pub fn columns(&self) -> Result<&[Column]> {
         match &self.store {
-            TableStore::InRam(cols) => cols,
+            TableStore::InRam(cols) => Ok(cols),
             TableStore::Mapped(m) => m.decoded_columns(),
         }
     }
 
     /// Column by index (see [`Table::columns`] for the mapped-table cost).
-    pub fn column(&self, idx: usize) -> &Column {
-        &self.columns()[idx]
+    pub fn column(&self, idx: usize) -> Result<&Column> {
+        Ok(&self.columns()?[idx])
     }
 
     /// Column by (possibly qualified) name.
     pub fn column_by_name(&self, name: &str) -> Result<&Column> {
-        Ok(&self.columns()[self.schema.index_of(name)?])
+        let idx = self.schema.index_of(name)?;
+        Ok(&self.columns()?[idx])
+    }
+
+    /// Evaluate the storage fault-injection sites for one gather, with
+    /// bounded retry + backoff for transient (injected) I/O faults. Real
+    /// mapped reads cannot fail transiently — the OS either delivers the
+    /// page or kills the process — so this is one untaken branch unless a
+    /// `--fault` spec armed the registry. Backend-blind on purpose: both
+    /// stores surface the same typed errors through the same gather
+    /// surface.
+    fn fault_guard(&self) -> Result<()> {
+        if !sa_fault::armed() {
+            return Ok(());
+        }
+        use sa_fault::sites;
+        if sa_fault::hit(sites::STORAGE_PAGE_LATENCY) {
+            std::thread::sleep(std::time::Duration::from_micros(500));
+        }
+        if sa_fault::hit(sites::STORAGE_PAGE_TORN) {
+            crate::format::note_corrupt_page();
+            return Err(StorageError::CorruptPage {
+                path: self.name.to_string(),
+                page: 0,
+                message: "injected torn page".into(),
+            });
+        }
+        let mut attempt = 0u32;
+        while sa_fault::hit(sites::STORAGE_PAGE_IO) {
+            attempt += 1;
+            if attempt >= 3 {
+                return Err(StorageError::Io {
+                    path: self.name.to_string(),
+                    message: format!("injected i/o fault persisted across {attempt} attempts"),
+                });
+            }
+            crate::format::note_retry();
+            std::thread::sleep(std::time::Duration::from_micros(100 << attempt));
+        }
+        Ok(())
     }
 
     /// Number of columns (no decode on either backend).
@@ -120,10 +161,10 @@ impl Table {
                 len: self.row_count,
             });
         }
-        Ok(match &self.store {
-            TableStore::InRam(cols) => cols[col].value(row as usize),
+        match &self.store {
+            TableStore::InRam(cols) => Ok(cols[col].value(row as usize)),
             TableStore::Mapped(m) => m.value(row as usize, col),
-        })
+        }
     }
 
     /// Materialize an entire row.
@@ -134,12 +175,12 @@ impl Table {
                 len: self.row_count,
             });
         }
-        Ok((0..self.column_count())
+        (0..self.column_count())
             .map(|c| match &self.store {
-                TableStore::InRam(cols) => cols[c].value(row as usize),
+                TableStore::InRam(cols) => Ok(cols[c].value(row as usize)),
                 TableStore::Mapped(m) => m.value(row as usize, c),
             })
-            .collect())
+            .collect()
     }
 
     /// Rows per block.
@@ -187,11 +228,11 @@ impl Table {
     ) -> Result<crate::chunk::ColumnarBatch> {
         if start >= end {
             // Defined empty/reversed-range contract: an empty batch with the
-            // requested column shapes.
+            // requested column shapes (no pages touched, no faults).
             let columns = cols
                 .iter()
                 .map(|&c| self.gather_cell_range(c, 0, 0))
-                .collect();
+                .collect::<Result<_>>()?;
             return Ok(crate::chunk::ColumnarBatch::new(columns, 0));
         }
         if end > self.row_count {
@@ -200,19 +241,27 @@ impl Table {
                 len: self.row_count,
             });
         }
+        self.fault_guard()?;
         let (s, e) = (start as usize, end as usize);
         let columns = cols
             .iter()
             .map(|&c| self.gather_cell_range(c, s, e))
-            .collect();
+            .collect::<Result<_>>()?;
         Ok(crate::chunk::ColumnarBatch::new(columns, e - s))
     }
 
-    fn gather_cell_range(&self, col: usize, start: usize, end: usize) -> crate::chunk::ColumnVec {
+    fn gather_cell_range(
+        &self,
+        col: usize,
+        start: usize,
+        end: usize,
+    ) -> Result<crate::chunk::ColumnVec> {
         match &self.store {
-            TableStore::InRam(columns) => {
-                crate::chunk::ColumnVec::from_column_range(&columns[col], start, end)
-            }
+            TableStore::InRam(columns) => Ok(crate::chunk::ColumnVec::from_column_range(
+                &columns[col],
+                start,
+                end,
+            )),
             TableStore::Mapped(m) => m.gather_range(col, start, end),
         }
     }
@@ -234,16 +283,19 @@ impl Table {
                 });
             }
         }
+        if !rows.is_empty() {
+            self.fault_guard()?;
+        }
         let idx: Vec<usize> = rows.iter().map(|&r| r as usize).collect();
         let columns = cols
             .iter()
             .map(|&c| match &self.store {
                 TableStore::InRam(columns) => {
-                    crate::chunk::ColumnVec::from_column_rows(&columns[c], &idx)
+                    Ok(crate::chunk::ColumnVec::from_column_rows(&columns[c], &idx))
                 }
                 TableStore::Mapped(m) => m.gather_rows(c, &idx),
             })
-            .collect();
+            .collect::<Result<_>>()?;
         Ok(crate::chunk::ColumnarBatch::new(columns, idx.len()))
     }
 
@@ -480,7 +532,7 @@ mod tests {
         // The &Column accessor surface decodes to the same values.
         for c in 0..t.column_count() {
             for r in 0..10usize {
-                assert_eq!(m.column(c).value(r), t.column(c).value(r));
+                assert_eq!(m.column(c).unwrap().value(r), t.column(c).unwrap().value(r));
             }
         }
     }

@@ -67,6 +67,7 @@ struct Shell {
     jobs: usize,
     adaptive_chunks: bool,
     shuffle_scan: bool,
+    deadline: Option<std::time::Duration>,
 }
 
 fn main() {
@@ -84,6 +85,8 @@ fn main() {
     let mut data_dir: Option<String> = None;
     let mut stats = false;
     let mut stats_json: Option<String> = None;
+    let mut deadline: Option<std::time::Duration> = None;
+    let mut fault_spec: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -144,6 +147,21 @@ fn main() {
                         .clone(),
                 );
             }
+            "--deadline" => {
+                deadline = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .map(std::time::Duration::from_millis)
+                        .unwrap_or_else(|| die("--deadline needs milliseconds")),
+                );
+            }
+            "--fault" => {
+                fault_spec = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--fault needs `site=spec,…`"))
+                        .clone(),
+                );
+            }
             "--stats" => stats = true,
             "--stats-json" => {
                 stats_json = Some(
@@ -156,7 +174,8 @@ fn main() {
                 eprintln!(
                     "usage: sa [--tpch SCALE | --data DIR] [--persist DIR] [--seed N] \
                      [--chunk N] [--jobs N] [--adaptive-chunks] [--shuffle-scan] [--online] \
-                     [--connect HOST:PORT] [--query SQL] [--stats] [--stats-json PATH]"
+                     [--deadline MS] [--fault SPEC] [--connect HOST:PORT] [--query SQL] \
+                     [--stats] [--stats-json PATH]"
                 );
                 return;
             }
@@ -164,12 +183,18 @@ fn main() {
         }
     }
 
+    if let Some(spec) = &fault_spec {
+        sampling_algebra::fault::install(spec, seed)
+            .unwrap_or_else(|e| die(&format!("bad --fault: {e}")));
+        eprintln!("fault injection armed: {spec} (seed {seed})");
+    }
+
     if let Some(addr) = connect {
         if stats {
             run_stats_client(&addr);
         }
         let sql = one_shot.unwrap_or_else(|| die("--connect needs --query SQL"));
-        run_client(&addr, seed, shuffle_scan, &sql);
+        run_client(&addr, seed, shuffle_scan, deadline, &sql);
     }
 
     let catalog = match &data_dir {
@@ -207,6 +232,7 @@ fn main() {
         jobs,
         adaptive_chunks,
         shuffle_scan,
+        deadline,
     };
 
     if let Some(sql) = one_shot {
@@ -262,10 +288,16 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// Thin client for `sa-server`: send `SEED` (and `SHUFFLE on` when asked)
-/// then `QUERY`, relay response lines to stdout until the terminator, exit
-/// 0 on `DONE` / 1 on `ERR`.
-fn run_client(addr: &str, seed: u64, shuffle: bool, sql: &str) -> ! {
+/// Thin client for `sa-server`: send `SEED` (plus `SHUFFLE on` /
+/// `DEADLINE` when asked) then `QUERY`, relay response lines to stdout
+/// until the terminator, exit 0 on `DONE` / 1 on `ERR`.
+fn run_client(
+    addr: &str,
+    seed: u64,
+    shuffle: bool,
+    deadline: Option<std::time::Duration>,
+    sql: &str,
+) -> ! {
     let stream =
         TcpStream::connect(addr).unwrap_or_else(|e| die(&format!("cannot connect {addr}: {e}")));
     let mut tx = stream
@@ -279,6 +311,10 @@ fn run_client(addr: &str, seed: u64, shuffle: bool, sql: &str) -> ! {
             } else {
                 Ok(())
             }
+        })
+        .and_then(|_| match deadline {
+            Some(d) => writeln!(tx, "DEADLINE {}", d.as_millis()),
+            None => Ok(()),
         })
         .and_then(|_| writeln!(tx, "QUERY {sql}"))
         .unwrap_or_else(|e| {
@@ -497,7 +533,7 @@ fn print_grouped(r: &GroupedApproxResult) {
 /// stopped. A `WITHIN … CONFIDENCE …` clause in the SQL sets the stopping
 /// rule; scalar vs. grouped is decided by `GROUP BY`.
 fn run_online_mode(shell: &mut Shell, sql: &str) {
-    let result = shell
+    let mut builder = shell
         .engine
         .session()
         .query(sql)
@@ -506,23 +542,26 @@ fn run_online_mode(shell: &mut Shell, sql: &str) {
         .confidence(shell.confidence)
         .jobs(shell.jobs)
         .adaptive_chunks(shell.adaptive_chunks)
-        .shuffle_scan(shell.shuffle_scan)
-        .run_with({
-            let mut header = false;
-            move |snap| match &snap {
-                Snapshot::Scalar(s) => {
-                    if !header {
-                        header = true;
-                        println!(
-                            "{:>10} {:>9} {:>16} {:>14} {:>8} {:>9}",
-                            "rows", "scanned", "estimate", "±half-width", "rel", "elapsed"
-                        );
-                    }
-                    print_snapshot_line(s);
+        .shuffle_scan(shell.shuffle_scan);
+    if let Some(d) = shell.deadline {
+        builder = builder.deadline(d);
+    }
+    let result = builder.run_with({
+        let mut header = false;
+        move |snap| match &snap {
+            Snapshot::Scalar(s) => {
+                if !header {
+                    header = true;
+                    println!(
+                        "{:>10} {:>9} {:>16} {:>14} {:>8} {:>9}",
+                        "rows", "scanned", "estimate", "±half-width", "rel", "elapsed"
+                    );
                 }
-                Snapshot::Grouped(s) => print_grouped_snapshot(s),
+                print_snapshot_line(s);
             }
-        });
+            Snapshot::Grouped(s) => print_grouped_snapshot(s),
+        }
+    });
     match result {
         Ok(r) => print_online_summary(&r),
         Err(e) => println!("error: {e}"),

@@ -64,6 +64,7 @@ pub use sa_baselines as baselines;
 pub use sa_core as core;
 pub use sa_exec as exec;
 pub use sa_expr as expr;
+pub use sa_fault as fault;
 pub use sa_online as online;
 pub use sa_plan as plan;
 pub use sa_sampling as sampling;
